@@ -1,0 +1,157 @@
+//! Exact distinct counting — the ground truth every experiment compares
+//! against, and the "linear space" strawman of the paper's introduction
+//! (exact computation of F0 requires Ω(n) bits [3]).
+
+use knw_core::CardinalityEstimator;
+use knw_hash::SpaceUsage;
+use std::collections::HashSet;
+
+/// An exact distinct counter backed by a hash set.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounter {
+    seen: HashSet<u64>,
+}
+
+impl ExactCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact number of distinct items inserted.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Whether `item` has been seen.
+    #[must_use]
+    pub fn contains(&self, item: u64) -> bool {
+        self.seen.contains(&item)
+    }
+}
+
+impl SpaceUsage for ExactCounter {
+    fn space_bits(&self) -> u64 {
+        // 64 bits per stored key; table overhead ignored, which only makes the
+        // exact baseline look better than it is.
+        self.seen.len() as u64 * 64
+    }
+}
+
+impl CardinalityEstimator for ExactCounter {
+    fn insert(&mut self, item: u64) {
+        self.seen.insert(item);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.seen.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// An exact L0 (Hamming norm) counter maintaining the full frequency vector,
+/// used as ground truth by the turnstile experiments.
+#[derive(Debug, Clone, Default)]
+pub struct ExactL0Counter {
+    frequencies: std::collections::HashMap<u64, i64>,
+    nonzero: u64,
+}
+
+impl ExactL0Counter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact Hamming norm.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.nonzero
+    }
+
+    /// The exact frequency of `item`.
+    #[must_use]
+    pub fn frequency(&self, item: u64) -> i64 {
+        self.frequencies.get(&item).copied().unwrap_or(0)
+    }
+}
+
+impl SpaceUsage for ExactL0Counter {
+    fn space_bits(&self) -> u64 {
+        self.frequencies.len() as u64 * 128
+    }
+}
+
+impl knw_core::TurnstileEstimator for ExactL0Counter {
+    fn update(&mut self, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let entry = self.frequencies.entry(item).or_insert(0);
+        let was_zero = *entry == 0;
+        *entry += delta;
+        let is_zero = *entry == 0;
+        match (was_zero, is_zero) {
+            (true, false) => self.nonzero += 1,
+            (false, true) => self.nonzero -= 1,
+            _ => {}
+        }
+        if is_zero {
+            self.frequencies.remove(&item);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.nonzero as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-l0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knw_core::TurnstileEstimator;
+
+    #[test]
+    fn exact_counts_distinct_items() {
+        let mut c = ExactCounter::new();
+        for i in 0..1000u64 {
+            c.insert(i % 137);
+        }
+        assert_eq!(c.count(), 137);
+        assert_eq!(c.estimate(), 137.0);
+        assert!(c.contains(5));
+        assert!(!c.contains(500));
+        assert_eq!(c.space_bits(), 137 * 64);
+    }
+
+    #[test]
+    fn exact_l0_tracks_cancellation() {
+        let mut c = ExactL0Counter::new();
+        c.update(1, 5);
+        c.update(2, -3);
+        c.update(1, -5);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.frequency(1), 0);
+        assert_eq!(c.frequency(2), -3);
+        c.update(2, 3);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn exact_l0_zero_delta_is_noop() {
+        let mut c = ExactL0Counter::new();
+        c.update(7, 0);
+        assert_eq!(c.count(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Baseline cardinality estimators for comparison with the KNW algorithm.
+//!
+//! Figure 1 of the paper compares the new algorithm against the prior art on
+//! the distinct-elements problem.  To regenerate that comparison empirically
+//! (experiment E1 in `DESIGN.md`) — and to have something meaningful to race
+//! in the throughput benches (E13) — this crate implements the main rows of
+//! that table from scratch:
+//!
+//! | Figure 1 row | Module | Notes |
+//! |---|---|---|
+//! | Flajolet–Martin '85 [20] | [`fm`] | PCSA bitmap sketch, random-oracle style hashing |
+//! | Alon–Matias–Szegedy '99 [3] | [`ams`] | median-of-2^lsb, constant-factor only |
+//! | Gibbons–Tirthapura '01 [24] | [`gibbons_tirthapura`] | level-based coordinated sampling, O(ε⁻² log n) space |
+//! | Bar-Yossef et al '02, Algorithm I [4] | [`kmv`] | k-minimum-values (bottom-k) estimator |
+//! | Bar-Yossef et al '02, Algorithm II [4] | [`bjkst`] | the BJKST bucket sketch, O(ε⁻² log log n + log n)-style space |
+//! | Durand–Flajolet '03 [16] | [`loglog`] | LogLog counting |
+//! | Estan–Varghese–Fisk '06 [17] | [`linear_counting`] | multiresolution bitmap / linear counting |
+//! | Flajolet et al '07 [19] | [`hyperloglog`] | HyperLogLog with the standard corrections |
+//! | Ganguly '07 [22] | [`ganguly_l0`] | counter-based distinct sampling under deletions |
+//! | ground truth | [`exact`] | exact hash-set counter |
+//!
+//! All estimators implement
+//! [`CardinalityEstimator`](knw_core::CardinalityEstimator) (or
+//! [`TurnstileEstimator`](knw_core::TurnstileEstimator) for the deletion-aware
+//! ones) and report their space via
+//! [`SpaceUsage`](knw_hash::SpaceUsage), using the same bit-level accounting
+//! conventions as the KNW sketches so the comparison is apples-to-apples.
+
+pub mod ams;
+pub mod bjkst;
+pub mod exact;
+pub mod fm;
+pub mod ganguly_l0;
+pub mod gibbons_tirthapura;
+pub mod hyperloglog;
+pub mod kmv;
+pub mod linear_counting;
+pub mod loglog;
+
+pub use ams::AmsEstimator;
+pub use bjkst::BjkstSketch;
+pub use exact::ExactCounter;
+pub use fm::FlajoletMartin;
+pub use ganguly_l0::GangulyL0;
+pub use gibbons_tirthapura::GibbonsTirthapura;
+pub use hyperloglog::HyperLogLog;
+pub use kmv::KMinValues;
+pub use linear_counting::LinearCounting;
+pub use loglog::LogLog;
+
+use knw_core::CardinalityEstimator;
+
+/// Builds one instance of every insertion-only baseline (plus the KNW sketch
+/// itself) at a comparable accuracy target, for use by the comparison
+/// experiments.  The returned estimators are boxed trait objects so the
+/// harness can iterate over them uniformly.
+#[must_use]
+pub fn all_f0_estimators(
+    epsilon: f64,
+    universe: u64,
+    seed: u64,
+) -> Vec<Box<dyn CardinalityEstimator>> {
+    let cfg = knw_core::F0Config::new(epsilon, universe).with_seed(seed);
+    vec![
+        Box::new(knw_core::KnwF0Sketch::new(cfg)),
+        Box::new(HyperLogLog::with_error(epsilon, seed)),
+        Box::new(LogLog::with_error(epsilon, seed)),
+        Box::new(FlajoletMartin::with_error(epsilon, seed)),
+        Box::new(KMinValues::with_error(epsilon, seed)),
+        Box::new(BjkstSketch::with_error(epsilon, universe, seed)),
+        Box::new(GibbonsTirthapura::with_error(epsilon, universe, seed)),
+        Box::new(LinearCounting::with_capacity((4.0 / (epsilon * epsilon)) as u64, seed)),
+        Box::new(AmsEstimator::new(64, seed)),
+        Box::new(ExactCounter::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_estimator_zoo_is_complete_and_functional() {
+        let mut zoo = all_f0_estimators(0.1, 1 << 16, 42);
+        assert!(zoo.len() >= 10);
+        for est in &mut zoo {
+            for i in 0..5_000u64 {
+                est.insert(i % 1_000);
+            }
+            let e = est.estimate();
+            assert!(
+                e > 0.0 && e.is_finite(),
+                "{} produced a degenerate estimate {e}",
+                est.name()
+            );
+            assert!(est.space_bits() > 0, "{} reports zero space", est.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let zoo = all_f0_estimators(0.2, 1 << 12, 1);
+        let names: HashSet<&'static str> = zoo.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), zoo.len());
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench: update throughput of every baseline vs the KNW sketch
+//! (experiment E13, the "update time" column of Figure 1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use knw_baselines::all_f0_estimators;
+use knw_stream::{StreamGenerator, UniformGenerator};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_baseline_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_update_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let items = UniformGenerator::new(1 << 20, 9).take_vec(50_000);
+    group.throughput(Throughput::Elements(items.len() as u64));
+
+    let names: Vec<&'static str> = all_f0_estimators(0.05, 1 << 20, 1)
+        .iter()
+        .map(|e| e.name())
+        .collect();
+    for (idx, name) in names.into_iter().enumerate() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut est = all_f0_estimators(0.05, 1 << 20, 1).swap_remove(idx);
+                for &i in &items {
+                    est.insert(black_box(i));
+                }
+                black_box(est.estimate())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_updates);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: reporting (estimate) cost of the KNW F0 sketch, which the
+//! paper claims is O(1) worst case (Theorem 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knw_core::{F0Config, KnwF0Sketch};
+use knw_stream::{StreamGenerator, UniformGenerator};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knw_f0_estimate");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for eps in [0.1f64, 0.02] {
+        let mut sketch = KnwF0Sketch::new(F0Config::new(eps, 1 << 20).with_seed(3));
+        for i in UniformGenerator::new(1 << 20, 5).take_vec(200_000) {
+            sketch.insert(i);
+        }
+        group.bench_function(format!("estimate_eps_{eps}"), |b| {
+            b.iter(|| black_box(sketch.estimate_f0()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: hash-family evaluation cost (the ingredient behind the
+//! O(k)-vs-O(1) trade in Theorems 6/7 and our tabulation substitution).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use knw_hash::kwise::KWiseHash;
+use knw_hash::pairwise::PairwiseHash;
+use knw_hash::rng::SplitMix64;
+use knw_hash::tabulation::{SimpleTabulation, TwistedTabulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    let mut rng = SplitMix64::new(5);
+    let pairwise = PairwiseHash::random(1 << 20, &mut rng);
+    let k8 = KWiseHash::random(8, 1 << 20, &mut rng);
+    let k16 = KWiseHash::random(16, 1 << 20, &mut rng);
+    let simple = SimpleTabulation::random(1 << 20, &mut rng);
+    let twisted = TwistedTabulation::random(1 << 20, &mut rng);
+
+    group.bench_function("pairwise", |b| {
+        b.iter(|| (0..n).map(|x| pairwise.hash(black_box(x))).sum::<u64>())
+    });
+    group.bench_function("kwise_k8", |b| {
+        b.iter(|| (0..n).map(|x| k8.hash(black_box(x))).sum::<u64>())
+    });
+    group.bench_function("kwise_k16", |b| {
+        b.iter(|| (0..n).map(|x| k16.hash(black_box(x))).sum::<u64>())
+    });
+    group.bench_function("simple_tabulation", |b| {
+        b.iter(|| (0..n).map(|x| simple.hash(black_box(x))).sum::<u64>())
+    });
+    group.bench_function("twisted_tabulation", |b| {
+        b.iter(|| (0..n).map(|x| twisted.hash(black_box(x))).sum::<u64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_families);
+criterion_main!(benches);

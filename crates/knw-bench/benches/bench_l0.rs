@@ -1,0 +1,52 @@
+//! Criterion bench: update throughput of the L0 sketch and the Ganguly-style
+//! baseline under a turnstile workload (part of experiments E7/E13).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use knw_baselines::GangulyL0;
+use knw_core::{KnwL0Sketch, L0Config, TurnstileEstimator};
+use knw_stream::TurnstileWorkloadBuilder;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_l0_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0_update_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let workload = TurnstileWorkloadBuilder::new(1 << 20)
+        .insert_items(30_000)
+        .delete_fraction(0.5)
+        .seed(3)
+        .build();
+    group.throughput(Throughput::Elements(workload.ops.len() as u64));
+
+    group.bench_function("knw_l0", |b| {
+        b.iter(|| {
+            let mut sketch = KnwL0Sketch::new(
+                L0Config::new(0.1, 1 << 20)
+                    .with_seed(1)
+                    .with_stream_length_bound(1 << 22)
+                    .with_update_magnitude_bound(16),
+            );
+            for op in &workload.ops {
+                sketch.update(black_box(op.item), black_box(op.delta));
+            }
+            black_box(sketch.estimate_l0())
+        });
+    });
+
+    group.bench_function("ganguly_l0", |b| {
+        b.iter(|| {
+            let mut sketch = GangulyL0::new(0.1, 1 << 20, 26, 1);
+            for op in &workload.ops {
+                sketch.update(black_box(op.item), black_box(op.delta));
+            }
+            black_box(TurnstileEstimator::estimate(&sketch))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_l0_updates);
+criterion_main!(benches);

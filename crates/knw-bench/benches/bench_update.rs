@@ -1,0 +1,44 @@
+//! Criterion bench: per-update cost of the KNW F0 sketch (experiments E5/E13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knw_core::{F0Config, HashStrategy, KnwF0Sketch};
+use knw_stream::{StreamGenerator, UniformGenerator};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_knw_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knw_f0_update");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let items = UniformGenerator::new(1 << 20, 1).take_vec(100_000);
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for (label, strategy) in [
+        ("poly_kwise", HashStrategy::PolynomialKWise),
+        ("tabulation", HashStrategy::Tabulation),
+    ] {
+        for eps in [0.1f64, 0.05] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("eps_{eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| {
+                        let cfg = F0Config::new(eps, 1 << 20)
+                            .with_seed(7)
+                            .with_hash_strategy(strategy);
+                        let mut sketch = KnwF0Sketch::new(cfg);
+                        for &i in &items {
+                            sketch.insert(black_box(i));
+                        }
+                        black_box(sketch.occupancy())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knw_update);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: the variable-bit-length array against a plain Vec<u64>
+//! (experiment E14 — what Theorem 8's structure costs and saves).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use knw_hash::rng::{Rng64, SplitMix64};
+use knw_vla::Vla;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_vla_vs_vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vla_counter_traffic");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let k = 4_096usize;
+    // Pre-generate a counter-update trace shaped like the F0 sketch's traffic:
+    // mostly small values, occasional larger ones.
+    let mut rng = SplitMix64::new(77);
+    let trace: Vec<(usize, u64)> = (0..200_000)
+        .map(|_| {
+            let idx = rng.next_below(k as u64) as usize;
+            let val = match rng.next_below(100) {
+                0..=79 => rng.next_below(8),
+                80..=97 => rng.next_below(64),
+                _ => rng.next_below(1 << 20),
+            };
+            (idx, val)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("vla_max_update", |b| {
+        b.iter(|| {
+            let mut vla = Vla::new(k);
+            for &(idx, val) in &trace {
+                vla.update_with(idx, |c| c.max(val));
+            }
+            black_box(vla.payload_bits())
+        });
+    });
+
+    group.bench_function("vec_u64_max_update", |b| {
+        b.iter(|| {
+            let mut v = vec![0u64; k];
+            for &(idx, val) in &trace {
+                if val > v[idx] {
+                    v[idx] = val;
+                }
+            }
+            black_box(v.iter().sum::<u64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vla_vs_vec);
+criterion_main!(benches);

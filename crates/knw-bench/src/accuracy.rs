@@ -1,0 +1,148 @@
+//! Accuracy statistics against ground truth.
+
+/// A collection of relative errors from repeated trials of an estimator.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyStats {
+    /// Signed relative errors `(estimate − truth)/truth`.
+    errors: Vec<f64>,
+}
+
+impl AccuracyStats {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` is zero (relative error undefined).
+    pub fn record(&mut self, estimate: f64, truth: f64) {
+        assert!(truth > 0.0, "ground truth must be positive");
+        self.errors.push((estimate - truth) / truth);
+    }
+
+    /// Number of recorded trials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether no trials have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Mean of the absolute relative errors.
+    #[must_use]
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().map(|e| e.abs()).sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Mean signed relative error (bias).
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the absolute relative errors.
+    #[must_use]
+    pub fn abs_error_quantile(&self, q: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        let mut abs: Vec<f64> = self.errors.iter().map(|e| e.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let idx = ((abs.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        abs[idx]
+    }
+
+    /// Median absolute relative error.
+    #[must_use]
+    pub fn median_abs_error(&self) -> f64 {
+        self.abs_error_quantile(0.5)
+    }
+
+    /// Worst absolute relative error.
+    #[must_use]
+    pub fn max_abs_error(&self) -> f64 {
+        self.abs_error_quantile(1.0)
+    }
+
+    /// Fraction of trials whose absolute relative error is at most `bound` —
+    /// the empirical success probability at accuracy `bound`.
+    #[must_use]
+    pub fn success_rate(&self, bound: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 1.0;
+        }
+        let ok = self.errors.iter().filter(|e| e.abs() <= bound).count();
+        ok as f64 / self.errors.len() as f64
+    }
+
+    /// Root-mean-square relative error.
+    #[must_use]
+    pub fn rms_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        (self.errors.iter().map(|e| e * e).sum::<f64>() / self.errors.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_on_a_known_sample() {
+        let mut s = AccuracyStats::new();
+        // Errors: +10%, -10%, +20%, 0%
+        s.record(110.0, 100.0);
+        s.record(90.0, 100.0);
+        s.record(120.0, 100.0);
+        s.record(100.0, 100.0);
+        assert_eq!(s.len(), 4);
+        assert!((s.mean_abs_error() - 0.1).abs() < 1e-12);
+        assert!((s.bias() - 0.05).abs() < 1e-12);
+        assert!((s.max_abs_error() - 0.2).abs() < 1e-12);
+        assert!((s.success_rate(0.1) - 0.75).abs() < 1e-12);
+        assert!((s.success_rate(0.25) - 1.0).abs() < 1e-12);
+        assert!(s.rms_error() > s.mean_abs_error() - 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut s = AccuracyStats::new();
+        for i in 1..=100 {
+            s.record(100.0 + i as f64, 100.0);
+        }
+        assert!(s.abs_error_quantile(0.1) <= s.abs_error_quantile(0.5));
+        assert!(s.abs_error_quantile(0.5) <= s.abs_error_quantile(0.99));
+        assert!((s.median_abs_error() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = AccuracyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_abs_error(), 0.0);
+        assert_eq!(s.success_rate(0.1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must be positive")]
+    fn zero_truth_rejected() {
+        let mut s = AccuracyStats::new();
+        s.record(1.0, 0.0);
+    }
+}

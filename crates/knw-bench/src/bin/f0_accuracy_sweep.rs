@@ -1,0 +1,73 @@
+//! Experiment E3 — Theorem 3: the F0 estimate is `(1 ± O(ε))·F0` with
+//! constant probability.
+//!
+//! Sweeps ε and three workload shapes (uniform, Zipfian, sequential), runs
+//! many seeded trials per cell, and reports the median and 90th-percentile
+//! relative error together with the success rate at `4ε` and `8ε`.  The shape
+//! to look for: the error columns scale linearly with ε (the hidden constant
+//! of the paper's O(ε) is visible as the ratio error/ε staying roughly flat).
+
+use knw_bench::report::fmt_f64;
+use knw_bench::{AccuracyStats, Table};
+use knw_core::{CardinalityEstimator, F0Config, KnwF0Sketch};
+use knw_stream::{SequentialGenerator, StreamGenerator, UniformGenerator, ZipfGenerator};
+
+fn run_trials(epsilon: f64, workload: &str, trials: u64) -> AccuracyStats {
+    let universe = 1u64 << 22;
+    let stream_len = 150_000usize;
+    let mut stats = AccuracyStats::new();
+    for seed in 0..trials {
+        let mut generator: Box<dyn StreamGenerator> = match workload {
+            "uniform" => Box::new(UniformGenerator::new(universe, seed * 7 + 1)),
+            "zipf" => Box::new(ZipfGenerator::new(universe, 1.05, seed * 7 + 1)),
+            _ => Box::new(SequentialGenerator::new()),
+        };
+        let items = generator.take_vec(stream_len);
+        let truth = generator.distinct_so_far() as f64;
+        let mut sketch =
+            KnwF0Sketch::new(F0Config::new(epsilon, universe).with_seed(seed * 131 + 7));
+        for &i in &items {
+            sketch.insert(i);
+        }
+        stats.record(sketch.estimate(), truth);
+    }
+    stats
+}
+
+fn main() {
+    let trials = 30u64;
+    let mut table = Table::new(
+        "F0 accuracy sweep (Theorem 3): relative error vs epsilon",
+        &[
+            "workload",
+            "epsilon",
+            "K",
+            "median |err|",
+            "p90 |err|",
+            "median |err| / eps",
+            "success @4eps",
+            "success @8eps",
+        ],
+    );
+    for workload in ["uniform", "zipf", "sequential"] {
+        for &epsilon in &[0.2f64, 0.1, 0.05, 0.03] {
+            let stats = run_trials(epsilon, workload, trials);
+            let k = F0Config::new(epsilon, 1 << 22).num_bins();
+            table.add_row(&[
+                workload.to_string(),
+                epsilon.to_string(),
+                k.to_string(),
+                fmt_f64(stats.median_abs_error()),
+                fmt_f64(stats.abs_error_quantile(0.9)),
+                fmt_f64(stats.median_abs_error() / epsilon),
+                fmt_f64(stats.success_rate(4.0 * epsilon)),
+                fmt_f64(stats.success_rate(8.0 * epsilon)),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "The paper promises (1 ± O(eps)) with probability ≥ 2/3; the hidden constant with the\n\
+         paper's subsampling divisor (32) shows up as the roughly constant 'median/eps' column."
+    );
+}

@@ -1,0 +1,98 @@
+//! Experiment E7 — Theorem 10: L0 accuracy under insertions, deletions and
+//! mixed-sign frequencies, head-to-head with the Ganguly-style baseline.
+//!
+//! The table sweeps the delete fraction and the sign regime and reports the
+//! relative error of the KNW L0 sketch and of the Ganguly baseline, together
+//! with their measured space.  Expected shape: comparable accuracy on
+//! non-negative workloads, a visible Ganguly failure on mixed signs, and a
+//! smaller matrix footprint for KNW (its per-cell width is
+//! `O(log K + log log mM)` rather than `O(log mM)`).
+
+use knw_baselines::GangulyL0;
+use knw_bench::report::fmt_f64;
+use knw_bench::{AccuracyStats, Table};
+use knw_core::{KnwL0Sketch, L0Config, SpaceUsage, TurnstileEstimator};
+use knw_stream::TurnstileWorkloadBuilder;
+
+fn main() {
+    let universe = 1u64 << 20;
+    let epsilon = 0.05f64;
+    let trials = 8u64;
+
+    let mut table = Table::new(
+        &format!("L0 accuracy under deletions (eps = {epsilon}, 40k inserted items)"),
+        &[
+            "delete fraction",
+            "signs",
+            "final L0",
+            "knw mean |err|",
+            "knw max |err|",
+            "ganguly mean |err|",
+            "ganguly max |err|",
+        ],
+    );
+
+    for &(delete_fraction, mixed) in &[
+        (0.0f64, false),
+        (0.25, false),
+        (0.5, false),
+        (0.9, false),
+        (0.0, true),
+        (0.5, true),
+    ] {
+        let mut knw_stats = AccuracyStats::new();
+        let mut ganguly_stats = AccuracyStats::new();
+        let mut final_l0 = 0u64;
+        for seed in 0..trials {
+            let workload = TurnstileWorkloadBuilder::new(universe)
+                .insert_items(40_000)
+                .delete_fraction(delete_fraction)
+                .mixed_signs(mixed)
+                .max_magnitude(8)
+                .seed(seed * 97 + 5)
+                .build();
+            final_l0 = workload.final_l0;
+            if final_l0 == 0 {
+                continue;
+            }
+            let mut knw = KnwL0Sketch::new(
+                L0Config::new(epsilon, universe)
+                    .with_seed(seed * 31 + 1)
+                    .with_stream_length_bound(1 << 24)
+                    .with_update_magnitude_bound(16),
+            );
+            let mut ganguly = GangulyL0::new(epsilon, universe, 28, seed * 31 + 1);
+            for op in &workload.ops {
+                knw.update(op.item, op.delta);
+                ganguly.update(op.item, op.delta);
+            }
+            knw_stats.record(knw.estimate_l0(), final_l0 as f64);
+            ganguly_stats.record(TurnstileEstimator::estimate(&ganguly), final_l0 as f64);
+        }
+        table.add_row(&[
+            delete_fraction.to_string(),
+            if mixed { "mixed".into() } else { "non-negative".to_string() },
+            final_l0.to_string(),
+            fmt_f64(knw_stats.mean_abs_error()),
+            fmt_f64(knw_stats.max_abs_error()),
+            fmt_f64(ganguly_stats.mean_abs_error()),
+            fmt_f64(ganguly_stats.max_abs_error()),
+        ]);
+    }
+    table.print();
+
+    // Space comparison (matrix-only for KNW, plus the full-sketch figure).
+    let knw = KnwL0Sketch::new(
+        L0Config::new(epsilon, universe)
+            .with_seed(1)
+            .with_stream_length_bound(1 << 24)
+            .with_update_magnitude_bound(16),
+    );
+    let ganguly = GangulyL0::new(epsilon, universe, 28, 1);
+    println!(
+        "Space at eps = {epsilon}: knw matrix = {} bits, knw full sketch = {} bits, ganguly = {} bits",
+        knw.matrix().space_bits(),
+        knw.space_bits(),
+        ganguly.space_bits()
+    );
+}

@@ -1,0 +1,68 @@
+//! Experiment E8 — Theorem 11: the RoughL0Estimator outputs a constant-factor
+//! approximation (within `[L0/110, L0]`-ish) with probability ≥ 9/16.
+//!
+//! Sweeps the true L0 (including streams with deletions) and reports the
+//! observed ratio band and the fraction of trials inside the guarantee.
+
+use knw_bench::report::fmt_f64;
+use knw_bench::Table;
+use knw_core::l0::RoughL0Estimator;
+
+fn main() {
+    let universe = 1u64 << 20;
+    let trials = 25u64;
+
+    let mut table = Table::new(
+        "RoughL0Estimator constant-factor guarantee (Theorem 11)",
+        &[
+            "true L0",
+            "with deletions",
+            "median ratio est/L0",
+            "min ratio",
+            "max ratio",
+            "in [1/110, 2]",
+        ],
+    );
+
+    for &(l0, with_deletes) in &[
+        (100u64, false),
+        (1_000, false),
+        (10_000, false),
+        (50_000, false),
+        (1_000, true),
+        (10_000, true),
+    ] {
+        let mut ratios = Vec::new();
+        for seed in 0..trials {
+            let mut r = RoughL0Estimator::new(universe, seed * 13 + 7);
+            if with_deletes {
+                // Insert twice the target, then delete half of it entirely.
+                for i in 0..2 * l0 {
+                    r.update(i, 3);
+                }
+                for i in l0..2 * l0 {
+                    r.update(i, -3);
+                }
+            } else {
+                for i in 0..l0 {
+                    r.update(i, 1);
+                }
+            }
+            ratios.push(r.estimate() / l0 as f64);
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let within = ratios
+            .iter()
+            .filter(|&&x| (1.0 / 110.0..=2.0).contains(&x))
+            .count();
+        table.add_row(&[
+            l0.to_string(),
+            with_deletes.to_string(),
+            fmt_f64(ratios[ratios.len() / 2]),
+            fmt_f64(ratios[0]),
+            fmt_f64(*ratios.last().expect("nonempty")),
+            format!("{within}/{trials}"),
+        ]);
+    }
+    table.print();
+}

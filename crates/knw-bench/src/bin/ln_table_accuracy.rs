@@ -1,0 +1,52 @@
+//! Experiment E11 — Lemma 7: the compact ln lookup table answers
+//! `ln(1 − c/K)` with relative error `≤ 1/√K` for every `c ∈ [1, 4K/5]`, in
+//! constant time and sub-linear space.
+
+use knw_bench::report::fmt_f64;
+use knw_bench::Table;
+use knw_core::ln_table::{ln_one_minus_exact, LnTable};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Lemma 7 ln lookup table: worst-case relative error and space",
+        &[
+            "K",
+            "gamma = 1/sqrt(K)",
+            "worst rel error",
+            "within gamma",
+            "table bits",
+            "naive table bits (K x 64)",
+            "ns per query",
+        ],
+    );
+
+    for &k in &[64u64, 256, 1_024, 4_096, 16_384, 65_536] {
+        let t = LnTable::new(k);
+        let gamma = t.accuracy();
+        let mut worst = 0.0f64;
+        for c in 1..=t.max_c() {
+            let approx = t.ln_one_minus(c);
+            let exact = ln_one_minus_exact(c, k);
+            worst = worst.max(((approx - exact) / exact).abs());
+        }
+        // Query timing.
+        let queries = 2_000_000u64;
+        let start = Instant::now();
+        let mut sink = 0.0f64;
+        for q in 0..queries {
+            sink += t.ln_one_minus(1 + (q % t.max_c()));
+        }
+        let per_query = start.elapsed().as_nanos() as f64 / queries as f64;
+        table.add_row(&[
+            k.to_string(),
+            fmt_f64(gamma),
+            fmt_f64(worst),
+            (worst <= gamma).to_string(),
+            t.space_bits().to_string(),
+            (k * 64).to_string(),
+            format!("{per_query:.1} (sink {:.2})", sink / queries as f64),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,75 @@
+//! Experiment E2 — Theorem 1: the RoughEstimator's estimate lies in
+//! `[F0(t), 8·F0(t)]` simultaneously for (essentially) all times `t` with
+//! `F0(t) ≥ K_RE`.
+//!
+//! For each trial we stream a growing set of distinct items, checkpoint the
+//! estimate at a dense grid of times, and count checkpoints outside the band.
+//! The paper's guarantee is `1 − o(1)` over the whole stream; the table
+//! reports the fraction of trials with zero violations and the overall
+//! fraction of violating checkpoints.
+
+use knw_bench::report::fmt_f64;
+use knw_bench::Table;
+use knw_core::RoughEstimator;
+
+fn main() {
+    let universe = 1u64 << 20;
+    let trials = 40u64;
+    let stream_distinct = 60_000u64;
+
+    let mut table = Table::new(
+        "RoughEstimator all-times guarantee (Theorem 1)",
+        &[
+            "trials",
+            "checkpoints/trial",
+            "trials fully in [F0, 8F0]",
+            "checkpoint violation rate",
+            "max ratio est/F0",
+            "min ratio est/F0",
+        ],
+    );
+
+    let mut fully_ok = 0u64;
+    let mut violations = 0u64;
+    let mut checkpoints_total = 0u64;
+    let mut max_ratio = 0.0f64;
+    let mut min_ratio = f64::INFINITY;
+    let mut checkpoints_per_trial = 0u64;
+
+    for trial in 0..trials {
+        let mut re = RoughEstimator::new(universe, 1_000 + trial);
+        let k_re = re.k_re();
+        let mut trial_violations = 0u64;
+        let mut checkpoints = 0u64;
+        for i in 0..stream_distinct {
+            re.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ trial);
+            let f0 = i + 1;
+            if f0 >= 4 * k_re && f0 % 211 == 0 {
+                checkpoints += 1;
+                let est = re.estimate();
+                let ratio = est / f0 as f64;
+                max_ratio = max_ratio.max(ratio);
+                min_ratio = min_ratio.min(ratio);
+                if !(0.99..=8.01).contains(&ratio) {
+                    trial_violations += 1;
+                }
+            }
+        }
+        checkpoints_per_trial = checkpoints;
+        checkpoints_total += checkpoints;
+        violations += trial_violations;
+        if trial_violations == 0 {
+            fully_ok += 1;
+        }
+    }
+
+    table.add_row(&[
+        trials.to_string(),
+        checkpoints_per_trial.to_string(),
+        format!("{fully_ok}/{trials}"),
+        fmt_f64(violations as f64 / checkpoints_total as f64),
+        fmt_f64(max_ratio),
+        fmt_f64(min_ratio),
+    ]);
+    table.print();
+}

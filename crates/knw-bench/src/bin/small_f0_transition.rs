@@ -1,0 +1,71 @@
+//! Experiment E6 — Theorem 4 / Section 3.3: behaviour through the small-F0
+//! regime and the switchover to the main estimator.
+//!
+//! Ramps the true cardinality from 1 to ~4K and reports, at checkpoints, which
+//! internal estimator answered (exact / array / main) and the relative error.
+//! The exact band must be error-free, the array band must stay within a few ε,
+//! and the switchover must not produce a discontinuity.
+
+use knw_bench::report::fmt_f64;
+use knw_bench::Table;
+use knw_core::{F0Config, KnwF0Sketch, SmallF0Estimate};
+
+fn main() {
+    let epsilon = 0.05f64;
+    let universe = 1u64 << 20;
+    let trials = 20u64;
+    let cfg_template = F0Config::new(epsilon, universe);
+    let k = cfg_template.num_bins();
+    let checkpoints: Vec<u64> = vec![
+        10,
+        50,
+        99,
+        100,
+        101,
+        150,
+        k / 32,
+        k / 16,
+        k / 8,
+        k / 4,
+        k,
+        2 * k,
+        4 * k,
+    ];
+
+    let mut table = Table::new(
+        &format!("Small-F0 transition (eps = {epsilon}, K = {k})"),
+        &["true F0", "regime", "mean |rel err|", "max |rel err|"],
+    );
+
+    for &target in &checkpoints {
+        let mut mean = 0.0f64;
+        let mut max = 0.0f64;
+        let mut regime = "";
+        for seed in 0..trials {
+            let mut sketch =
+                KnwF0Sketch::new(F0Config::new(epsilon, universe).with_seed(seed * 17 + 3));
+            for i in 0..target {
+                sketch.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+                sketch.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed); // duplicate
+            }
+            let est = sketch.estimate_f0();
+            let rel = (est - target as f64).abs() / target as f64;
+            mean += rel;
+            max = max.max(rel);
+            regime = match sketch.small_regime() {
+                SmallF0Estimate::Exact(_) => "exact",
+                SmallF0Estimate::Approx(_) => "array",
+                SmallF0Estimate::Large => "main",
+            };
+        }
+        mean /= trials as f64;
+        table.add_row(&[
+            target.to_string(),
+            regime.to_string(),
+            fmt_f64(mean),
+            fmt_f64(max),
+        ]);
+    }
+    table.print();
+    println!("Expected: zero error through the exact band (F0 < 100), a smooth few-epsilon error in\nthe array band, and no discontinuity at the switch to the main estimator (around K/16).");
+}

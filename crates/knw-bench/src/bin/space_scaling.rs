@@ -1,0 +1,54 @@
+//! Experiment E4 — Theorem 2: the sketch uses `O(ε⁻² + log n)` bits.
+//!
+//! Two sweeps: space vs ε at fixed n (should follow `c₁·ε⁻² + c₂`), and space
+//! vs n at fixed ε (should grow only logarithmically).  The same numbers are
+//! printed for the `ε⁻²·log n`-style baselines so the asymptotic separation of
+//! Figure 1 is visible as a widening gap.
+
+use knw_baselines::{BjkstSketch, GibbonsTirthapura, HyperLogLog, KMinValues};
+use knw_bench::Table;
+use knw_core::{F0Config, KnwF0Sketch, SpaceUsage};
+
+fn main() {
+    let mut by_eps = Table::new(
+        "Space vs epsilon at n = 2^20 (bits)",
+        &["epsilon", "K=1/eps^2", "knw", "hyperloglog", "kmv", "bjkst", "gibbons-tirthapura"],
+    );
+    for &eps in &[0.2f64, 0.1, 0.05, 0.02, 0.01] {
+        let n = 1u64 << 20;
+        let knw = KnwF0Sketch::new(F0Config::new(eps, n).with_seed(1));
+        by_eps.add_row(&[
+            eps.to_string(),
+            knw.num_counters().to_string(),
+            knw.space_bits().to_string(),
+            HyperLogLog::with_error(eps, 1).space_bits().to_string(),
+            KMinValues::with_error(eps, 1).space_bits().to_string(),
+            BjkstSketch::with_error(eps, n, 1).space_bits().to_string(),
+            GibbonsTirthapura::with_error(eps, n, 1).space_bits().to_string(),
+        ]);
+    }
+    by_eps.print();
+
+    let mut by_n = Table::new(
+        "Space vs universe size at epsilon = 0.05 (bits)",
+        &["log2(n)", "knw", "kmv", "bjkst", "gibbons-tirthapura"],
+    );
+    for &log_n in &[12u32, 16, 20, 24, 28, 32] {
+        let n = 1u64 << log_n;
+        let eps = 0.05;
+        let knw = KnwF0Sketch::new(F0Config::new(eps, n).with_seed(1));
+        by_n.add_row(&[
+            log_n.to_string(),
+            knw.space_bits().to_string(),
+            KMinValues::with_error(eps, 1).space_bits().to_string(),
+            BjkstSketch::with_error(eps, n, 1).space_bits().to_string(),
+            GibbonsTirthapura::with_error(eps, n, 1).space_bits().to_string(),
+        ]);
+    }
+    by_n.print();
+
+    println!(
+        "Expected shape: the knw column grows ~quadratically as eps shrinks (the eps^-2 term)\n\
+         but only logarithmically with n, while the Gibbons-Tirthapura/KMV columns pay eps^-2 * log n."
+    );
+}

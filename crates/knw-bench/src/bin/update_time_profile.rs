@@ -1,0 +1,101 @@
+//! Experiment E5 — Theorem 9: O(1) worst-case update and reporting time.
+//!
+//! Measures the mean and tail per-update latency of the KNW sketch as the
+//! stream length, the universe size and ε vary.  The O(1) claim shows up as
+//! all three sweeps producing essentially flat latency columns (the absolute
+//! value is machine-dependent and not compared against the paper).
+
+use knw_bench::report::fmt_f64;
+use knw_bench::{measure_updates, Table};
+use knw_core::{F0Config, HashStrategy, KnwF0Sketch};
+use knw_stream::{StreamGenerator, UniformGenerator};
+use std::time::Instant;
+
+fn main() {
+    // Sweep 1: stream length at fixed epsilon and n.
+    let mut by_len = Table::new(
+        "Per-update latency vs stream length (eps = 0.05, n = 2^20, tabulation h3)",
+        &["updates", "mean ns/update", "p99 chunk ns", "max chunk ns", "M updates/sec"],
+    );
+    for &len in &[100_000usize, 1_000_000, 4_000_000] {
+        let mut gen = UniformGenerator::new(1 << 20, 7);
+        let items = gen.take_vec(len);
+        let cfg = F0Config::new(0.05, 1 << 20)
+            .with_seed(1)
+            .with_hash_strategy(HashStrategy::Tabulation);
+        let mut sketch = KnwF0Sketch::new(cfg);
+        let t = measure_updates(&mut sketch, &items, 4_096, |s, i| s.insert(i));
+        by_len.add_row(&[
+            len.to_string(),
+            fmt_f64(t.mean_ns),
+            fmt_f64(t.p99_chunk_ns),
+            fmt_f64(t.max_chunk_ns),
+            format!("{:.2}", t.updates_per_second / 1e6),
+        ]);
+    }
+    by_len.print();
+
+    // Sweep 2: epsilon at fixed stream length.
+    let mut by_eps = Table::new(
+        "Per-update latency vs epsilon (1M updates, n = 2^20)",
+        &["epsilon", "K", "mean ns/update", "M updates/sec"],
+    );
+    for &eps in &[0.2f64, 0.1, 0.05, 0.02] {
+        let mut gen = UniformGenerator::new(1 << 20, 9);
+        let items = gen.take_vec(1_000_000);
+        let cfg = F0Config::new(eps, 1 << 20)
+            .with_seed(2)
+            .with_hash_strategy(HashStrategy::Tabulation);
+        let mut sketch = KnwF0Sketch::new(cfg);
+        let t = measure_updates(&mut sketch, &items, 4_096, |s, i| s.insert(i));
+        by_eps.add_row(&[
+            eps.to_string(),
+            sketch.num_counters().to_string(),
+            fmt_f64(t.mean_ns),
+            format!("{:.2}", t.updates_per_second / 1e6),
+        ]);
+    }
+    by_eps.print();
+
+    // Sweep 3: universe size at fixed epsilon.
+    let mut by_n = Table::new(
+        "Per-update latency vs universe size (1M updates, eps = 0.05)",
+        &["log2(n)", "mean ns/update", "M updates/sec"],
+    );
+    for &log_n in &[16u32, 24, 32, 48] {
+        let mut gen = UniformGenerator::new(1u64 << log_n.min(40), 11);
+        let items = gen.take_vec(1_000_000);
+        let cfg = F0Config::new(0.05, 1u64 << log_n)
+            .with_seed(3)
+            .with_hash_strategy(HashStrategy::Tabulation);
+        let mut sketch = KnwF0Sketch::new(cfg);
+        let t = measure_updates(&mut sketch, &items, 4_096, |s, i| s.insert(i));
+        by_n.add_row(&[
+            log_n.to_string(),
+            fmt_f64(t.mean_ns),
+            format!("{:.2}", t.updates_per_second / 1e6),
+        ]);
+    }
+    by_n.print();
+
+    // Reporting time: estimate() called many times midstream.
+    let mut gen = UniformGenerator::new(1 << 20, 13);
+    let items = gen.take_vec(500_000);
+    let mut sketch = KnwF0Sketch::new(F0Config::new(0.05, 1 << 20).with_seed(4));
+    for &i in &items {
+        sketch.insert(i);
+    }
+    let reports = 1_000_000u64;
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..reports {
+        sink += sketch.estimate_f0();
+    }
+    let per_report = start.elapsed().as_nanos() as f64 / reports as f64;
+    println!(
+        "Reporting: {} estimates, {:.1} ns/estimate (accumulator {:.1})",
+        reports,
+        per_report,
+        sink / reports as f64
+    );
+}

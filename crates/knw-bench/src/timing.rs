@@ -1,0 +1,94 @@
+//! Per-update timing measurements.
+//!
+//! Figure 1's "update time" column and the paper's O(1) worst-case update and
+//! reporting claims (Theorem 9) are asymptotic statements; the measurable
+//! counterpart is that per-update latency does not grow with the stream
+//! length, the universe size, or `1/ε`.  [`measure_updates`] produces the
+//! statistics the E5 experiment and `EXPERIMENTS.md` report.
+
+use std::time::Instant;
+
+/// Timing statistics for a batch of updates.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateTiming {
+    /// Number of updates measured.
+    pub updates: u64,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Mean nanoseconds per update.
+    pub mean_ns: f64,
+    /// Throughput in updates per second.
+    pub updates_per_second: f64,
+    /// 99th-percentile nanoseconds per update (over measurement chunks).
+    pub p99_chunk_ns: f64,
+    /// Worst chunk-average nanoseconds per update.
+    pub max_chunk_ns: f64,
+}
+
+/// Measures `f` applied to every item, chunking the stream so that a
+/// per-chunk latency distribution (p99 / max) can be reported without paying a
+/// clock read per update.
+pub fn measure_updates<T, F: FnMut(&mut T, u64)>(
+    state: &mut T,
+    items: &[u64],
+    chunk: usize,
+    mut f: F,
+) -> UpdateTiming {
+    let chunk = chunk.max(1);
+    let mut chunk_ns: Vec<f64> = Vec::with_capacity(items.len() / chunk + 1);
+    let overall_start = Instant::now();
+    for block in items.chunks(chunk) {
+        let start = Instant::now();
+        for &item in block {
+            f(state, item);
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        chunk_ns.push(elapsed / block.len() as f64);
+    }
+    let total_seconds = overall_start.elapsed().as_secs_f64();
+    chunk_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let updates = items.len() as u64;
+    let mean_ns = total_seconds * 1e9 / updates.max(1) as f64;
+    let p99 = chunk_ns
+        .get(((chunk_ns.len() as f64 - 1.0) * 0.99).round() as usize)
+        .copied()
+        .unwrap_or(0.0);
+    let max = chunk_ns.last().copied().unwrap_or(0.0);
+    UpdateTiming {
+        updates,
+        total_seconds,
+        mean_ns,
+        updates_per_second: updates as f64 / total_seconds.max(1e-12),
+        p99_chunk_ns: p99,
+        max_chunk_ns: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_of_a_trivial_operation() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let mut acc = 0u64;
+        let t = measure_updates(&mut acc, &items, 1_000, |a, x| {
+            *a = a.wrapping_add(x);
+        });
+        assert_eq!(t.updates, 100_000);
+        assert!(t.total_seconds > 0.0);
+        assert!(t.mean_ns > 0.0);
+        assert!(t.updates_per_second > 1_000.0);
+        assert!(t.p99_chunk_ns <= t.max_chunk_ns + 1e-9);
+        // The accumulator was really driven.
+        assert_eq!(acc, (0..100_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input_is_benign() {
+        let mut acc = 0u64;
+        let t = measure_updates(&mut acc, &[], 100, |a, x| *a += x);
+        assert_eq!(t.updates, 0);
+        assert_eq!(t.max_chunk_ns, 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Median amplification of success probability.
+//!
+//! The paper's estimators succeed with constant probability (11/20 for the F0
+//! algorithm, 2/3 after composing with Theorem 4).  Section 1 notes the
+//! standard remedy: "This probability can be amplified by independent
+//! repetition" — run `O(log(1/δ))` independent copies and report the median,
+//! which by a Chernoff bound is correct with probability `1 − δ`.
+//!
+//! [`MedianAmplified`] wraps any [`CardinalityEstimator`] constructible from a
+//! seed and performs exactly that.
+
+use crate::estimator::CardinalityEstimator;
+use knw_hash::rng::{Rng64, SplitMix64};
+use knw_hash::SpaceUsage;
+
+/// Number of independent copies needed for failure probability `delta`, given
+/// a per-copy success probability of 2/3: `⌈18·ln(1/δ)⌉` rounded up to odd
+/// (the constant 18 comes from the standard Chernoff argument; any constant
+/// ≥ 1/(2·(2/3 − 1/2)²) works).
+#[must_use]
+pub fn copies_for_failure_probability(delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let c = (18.0 * (1.0 / delta).ln()).ceil() as usize;
+    let c = c.max(1);
+    if c % 2 == 0 {
+        c + 1
+    } else {
+        c
+    }
+}
+
+/// A median-of-independent-copies wrapper around a cardinality estimator.
+#[derive(Debug, Clone)]
+pub struct MedianAmplified<E> {
+    copies: Vec<E>,
+}
+
+impl<E: CardinalityEstimator> MedianAmplified<E> {
+    /// Builds `copies` independent estimators using `make(copy_seed)` with
+    /// seeds derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn new<F: FnMut(u64) -> E>(copies: usize, seed: u64, mut make: F) -> Self {
+        assert!(copies >= 1, "need at least one copy");
+        let mut rng = SplitMix64::new(seed);
+        let copies = (0..copies).map(|_| make(rng.next_u64())).collect();
+        Self { copies }
+    }
+
+    /// Builds enough copies to push the failure probability below `delta`
+    /// (assuming each copy succeeds with probability ≥ 2/3).
+    pub fn with_failure_probability<F: FnMut(u64) -> E>(delta: f64, seed: u64, make: F) -> Self {
+        Self::new(copies_for_failure_probability(delta), seed, make)
+    }
+
+    /// Number of independent copies.
+    #[must_use]
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Access to the underlying copies (for diagnostics and tests).
+    #[must_use]
+    pub fn copies(&self) -> &[E] {
+        &self.copies
+    }
+}
+
+impl<E: CardinalityEstimator> SpaceUsage for MedianAmplified<E> {
+    fn space_bits(&self) -> u64 {
+        self.copies.iter().map(SpaceUsage::space_bits).sum()
+    }
+}
+
+impl<E: CardinalityEstimator> CardinalityEstimator for MedianAmplified<E> {
+    fn insert(&mut self, item: u64) {
+        for c in &mut self.copies {
+            c.insert(item);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let mut vals: Vec<f64> = self.copies.iter().map(|c| c.estimate()).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        vals[vals.len() / 2]
+    }
+
+    fn name(&self) -> &'static str {
+        "median-amplified"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::F0Config;
+    use crate::f0::KnwF0Sketch;
+
+    #[test]
+    fn copy_count_grows_with_confidence() {
+        let a = copies_for_failure_probability(0.1);
+        let b = copies_for_failure_probability(0.01);
+        let c = copies_for_failure_probability(0.001);
+        assert!(a < b && b < c);
+        assert!(a % 2 == 1 && b % 2 == 1 && c % 2 == 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn invalid_delta_rejected() {
+        let _ = copies_for_failure_probability(0.0);
+    }
+
+    #[test]
+    fn median_of_knw_copies_is_reasonable() {
+        let truth = 30_000u64;
+        let mut amp = MedianAmplified::new(5, 42, |seed| {
+            KnwF0Sketch::new(F0Config::new(0.1, 1 << 20).with_seed(seed))
+        });
+        assert_eq!(amp.num_copies(), 5);
+        for i in 0..truth {
+            amp.insert(i);
+        }
+        let est = amp.estimate();
+        let rel = (est - truth as f64).abs() / truth as f64;
+        // The median over 5 copies should not be wilder than any realistic
+        // single-copy outcome.
+        assert!(rel < 1.0, "median estimate {est} relative error {rel}");
+        assert!(amp.space_bits() > amp.copies()[0].space_bits());
+    }
+
+    #[test]
+    fn median_is_no_worse_than_the_worst_copy() {
+        let truth = 10_000u64;
+        let mut amp = MedianAmplified::new(7, 7, |seed| {
+            KnwF0Sketch::new(F0Config::new(0.1, 1 << 18).with_seed(seed))
+        });
+        for i in 0..truth {
+            amp.insert(i * 2_654_435_761 % (1 << 18));
+        }
+        let median = amp.estimate();
+        let mut errors: Vec<f64> = amp
+            .copies()
+            .iter()
+            .map(|c| (c.estimate() - truth as f64).abs())
+            .collect();
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_err = (median - truth as f64).abs();
+        assert!(
+            median_err <= errors[errors.len() - 1] + 1e-9,
+            "median error {median_err} worse than the worst copy {}",
+            errors[errors.len() - 1]
+        );
+    }
+
+    #[test]
+    fn single_copy_wrapper_is_transparent() {
+        let mut amp = MedianAmplified::new(1, 3, |seed| {
+            KnwF0Sketch::new(F0Config::new(0.2, 1 << 16).with_seed(seed))
+        });
+        for i in 0..50u64 {
+            amp.insert(i);
+        }
+        assert_eq!(amp.estimate(), 50.0);
+        assert_eq!(amp.name(), "median-amplified");
+    }
+}

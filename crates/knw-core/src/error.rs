@@ -1,0 +1,65 @@
+//! Error types for the KNW sketches.
+
+use std::fmt;
+
+/// Errors arising when combining or operating sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two sketches could not be merged because their configurations differ
+    /// (accuracy, universe, bounds, or hash strategy).
+    IncompatibleConfig {
+        /// Description of the mismatching field.
+        detail: String,
+    },
+    /// Two sketches could not be merged because they were built with different
+    /// hash-function seeds; their bucket assignments are not comparable.
+    SeedMismatch,
+    /// The Figure 3 space guard tripped: the total bit budget `A` of the
+    /// offset counters exceeded `3K`, which the paper treats as a FAIL output.
+    ///
+    /// The sketch keeps operating (see `KnwF0Sketch::failed`); this error is
+    /// surfaced by the strict estimation API.
+    SpaceGuardTripped,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::IncompatibleConfig { detail } => {
+                write!(f, "sketches have incompatible configurations: {detail}")
+            }
+            SketchError::SeedMismatch => {
+                write!(f, "sketches were built with different hash seeds")
+            }
+            SketchError::SpaceGuardTripped => {
+                write!(
+                    f,
+                    "the counter bit budget exceeded 3K (the paper's FAIL condition)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SketchError::IncompatibleConfig {
+            detail: "epsilon 0.1 vs 0.2".into(),
+        };
+        assert!(e.to_string().contains("epsilon 0.1 vs 0.2"));
+        assert!(SketchError::SeedMismatch.to_string().contains("seeds"));
+        assert!(SketchError::SpaceGuardTripped.to_string().contains("3K"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SketchError::SeedMismatch);
+        assert!(e.source().is_none());
+    }
+}

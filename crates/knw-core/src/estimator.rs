@@ -1,0 +1,132 @@
+//! Estimator traits shared by the KNW sketches and the baselines.
+//!
+//! The paper studies two problems:
+//!
+//! * **F0 estimation** — insertion-only streams of indices `i ∈ [n]`; the
+//!   quantity of interest is the number of distinct indices seen.  Estimators
+//!   for this model implement [`CardinalityEstimator`].
+//! * **L0 estimation** — turnstile streams of updates `(i, v)` with
+//!   `v ∈ {−M, …, M}`; the quantity of interest is the Hamming norm
+//!   `|{i : x_i ≠ 0}|` of the maintained frequency vector.  Estimators for this
+//!   model implement [`TurnstileEstimator`].
+//!
+//! Every estimator also reports its own space usage in bits
+//! ([`SpaceUsage`](knw_hash::SpaceUsage)), including the space of its hash
+//! function descriptions, mirroring the paper's accounting conventions
+//! (Section 1.2: "all space bounds are given in bits").
+
+use knw_hash::SpaceUsage;
+
+/// A streaming estimator of the number of distinct elements (F0) in an
+/// insertion-only stream.
+pub trait CardinalityEstimator: SpaceUsage {
+    /// Processes one stream token (the index `i ∈ [n]`).
+    fn insert(&mut self, item: u64);
+
+    /// Returns the current estimate of the number of distinct items inserted
+    /// so far.  May be called at any point midstream (the paper's "reporting").
+    fn estimate(&self) -> f64;
+
+    /// A short human-readable name used by the benchmark harness when
+    /// rendering comparison tables (e.g. `"knw"`, `"hyperloglog"`).
+    fn name(&self) -> &'static str;
+
+    /// Processes every item of a slice.  Provided for convenience; semantically
+    /// identical to repeated [`insert`](Self::insert).
+    fn insert_all(&mut self, items: &[u64]) {
+        for &item in items {
+            self.insert(item);
+        }
+    }
+}
+
+/// A streaming estimator of the Hamming norm (L0) of a vector maintained under
+/// turnstile updates.
+pub trait TurnstileEstimator: SpaceUsage {
+    /// Applies the update `x_item ← x_item + delta`.
+    fn update(&mut self, item: u64, delta: i64);
+
+    /// Returns the current estimate of `|{i : x_i ≠ 0}|`.
+    fn estimate(&self) -> f64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies a batch of updates in order.
+    fn update_all(&mut self, updates: &[(u64, i64)]) {
+        for &(item, delta) in updates {
+            self.update(item, delta);
+        }
+    }
+}
+
+/// Estimators that can be merged with another sketch built over a *different*
+/// stream using the *same* configuration and seed, yielding a sketch of the
+/// union of the two streams.
+///
+/// The paper motivates F0 sketches precisely because they compose under stream
+/// unions (Section 1: "taking unions of streams if there are no deletions").
+pub trait MergeableEstimator: Sized {
+    /// The error type returned when two sketches are incompatible (different
+    /// configuration or different hash seeds).
+    type MergeError;
+
+    /// Merges `other` into `self`, so that `self` afterwards summarizes the
+    /// concatenation of both input streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sketches were built with different parameters
+    /// or hash functions, in which case `self` is left unchanged.
+    fn merge_from(&mut self, other: &Self) -> Result<(), Self::MergeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially correct (but linear-space) estimator used to exercise the
+    /// trait default methods.
+    struct Exact(std::collections::BTreeSet<u64>);
+
+    impl SpaceUsage for Exact {
+        fn space_bits(&self) -> u64 {
+            self.0.len() as u64 * 64
+        }
+    }
+
+    impl CardinalityEstimator for Exact {
+        fn insert(&mut self, item: u64) {
+            self.0.insert(item);
+        }
+        fn estimate(&self) -> f64 {
+            self.0.len() as f64
+        }
+        fn name(&self) -> &'static str {
+            "exact-btree"
+        }
+    }
+
+    #[test]
+    fn insert_all_default_matches_repeated_insert() {
+        let mut a = Exact(Default::default());
+        let mut b = Exact(Default::default());
+        let items = [1u64, 5, 5, 9, 1, 42];
+        a.insert_all(&items);
+        for &i in &items {
+            b.insert(i);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.estimate(), 4.0);
+        assert_eq!(a.name(), "exact-btree");
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut est: Box<dyn CardinalityEstimator> = Box::new(Exact(Default::default()));
+        est.insert(3);
+        est.insert(3);
+        assert_eq!(est.estimate(), 1.0);
+        assert!(est.space_bits() > 0);
+    }
+}

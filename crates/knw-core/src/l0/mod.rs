@@ -1,0 +1,412 @@
+//! L0 (Hamming norm) estimation under turnstile updates (Section 4,
+//! Theorem 10 of the paper).
+//!
+//! The L0 problem generalizes F0: the stream consists of updates `(i, v)` with
+//! `v ∈ {−M, …, M}` applied to a frequency vector `x`, and the goal is a
+//! `(1 ± ε)`-approximation of `L0 = |{i : x_i ≠ 0}|`.  Items can therefore be
+//! *removed*, which breaks every monotone F0 structure; the paper replaces
+//! them with:
+//!
+//! * [`matrix::L0Matrix`] — the Figure 4 bit-matrix represented as Lemma 6
+//!   dot-product counters over a random prime field, so cells can become
+//!   zero again exactly when the coordinates hashed to them all return to 0;
+//! * [`rough::RoughL0Estimator`] — the Theorem 11 constant-factor oracle used
+//!   to select which matrix row to invert;
+//! * [`small::ExactSmallL0`] — the Lemma 8 structure that answers exactly when
+//!   `L0` is small, plus (mirroring Section 3.3) a single-row `2K`-counter
+//!   array that serves the intermediate regime and certifies the switchover.
+//!
+//! [`KnwL0Sketch`] composes the four pieces exactly as Theorem 10 prescribes
+//! and implements [`TurnstileEstimator`](crate::estimator::TurnstileEstimator).
+
+pub mod matrix;
+pub mod rough;
+pub mod small;
+
+use crate::balls_bins::invert_occupancy;
+use crate::config::L0Config;
+use crate::error::SketchError;
+use crate::estimator::TurnstileEstimator;
+use knw_hash::pairwise::PairwiseHash;
+use knw_hash::prime_field::DynField;
+use knw_hash::primes::random_prime_in_range;
+use knw_hash::rng::{Rng64, SplitMix64};
+use knw_hash::uniform::BucketHash;
+use knw_hash::SpaceUsage;
+
+pub use matrix::L0Matrix;
+pub use rough::RoughL0Estimator;
+pub use small::ExactSmallL0;
+
+/// Capacity of the exact small-L0 path (the paper's constant 100).
+const EXACT_CAPACITY: u64 = 100;
+
+/// The single-row intermediate structure: `2K` Lemma 6 counters with no
+/// subsampling, the turnstile analogue of the Section 3.3 bit array.
+#[derive(Debug, Clone)]
+struct MidRangeRow {
+    h2: PairwiseHash,
+    h3: BucketHash,
+    h4: PairwiseHash,
+    salts: Vec<u64>,
+    field: DynField,
+    counters: Vec<u64>,
+    nonzero: u64,
+    k_prime: u64,
+}
+
+impl MidRangeRow {
+    fn new(k: u64, log_mm: u32, strategy: knw_hash::uniform::HashStrategy, rng: &mut SplitMix64) -> Self {
+        let k_prime = 2 * k;
+        let cube = k_prime.saturating_pow(3).min(1u64 << 60);
+        let d = (100 * k_prime * u64::from(log_mm.max(1))).max(1 << 10);
+        let hi = d.saturating_mul(8).min((1u64 << 61) - 1);
+        let prime = random_prime_in_range(d, hi, rng);
+        let field = DynField::new(prime);
+        let independence = knw_hash::kwise::independence_for(k_prime, 1.0 / (k as f64).sqrt());
+        Self {
+            h2: PairwiseHash::random(cube, rng),
+            h3: BucketHash::random(strategy, independence, k_prime, rng),
+            h4: PairwiseHash::random(k_prime, rng),
+            salts: (0..k_prime).map(|_| rng.next_below(prime)).collect(),
+            field,
+            counters: vec![0u64; k_prime as usize],
+            nonzero: 0,
+            k_prime,
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, item: u64, delta: i64) {
+        let compressed = self.h2.hash(item);
+        let col = self.h3.hash(compressed) as usize;
+        let salt = self.salts[self.h4.hash(compressed) as usize];
+        let contribution = self.field.mul(self.field.reduce_i64(delta), salt);
+        let old = self.counters[col];
+        let new = self.field.add(old, contribution);
+        self.counters[col] = new;
+        match (old == 0, new == 0) {
+            (true, false) => self.nonzero += 1,
+            (false, true) => self.nonzero -= 1,
+            _ => {}
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        invert_occupancy(self.nonzero as f64, self.k_prime)
+    }
+
+    fn space_bits(&self) -> u64 {
+        let w = u64::from(knw_hash::bits::ceil_log2(self.field.modulus()));
+        (self.counters.len() as u64 + self.salts.len() as u64) * w
+            + self.h2.space_bits()
+            + self.h3.space_bits()
+            + self.h4.space_bits()
+            + 128
+    }
+}
+
+/// The KNW L0 (Hamming norm) sketch: `(1 ± O(ε))`-approximation of
+/// `|{i : x_i ≠ 0}|` under turnstile updates, with O(1) update and reporting
+/// time (Theorem 10).
+#[derive(Debug, Clone)]
+pub struct KnwL0Sketch {
+    config: L0Config,
+    k: u64,
+    matrix: L0Matrix,
+    rough: RoughL0Estimator,
+    exact: ExactSmallL0,
+    mid: MidRangeRow,
+    updates: u64,
+}
+
+impl KnwL0Sketch {
+    /// Creates a sketch from a configuration.
+    #[must_use]
+    pub fn new(config: L0Config) -> Self {
+        let k = config.num_bins();
+        let log_mm = config.log_mm();
+        let mut master = SplitMix64::new(config.seed);
+        let mut matrix_rng = master.split(1);
+        let mut exact_rng = master.split(2);
+        let mut mid_rng = master.split(3);
+        let rough_seed = master.next_u64();
+        Self {
+            config,
+            k,
+            matrix: L0Matrix::new(
+                config.universe,
+                k,
+                log_mm,
+                config.hash_strategy,
+                &mut matrix_rng,
+            ),
+            rough: RoughL0Estimator::new(config.universe, rough_seed),
+            exact: ExactSmallL0::new(EXACT_CAPACITY, 1.0 / 32.0, &mut exact_rng),
+            mid: MidRangeRow::new(k, log_mm, config.hash_strategy, &mut mid_rng),
+            updates: 0,
+        }
+    }
+
+    /// The configuration this sketch was built with.
+    #[must_use]
+    pub fn config(&self) -> &L0Config {
+        &self.config
+    }
+
+    /// The number of matrix columns `K`.
+    #[must_use]
+    pub fn num_columns(&self) -> u64 {
+        self.k
+    }
+
+    /// Number of updates processed.
+    #[must_use]
+    pub fn updates_processed(&self) -> u64 {
+        self.updates
+    }
+
+    /// Applies the update `x_item ← x_item + delta`.  A `delta` of zero is a
+    /// no-op.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.updates += 1;
+        self.matrix.update(item, delta);
+        self.rough.update(item, delta);
+        self.exact.update(item, delta);
+        self.mid.update(item, delta);
+    }
+
+    /// The estimate produced by the main Figure 4 machinery only (row selected
+    /// by the rough oracle), without the small-L0 dispatch.
+    #[must_use]
+    pub fn main_estimate(&self) -> f64 {
+        let row = self.matrix.select_row(self.rough.estimate());
+        self.matrix.estimate_from_row(row)
+    }
+
+    /// The full Theorem 10 estimate with the small/medium/large dispatch.
+    #[must_use]
+    pub fn estimate_l0(&self) -> f64 {
+        let mid = self.mid.estimate();
+        // The switchover mirrors Theorem 4: beyond K/16 the matrix estimator
+        // is authoritative; below that the single-row array is; and when the
+        // array itself indicates a tiny cardinality the Lemma 8 structure is
+        // exact.
+        let large_threshold = (self.k as f64 / 16.0).max(1.5 * EXACT_CAPACITY as f64);
+        if mid >= large_threshold {
+            return self.main_estimate();
+        }
+        let exact = self.exact.estimate() as f64;
+        if !self.exact.saturated() && mid < 0.8 * EXACT_CAPACITY as f64 {
+            exact
+        } else {
+            mid
+        }
+    }
+
+    /// Strict variant of [`estimate_l0`](Self::estimate_l0); the L0 sketch has
+    /// no FAIL state, so this never errs today, but the signature matches the
+    /// F0 sketch for API symmetry.
+    ///
+    /// # Errors
+    ///
+    /// Reserved; currently always `Ok`.
+    pub fn try_estimate(&self) -> Result<f64, SketchError> {
+        Ok(self.estimate_l0())
+    }
+
+    /// Access to the rough oracle (diagnostics / experiments).
+    #[must_use]
+    pub fn rough_oracle(&self) -> &RoughL0Estimator {
+        &self.rough
+    }
+
+    /// Access to the counter matrix (diagnostics / experiments).
+    #[must_use]
+    pub fn matrix(&self) -> &L0Matrix {
+        &self.matrix
+    }
+}
+
+impl SpaceUsage for KnwL0Sketch {
+    fn space_bits(&self) -> u64 {
+        self.matrix.space_bits()
+            + self.rough.space_bits()
+            + self.exact.space_bits()
+            + self.mid.space_bits()
+            + 64
+    }
+}
+
+impl TurnstileEstimator for KnwL0Sketch {
+    fn update(&mut self, item: u64, delta: i64) {
+        KnwL0Sketch::update(self, item, delta);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate_l0()
+    }
+
+    fn name(&self) -> &'static str {
+        "knw-l0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(eps: f64, seed: u64) -> KnwL0Sketch {
+        KnwL0Sketch::new(
+            L0Config::new(eps, 1 << 20)
+                .with_seed(seed)
+                .with_stream_length_bound(1 << 24)
+                .with_update_magnitude_bound(1 << 10),
+        )
+    }
+
+    #[test]
+    fn exact_for_tiny_supports() {
+        let mut s = sketch(0.1, 1);
+        for i in 0..40u64 {
+            s.update(i, 2);
+            s.update(i, 3);
+        }
+        assert_eq!(s.estimate_l0(), 40.0);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = sketch(0.1, 2);
+        assert_eq!(s.estimate_l0(), 0.0);
+    }
+
+    #[test]
+    fn insert_only_accuracy_mirrors_f0() {
+        let truth = 20_000u64;
+        let eps = 0.05;
+        let mut s = sketch(eps, 3);
+        for i in 0..truth {
+            s.update(i, 1);
+        }
+        let est = s.estimate_l0();
+        let rel = (est - truth as f64).abs() / truth as f64;
+        assert!(rel < 5.0 * eps, "estimate {est}, relative error {rel}");
+    }
+
+    #[test]
+    fn deletions_are_respected() {
+        let eps = 0.05;
+        let mut s = sketch(eps, 4);
+        // Insert 30k coordinates, then zero out 20k of them.
+        for i in 0..30_000u64 {
+            s.update(i, 4);
+        }
+        for i in 0..20_000u64 {
+            s.update(i, -4);
+        }
+        let est = s.estimate_l0();
+        let truth = 10_000.0;
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 6.0 * eps, "estimate {est} after deletions, rel {rel}");
+    }
+
+    #[test]
+    fn cancellation_to_zero_support() {
+        let mut s = sketch(0.1, 5);
+        for i in 0..5_000u64 {
+            s.update(i, 7);
+        }
+        for i in 0..5_000u64 {
+            s.update(i, -7);
+        }
+        assert_eq!(s.estimate_l0(), 0.0);
+    }
+
+    #[test]
+    fn negative_only_frequencies_are_counted() {
+        let mut s = sketch(0.1, 6);
+        for i in 0..300u64 {
+            s.update(i, -9);
+        }
+        let est = s.estimate_l0();
+        let rel = (est - 300.0).abs() / 300.0;
+        assert!(rel < 0.4, "estimate {est}");
+    }
+
+    #[test]
+    fn mixed_sign_churn_matches_reference() {
+        use std::collections::HashMap;
+        let eps = 0.1;
+        let mut s = sketch(eps, 7);
+        let mut reference: HashMap<u64, i64> = HashMap::new();
+        let mut state = 42u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60_000 {
+            let item = next() % 8_192;
+            let delta = (next() % 9) as i64 - 4;
+            if delta == 0 {
+                continue;
+            }
+            s.update(item, delta);
+            *reference.entry(item).or_insert(0) += delta;
+        }
+        let truth = reference.values().filter(|&&v| v != 0).count() as f64;
+        let est = s.estimate_l0();
+        let rel = (est - truth).abs() / truth;
+        assert!(
+            rel < 6.0 * eps,
+            "estimate {est}, truth {truth}, relative error {rel}"
+        );
+    }
+
+    #[test]
+    fn zero_delta_is_a_noop() {
+        let mut s = sketch(0.2, 8);
+        s.update(5, 0);
+        assert_eq!(s.updates_processed(), 0);
+        assert_eq!(s.estimate_l0(), 0.0);
+    }
+
+    #[test]
+    fn midstream_reporting_is_available() {
+        let mut s = sketch(0.1, 9);
+        let mut checks = 0;
+        for i in 0..40_000u64 {
+            s.update(i, 1);
+            if i > 0 && i % 10_000 == 0 {
+                let est = s.estimate_l0();
+                let rel = (est - i as f64).abs() / i as f64;
+                assert!(rel < 1.0, "midstream estimate off by {rel} at {i}");
+                checks += 1;
+            }
+        }
+        assert_eq!(checks, 3);
+    }
+
+    #[test]
+    fn trait_impl_is_consistent() {
+        let mut s = sketch(0.2, 10);
+        TurnstileEstimator::update(&mut s, 1, 5);
+        TurnstileEstimator::update(&mut s, 2, -5);
+        assert_eq!(TurnstileEstimator::estimate(&s), s.estimate_l0());
+        assert_eq!(s.name(), "knw-l0");
+        assert!(s.space_bits() > 0);
+        assert!(s.try_estimate().is_ok());
+    }
+
+    #[test]
+    fn space_grows_with_accuracy() {
+        let coarse = sketch(0.2, 11);
+        let fine = sketch(0.05, 11);
+        assert!(fine.space_bits() > coarse.space_bits());
+    }
+}

@@ -1,0 +1,221 @@
+//! RoughL0Estimator — the constant-factor L0 approximation (Appendix A.3,
+//! Theorem 11 of the paper).
+//!
+//! The full L0 algorithm needs an oracle providing `R = Θ(L0)` to choose which
+//! row of its counter matrix to invert (Figure 4, step 4).  Deletions make the
+//! F0 RoughEstimator unusable (its counters only grow), so the paper builds a
+//! different structure:
+//!
+//! * a pairwise hash `h : [n] → [n]` splits the universe into substreams
+//!   `S^j = {x : lsb(h(x)) = j}`, so `E[L0(S^j)] = L0/2^{j+1}`;
+//! * each substream is tracked by a Lemma 8 exact small-L0 structure `B^j`
+//!   with capacity `c = 141` and failure probability `δ = 1/16`;
+//! * the estimate is `2^j` for the deepest level `j` whose `B^j` reports more
+//!   than 8 surviving coordinates, or 1 if no level does.
+//!
+//! Theorem 11: with probability ≥ 9/16 the output `R` satisfies
+//! `L0/110 ≤ R ≤ L0` (a constant-factor approximation; the full sketch only
+//! needs `R = Θ(L0)`).  The structure supports deletions by construction,
+//! uses `O(log n · log log(mM))` bits, and has O(1) update time (one hash, one
+//! level update) and O(1) reporting time (the per-level verdicts are cached in
+//! a bitmask whose most significant set bit is the answer).
+
+use crate::l0::small::ExactSmallL0;
+use knw_hash::bits::lsb_with_cap;
+use knw_hash::pairwise::PairwiseHash;
+use knw_hash::rng::SplitMix64;
+use knw_hash::SpaceUsage;
+
+/// The per-level capacity `c = 141` from Appendix A.3.
+pub const LEVEL_CAPACITY: u64 = 141;
+
+/// The occupancy threshold (a level "fires" when more than 8 coordinates
+/// survive in it).
+pub const LEVEL_THRESHOLD: u64 = 8;
+
+/// The constant-factor (Theorem 11) rough L0 estimator.
+#[derive(Debug, Clone)]
+pub struct RoughL0Estimator {
+    /// The level-splitting pairwise hash.
+    level_hash: PairwiseHash,
+    /// One exact small-L0 structure per level `0 ..= log n`.
+    levels: Vec<ExactSmallL0>,
+    /// Bit `j` set ⇔ level `j` currently reports more than [`LEVEL_THRESHOLD`]
+    /// survivors.  Reporting is then a most-significant-bit computation.
+    fired: u64,
+    /// `log2` of the universe size.
+    log_n: u32,
+}
+
+impl RoughL0Estimator {
+    /// Creates the estimator for a universe of size `universe` (rounded up to
+    /// a power of two).
+    #[must_use]
+    pub fn new(universe: u64, seed: u64) -> Self {
+        let universe_pow2 = universe.max(2).next_power_of_two();
+        let log_n = knw_hash::bits::ceil_log2(universe_pow2).min(63);
+        let mut master = SplitMix64::new(seed ^ 0x0F0F_1234_ABCD_9876);
+        let level_hash = PairwiseHash::random(universe_pow2, &mut master);
+        let levels = (0..=log_n)
+            .map(|j| {
+                let mut level_rng = master.split(u64::from(j) + 101);
+                ExactSmallL0::new(LEVEL_CAPACITY, 1.0 / 16.0, &mut level_rng)
+            })
+            .collect();
+        Self {
+            level_hash,
+            levels,
+            fired: 0,
+            log_n,
+        }
+    }
+
+    /// Applies the update `x_item ← x_item + delta`.
+    #[inline]
+    pub fn update(&mut self, item: u64, delta: i64) {
+        let level = lsb_with_cap(self.level_hash.hash(item), self.log_n) as usize;
+        let level = level.min(self.levels.len() - 1);
+        self.levels[level].update(item, delta);
+        let fires = self.levels[level].estimate() > LEVEL_THRESHOLD;
+        if fires {
+            self.fired |= 1u64 << level;
+        } else {
+            self.fired &= !(1u64 << level);
+        }
+    }
+
+    /// The current rough estimate `R̃`: `2^j` for the deepest fired level, or 1
+    /// if no level fires.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match knw_hash::bits::msb(self.fired) {
+            Some(j) => (1u64 << j) as f64,
+            None => 1.0,
+        }
+    }
+
+    /// The number of levels (`log n + 1`).
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The exact count reported by level `j` (diagnostics / experiments).
+    #[must_use]
+    pub fn level_count(&self, j: usize) -> u64 {
+        self.levels[j].estimate()
+    }
+}
+
+impl SpaceUsage for RoughL0Estimator {
+    fn space_bits(&self) -> u64 {
+        self.level_hash.space_bits()
+            + self.levels.iter().map(SpaceUsage::space_bits).sum::<u64>()
+            + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_reports_one() {
+        let r = RoughL0Estimator::new(1 << 16, 1);
+        assert_eq!(r.estimate(), 1.0);
+    }
+
+    #[test]
+    fn small_l0_is_within_the_guarantee_band() {
+        // Theorem 11: L0/110 ≤ R ≤ L0 (we allow a factor-2 slack on the upper
+        // side because our levels are capped at log n).  Check over several
+        // cardinalities and seeds, allowing the stated constant failure rate.
+        let mut failures = 0;
+        let mut total = 0;
+        for &l0 in &[50u64, 200, 1_000, 5_000, 20_000] {
+            for seed in 0..5u64 {
+                let mut r = RoughL0Estimator::new(1 << 20, seed * 3 + 1);
+                for i in 0..l0 {
+                    r.update(i, 1);
+                }
+                let est = r.estimate();
+                total += 1;
+                if est < l0 as f64 / 110.0 || est > 2.0 * l0 as f64 {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(
+            failures * 4 <= total,
+            "{failures}/{total} runs outside the Theorem 11 band"
+        );
+    }
+
+    #[test]
+    fn estimate_shrinks_after_deletions() {
+        let mut r = RoughL0Estimator::new(1 << 18, 7);
+        for i in 0..10_000u64 {
+            r.update(i, 1);
+        }
+        let before = r.estimate();
+        // Delete 99% of the coordinates entirely.
+        for i in 100..10_000u64 {
+            r.update(i, -1);
+        }
+        let after = r.estimate();
+        assert!(after < before, "estimate did not shrink: {before} -> {after}");
+        assert!(after <= 100.0 * 2.0, "after-delete estimate {after} too large");
+    }
+
+    #[test]
+    fn cancelling_everything_returns_to_baseline() {
+        let mut r = RoughL0Estimator::new(1 << 14, 3);
+        for i in 0..3_000u64 {
+            r.update(i, 5);
+        }
+        for i in 0..3_000u64 {
+            r.update(i, -5);
+        }
+        assert_eq!(r.estimate(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_and_increments_do_not_inflate() {
+        let mut r = RoughL0Estimator::new(1 << 16, 11);
+        for _ in 0..50 {
+            for i in 0..500u64 {
+                r.update(i, 1);
+            }
+        }
+        // L0 is 500 regardless of the 50 repetitions.
+        let est = r.estimate();
+        assert!(est <= 1_000.0, "estimate {est} inflated by repetitions");
+    }
+
+    #[test]
+    fn space_is_independent_of_stream_length() {
+        let mut r = RoughL0Estimator::new(1 << 16, 2);
+        let before = r.space_bits();
+        for i in 0..50_000u64 {
+            r.update(i % 4_096, 1);
+        }
+        assert_eq!(r.space_bits(), before);
+    }
+
+    #[test]
+    fn level_counts_decay_geometrically() {
+        let mut r = RoughL0Estimator::new(1 << 20, 5);
+        for i in 0..40_000u64 {
+            r.update(i, 1);
+        }
+        // Shallow levels saturate around the capacity; deep levels hold few
+        // items.  Find the first level with a small count and check all deeper
+        // levels are also small-ish.
+        let counts: Vec<u64> = (0..r.num_levels()).map(|j| r.level_count(j)).collect();
+        let deep_sum: u64 = counts.iter().skip(16).sum();
+        assert!(
+            deep_sum < 40,
+            "levels ≥ 16 should be nearly empty, got {counts:?}"
+        );
+    }
+}

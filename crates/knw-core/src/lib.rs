@@ -1,0 +1,56 @@
+//! The Kane–Nelson–Woodruff (PODS 2010) optimal distinct-elements (F0) and
+//! Hamming-norm (L0) streaming estimators.
+//!
+//! This crate is the heart of the reproduction: it implements the paper's two
+//! headline algorithms along with every internal subroutine the paper defines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use knw_core::{F0Config, KnwF0Sketch, CardinalityEstimator};
+//!
+//! let mut sketch = KnwF0Sketch::new(F0Config::new(0.05, 1 << 20));
+//! for i in 0..10_000u64 {
+//!     sketch.insert(i % 2_000); // only 2 000 distinct values
+//! }
+//! let estimate = sketch.estimate();
+//! assert!((estimate - 2_000.0).abs() / 2_000.0 < 0.5);
+//! ```
+//!
+//! # Module map (paper artifact → module)
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Figure 2 (RoughEstimator, Theorem 1, Lemma 5) | [`rough`] |
+//! | Figure 3 (main F0 algorithm, Theorems 2, 3, 9) | [`f0`] |
+//! | Section 3.3 (small F0, Theorem 4) | [`small_f0`] |
+//! | Section 2 + Appendix A.1 (balls and bins, Fact 1, Lemmas 1–3) | [`balls_bins`] |
+//! | Appendix A.2 (ln lookup table, Lemma 7) | [`ln_table`] |
+//! | Section 4 + Appendix A.3 (L0 estimation, Theorems 10, 11, Lemmas 6, 8) | [`l0`] |
+//! | Independent repetition (Section 1) | [`amplify`] |
+
+pub mod amplify;
+pub mod balls_bins;
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod f0;
+pub mod l0;
+pub mod ln_table;
+pub mod rough;
+pub mod small_f0;
+
+pub use amplify::MedianAmplified;
+pub use config::{F0Config, L0Config};
+pub use error::SketchError;
+pub use estimator::{CardinalityEstimator, MergeableEstimator, TurnstileEstimator};
+pub use f0::KnwF0Sketch;
+pub use l0::KnwL0Sketch;
+pub use ln_table::{LnTable, OccupancyInverter};
+pub use rough::RoughEstimator;
+pub use small_f0::{SmallF0Estimate, SmallF0Estimator};
+
+// Re-export the substrate crates' key types so downstream users of `knw-core`
+// rarely need to depend on them directly.
+pub use knw_hash::uniform::HashStrategy;
+pub use knw_hash::SpaceUsage;

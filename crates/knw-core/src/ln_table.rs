@@ -1,0 +1,263 @@
+//! The compact natural-logarithm lookup table of Lemma 7 (Appendix A.2).
+//!
+//! The Figure 3 estimator reports `2^b · ln(1 − T/K)/ln(1 − 1/K)`.  To make
+//! reporting `O(1)` without invoking a transcendental function, the paper
+//! builds a table of `ln(1 − χ/K)` at geometrically spaced points
+//! `χ = (1 + γ')^j`, where `γ' = γ/15` and `γ = 1/√K`; the table then answers
+//! queries for every integer `c ∈ [1, 4K/5]` with relative error `γ`.
+//!
+//! Locating the right table bucket in `O(1)` is itself done with a second,
+//! small table: write `c = d · 2^κ` with `d ∈ [1, 2)`; `κ` is a most
+//! significant bit computation (Theorem 5) and `log2(d)` is read from an
+//! evenly spaced table over `[1, 2)` (the derivative of `log2` is bounded
+//! there, so even spacing gives the needed additive accuracy).
+//!
+//! [`LnTable`] implements exactly this structure and exposes both the `O(1)`
+//! table lookup ([`LnTable::ln_one_minus`]) and the float reference
+//! ([`ln_one_minus_exact`]) that the tests and the E11 experiment compare it
+//! against.
+
+use knw_hash::bits::msb;
+
+/// Exact (floating-point) value of `ln(1 − c/K)`; the reference the table
+/// approximates.
+///
+/// # Panics
+///
+/// Panics if `c >= k` (the logarithm would be −∞ or undefined).
+#[must_use]
+pub fn ln_one_minus_exact(c: u64, k: u64) -> f64 {
+    assert!(c < k, "ln(1 - c/K) requires c < K");
+    (1.0 - c as f64 / k as f64).ln()
+}
+
+/// The Lemma 7 lookup table for `ln(1 − c/K)`, `c ∈ [0, 4K/5]`.
+#[derive(Debug, Clone)]
+pub struct LnTable {
+    /// Number of bins `K` the table was built for.
+    k: u64,
+    /// Relative accuracy γ = 1/√K.
+    gamma: f64,
+    /// `a' = log2(1 + γ')`, the geometric step in log2 space.
+    log2_step: f64,
+    /// `A[j] = ln(1 − min((1+γ')^j, 4K/5)/K)`.
+    geometric: Vec<f64>,
+    /// Evenly spaced table of `log2(d)` for `d ∈ [1, 2)`.
+    mantissa_log: Vec<f64>,
+}
+
+impl LnTable {
+    /// Builds the table for `K` bins (Lemma 7 requires `K > 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 4`.
+    #[must_use]
+    pub fn new(k: u64) -> Self {
+        assert!(k > 4, "Lemma 7 requires K > 4");
+        let gamma = 1.0 / (k as f64).sqrt();
+        let gamma_prime = gamma / 15.0;
+        let log2_step = (1.0 + gamma_prime).log2();
+        let c_max = (4 * k) / 5;
+        // Number of geometric buckets needed to cover [1, 4K/5].
+        let buckets = ((c_max.max(1) as f64).log2() / log2_step).ceil() as usize + 2;
+        let geometric = (0..buckets)
+            .map(|j| {
+                let chi = (1.0 + gamma_prime).powi(j as i32).min(c_max as f64);
+                (1.0 - chi / k as f64).ln()
+            })
+            .collect();
+        // Mantissa table: evenly discretize [1, 2) finely enough that the
+        // additive error in log2(d) is below one third of a geometric bucket.
+        let mantissa_buckets = ((3.0 / (log2_step)).ceil() as usize).clamp(16, 1 << 22);
+        let mantissa_log = (0..mantissa_buckets)
+            .map(|i| (1.0 + i as f64 / mantissa_buckets as f64).log2())
+            .collect();
+        Self {
+            k,
+            gamma,
+            log2_step,
+            geometric,
+            mantissa_log,
+        }
+    }
+
+    /// The `K` this table serves.
+    #[must_use]
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The relative accuracy `γ = 1/√K` the table guarantees.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Largest `c` the table can answer (`4K/5`, per Lemma 7).
+    #[must_use]
+    pub fn max_c(&self) -> u64 {
+        (4 * self.k) / 5
+    }
+
+    /// `O(1)` lookup of `ln(1 − c/K)` with relative error at most `γ`.
+    ///
+    /// `c = 0` returns exactly `0`.  Values above [`Self::max_c`] are clamped
+    /// to it (the estimator treats such occupancies as "subsample deeper").
+    #[must_use]
+    pub fn ln_one_minus(&self, c: u64) -> f64 {
+        if c == 0 {
+            return 0.0;
+        }
+        let c = c.min(self.max_c());
+        // log2(c) = κ + log2(d), κ = msb(c), d = c / 2^κ ∈ [1, 2).
+        let kappa = msb(c).expect("c > 0");
+        let d_fraction = (c as f64) / (1u64 << kappa) as f64 - 1.0; // in [0, 1)
+        let m = self.mantissa_log.len();
+        let mantissa_idx = ((d_fraction * m as f64) as usize).min(m - 1);
+        let log2_c = kappa as f64 + self.mantissa_log[mantissa_idx];
+        // Geometric bucket index = round(log2(c) / log2(1 + γ')).
+        let mut idx = (log2_c / self.log2_step).round() as usize;
+        if idx >= self.geometric.len() {
+            idx = self.geometric.len() - 1;
+        }
+        self.geometric[idx]
+    }
+
+    /// Number of bits the two tables occupy, counting each stored value at the
+    /// `O(log 1/γ)`-bit precision the paper assumes (we store `f64`s, i.e. a
+    /// constant 64 bits per entry, which is within the paper's
+    /// `O(γ⁻¹ log(1/γ))` bound for every `K ≥ 32`).
+    #[must_use]
+    pub fn space_bits(&self) -> u64 {
+        (self.geometric.len() as u64 + self.mantissa_log.len() as u64) * 64
+    }
+}
+
+/// The full Figure 3 / Figure 4 occupancy estimator
+/// `ln(1 − T/K) / ln(1 − 1/K)`, computed through a [`LnTable`] so reporting is
+/// a table lookup plus one division by the precomputed constant.
+#[derive(Debug, Clone)]
+pub struct OccupancyInverter {
+    table: LnTable,
+    /// `ln(1 − 1/K)`, the denominator.
+    ln_denominator: f64,
+}
+
+impl OccupancyInverter {
+    /// Builds the inverter for `K` bins.
+    #[must_use]
+    pub fn new(k: u64) -> Self {
+        Self {
+            table: LnTable::new(k),
+            ln_denominator: (1.0 - 1.0 / k as f64).ln(),
+        }
+    }
+
+    /// Estimate of the number of balls given `occupied` occupied bins, via the
+    /// table (O(1) reporting path).
+    #[must_use]
+    pub fn invert(&self, occupied: u64) -> f64 {
+        self.table.ln_one_minus(occupied) / self.ln_denominator
+    }
+
+    /// The underlying table.
+    #[must_use]
+    pub fn table(&self) -> &LnTable {
+        &self.table
+    }
+
+    /// Space in bits.
+    #[must_use]
+    pub fn space_bits(&self) -> u64 {
+        self.table.space_bits() + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_occupancy_maps_to_zero() {
+        let t = LnTable::new(1024);
+        assert_eq!(t.ln_one_minus(0), 0.0);
+        let inv = OccupancyInverter::new(1024);
+        assert_eq!(inv.invert(0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_within_gamma_for_all_c() {
+        // Lemma 7: relative accuracy γ = 1/√K for every integer c ∈ [1, 4K/5].
+        for &k in &[32u64, 128, 1024, 4096] {
+            let t = LnTable::new(k);
+            let gamma = t.accuracy();
+            for c in 1..=t.max_c() {
+                let approx = t.ln_one_minus(c);
+                let exact = ln_one_minus_exact(c, k);
+                let rel = ((approx - exact) / exact).abs();
+                assert!(
+                    rel <= gamma,
+                    "K = {k}, c = {c}: approx {approx}, exact {exact}, rel err {rel} > γ {gamma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_recovers_ball_count_approximately() {
+        let k = 4096u64;
+        let inv = OccupancyInverter::new(k);
+        for &balls in &[1u64, 10, 100, 500, 2000] {
+            let t = crate::balls_bins::expected_occupied(balls, k).round() as u64;
+            let est = inv.invert(t);
+            let rel = (est - balls as f64).abs() / balls as f64;
+            assert!(
+                rel < 0.1,
+                "balls {balls}: occupancy {t}, inverted {est}, rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_above_four_fifths() {
+        let k = 100u64;
+        let t = LnTable::new(k);
+        assert_eq!(t.max_c(), 80);
+        // Should not panic and should return the clamped value.
+        assert_eq!(t.ln_one_minus(99), t.ln_one_minus(80));
+    }
+
+    #[test]
+    fn space_is_sublinear_in_k() {
+        // Table size is O(√K · log K) entries; it must stay below the naive
+        // alternative of tabulating ln(1 − c/K) for every c ∈ [0, K) at 64
+        // bits each, and the gap must widen as K grows.
+        let small = LnTable::new(1 << 12);
+        let large = LnTable::new(1 << 18);
+        assert!(large.space_bits() < (1u64 << 18) * 64);
+        let ratio = large.space_bits() as f64 / small.space_bits() as f64;
+        assert!(
+            ratio < 64.0 * 0.5,
+            "table grew by {ratio}x for a 64x larger K — not sublinear"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires K > 4")]
+    fn tiny_k_rejected() {
+        let _ = LnTable::new(4);
+    }
+
+    #[test]
+    fn exact_reference_behaviour() {
+        assert_eq!(ln_one_minus_exact(0, 10), 0.0);
+        assert!(ln_one_minus_exact(5, 10) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires c < K")]
+    fn exact_reference_rejects_full_occupancy() {
+        let _ = ln_one_minus_exact(10, 10);
+    }
+}

@@ -1,0 +1,403 @@
+//! RoughEstimator — the constant-factor, all-times F0 approximation
+//! (Figure 2, Theorem 1 and Lemma 5 of the paper).
+//!
+//! The full F0 algorithm needs a value `R = Θ(F0(t))` **at every point of the
+//! stream** (not just at the end), using only `O(log n)` bits.  Previous
+//! constant-factor estimators gave a per-time-step guarantee and needed a
+//! union bound over the stream (`O(log n · log m)` bits); the paper's
+//! RoughEstimator achieves the simultaneous guarantee directly:
+//!
+//! > With probability `1 − o(1)`, `F0(t) ≤ F̃0(t) ≤ 8·F0(t)` for every `t`
+//! > with `F0(t) ≥ K_RE`, where `K_RE = max(8, log n / log log n)`.
+//!
+//! Structure (per Figure 2): three independent sub-estimators, each with
+//! `K_RE` counters storing the deepest `lsb` level of any item hashed into
+//! them; the estimate of a sub-estimator is `2^{r*}·K_RE` where `r*` is the
+//! deepest level at which at least `ρ·K_RE` counters have reached that level
+//! (`ρ = 0.99·(1 − e^{−1/3})`); the final output is the median of the three.
+//!
+//! The estimate is monotone in `t` by construction (counters only grow), which
+//! is what upgrades the per-power-of-two-times union bound into the
+//! "all times" guarantee (end of the proof of Theorem 1).
+
+use knw_hash::bits::{ceil_log2, lsb_with_cap};
+use knw_hash::pairwise::PairwiseHash;
+use knw_hash::rng::SplitMix64;
+use knw_hash::uniform::{BucketHash, HashStrategy};
+use knw_hash::SpaceUsage;
+use knw_vla::bitvec::FixedWidthVec;
+use knw_vla::SpaceUsage as VlaSpaceUsage;
+
+/// The occupancy threshold constant `ρ = 0.99·(1 − e^{−1/3})` from Figure 2.
+pub const RHO: f64 = 0.99 * (1.0 - 0.716_531_310_573_789_3); // 1 - e^{-1/3}
+
+/// Number of independent sub-estimators whose median is reported.
+const COPIES: usize = 3;
+
+/// One of the three sub-estimators of Figure 2.
+#[derive(Debug, Clone)]
+struct RoughSub {
+    /// `h1 ∈ H_2([n], [0, n−1])` — level hash (via `lsb`).
+    h1: PairwiseHash,
+    /// `h2 ∈ H_2([n], [K_RE³])` — domain compression.
+    h2: PairwiseHash,
+    /// `h3 ∈ H_{2K_RE}([K_RE³], [K_RE])` — bucket hash.
+    h3: BucketHash,
+    /// Counters `C_1.. C_{K_RE}`, stored as `value + 1` so that the paper's
+    /// initial value `−1` is the all-zeros state.
+    counters: FixedWidthVec,
+    /// `counts[v]` = number of counters currently holding level `v`
+    /// (shifted representation, so index 0 means "−1 / untouched").
+    level_counts: Vec<u32>,
+}
+
+impl RoughSub {
+    fn new(
+        universe_pow2: u64,
+        log_n: u32,
+        k_re: u64,
+        strategy: HashStrategy,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        let cube = k_re.saturating_mul(k_re).saturating_mul(k_re);
+        let counter_width = ceil_log2(u64::from(log_n) + 2).max(1);
+        Self {
+            h1: PairwiseHash::random(universe_pow2, rng),
+            h2: PairwiseHash::random(cube, rng),
+            h3: BucketHash::random(strategy, (2 * k_re) as usize, k_re, rng),
+            counters: FixedWidthVec::zeros(k_re as usize, counter_width),
+            level_counts: vec![0u32; log_n as usize + 2],
+        }
+    }
+
+    /// Returns `true` if a counter changed (i.e. the estimate may have moved).
+    #[inline]
+    fn insert(&mut self, item: u64, log_n: u32) -> bool {
+        let level = lsb_with_cap(self.h1.hash(item), log_n);
+        let bucket = self.h3.hash(self.h2.hash(item)) as usize;
+        let stored = self.counters.get(bucket);
+        let candidate = u64::from(level) + 1;
+        if candidate > stored {
+            self.counters.set(bucket, candidate);
+            if stored > 0 {
+                self.level_counts[stored as usize - 1] -= 1;
+            }
+            self.level_counts[level as usize] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `T_r = |{i : C_i ≥ r}|` computed from the level histogram; the scan is
+    /// over at most `log n + 1` levels, i.e. a constant number of machine
+    /// words of state (Lemma 5 de-amortizes this further; the histogram keeps
+    /// reporting cheap without the rolling-register machinery).
+    fn estimate(&self, k_re: u64) -> f64 {
+        let threshold = (RHO * k_re as f64).ceil() as u64;
+        let mut suffix = 0u64;
+        let mut best: Option<usize> = None;
+        // Scan levels from the deepest down, accumulating T_r.
+        for r in (0..self.level_counts.len()).rev() {
+            suffix += u64::from(self.level_counts[r]);
+            if suffix >= threshold {
+                best = Some(r);
+                break;
+            }
+        }
+        match best {
+            Some(r) => (1u64 << r.min(62)) as f64 * k_re as f64,
+            None => 0.0,
+        }
+    }
+
+    fn space_bits(&self) -> u64 {
+        self.h1.space_bits()
+            + self.h2.space_bits()
+            + self.h3.space_bits()
+            + VlaSpaceUsage::space_bits(&self.counters)
+            + self.level_counts.len() as u64 * 32
+    }
+}
+
+/// The Figure 2 RoughEstimator: an `O(log n)`-bit structure whose estimate is,
+/// with probability `1 − o(1)`, within `[F0(t), 8·F0(t)]` simultaneously for
+/// all times `t` at which `F0(t) ≥ K_RE`.
+#[derive(Debug, Clone)]
+pub struct RoughEstimator {
+    log_n: u32,
+    k_re: u64,
+    subs: Vec<RoughSub>,
+}
+
+impl RoughEstimator {
+    /// Creates a RoughEstimator for a universe of size `universe` (rounded up
+    /// to a power of two), seeded deterministically.
+    #[must_use]
+    pub fn new(universe: u64, seed: u64) -> Self {
+        Self::with_strategy(universe, seed, HashStrategy::default())
+    }
+
+    /// Creates a RoughEstimator selecting the bucket-hash construction.
+    ///
+    /// `HashStrategy::PolynomialKWise` follows Figure 2 literally
+    /// (`2·K_RE`-wise polynomial); `HashStrategy::Tabulation` follows the
+    /// O(1)-time variant of Lemma 5 (Pagh–Pagh replaced by tabulation, see
+    /// DESIGN.md §3).
+    #[must_use]
+    pub fn with_strategy(universe: u64, seed: u64, strategy: HashStrategy) -> Self {
+        let universe_pow2 = universe.max(2).next_power_of_two();
+        let log_n = ceil_log2(universe_pow2);
+        let k_re = Self::k_re_for(log_n);
+        let mut master = SplitMix64::new(seed ^ 0x5EED_0F00_0000_0001);
+        let subs = (0..COPIES)
+            .map(|j| {
+                let mut sub_rng = master.split(j as u64);
+                RoughSub::new(universe_pow2, log_n, k_re, strategy, &mut sub_rng)
+            })
+            .collect();
+        Self { log_n, k_re, subs }
+    }
+
+    /// `K_RE = max(8, log n / log log n)` (Figure 2, step 1).
+    #[must_use]
+    pub fn k_re_for(log_n: u32) -> u64 {
+        if log_n <= 2 {
+            return 8;
+        }
+        let l = f64::from(log_n);
+        let kre = (l / l.log2()).floor() as u64;
+        kre.max(8)
+    }
+
+    /// The `K_RE` parameter in use.
+    #[must_use]
+    pub fn k_re(&self) -> u64 {
+        self.k_re
+    }
+
+    /// The number of subsampling levels (`log n`).
+    #[must_use]
+    pub fn log_universe(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Processes one stream item.
+    #[inline]
+    pub fn insert(&mut self, item: u64) {
+        let _ = self.insert_tracked(item);
+    }
+
+    /// Processes one stream item and reports whether any internal counter
+    /// changed.  Counters change at most `3·K_RE·(log n + 1)` times over an
+    /// entire stream, so callers (the full F0 sketch) can afford to recompute
+    /// the estimate only when this returns `true`, keeping the per-update work
+    /// constant.
+    #[inline]
+    pub fn insert_tracked(&mut self, item: u64) -> bool {
+        let mut changed = false;
+        for sub in &mut self.subs {
+            changed |= sub.insert(item, self.log_n);
+        }
+        changed
+    }
+
+    /// The current rough estimate `F̃0(t)` — the median of the three
+    /// sub-estimates.  Returns 0 while no sub-estimator has reached its
+    /// occupancy threshold (i.e. while `F0(t)` is far below `K_RE`).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let mut vals: Vec<f64> = self.subs.iter().map(|s| s.estimate(self.k_re)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        vals[vals.len() / 2]
+    }
+
+    /// Convenience: the estimate clamped below by `floor` (the full F0
+    /// algorithm treats "no estimate yet" as `R = K/32`-ish via its small-F0
+    /// path, so callers often want `max(estimate, something)`).
+    #[must_use]
+    pub fn estimate_at_least(&self, floor: f64) -> f64 {
+        self.estimate().max(floor)
+    }
+
+    /// Merges another RoughEstimator built with the same seed and universe, so
+    /// that `self` reflects the union of both streams (counters are pointwise
+    /// maxima).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators have different parameters (this is an
+    /// internal helper; the public merge path validates first).
+    pub fn merge_from_unchecked(&mut self, other: &Self) {
+        assert_eq!(self.log_n, other.log_n);
+        assert_eq!(self.k_re, other.k_re);
+        for (a, b) in self.subs.iter_mut().zip(other.subs.iter()) {
+            for idx in 0..a.counters.len() {
+                let va = a.counters.get(idx);
+                let vb = b.counters.get(idx);
+                if vb > va {
+                    a.counters.set(idx, vb);
+                    if va > 0 {
+                        a.level_counts[va as usize - 1] -= 1;
+                    }
+                    a.level_counts[vb as usize - 1] += 1;
+                }
+            }
+        }
+    }
+}
+
+impl SpaceUsage for RoughEstimator {
+    fn space_bits(&self) -> u64 {
+        self.subs.iter().map(RoughSub::space_bits).sum::<u64>() + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_stream(re: &mut RoughEstimator, distinct: u64) {
+        for i in 0..distinct {
+            re.insert(i);
+            // Duplicates must not change anything; interleave some.
+            if i % 3 == 0 {
+                re.insert(i);
+            }
+        }
+    }
+
+    #[test]
+    fn k_re_matches_figure2_definition() {
+        assert_eq!(RoughEstimator::k_re_for(1), 8);
+        assert_eq!(RoughEstimator::k_re_for(20), 8); // 20/log2(20) ≈ 4.6 → max(8,4)
+        assert_eq!(RoughEstimator::k_re_for(64), 10); // 64/6 = 10.67 → 10
+        assert!(RoughEstimator::k_re_for(256) >= 32);
+    }
+
+    #[test]
+    fn estimate_is_zero_on_empty_stream() {
+        let re = RoughEstimator::new(1 << 20, 1);
+        assert_eq!(re.estimate(), 0.0);
+    }
+
+    #[test]
+    fn constant_factor_guarantee_at_end_of_stream() {
+        // For a variety of cardinalities well above K_RE the final estimate
+        // should land in [F0, 8·F0]; we allow a small number of seed failures
+        // since the guarantee is probabilistic (1 − o(1), and n here is modest).
+        let mut failures = 0;
+        let mut total = 0;
+        for &f0 in &[100u64, 500, 2_000, 10_000, 50_000] {
+            for seed in 0..6u64 {
+                let mut re = RoughEstimator::new(1 << 20, seed * 7 + 1);
+                run_stream(&mut re, f0);
+                let est = re.estimate();
+                total += 1;
+                if est < f0 as f64 * 0.99 || est > 8.0 * f0 as f64 * 1.01 {
+                    failures += 1;
+                }
+            }
+        }
+        assert!(
+            failures * 10 <= total,
+            "{failures}/{total} runs fell outside [F0, 8F0]"
+        );
+    }
+
+    #[test]
+    fn all_times_guarantee_holds_for_most_of_the_stream() {
+        // Theorem 1: simultaneously for all t with F0(t) ≥ K_RE the estimate
+        // is within [F0(t), 8F0(t)].  Track violations along one long stream.
+        let mut re = RoughEstimator::new(1 << 20, 12345);
+        let k_re = re.k_re();
+        let f0_max = 30_000u64;
+        let mut violations = 0u64;
+        let mut checked = 0u64;
+        for i in 0..f0_max {
+            re.insert(i);
+            let f0 = i + 1;
+            if f0 >= k_re * 4 && f0 % 97 == 0 {
+                checked += 1;
+                let est = re.estimate();
+                if est < f0 as f64 * 0.99 || est > 8.0 * f0 as f64 * 1.01 {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(checked > 100);
+        assert!(
+            violations * 20 <= checked,
+            "{violations}/{checked} checkpoints outside [F0, 8F0]"
+        );
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_time() {
+        let mut re = RoughEstimator::new(1 << 16, 9);
+        let mut last = 0.0;
+        for i in 0..20_000u64 {
+            re.insert(i);
+            if i % 500 == 0 {
+                let est = re.estimate();
+                assert!(est >= last, "estimate decreased from {last} to {est}");
+                last = est;
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_the_estimate() {
+        let mut a = RoughEstimator::new(1 << 16, 77);
+        let mut b = RoughEstimator::new(1 << 16, 77);
+        for i in 0..5_000u64 {
+            a.insert(i);
+            b.insert(i);
+            b.insert(i); // duplicate every item
+            b.insert(i ^ 0); // and again
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn space_is_logarithmic_not_linear() {
+        // O(log n) bits: far below the cardinalities it can estimate.
+        let re = RoughEstimator::new(1 << 30, 5);
+        // Hash descriptions dominate; a few kilobits is the expected order for
+        // the polynomial strategy. It must certainly be far below 1M bits.
+        assert!(re.space_bits() < 1_000_000, "space {} bits", re.space_bits());
+    }
+
+    #[test]
+    fn tabulation_strategy_also_tracks_cardinality() {
+        let mut re =
+            RoughEstimator::with_strategy(1 << 20, 31, HashStrategy::Tabulation);
+        run_stream(&mut re, 20_000);
+        let est = re.estimate();
+        assert!(est >= 20_000.0 * 0.5, "estimate {est}");
+        assert!(est <= 20_000.0 * 16.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut left = RoughEstimator::new(1 << 18, 404);
+        let mut right = RoughEstimator::new(1 << 18, 404);
+        let mut both = RoughEstimator::new(1 << 18, 404);
+        for i in 0..8_000u64 {
+            left.insert(i);
+            both.insert(i);
+        }
+        for i in 8_000..16_000u64 {
+            right.insert(i);
+            both.insert(i);
+        }
+        left.merge_from_unchecked(&right);
+        assert_eq!(left.estimate(), both.estimate());
+    }
+
+    #[test]
+    fn estimate_at_least_clamps() {
+        let re = RoughEstimator::new(1 << 10, 2);
+        assert_eq!(re.estimate_at_least(42.0), 42.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Constant-time bit operations (Theorem 5 of the paper).
+//!
+//! The paper relies on Brodnik's and Fredman–Willard's results that the least
+//! and most significant set bits of a machine word can be found in constant
+//! time.  On modern hardware these are single instructions (`TZCNT`/`LZCNT`),
+//! exposed in Rust as [`u64::trailing_zeros`] and [`u64::leading_zeros`]; this
+//! module wraps them with the exact conventions the paper uses.
+//!
+//! Paper conventions (Section 1.2):
+//! * `lsb(x)` is the 0-based index of the least significant set bit, e.g.
+//!   `lsb(6) = 1`.
+//! * `lsb(0) = log n`, i.e. a hash value of zero is treated as belonging to the
+//!   deepest possible subsampling level.  Callers provide that cap explicitly
+//!   via [`lsb_with_cap`]; the uncapped [`lsb`] returns `None` on zero.
+
+/// 0-based index of the least significant set bit, or `None` for zero.
+///
+/// ```
+/// assert_eq!(knw_hash::bits::lsb(6), Some(1));
+/// assert_eq!(knw_hash::bits::lsb(1), Some(0));
+/// assert_eq!(knw_hash::bits::lsb(0), None);
+/// ```
+#[inline]
+#[must_use]
+pub fn lsb(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(x.trailing_zeros())
+    }
+}
+
+/// `lsb(x)` with the paper's convention `lsb(0) = cap` (the paper uses
+/// `cap = log n`).
+///
+/// ```
+/// assert_eq!(knw_hash::bits::lsb_with_cap(6, 20), 1);
+/// assert_eq!(knw_hash::bits::lsb_with_cap(0, 20), 20);
+/// ```
+#[inline]
+#[must_use]
+pub fn lsb_with_cap(x: u64, cap: u32) -> u32 {
+    match lsb(x) {
+        Some(b) => b.min(cap),
+        None => cap,
+    }
+}
+
+/// 0-based index of the most significant set bit, or `None` for zero.
+///
+/// ```
+/// assert_eq!(knw_hash::bits::msb(1), Some(0));
+/// assert_eq!(knw_hash::bits::msb(6), Some(2));
+/// assert_eq!(knw_hash::bits::msb(0), None);
+/// ```
+#[inline]
+#[must_use]
+pub fn msb(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(63 - x.leading_zeros())
+    }
+}
+
+/// `⌊log2(x)⌋` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+#[inline]
+#[must_use]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x > 0, "floor_log2 undefined for 0");
+    63 - x.leading_zeros()
+}
+
+/// `⌈log2(x)⌉` for `x ≥ 1`.
+///
+/// The paper uses `⌈log(C_j + 2)⌉` when accounting for counter storage in the
+/// Figure 3 algorithm; this is the corresponding constant-time primitive
+/// (a most-significant-bit computation, per Theorem 5).
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+#[inline]
+#[must_use]
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x > 0, "ceil_log2 undefined for 0");
+    if x == 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Returns `true` if `x` is a power of two (and nonzero).
+#[inline]
+#[must_use]
+pub fn is_power_of_two(x: u64) -> bool {
+    x != 0 && (x & (x - 1)) == 0
+}
+
+/// Smallest power of two `≥ x` (for `x ≥ 1`).
+///
+/// The paper assumes without loss of generality that the universe size `n` and
+/// the number of bins `K = 1/ε²` are powers of two; this helper performs that
+/// rounding for user-supplied configuration values.
+///
+/// # Panics
+///
+/// Panics if `x == 0` or the result would overflow `u64`.
+#[inline]
+#[must_use]
+pub fn next_power_of_two(x: u64) -> u64 {
+    assert!(x > 0, "next_power_of_two undefined for 0");
+    x.checked_next_power_of_two()
+        .expect("next_power_of_two overflow")
+}
+
+/// Number of bits needed to represent values in `[0, n)`, i.e. `⌈log2 n⌉`
+/// with the convention that one value still needs 0 bits.
+#[inline]
+#[must_use]
+pub fn bits_for_universe(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        ceil_log2(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_matches_paper_example() {
+        // Section 1.2: lsb(6) = 1.
+        assert_eq!(lsb(6), Some(1));
+    }
+
+    #[test]
+    fn lsb_all_single_bits() {
+        for i in 0..64u32 {
+            assert_eq!(lsb(1u64 << i), Some(i));
+        }
+    }
+
+    #[test]
+    fn lsb_zero_is_none_and_capped() {
+        assert_eq!(lsb(0), None);
+        assert_eq!(lsb_with_cap(0, 32), 32);
+    }
+
+    #[test]
+    fn lsb_with_cap_never_exceeds_cap() {
+        // Values whose true lsb exceeds the cap are clamped, mirroring the
+        // paper's "level log n" top level.
+        assert_eq!(lsb_with_cap(1u64 << 40, 20), 20);
+        assert_eq!(lsb_with_cap(1u64 << 10, 20), 10);
+    }
+
+    #[test]
+    fn msb_basics() {
+        assert_eq!(msb(0), None);
+        assert_eq!(msb(1), Some(0));
+        assert_eq!(msb(2), Some(1));
+        assert_eq!(msb(3), Some(1));
+        assert_eq!(msb(u64::MAX), Some(63));
+    }
+
+    #[test]
+    fn floor_and_ceil_log2_agree_on_powers_of_two() {
+        for i in 0..63u32 {
+            let x = 1u64 << i;
+            assert_eq!(floor_log2(x), i);
+            assert_eq!(ceil_log2(x), i);
+        }
+    }
+
+    #[test]
+    fn ceil_log2_rounds_up() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1023), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn exhaustive_small_log_checks() {
+        for x in 1u64..4096 {
+            let f = floor_log2(x);
+            let c = ceil_log2(x);
+            assert!(1u64 << f <= x);
+            assert!(x <= 1u64.checked_shl(c).unwrap_or(u64::MAX));
+            assert!(c == f || c == f + 1);
+        }
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(1024), 1024);
+        assert_eq!(next_power_of_two(1025), 2048);
+    }
+
+    #[test]
+    fn bits_for_universe_examples() {
+        assert_eq!(bits_for_universe(0), 0);
+        assert_eq!(bits_for_universe(1), 0);
+        assert_eq!(bits_for_universe(2), 1);
+        assert_eq!(bits_for_universe(1 << 20), 20);
+        assert_eq!(bits_for_universe((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for 0")]
+    fn floor_log2_zero_panics() {
+        let _ = floor_log2(0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hashing and arithmetic substrate for the KNW distinct-elements reproduction.
+//!
+//! The Kane–Nelson–Woodruff (PODS 2010) algorithms are analysed in the word-RAM
+//! model without any idealized hashing assumptions: every hash function used by
+//! the paper is either pairwise independent, `k`-wise independent for
+//! `k = Θ(log(K/ε)/log log(K/ε))`, or drawn from a fast high-independence family
+//! (Siegel / Pagh–Pagh).  This crate provides all of those building blocks:
+//!
+//! * [`rng`] — deterministic, seedable pseudo-random generators (SplitMix64 and
+//!   xoshiro256**) used to draw hash-function descriptions. No external
+//!   dependency; experiments are exactly reproducible from a seed.
+//! * [`prime_field`] — arithmetic in the Mersenne-prime field `GF(2^61 − 1)`
+//!   (used by the Carter–Wegman polynomial families) and in run-time prime
+//!   fields `GF(p)` (used by the L0 counters of Lemma 6 and Lemma 8).
+//! * [`kwise`] — exactly `k`-wise independent Carter–Wegman polynomial hashing.
+//! * [`pairwise`] — the 2-wise specialization used for `h1`, `h2` and `h4`.
+//! * [`tabulation`] — simple and twisted tabulation hashing, our practical
+//!   stand-in for Siegel's construction (Theorem 7) and the Pagh–Pagh uniform
+//!   family (Theorem 6); see `DESIGN.md` §3 for the substitution argument.
+//! * [`uniform`] — the [`HashStrategy`](uniform::HashStrategy) switch that lets
+//!   callers pick between the provably `k`-wise family and the fast tabulation
+//!   family for the bucket hash `h3`.
+//! * [`bits`] — constant-time `lsb`/`msb` and logarithm helpers (Theorem 5).
+//! * [`primes`] — deterministic Miller–Rabin primality testing and random prime
+//!   selection in an interval (needed by Lemma 6 and Lemma 8).
+//!
+//! Everything in this crate is deterministic given an [`rng::Rng64`] seed, has
+//! no heap allocation on the hashing hot path, and reports its own space usage
+//! in bits via [`SpaceUsage`], so that the bench harness can account for hash
+//! function storage exactly as the paper does.
+
+pub mod bits;
+pub mod kwise;
+pub mod pairwise;
+pub mod prime_field;
+pub mod primes;
+pub mod rng;
+pub mod tabulation;
+pub mod uniform;
+
+/// Types that can report the number of bits of state they occupy.
+///
+/// The paper's space bounds are stated in bits and include the space required
+/// to store hash function descriptions (Section 1.2).  Every hash family and
+/// every sketch in this workspace implements this trait so the benchmark
+/// harness can reproduce the space accounting of Figure 1 exactly.
+pub trait SpaceUsage {
+    /// Number of bits of persistent state held by `self`.
+    ///
+    /// This counts the mathematical description of the object (e.g. `k` field
+    /// elements of ~61 bits for a degree-(k−1) polynomial hash), not Rust
+    /// allocator overhead, matching how the paper accounts for space.
+    fn space_bits(&self) -> u64;
+}
+
+pub use bits::{ceil_log2, floor_log2, lsb, lsb_with_cap, msb};
+pub use kwise::{KWiseHash, KWiseHashBuilder};
+pub use pairwise::PairwiseHash;
+pub use prime_field::{DynField, Mersenne61, MERSENNE61_P};
+pub use primes::{is_prime_u64, random_prime_in_range};
+pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+pub use tabulation::{SimpleTabulation, TwistedTabulation};
+pub use uniform::{BucketHash, HashStrategy};

@@ -1,0 +1,241 @@
+//! Primality testing and random prime selection.
+//!
+//! Lemma 6 of the paper chooses a prime uniformly at random from `[D, D³]`
+//! with `D = 100·K·log(mM)` so that, with probability `1 − O(1/K²)`, the prime
+//! does not divide any nonzero frequency `x_i` (each `|x_i| ≤ mM` has at most
+//! `log(mM)` prime factors, and the interval contains `≥ K²·log²(mM)` primes
+//! by standard density results).  Lemma 8 similarly picks a random prime
+//! `p = Θ(log(mM)·log log(mM))`.
+//!
+//! We implement a deterministic Miller–Rabin test that is exact for all 64-bit
+//! integers (using the standard 12-witness set) and rejection-sample random
+//! odd candidates from the target interval.
+
+use crate::rng::Rng64;
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, which
+/// is known to be sufficient for every integer below 3.3 × 10²⁴.
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n − 1 = d · 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `a · b mod m` without overflow, via 128-bit intermediates.
+#[inline]
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    (((a as u128) * (b as u128)) % (m as u128)) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+#[must_use]
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Picks a uniformly random prime in `[lo, hi]` by rejection sampling.
+///
+/// This mirrors the paper's "choose a prime `p` randomly in `[D, D³]`"
+/// (Lemma 6).  By the prime number theorem the density of primes in the
+/// intervals used by the sketches is at least `1/ln(hi)`, so the expected
+/// number of candidates examined is `O(log hi)`; we cap the attempts and fall
+/// back to an exhaustive scan only in pathological (tiny-interval) cases.
+///
+/// # Panics
+///
+/// Panics if the interval contains no prime (e.g. `[14, 16]`) or `lo > hi`.
+#[must_use]
+pub fn random_prime_in_range<R: Rng64 + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> u64 {
+    assert!(lo <= hi, "empty interval");
+    let lo = lo.max(2);
+    // Rejection sampling: overwhelmingly likely to succeed quickly for the
+    // interval sizes the sketches use (hundreds of candidates suffice).
+    let width = hi - lo + 1;
+    let attempts = 64 * (64 - width.leading_zeros() as u64 + 1).max(8);
+    for _ in 0..attempts {
+        let cand = lo + rng.next_below(width);
+        if is_prime_u64(cand) {
+            return cand;
+        }
+    }
+    // Deterministic fallback: scan from a random starting point, wrapping once.
+    let start = lo + rng.next_below(width);
+    let mut cand = start;
+    loop {
+        if is_prime_u64(cand) {
+            return cand;
+        }
+        cand += 1;
+        if cand > hi {
+            cand = lo;
+        }
+        if cand == start {
+            panic!("no prime in [{lo}, {hi}]");
+        }
+    }
+}
+
+/// Returns the smallest prime `≥ n` (useful for sizing hash ranges).
+///
+/// # Panics
+///
+/// Panics if no such prime fits in `u64` (practically unreachable).
+#[must_use]
+pub fn next_prime_at_least(n: u64) -> u64 {
+    let mut cand = n.max(2);
+    loop {
+        if is_prime_u64(cand) {
+            return cand;
+        }
+        cand = cand.checked_add(1).expect("prime search overflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn small_primes_classified_correctly() {
+        let primes = [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+            79, 83, 89, 97,
+        ];
+        let mut idx = 0;
+        for n in 0..100u64 {
+            let expect = idx < primes.len() && primes[idx] == n;
+            assert_eq!(is_prime_u64(n), expect, "n = {n}");
+            if expect {
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn known_large_primes_and_composites() {
+        // 2^61 - 1 is a Mersenne prime.
+        assert!(is_prime_u64((1u64 << 61) - 1));
+        // 2^61 + 1 = 3 · 768614336404564651 is composite.
+        assert!(!is_prime_u64((1u64 << 61) + 1));
+        // Largest prime below 2^64.
+        assert!(is_prime_u64(18_446_744_073_709_551_557));
+        // Carmichael numbers must be rejected.
+        assert!(!is_prime_u64(561));
+        assert!(!is_prime_u64(41_041));
+        assert!(!is_prime_u64(825_265));
+        // Strong pseudoprime to base 2.
+        assert!(!is_prime_u64(2_047));
+    }
+
+    #[test]
+    fn counts_primes_below_1000() {
+        let count = (0..1000u64).filter(|&n| is_prime_u64(n)).count();
+        assert_eq!(count, 168);
+    }
+
+    #[test]
+    fn pow_mod_reference() {
+        assert_eq!(pow_mod(2, 10, 1_000_000_007), 1024);
+        assert_eq!(pow_mod(3, 0, 7), 1);
+        assert_eq!(pow_mod(10, 18, 1_000_000_007), 49); // 10^18 mod (1e9+7)
+        assert_eq!(pow_mod(5, 3, 1), 0);
+    }
+
+    #[test]
+    fn random_prime_lands_in_interval_and_is_prime() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..50 {
+            let p = random_prime_in_range(1_000, 100_000, &mut rng);
+            assert!((1_000..=100_000).contains(&p));
+            assert!(is_prime_u64(p));
+        }
+    }
+
+    #[test]
+    fn random_prime_lemma6_sized_interval() {
+        // D = 100 · K · log(mM) with K = 400, log(mM) = 40 → D = 1.6e6.
+        let d: u64 = 100 * 400 * 40;
+        let mut rng = SplitMix64::new(7);
+        let p = random_prime_in_range(d, d.saturating_mul(d).saturating_mul(d), &mut rng);
+        assert!(p >= d);
+        assert!(is_prime_u64(p));
+    }
+
+    #[test]
+    fn random_prime_tiny_interval() {
+        let mut rng = SplitMix64::new(3);
+        // Only prime in [24, 30] is 29.
+        for _ in 0..10 {
+            assert_eq!(random_prime_in_range(24, 30, &mut rng), 29);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no prime in")]
+    fn random_prime_empty_of_primes_panics() {
+        let mut rng = SplitMix64::new(3);
+        let _ = random_prime_in_range(24, 28, &mut rng);
+    }
+
+    #[test]
+    fn next_prime_at_least_examples() {
+        assert_eq!(next_prime_at_least(0), 2);
+        assert_eq!(next_prime_at_least(8), 11);
+        assert_eq!(next_prime_at_least(97), 97);
+        assert_eq!(next_prime_at_least(100), 101);
+    }
+
+    #[test]
+    fn random_primes_are_spread_out() {
+        // Sanity check that we are not always returning the same prime.
+        use std::collections::HashSet;
+        let mut rng = SplitMix64::new(13);
+        let primes: HashSet<u64> = (0..40)
+            .map(|_| random_prime_in_range(10_000, 1_000_000, &mut rng))
+            .collect();
+        assert!(primes.len() > 20, "expected variety, got {}", primes.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! Element-distribution generators.
+//!
+//! A [`StreamGenerator`] produces an infinite stream of universe elements
+//! (`u64` indices); the experiment harness draws a prefix of the desired
+//! length.  Each generator also knows how to report the *exact* number of
+//! distinct elements it has emitted so far, so experiments get ground truth
+//! without keeping a separate hash set when they do not want to.
+
+use knw_hash::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use std::collections::HashSet;
+
+/// A deterministic, seeded generator of stream elements.
+pub trait StreamGenerator {
+    /// Produces the next stream element.
+    fn next_item(&mut self) -> u64;
+
+    /// The exact number of distinct elements emitted so far.
+    fn distinct_so_far(&self) -> u64;
+
+    /// A short name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Draws `len` elements into a vector.
+    fn take_vec(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.next_item()).collect()
+    }
+}
+
+/// Uniform draws (with repetition) from a universe of a given size.
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    rng: Xoshiro256StarStar,
+    universe: u64,
+    seen: HashSet<u64>,
+}
+
+impl UniformGenerator {
+    /// Creates a generator over `[0, universe)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    #[must_use]
+    pub fn new(universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        Self {
+            rng: Xoshiro256StarStar::new(seed),
+            universe,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl StreamGenerator for UniformGenerator {
+    fn next_item(&mut self) -> u64 {
+        let item = self.rng.next_below(self.universe);
+        self.seen.insert(item);
+        item
+    }
+
+    fn distinct_so_far(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Zipfian draws: element ranks follow a power law with exponent `s`, the
+/// classic model for web-request and flow-size skew.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    rng: Xoshiro256StarStar,
+    /// Precomputed cumulative distribution over the ranked universe.
+    cdf: Vec<f64>,
+    /// Permutation salt so that rank r maps to a scattered universe element.
+    salt: u64,
+    universe: u64,
+    seen: HashSet<u64>,
+}
+
+impl ZipfGenerator {
+    /// Creates a Zipf(`s`) generator over a ranked universe of `universe`
+    /// elements (capped at 2²⁰ ranks for the CDF table; the salt scatters them
+    /// over the full `u64` space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `s <= 0`.
+    #[must_use]
+    pub fn new(universe: u64, s: f64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let ranks = universe.min(1 << 20) as usize;
+        let mut weights: Vec<f64> = (1..=ranks).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self {
+            rng: Xoshiro256StarStar::new(seed),
+            cdf: weights,
+            salt: SplitMix64::new(seed ^ 0x217F_0000_0001).next_u64() | 1,
+            universe,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl StreamGenerator for ZipfGenerator {
+    fn next_item(&mut self) -> u64 {
+        let u = self.rng.next_f64();
+        let rank = match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        } as u64;
+        // Scatter ranks over the universe deterministically.
+        let item = rank.wrapping_mul(self.salt) % self.universe;
+        self.seen.insert(item);
+        item
+    }
+
+    fn distinct_so_far(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+}
+
+/// Sequential elements `0, 1, 2, …` — every element is new, the worst case for
+/// the subsampling machinery and the best case for exact counters.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialGenerator {
+    next: u64,
+}
+
+impl SequentialGenerator {
+    /// Creates a generator starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamGenerator for SequentialGenerator {
+    fn next_item(&mut self) -> u64 {
+        let item = self.next;
+        self.next += 1;
+        item
+    }
+
+    fn distinct_so_far(&self) -> u64 {
+        self.next
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Clustered traffic: a configurable number of "sessions", each of which
+/// re-emits one element many times before moving on — duplicate-heavy streams
+/// with a cardinality far below the stream length.
+#[derive(Debug, Clone)]
+pub struct ClusteredGenerator {
+    rng: Xoshiro256StarStar,
+    universe: u64,
+    burst_remaining: u64,
+    burst_length: u64,
+    current: u64,
+    seen: HashSet<u64>,
+}
+
+impl ClusteredGenerator {
+    /// Creates a generator whose elements repeat in bursts of `burst_length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `burst_length == 0`.
+    #[must_use]
+    pub fn new(universe: u64, burst_length: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        assert!(burst_length > 0, "burst length must be positive");
+        Self {
+            rng: Xoshiro256StarStar::new(seed),
+            universe,
+            burst_remaining: 0,
+            burst_length,
+            current: 0,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl StreamGenerator for ClusteredGenerator {
+    fn next_item(&mut self) -> u64 {
+        if self.burst_remaining == 0 {
+            self.current = self.rng.next_below(self.universe);
+            self.burst_remaining = self.burst_length;
+        }
+        self.burst_remaining -= 1;
+        self.seen.insert(self.current);
+        self.current
+    }
+
+    fn distinct_so_far(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_tracks_distinct_exactly() {
+        let mut g = UniformGenerator::new(1_000, 1);
+        let items = g.take_vec(10_000);
+        let truth: HashSet<u64> = items.iter().copied().collect();
+        assert_eq!(g.distinct_so_far(), truth.len() as u64);
+        assert!(items.iter().all(|&i| i < 1_000));
+        // With 10k draws from 1k values almost every value appears.
+        assert!(g.distinct_so_far() > 990);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = UniformGenerator::new(1 << 20, 7).take_vec(1_000);
+        let b = UniformGenerator::new(1 << 20, 7).take_vec(1_000);
+        let c = UniformGenerator::new(1 << 20, 8).take_vec(1_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed() {
+        let mut g = ZipfGenerator::new(1 << 20, 1.1, 3);
+        let items = g.take_vec(50_000);
+        // The most frequent element should absorb a noticeable share of the
+        // stream, and the distinct count should be far below the length.
+        let mut counts = std::collections::HashMap::new();
+        for &i in &items {
+            *counts.entry(i).or_insert(0u64) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 2_000, "top element only appeared {max} times");
+        assert!(g.distinct_so_far() < 30_000);
+        assert!(g.distinct_so_far() > 100);
+    }
+
+    #[test]
+    fn sequential_is_all_distinct() {
+        let mut g = SequentialGenerator::new();
+        let items = g.take_vec(500);
+        assert_eq!(items, (0..500u64).collect::<Vec<_>>());
+        assert_eq!(g.distinct_so_far(), 500);
+        assert_eq!(g.name(), "sequential");
+    }
+
+    #[test]
+    fn clustered_repeats_in_bursts() {
+        let mut g = ClusteredGenerator::new(1 << 16, 50, 5);
+        let items = g.take_vec(5_000);
+        assert_eq!(items.len(), 5_000);
+        // 5_000 / 50 = 100 bursts → about 100 distinct items.
+        assert!(g.distinct_so_far() <= 100);
+        assert!(g.distinct_so_far() >= 80);
+        // Consecutive elements within a burst are identical.
+        assert_eq!(items[0], items[1]);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut gens: Vec<Box<dyn StreamGenerator>> = vec![
+            Box::new(UniformGenerator::new(100, 1)),
+            Box::new(ZipfGenerator::new(1_000, 1.2, 2)),
+            Box::new(SequentialGenerator::new()),
+            Box::new(ClusteredGenerator::new(100, 5, 3)),
+        ];
+        for g in &mut gens {
+            let v = g.take_vec(100);
+            assert_eq!(v.len(), 100);
+            assert!(g.distinct_so_far() > 0);
+            assert!(!g.name().is_empty());
+        }
+    }
+}

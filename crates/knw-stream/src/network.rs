@@ -1,0 +1,220 @@
+//! Synthetic packet-header traces.
+//!
+//! The paper's network-monitoring motivation (Section 1): routers tracking
+//! distinct destination IPs, requested URLs and source–destination pairs;
+//! DDoS and port-scan detection; Estan et al. estimating the number of
+//! distinct Code Red sources from 0.5 GB/hour of packet headers.  Those traces
+//! are unavailable, so this module synthesizes traces with the same
+//! *shape*: a base population of benign flows re-using a modest set of source
+//! addresses, plus injected episodes (worm spread with steadily growing
+//! distinct sources, port scans touching many distinct destination ports,
+//! DDoS floods with spoofed sources) that change the distinct-count trajectory
+//! in characteristic ways.
+
+use knw_hash::rng::{Rng64, Xoshiro256StarStar};
+use std::collections::HashSet;
+
+/// One synthetic packet observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketEvent {
+    /// Source identifier (think IPv4 address as an opaque 32-bit value).
+    pub source: u32,
+    /// Destination identifier.
+    pub destination: u32,
+    /// Destination port.
+    pub port: u16,
+}
+
+impl PacketEvent {
+    /// The key a "distinct sources" monitor feeds to its estimator.
+    #[must_use]
+    pub fn source_key(&self) -> u64 {
+        u64::from(self.source)
+    }
+
+    /// The key a "distinct source–destination pairs" monitor feeds to its
+    /// estimator.
+    #[must_use]
+    pub fn flow_key(&self) -> u64 {
+        (u64::from(self.source) << 32) | u64::from(self.destination)
+    }
+
+    /// The key a port-scan monitor (distinct ports per destination) uses.
+    #[must_use]
+    pub fn destination_port_key(&self) -> u64 {
+        (u64::from(self.destination) << 16) | u64::from(self.port)
+    }
+}
+
+/// What kind of traffic the generator is currently producing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficProfile {
+    /// Benign background traffic drawn from a fixed population of flows.
+    Background,
+    /// Worm-style spread: the set of distinct infected sources grows steadily
+    /// over time (the Code Red scenario of Estan et al.).
+    WormSpread,
+    /// A port scan: one source probing many distinct ports on one destination.
+    PortScan,
+    /// A DDoS flood: many (spoofed, mostly-new) sources hammering one
+    /// destination.
+    DdosFlood,
+}
+
+/// A deterministic synthetic trace generator.
+#[derive(Debug, Clone)]
+pub struct NetworkTraceGenerator {
+    rng: Xoshiro256StarStar,
+    profile: TrafficProfile,
+    /// Size of the benign source population.
+    background_sources: u32,
+    /// Monotone counter driving the worm / DDoS source growth.
+    epidemic_counter: u32,
+    /// Distinct source keys emitted so far (ground truth for experiments).
+    distinct_sources: HashSet<u32>,
+}
+
+impl NetworkTraceGenerator {
+    /// Creates a generator with the given benign source population.
+    #[must_use]
+    pub fn new(profile: TrafficProfile, background_sources: u32, seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256StarStar::new(seed ^ 0x9AC4_E7),
+            profile,
+            background_sources: background_sources.max(1),
+            epidemic_counter: 0,
+            distinct_sources: HashSet::new(),
+        }
+    }
+
+    /// Switches the traffic profile mid-trace (e.g. Background → WormSpread),
+    /// which is how the detection examples build their timelines.
+    pub fn set_profile(&mut self, profile: TrafficProfile) {
+        self.profile = profile;
+    }
+
+    /// The current traffic profile.
+    #[must_use]
+    pub fn profile(&self) -> TrafficProfile {
+        self.profile
+    }
+
+    /// The exact number of distinct source addresses emitted so far.
+    #[must_use]
+    pub fn distinct_sources(&self) -> u64 {
+        self.distinct_sources.len() as u64
+    }
+
+    /// Produces the next packet.
+    pub fn next_packet(&mut self) -> PacketEvent {
+        let pkt = match self.profile {
+            TrafficProfile::Background => PacketEvent {
+                source: self.rng.next_below(u64::from(self.background_sources)) as u32,
+                destination: 10_000 + self.rng.next_below(256) as u32,
+                port: 80,
+            },
+            TrafficProfile::WormSpread => {
+                // Each packet has a small chance of coming from a newly
+                // infected host, so the distinct-source count ramps steadily.
+                if self.rng.next_bool(0.2) {
+                    self.epidemic_counter += 1;
+                }
+                PacketEvent {
+                    source: 0x0A00_0000 + self.epidemic_counter,
+                    destination: self.rng.next_below(1 << 16) as u32,
+                    port: 1434,
+                }
+            }
+            TrafficProfile::PortScan => PacketEvent {
+                source: 0xC0A8_0001,
+                destination: 10_001,
+                port: (self.rng.next_below(1 << 16)) as u16,
+            },
+            TrafficProfile::DdosFlood => {
+                self.epidemic_counter = self.epidemic_counter.wrapping_add(1);
+                PacketEvent {
+                    // Spoofed sources: mostly new every packet.
+                    source: 0x3000_0000 ^ self.epidemic_counter.wrapping_mul(2_654_435_761),
+                    destination: 10_002,
+                    port: 443,
+                }
+            }
+        };
+        self.distinct_sources.insert(pkt.source);
+        pkt
+    }
+
+    /// Produces `len` packets.
+    pub fn take_vec(&mut self, len: usize) -> Vec<PacketEvent> {
+        (0..len).map(|_| self.next_packet()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_traffic_has_bounded_sources() {
+        let mut g = NetworkTraceGenerator::new(TrafficProfile::Background, 500, 1);
+        let pkts = g.take_vec(20_000);
+        assert_eq!(pkts.len(), 20_000);
+        assert!(g.distinct_sources() <= 500);
+        assert!(g.distinct_sources() > 450);
+    }
+
+    #[test]
+    fn worm_spread_grows_distinct_sources() {
+        let mut g = NetworkTraceGenerator::new(TrafficProfile::WormSpread, 100, 2);
+        g.take_vec(10_000);
+        let after_10k = g.distinct_sources();
+        g.take_vec(10_000);
+        let after_20k = g.distinct_sources();
+        assert!(after_10k > 1_000, "spread too slow: {after_10k}");
+        assert!(
+            after_20k > after_10k + 1_000,
+            "distinct sources stopped growing: {after_10k} -> {after_20k}"
+        );
+    }
+
+    #[test]
+    fn port_scan_touches_many_ports_single_source() {
+        let mut g = NetworkTraceGenerator::new(TrafficProfile::PortScan, 100, 3);
+        let pkts = g.take_vec(20_000);
+        let ports: HashSet<u16> = pkts.iter().map(|p| p.port).collect();
+        let sources: HashSet<u32> = pkts.iter().map(|p| p.source).collect();
+        assert_eq!(sources.len(), 1);
+        assert!(ports.len() > 10_000);
+    }
+
+    #[test]
+    fn ddos_flood_has_nearly_all_new_sources() {
+        let mut g = NetworkTraceGenerator::new(TrafficProfile::DdosFlood, 100, 4);
+        let pkts = g.take_vec(5_000);
+        assert!(g.distinct_sources() > 4_900);
+        assert!(pkts.iter().all(|p| p.destination == 10_002));
+    }
+
+    #[test]
+    fn profile_switching_builds_a_timeline() {
+        let mut g = NetworkTraceGenerator::new(TrafficProfile::Background, 200, 5);
+        g.take_vec(5_000);
+        let baseline = g.distinct_sources();
+        g.set_profile(TrafficProfile::DdosFlood);
+        assert_eq!(g.profile(), TrafficProfile::DdosFlood);
+        g.take_vec(5_000);
+        assert!(g.distinct_sources() > baseline * 10);
+    }
+
+    #[test]
+    fn packet_keys_are_consistent() {
+        let p = PacketEvent {
+            source: 0x0102_0304,
+            destination: 0x0506_0708,
+            port: 99,
+        };
+        assert_eq!(p.source_key(), 0x0102_0304);
+        assert_eq!(p.flow_key(), 0x0102_0304_0506_0708);
+        assert_eq!(p.destination_port_key(), (0x0506_0708u64 << 16) | 99);
+    }
+}

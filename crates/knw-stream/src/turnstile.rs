@@ -1,0 +1,247 @@
+//! Turnstile (insert/delete) workloads for the L0 experiments.
+//!
+//! L0 estimation is exercised by streams of `(item, ±delta)` updates.  The
+//! interesting regimes the paper calls out are: plain insertions (where L0 and
+//! F0 coincide), deletions that remove items entirely (data cleaning /
+//! database auditing), and mixed-sign frequencies (the case Ganguly's
+//! algorithm cannot handle but the KNW sketch can).  The
+//! [`TurnstileWorkloadBuilder`] produces deterministic workloads covering all
+//! three, together with the exact final Hamming norm for ground truth.
+
+use knw_hash::rng::{Rng64, Xoshiro256StarStar};
+use std::collections::HashMap;
+
+/// One turnstile update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TurnstileOp {
+    /// The coordinate being updated.
+    pub item: u64,
+    /// The signed change to its frequency.
+    pub delta: i64,
+}
+
+/// A fully materialized workload: the operations plus ground truth.
+#[derive(Debug, Clone)]
+pub struct TurnstileWorkload {
+    /// The update sequence.
+    pub ops: Vec<TurnstileOp>,
+    /// The exact Hamming norm after applying every update.
+    pub final_l0: u64,
+    /// The exact frequency vector support (for deeper assertions).
+    pub final_frequencies: HashMap<u64, i64>,
+}
+
+/// Builder for turnstile workloads.
+#[derive(Debug, Clone)]
+pub struct TurnstileWorkloadBuilder {
+    universe: u64,
+    num_insert_items: u64,
+    delete_fraction: f64,
+    mixed_signs: bool,
+    max_magnitude: i64,
+    seed: u64,
+}
+
+impl TurnstileWorkloadBuilder {
+    /// Creates a builder over `[0, universe)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    #[must_use]
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        Self {
+            universe,
+            num_insert_items: 10_000,
+            delete_fraction: 0.0,
+            mixed_signs: false,
+            max_magnitude: 4,
+            seed: 0xDE1E_7E00,
+        }
+    }
+
+    /// Number of distinct items initially inserted.
+    #[must_use]
+    pub fn insert_items(mut self, n: u64) -> Self {
+        self.num_insert_items = n;
+        self
+    }
+
+    /// Fraction of the inserted items that are subsequently deleted down to
+    /// frequency zero (`0.0 ..= 1.0`).
+    #[must_use]
+    pub fn delete_fraction(mut self, f: f64) -> Self {
+        self.delete_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether surviving items may end with negative frequencies.
+    #[must_use]
+    pub fn mixed_signs(mut self, yes: bool) -> Self {
+        self.mixed_signs = yes;
+        self
+    }
+
+    /// Maximum magnitude of a single update.
+    #[must_use]
+    pub fn max_magnitude(mut self, m: i64) -> Self {
+        self.max_magnitude = m.max(1);
+        self
+    }
+
+    /// Random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materializes the workload.
+    #[must_use]
+    pub fn build(&self) -> TurnstileWorkload {
+        let mut rng = Xoshiro256StarStar::new(self.seed);
+        let mut ops = Vec::new();
+        let mut frequencies: HashMap<u64, i64> = HashMap::new();
+
+        // Phase 1: insert `num_insert_items` distinct items with random
+        // (possibly signed) frequencies, possibly split across several updates.
+        let mut items: Vec<u64> = Vec::with_capacity(self.num_insert_items as usize);
+        while (items.len() as u64) < self.num_insert_items {
+            let candidate = rng.next_below(self.universe);
+            if frequencies.contains_key(&candidate) {
+                continue;
+            }
+            let magnitude = 1 + rng.next_below(self.max_magnitude as u64) as i64;
+            let sign = if self.mixed_signs && rng.next_bool(0.5) {
+                -1
+            } else {
+                1
+            };
+            let total = sign * magnitude;
+            // Split the frequency into one or two updates to interleave work.
+            if magnitude > 1 && rng.next_bool(0.5) {
+                let first = sign * (magnitude / 2);
+                let second = total - first;
+                ops.push(TurnstileOp {
+                    item: candidate,
+                    delta: first,
+                });
+                ops.push(TurnstileOp {
+                    item: candidate,
+                    delta: second,
+                });
+            } else {
+                ops.push(TurnstileOp {
+                    item: candidate,
+                    delta: total,
+                });
+            }
+            frequencies.insert(candidate, total);
+            items.push(candidate);
+        }
+
+        // Phase 2: delete a fraction of the items down to zero.
+        let to_delete = ((items.len() as f64) * self.delete_fraction).round() as usize;
+        for &item in items.iter().take(to_delete) {
+            let current = frequencies[&item];
+            ops.push(TurnstileOp {
+                item,
+                delta: -current,
+            });
+            frequencies.insert(item, 0);
+        }
+        frequencies.retain(|_, v| *v != 0);
+
+        let final_l0 = frequencies.len() as u64;
+        TurnstileWorkload {
+            ops,
+            final_l0,
+            final_frequencies: frequencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(ops: &[TurnstileOp]) -> HashMap<u64, i64> {
+        let mut f: HashMap<u64, i64> = HashMap::new();
+        for op in ops {
+            *f.entry(op.item).or_insert(0) += op.delta;
+        }
+        f.retain(|_, v| *v != 0);
+        f
+    }
+
+    #[test]
+    fn insert_only_workload_ground_truth() {
+        let w = TurnstileWorkloadBuilder::new(1 << 20)
+            .insert_items(5_000)
+            .build();
+        assert_eq!(w.final_l0, 5_000);
+        assert_eq!(replay(&w.ops).len() as u64, w.final_l0);
+    }
+
+    #[test]
+    fn delete_fraction_is_respected() {
+        let w = TurnstileWorkloadBuilder::new(1 << 20)
+            .insert_items(4_000)
+            .delete_fraction(0.75)
+            .seed(3)
+            .build();
+        assert_eq!(w.final_l0, 1_000);
+        let reference = replay(&w.ops);
+        assert_eq!(reference.len() as u64, w.final_l0);
+        assert_eq!(reference, w.final_frequencies);
+    }
+
+    #[test]
+    fn full_deletion_leaves_empty_support() {
+        let w = TurnstileWorkloadBuilder::new(1 << 16)
+            .insert_items(2_000)
+            .delete_fraction(1.0)
+            .build();
+        assert_eq!(w.final_l0, 0);
+        assert!(replay(&w.ops).is_empty());
+    }
+
+    #[test]
+    fn mixed_signs_produce_negative_frequencies() {
+        let w = TurnstileWorkloadBuilder::new(1 << 20)
+            .insert_items(3_000)
+            .mixed_signs(true)
+            .seed(9)
+            .build();
+        assert_eq!(w.final_l0, 3_000);
+        assert!(
+            w.final_frequencies.values().any(|&v| v < 0),
+            "expected some negative final frequencies"
+        );
+        assert_eq!(replay(&w.ops), w.final_frequencies);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = TurnstileWorkloadBuilder::new(1 << 18)
+            .insert_items(100)
+            .seed(5)
+            .build();
+        let b = TurnstileWorkloadBuilder::new(1 << 18)
+            .insert_items(100)
+            .seed(5)
+            .build();
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn magnitudes_are_bounded() {
+        let w = TurnstileWorkloadBuilder::new(1 << 16)
+            .insert_items(1_000)
+            .max_magnitude(3)
+            .mixed_signs(true)
+            .build();
+        assert!(w.ops.iter().all(|op| op.delta.abs() <= 3 && op.delta != 0));
+    }
+}

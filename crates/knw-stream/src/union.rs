@@ -1,0 +1,60 @@
+//! Helpers for multi-stream experiments (unions / merges).
+//!
+//! The paper points out that F0 sketches compose under stream unions
+//! (Section 1), which is how distributed monitors aggregate per-link
+//! statistics.  The experiments build per-site streams with the generators in
+//! [`crate::generator`] and combine them either by merging sketches or by
+//! interleaving the raw streams; this module provides the interleaving.
+
+/// Interleaves several streams round-robin into a single stream, preserving
+/// the relative order within each input.  Inputs of different lengths are
+/// drained until all are exhausted.
+#[must_use]
+pub fn interleave_round_robin(streams: &[Vec<u64>]) -> Vec<u64> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    let mut remaining = total;
+    while remaining > 0 {
+        for (s, cursor) in streams.iter().zip(cursors.iter_mut()) {
+            if *cursor < s.len() {
+                out.push(s[*cursor]);
+                *cursor += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interleaving_preserves_multiset_and_order() {
+        let a = vec![1u64, 2, 3, 4];
+        let b = vec![10u64, 20];
+        let c = vec![100u64, 200, 300];
+        let merged = interleave_round_robin(&[a.clone(), b.clone(), c.clone()]);
+        assert_eq!(merged.len(), 9);
+        assert_eq!(merged[0..3], [1, 10, 100]);
+        // Relative order within each source preserved.
+        let positions: Vec<usize> = a
+            .iter()
+            .map(|x| merged.iter().position(|y| y == x).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // Union of distinct elements preserved.
+        let expect: HashSet<u64> = a.into_iter().chain(b).chain(c).collect();
+        let got: HashSet<u64> = merged.into_iter().collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(interleave_round_robin(&[]).is_empty());
+        assert_eq!(interleave_round_robin(&[vec![], vec![7]]), vec![7]);
+    }
+}

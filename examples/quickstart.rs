@@ -1,0 +1,46 @@
+//! Quickstart: estimate the number of distinct elements in a stream with the
+//! KNW sketch, compare against ground truth, and inspect the space used.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use knw::core::{CardinalityEstimator, F0Config, KnwF0Sketch, SpaceUsage};
+use knw::stream::{StreamGenerator, UniformGenerator};
+
+fn main() {
+    // A stream of 2 million tokens drawn from ~600k distinct values.
+    let universe = 1u64 << 24;
+    let mut generator = UniformGenerator::new(universe, 42);
+    let stream = generator.take_vec(2_000_000);
+    let truth = generator.distinct_so_far();
+
+    // ε = 0.05 → K = 1/ε² = 512 counters (rounded to a power of two).
+    let config = F0Config::new(0.05, universe).with_seed(7);
+    let mut sketch = KnwF0Sketch::new(config);
+
+    for &item in &stream {
+        sketch.insert(item);
+    }
+
+    let estimate = sketch.estimate();
+    let relative_error = (estimate - truth as f64).abs() / truth as f64;
+
+    println!("stream length        : {}", stream.len());
+    println!("true distinct count  : {truth}");
+    println!("KNW estimate         : {estimate:.0}");
+    println!("relative error       : {:.2}%", 100.0 * relative_error);
+    println!("sketch space         : {} bits ({:.1} KiB)", sketch.space_bits(), sketch.space_bits() as f64 / 8192.0);
+    println!("exact set would need : {} bits ({:.1} KiB)", truth * 64, (truth * 64) as f64 / 8192.0);
+    println!("counter bit budget A : {} (FAIL threshold 3K = {})", sketch.counter_bits(), 3 * sketch.num_counters());
+
+    // Midstream reporting is O(1): ask for an estimate at any time.
+    let mut midstream = KnwF0Sketch::new(F0Config::new(0.05, universe).with_seed(9));
+    for (t, &item) in stream.iter().enumerate() {
+        midstream.insert(item);
+        if (t + 1) % 500_000 == 0 {
+            println!("after {:>9} updates the estimate is {:.0}", t + 1, midstream.estimate());
+        }
+    }
+}

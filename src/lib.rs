@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the KNW distinct-elements workspace public API.
+
+pub use knw_baselines as baselines;
+pub use knw_core as core;
+pub use knw_hash as hash;
+pub use knw_stream as stream;
+pub use knw_vla as vla;

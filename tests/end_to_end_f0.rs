@@ -1,0 +1,160 @@
+//! End-to-end integration tests for the F0 pipeline: workload generators from
+//! `knw-stream` driving the KNW sketch and the baselines from
+//! `knw-baselines`, checked against exact ground truth.
+
+use knw::baselines::{ExactCounter, HyperLogLog};
+use knw::core::{
+    CardinalityEstimator, F0Config, HashStrategy, KnwF0Sketch, MedianAmplified,
+    MergeableEstimator, SpaceUsage,
+};
+use knw::stream::{
+    ClusteredGenerator, NetworkTraceGenerator, StreamGenerator, TrafficProfile, UniformGenerator,
+    ZipfGenerator,
+};
+
+fn relative_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs() / truth
+}
+
+#[test]
+fn knw_tracks_uniform_zipf_and_clustered_workloads() {
+    let universe = 1u64 << 22;
+    let eps = 0.05;
+    let generators: Vec<Box<dyn StreamGenerator>> = vec![
+        Box::new(UniformGenerator::new(universe, 1)),
+        Box::new(ZipfGenerator::new(universe, 1.1, 2)),
+        Box::new(ClusteredGenerator::new(universe, 40, 3)),
+    ];
+    for mut generator in generators {
+        let items = generator.take_vec(200_000);
+        let truth = generator.distinct_so_far() as f64;
+        let mut exact = ExactCounter::new();
+        for &i in &items {
+            exact.insert(i);
+        }
+        assert_eq!(exact.estimate(), truth, "generator ground truth is consistent");
+        // The single-run guarantee is (1 ± O(ε)) with constant probability and
+        // a noticeable constant (see EXPERIMENTS.md E3); use the median over a
+        // few independent sketches for a stable integration check.
+        let mut errors: Vec<f64> = (0..5u64)
+            .map(|seed| {
+                let mut sketch =
+                    KnwF0Sketch::new(F0Config::new(eps, universe).with_seed(17 + seed));
+                for &i in &items {
+                    sketch.insert(i);
+                }
+                // Also verify compactness against the exact set.
+                assert!(sketch.space_bits() < exact.space_bits() / 4);
+                relative_error(sketch.estimate(), truth)
+            })
+            .collect();
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errors[errors.len() / 2];
+        assert!(
+            median < 10.0 * eps,
+            "{}: median relative error {median} (all {errors:?})",
+            generator.name()
+        );
+        assert!(
+            errors[errors.len() - 1] < 25.0 * eps,
+            "{}: worst relative error {errors:?}",
+            generator.name()
+        );
+    }
+}
+
+#[test]
+fn knw_and_hyperloglog_agree_on_network_traces() {
+    let mut trace = NetworkTraceGenerator::new(TrafficProfile::WormSpread, 2_000, 5);
+    let universe = 1u64 << 32;
+    let mut knw = KnwF0Sketch::new(F0Config::new(0.05, universe).with_seed(3));
+    let mut hll = HyperLogLog::with_error(0.05, 3);
+    for _ in 0..300_000 {
+        let pkt = trace.next_packet();
+        knw.insert(pkt.source_key());
+        hll.insert(pkt.source_key());
+    }
+    let truth = trace.distinct_sources() as f64;
+    assert!(relative_error(knw.estimate(), truth) < 0.6);
+    assert!(relative_error(hll.estimate(), truth) < 0.1);
+    // The two estimators must agree with each other within their error budgets.
+    assert!(relative_error(knw.estimate(), hll.estimate()) < 0.7);
+}
+
+#[test]
+fn distributed_monitors_merge_into_a_global_view() {
+    // Three "sites" observe overlapping populations; merging their sketches
+    // estimates the global distinct count without moving raw data.
+    let universe = 1u64 << 20;
+    let cfg = F0Config::new(0.05, universe).with_seed(101);
+    let mut exact = ExactCounter::new();
+    let mut merged: Option<KnwF0Sketch> = None;
+    for site in 0..3u64 {
+        let mut site_sketch = KnwF0Sketch::new(cfg);
+        let mut gen = UniformGenerator::new(universe / 4, 1_000 + site);
+        for _ in 0..120_000 {
+            let item = gen.next_item() + site * (universe / 8); // overlapping ranges
+            site_sketch.insert(item);
+            exact.insert(item);
+        }
+        merged = Some(match merged {
+            None => site_sketch,
+            Some(mut acc) => {
+                acc.merge_from(&site_sketch).expect("same config and seed");
+                acc
+            }
+        });
+    }
+    let merged = merged.expect("three sites processed");
+    let truth = exact.estimate();
+    let rel = relative_error(merged.estimate(), truth);
+    assert!(rel < 0.6, "merged estimate {} vs truth {truth}", merged.estimate());
+}
+
+#[test]
+fn median_amplification_improves_worst_case_over_seeds() {
+    let universe = 1u64 << 20;
+    let truth = 50_000u64;
+    let mut amplified = MedianAmplified::new(9, 12345, |seed| {
+        KnwF0Sketch::new(F0Config::new(0.1, universe).with_seed(seed))
+    });
+    for i in 0..truth {
+        amplified.insert(i);
+    }
+    let rel = relative_error(amplified.estimate(), truth as f64);
+    assert!(rel < 1.0, "amplified estimate {}", amplified.estimate());
+}
+
+#[test]
+fn tabulation_and_polynomial_strategies_both_work_end_to_end() {
+    let universe = 1u64 << 20;
+    for strategy in [HashStrategy::PolynomialKWise, HashStrategy::Tabulation] {
+        let mut sketch = KnwF0Sketch::new(
+            F0Config::new(0.05, universe)
+                .with_seed(9)
+                .with_hash_strategy(strategy),
+        );
+        let mut gen = UniformGenerator::new(universe, 31);
+        let items = gen.take_vec(150_000);
+        let truth = gen.distinct_so_far() as f64;
+        for &i in &items {
+            sketch.insert(i);
+        }
+        let rel = relative_error(sketch.estimate(), truth);
+        assert!(rel < 0.6, "{strategy:?}: rel {rel}");
+        assert!(!sketch.failed());
+    }
+}
+
+#[test]
+fn deterministic_given_config_and_stream() {
+    let cfg = F0Config::new(0.1, 1 << 18).with_seed(777);
+    let run = || {
+        let mut s = KnwF0Sketch::new(cfg);
+        for i in 0..30_000u64 {
+            s.insert(i * 7 + 1);
+        }
+        (s.estimate(), s.occupancy(), s.base_level(), s.space_bits())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration tests for the L0 (turnstile) pipeline.
+
+use knw::baselines::exact::ExactL0Counter;
+use knw::baselines::GangulyL0;
+use knw::core::{KnwL0Sketch, L0Config, SpaceUsage, TurnstileEstimator};
+use knw::stream::TurnstileWorkloadBuilder;
+
+fn l0_sketch(eps: f64, seed: u64) -> KnwL0Sketch {
+    KnwL0Sketch::new(
+        L0Config::new(eps, 1 << 20)
+            .with_seed(seed)
+            .with_stream_length_bound(1 << 24)
+            .with_update_magnitude_bound(64),
+    )
+}
+
+#[test]
+fn knw_l0_matches_exact_reference_across_delete_fractions() {
+    for &fraction in &[0.0f64, 0.3, 0.7, 1.0] {
+        let workload = TurnstileWorkloadBuilder::new(1 << 20)
+            .insert_items(25_000)
+            .delete_fraction(fraction)
+            .max_magnitude(6)
+            .seed(42)
+            .build();
+        let mut sketch = l0_sketch(0.05, 7);
+        let mut exact = ExactL0Counter::new();
+        for op in &workload.ops {
+            sketch.update(op.item, op.delta);
+            exact.update(op.item, op.delta);
+        }
+        assert_eq!(exact.count(), workload.final_l0, "workload ground truth");
+        if workload.final_l0 == 0 {
+            assert_eq!(sketch.estimate_l0(), 0.0);
+        } else {
+            let truth = workload.final_l0 as f64;
+            let rel = (sketch.estimate_l0() - truth).abs() / truth;
+            assert!(
+                rel < 0.35,
+                "delete fraction {fraction}: estimate {} vs {truth}",
+                sketch.estimate_l0()
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_sign_workload_beats_ganguly_baseline_semantics() {
+    // Build a workload where final frequencies have mixed signs; the KNW L0
+    // sketch handles it, while the Ganguly-style baseline's assumption
+    // (non-negative frequencies) is violated by construction.
+    let workload = TurnstileWorkloadBuilder::new(1 << 20)
+        .insert_items(20_000)
+        .mixed_signs(true)
+        .max_magnitude(5)
+        .seed(11)
+        .build();
+    let truth = workload.final_l0 as f64;
+    let mut knw = l0_sketch(0.05, 13);
+    let mut ganguly = GangulyL0::new(0.05, 1 << 20, 28, 13);
+    for op in &workload.ops {
+        knw.update(op.item, op.delta);
+        ganguly.update(op.item, op.delta);
+    }
+    let knw_rel = (knw.estimate_l0() - truth).abs() / truth;
+    assert!(knw_rel < 0.3, "knw rel {knw_rel}");
+    // No assertion that Ganguly fails badly (it may get lucky), only that the
+    // KNW sketch is at least as close.
+    let ganguly_rel = (TurnstileEstimator::estimate(&ganguly) - truth).abs() / truth;
+    assert!(knw_rel <= ganguly_rel + 0.05);
+}
+
+#[test]
+fn insert_then_full_delete_round_trips_to_zero() {
+    let mut sketch = l0_sketch(0.1, 5);
+    for round in 0..3 {
+        for i in 0..8_000u64 {
+            sketch.update(i, 3 + round);
+        }
+        assert!(sketch.estimate_l0() > 1_000.0);
+        for i in 0..8_000u64 {
+            sketch.update(i, -(3 + round));
+        }
+        assert_eq!(sketch.estimate_l0(), 0.0, "round {round} did not cancel");
+    }
+}
+
+#[test]
+fn l0_space_is_stream_length_independent() {
+    let mut sketch = l0_sketch(0.1, 3);
+    let before = sketch.space_bits();
+    let workload = TurnstileWorkloadBuilder::new(1 << 20)
+        .insert_items(50_000)
+        .delete_fraction(0.5)
+        .seed(3)
+        .build();
+    for op in &workload.ops {
+        sketch.update(op.item, op.delta);
+    }
+    assert_eq!(sketch.space_bits(), before);
+}
+
+#[test]
+fn l0_and_f0_agree_on_insert_only_streams() {
+    // On insertion-only streams L0 = F0; the two sketches should agree within
+    // their combined error budgets.
+    let mut l0 = l0_sketch(0.05, 21);
+    let mut f0 = knw::core::KnwF0Sketch::new(
+        knw::core::F0Config::new(0.05, 1 << 20).with_seed(22),
+    );
+    let truth = 30_000u64;
+    for i in 0..truth {
+        l0.update(i, 1);
+        knw::core::CardinalityEstimator::insert(&mut f0, i);
+    }
+    let l0_est = l0.estimate_l0();
+    let f0_est = f0.estimate_f0();
+    let t = truth as f64;
+    assert!((l0_est - t).abs() / t < 0.3, "l0 {l0_est}");
+    assert!((f0_est - t).abs() / t < 0.6, "f0 {f0_est}");
+}
