@@ -1,0 +1,309 @@
+//! A self-contained stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmarking crate, implementing exactly the API subset the `knw-bench`
+//! benches use (`criterion_group!` / `criterion_main!`, benchmark groups with
+//! sample/timing knobs, `Throughput`, `BenchmarkId`, `Bencher::iter`).
+//!
+//! The workspace builds in offline environments with no crates.io access, so
+//! the real criterion cannot be a dependency.  This shim keeps the bench
+//! sources compiling unchanged and produces *real measurements*: each
+//! `Bencher::iter` call runs the closure for the configured warm-up time,
+//! then repeatedly over the measurement window, and reports the mean
+//! wall-clock time per iteration plus derived throughput.  It does not do
+//! criterion's outlier analysis or HTML reports — the printed table is the
+//! whole output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function_name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{p}", self.function_name),
+            None => self.function_name.clone(),
+        }
+    }
+}
+
+/// Conversion trait mirroring criterion's `IntoBenchmarkId`, so
+/// `bench_function` accepts `&str`, `String` and [`BenchmarkId`] alike.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function_name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function_name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// The top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples (each sample is one timed batch).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window run before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares the work performed per iteration, enabling throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a marker only).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.render());
+        let mean = bencher.mean;
+        let mut line = format!(
+            "{label:<60} time: {:>12}  ({} iterations)",
+            fmt_duration(mean),
+            bencher.iterations
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |work: u64| {
+                if mean.is_zero() {
+                    f64::INFINITY
+                } else {
+                    work as f64 / mean.as_secs_f64()
+                }
+            };
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:>12.3} Melem/s", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:>12.3} MiB/s",
+                        per_sec(n) / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs and times a single benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly: first for the warm-up window, then over the
+    /// measurement window (at least `sample_size` times), and records the
+    /// mean wall-clock duration of one call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        let mut iterations = 0u64;
+        while iterations < self.sample_size as u64 || Instant::now() < deadline {
+            std::hint::black_box(f());
+            iterations += 1;
+            // Bound pathological cases where a single call overshoots the
+            // window many times over.
+            if iterations >= self.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iterations = iterations;
+        self.mean = elapsed / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, mirroring criterion's macro
+/// of the same name.  Command-line arguments (`--bench`, filters) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_renders_with_parameter() {
+        assert_eq!(BenchmarkId::new("f", "eps_0.1").render(), "f/eps_0.1");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+}

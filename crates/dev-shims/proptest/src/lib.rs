@@ -1,0 +1,283 @@
+//! A self-contained stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate, implementing the API subset the workspace's
+//! property tests use: the `proptest!` macro with `arg in strategy` syntax,
+//! integer range / tuple / `prop::collection::vec` / `any::<T>()` strategies,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! The workspace builds in offline environments with no crates.io access, so
+//! the real proptest cannot be a dependency.  The shim generates inputs from
+//! a deterministic SplitMix64 stream seeded from the test name, so failures
+//! reproduce exactly across runs.  It deliberately omits proptest's shrinking
+//! machinery: a failing case panics with the ordinary assertion message, and
+//! the deterministic stream makes the case re-runnable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated input tuples per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` generated inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator backing all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name, so every test draws an
+    /// independent but fully reproducible input stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed workspace salt.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of test inputs (the value-producing half of proptest's
+/// `Strategy`; shrinking is intentionally not modelled).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy producing unconstrained values of `T` (proptest's `any::<T>()`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the full-range strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with element strategy `S` and a length drawn
+        /// from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates `Vec`s whose length is drawn from `len` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.len.generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assertion macro; without shrinking this is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assertion macro; without shrinking this is a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assertion macro; without shrinking this is a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block: declares test functions whose arguments are drawn
+/// from strategies, run for `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_functions! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_functions! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal muncher expanding each `fn name(arg in strategy, ...) { .. }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for _ in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_functions! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        for _ in 0..1_000 {
+            let x = (10u64..20).generate(&mut a);
+            assert!((10..20).contains(&x));
+            assert_eq!(x, (10u64..20).generate(&mut b));
+            let y = (-3i64..=3).generate(&mut a);
+            assert!((-3..=3).contains(&y));
+            let _ = (-3i64..=3).generate(&mut b);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::TestRng::deterministic("compose");
+        let strategy = prop::collection::vec((0usize..200, any::<u64>()), 1..400);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 400);
+            assert!(v.iter().all(|&(idx, _)| idx < 200));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 1u32..100, v in prop::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(x.wrapping_add(0), x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

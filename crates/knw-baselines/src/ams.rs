@@ -10,7 +10,7 @@
 //! machinery, but lacks the "all times" guarantee of RoughEstimator
 //! (Theorem 1), a distinction experiment E2 makes measurable.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::bits::lsb_with_cap;
 use knw_hash::pairwise::PairwiseHash;
 use knw_hash::rng::SplitMix64;
@@ -22,6 +22,7 @@ pub struct AmsEstimator {
     hashes: Vec<PairwiseHash>,
     max_levels: Vec<u32>,
     log_n: u32,
+    seed: u64,
 }
 
 impl AmsEstimator {
@@ -42,6 +43,7 @@ impl AmsEstimator {
                 .collect(),
             max_levels: vec![0u32; repetitions],
             log_n,
+            seed,
         }
     }
 
@@ -49,6 +51,31 @@ impl AmsEstimator {
     #[must_use]
     pub fn repetitions(&self) -> usize {
         self.hashes.len()
+    }
+}
+
+impl MergeableEstimator for AmsEstimator {
+    type MergeError = SketchError;
+
+    /// Pointwise maximum of the per-repetition level maxima — exact union
+    /// semantics.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.hashes.len() != other.hashes.len() {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!(
+                    "repetitions {} vs {}",
+                    self.hashes.len(),
+                    other.hashes.len()
+                ),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        for (mine, theirs) in self.max_levels.iter_mut().zip(&other.max_levels) {
+            *mine = (*mine).max(*theirs);
+        }
+        Ok(())
     }
 }
 

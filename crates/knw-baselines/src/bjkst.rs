@@ -12,7 +12,7 @@
 //! (subsample to Θ(K) survivors, then count them), so having it in the
 //! comparison isolates what the bit-packed counters and RoughEstimator buy.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::bits::lsb_with_cap;
 use knw_hash::pairwise::PairwiseHash;
 use knw_hash::rng::SplitMix64;
@@ -35,6 +35,8 @@ pub struct BjkstSketch {
     fingerprint_hash: PairwiseHash,
     /// `log2` of the universe size.
     log_n: u32,
+    /// Construction seed, for merge-compatibility checks.
+    seed: u64,
 }
 
 impl BjkstSketch {
@@ -48,7 +50,7 @@ impl BjkstSketch {
         assert!(capacity >= 4, "capacity must be at least 4");
         let universe_pow2 = universe.max(2).next_power_of_two();
         let log_n = knw_hash::bits::ceil_log2(universe_pow2);
-        let mut rng = SplitMix64::new(seed ^ 0xB1_C5_7000_0005);
+        let mut rng = SplitMix64::new(seed ^ 0xB1C5_7000_0005);
         let fp_range = ((capacity as u64).pow(2) * u64::from(log_n).pow(2))
             .next_power_of_two()
             .max(1 << 16);
@@ -59,6 +61,7 @@ impl BjkstSketch {
             level_hash: PairwiseHash::random(universe_pow2, &mut rng),
             fingerprint_hash: PairwiseHash::random(fp_range, &mut rng),
             log_n,
+            seed,
         }
     }
 
@@ -79,6 +82,44 @@ impl BjkstSketch {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+impl MergeableEstimator for BjkstSketch {
+    type MergeError = SketchError;
+
+    /// Union of the level-tagged fingerprint samples at the deeper threshold,
+    /// followed by the usual overflow re-filtering — exact union semantics
+    /// (the final `(z, sample)` pair is an order-independent function of the
+    /// distinct-item set).
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.capacity != other.capacity || self.log_n != other.log_n {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!(
+                    "capacity {} vs {}, log n {} vs {}",
+                    self.capacity, other.capacity, self.log_n, other.log_n
+                ),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        let z = self.z.max(other.z);
+        self.z = z;
+        self.sample.retain(|&packed| (packed >> 48) as u32 >= z);
+        self.sample.extend(
+            other
+                .sample
+                .iter()
+                .copied()
+                .filter(|&packed| (packed >> 48) as u32 >= z),
+        );
+        while self.sample.len() > self.capacity {
+            self.z += 1;
+            let z = self.z;
+            self.sample.retain(|&packed| (packed >> 48) as u32 >= z);
+        }
+        Ok(())
     }
 }
 

@@ -2,7 +2,7 @@
 //! against, and the "linear space" strawman of the paper's introduction
 //! (exact computation of F0 requires Ω(n) bits [3]).
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::SpaceUsage;
 use std::collections::HashSet;
 
@@ -29,6 +29,16 @@ impl ExactCounter {
     #[must_use]
     pub fn contains(&self, item: u64) -> bool {
         self.seen.contains(&item)
+    }
+}
+
+impl MergeableEstimator for ExactCounter {
+    type MergeError = SketchError;
+
+    /// Plain set union; exact counters are unconditionally compatible.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.seen.extend(other.seen.iter().copied());
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! `(m / φ) · 2^{mean lowest-unset-bit}` with the classic correction factor
 //! `φ ≈ 0.77351`.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::rng::SplitMix64;
 use knw_hash::tabulation::SimpleTabulation;
 use knw_hash::SpaceUsage;
@@ -26,6 +26,8 @@ pub struct FlajoletMartin {
     group_mask: u64,
     /// Bits consumed by the group selector.
     group_bits: u32,
+    /// Construction seed, for merge-compatibility checks.
+    seed: u64,
 }
 
 impl FlajoletMartin {
@@ -39,6 +41,7 @@ impl FlajoletMartin {
             hash: SimpleTabulation::random(u64::MAX, &mut rng),
             group_mask: groups - 1,
             group_bits: groups.trailing_zeros(),
+            seed,
         }
     }
 
@@ -54,6 +57,30 @@ impl FlajoletMartin {
     #[must_use]
     pub fn num_groups(&self) -> usize {
         self.bitmaps.len()
+    }
+}
+
+impl MergeableEstimator for FlajoletMartin {
+    type MergeError = SketchError;
+
+    /// Bitmap union (bitwise OR) — exact union semantics.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.bitmaps.len() != other.bitmaps.len() {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!(
+                    "group count {} vs {}",
+                    self.bitmaps.len(),
+                    other.bitmaps.len()
+                ),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        for (mine, theirs) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            *mine |= theirs;
+        }
+        Ok(())
     }
 }
 

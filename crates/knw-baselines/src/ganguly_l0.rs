@@ -96,7 +96,9 @@ impl TurnstileEstimator for GangulyL0 {
             return;
         }
         let row = lsb_with_cap(self.level_hash.hash(item), self.log_n) as usize;
-        let col = self.cell_hash.hash(item.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize;
+        let col = self
+            .cell_hash
+            .hash(item.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize;
         let idx = row * self.k as usize + col;
         let old = self.cells[idx];
         let new = old + delta;
@@ -166,7 +168,11 @@ mod tests {
         for i in 0..30u64 {
             g.update(i, 1);
         }
-        assert!((g.estimate() - 30.0).abs() < 8.0, "estimate {}", g.estimate());
+        assert!(
+            (g.estimate() - 30.0).abs() < 8.0,
+            "estimate {}",
+            g.estimate()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! small range and the standard large-range correction for 32-bit-style
 //! saturation is omitted because we hash to 64 bits.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::rng::SplitMix64;
 use knw_hash::tabulation::SimpleTabulation;
 use knw_hash::SpaceUsage;
@@ -22,6 +22,7 @@ pub struct HyperLogLog {
     registers: FixedWidthVec,
     hash: SimpleTabulation,
     precision: u32,
+    seed: u64,
 }
 
 impl HyperLogLog {
@@ -39,6 +40,7 @@ impl HyperLogLog {
             registers: FixedWidthVec::zeros(m, 6),
             hash: SimpleTabulation::random(u64::MAX, &mut rng),
             precision,
+            seed,
         }
     }
 
@@ -64,6 +66,30 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         }
+    }
+}
+
+impl MergeableEstimator for HyperLogLog {
+    type MergeError = SketchError;
+
+    /// Pointwise register maximum — exact union semantics (the registers are
+    /// an order-independent function of the distinct hashed set).
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.precision != other.precision {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!("precision {} vs {}", self.precision, other.precision),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        for idx in 0..self.registers.len() {
+            let theirs = other.registers.get(idx);
+            if theirs > self.registers.get(idx) {
+                self.registers.set(idx, theirs);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -6,7 +6,7 @@
 //! Keep the `k = Θ(1/ε²)` smallest hash values observed; if the `k`-th
 //! smallest normalized value is `v`, the estimate is `(k − 1)/v`.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::rng::SplitMix64;
 use knw_hash::tabulation::TwistedTabulation;
 use knw_hash::SpaceUsage;
@@ -19,6 +19,7 @@ pub struct KMinValues {
     smallest: BTreeSet<u64>,
     k: usize,
     hash: TwistedTabulation,
+    seed: u64,
 }
 
 impl KMinValues {
@@ -30,11 +31,12 @@ impl KMinValues {
     #[must_use]
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 2, "k must be at least 2");
-        let mut rng = SplitMix64::new(seed ^ 0x0B0770_0000_0004);
+        let mut rng = SplitMix64::new(seed ^ 0x000B_0770_0000_0004);
         Self {
             smallest: BTreeSet::new(),
             k,
             hash: TwistedTabulation::random(u64::MAX, &mut rng),
+            seed,
         }
     }
 
@@ -49,6 +51,29 @@ impl KMinValues {
     #[must_use]
     pub fn k(&self) -> usize {
         self.k
+    }
+}
+
+impl MergeableEstimator for KMinValues {
+    type MergeError = SketchError;
+
+    /// Set union truncated back to the `k` smallest values — exact union
+    /// semantics (the `k` smallest of a union are the `k` smallest of the
+    /// combined value sets).
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.k != other.k {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!("k {} vs {}", self.k, other.k),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        self.smallest.extend(other.smallest.iter().copied());
+        while self.smallest.len() > self.k {
+            self.smallest.pop_last();
+        }
+        Ok(())
     }
 }
 

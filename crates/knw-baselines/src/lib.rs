@@ -48,19 +48,37 @@ pub use kmv::KMinValues;
 pub use linear_counting::LinearCounting;
 pub use loglog::LogLog;
 
-use knw_core::CardinalityEstimator;
+use knw_core::DynMergeableCardinalityEstimator;
+
+/// Sizing factor for the [`LinearCounting`] baseline in
+/// [`all_f0_estimators`]: the bitmap is provisioned for an expected maximum
+/// cardinality of `LINEAR_COUNTING_CAPACITY_FACTOR / ε²`.
+///
+/// Linear counting keeps its relative error near `ε` only while the load
+/// factor (distinct items per bitmap bit) stays around one, so the bitmap
+/// must be sized to the largest cardinality the comparison experiments drive
+/// through it.  Those experiments sweep cardinalities up to a few multiples
+/// of `1/ε²` (the regime where the `Θ(1/ε²)`-space sketches are interesting);
+/// a factor of 4 covers that sweep without saturating, while keeping the
+/// space comparable to the other `O(ε⁻²)`-word baselines in the zoo.
+pub const LINEAR_COUNTING_CAPACITY_FACTOR: f64 = 4.0;
 
 /// Builds one instance of every insertion-only baseline (plus the KNW sketch
 /// itself) at a comparable accuracy target, for use by the comparison
-/// experiments.  The returned estimators are boxed trait objects so the
-/// harness can iterate over them uniformly.
+/// experiments and the sharded engine tests.  The returned estimators are
+/// boxed *mergeable* trait objects
+/// ([`DynMergeableCardinalityEstimator`]): the harness can iterate over them
+/// uniformly, and two zoos built with the same parameters can be merged
+/// entry-by-entry via `merge_dyn` (every entry here has exact union
+/// semantics).
 #[must_use]
 pub fn all_f0_estimators(
     epsilon: f64,
     universe: u64,
     seed: u64,
-) -> Vec<Box<dyn CardinalityEstimator>> {
+) -> Vec<Box<dyn DynMergeableCardinalityEstimator>> {
     let cfg = knw_core::F0Config::new(epsilon, universe).with_seed(seed);
+    let lc_capacity = (LINEAR_COUNTING_CAPACITY_FACTOR / (epsilon * epsilon)) as u64;
     vec![
         Box::new(knw_core::KnwF0Sketch::new(cfg)),
         Box::new(HyperLogLog::with_error(epsilon, seed)),
@@ -69,7 +87,7 @@ pub fn all_f0_estimators(
         Box::new(KMinValues::with_error(epsilon, seed)),
         Box::new(BjkstSketch::with_error(epsilon, universe, seed)),
         Box::new(GibbonsTirthapura::with_error(epsilon, universe, seed)),
-        Box::new(LinearCounting::with_capacity((4.0 / (epsilon * epsilon)) as u64, seed)),
+        Box::new(LinearCounting::with_capacity(lc_capacity, seed)),
         Box::new(AmsEstimator::new(64, seed)),
         Box::new(ExactCounter::new()),
     ]
@@ -94,6 +112,58 @@ mod tests {
                 est.name()
             );
             assert!(est.space_bits() > 0, "{} reports zero space", est.name());
+        }
+    }
+
+    #[test]
+    fn zoo_merges_match_the_union_stream_exactly() {
+        // Every zoo entry has exact union semantics: merging per-shard zoos
+        // must reproduce the single-stream zoo estimate bit-for-bit.
+        let (eps, universe, seed) = (0.1, 1 << 16, 9);
+        let mut left = all_f0_estimators(eps, universe, seed);
+        let right = all_f0_estimators(eps, universe, seed);
+        let mut union = all_f0_estimators(eps, universe, seed);
+        let stream: Vec<u64> = (0..6_000u64)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 50_000)
+            .collect();
+        let (a, b) = stream.split_at(stream.len() / 3);
+        let mut right = right;
+        for ((l, r), u) in left.iter_mut().zip(right.iter_mut()).zip(union.iter_mut()) {
+            l.insert_batch(a);
+            r.insert_batch(b);
+            u.insert_batch(&stream);
+        }
+        for (l, r) in left.iter_mut().zip(right.iter()) {
+            l.merge_dyn(r.as_ref()).expect("same type and seed");
+        }
+        for (l, u) in left.iter().zip(union.iter()) {
+            assert_eq!(
+                l.estimate(),
+                u.estimate(),
+                "{} merge deviates from the union stream",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_merge_rejects_cross_type_and_cross_seed() {
+        let mut zoo_a = all_f0_estimators(0.2, 1 << 12, 1);
+        let zoo_b = all_f0_estimators(0.2, 1 << 12, 2);
+        // Different concrete types: TypeMismatch.
+        let err = zoo_a[0].merge_dyn(zoo_b[1].as_ref()).unwrap_err();
+        assert!(matches!(err, knw_core::SketchError::TypeMismatch { .. }));
+        // Same type, different seed: the estimator's own compatibility error
+        // (the seed-independent exact counter is exempt).
+        for (a, b) in zoo_a.iter_mut().zip(zoo_b.iter()) {
+            if a.name() == "exact" {
+                continue;
+            }
+            assert!(
+                a.merge_dyn(b.as_ref()).is_err(),
+                "{} accepted a cross-seed merge",
+                a.name()
+            );
         }
     }
 

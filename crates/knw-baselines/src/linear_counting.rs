@@ -10,7 +10,7 @@
 //! collapses once the bitmap saturates — both effects show up in experiment
 //! E1/E3.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::rng::SplitMix64;
 use knw_hash::tabulation::SimpleTabulation;
 use knw_hash::SpaceUsage;
@@ -23,6 +23,7 @@ pub struct LinearCounting {
     bits: BitVec,
     set_bits: u64,
     hash: SimpleTabulation,
+    seed: u64,
 }
 
 impl LinearCounting {
@@ -36,6 +37,7 @@ impl LinearCounting {
             bits: BitVec::zeros(bits),
             set_bits: 0,
             hash: SimpleTabulation::random(bits, &mut rng),
+            seed,
         }
     }
 
@@ -57,6 +59,29 @@ impl LinearCounting {
     #[must_use]
     pub fn occupancy(&self) -> u64 {
         self.set_bits
+    }
+}
+
+impl MergeableEstimator for LinearCounting {
+    type MergeError = SketchError;
+
+    /// Bitmap union (bitwise OR) — exact union semantics.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.bits.len() != other.bits.len() {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!("bitmap size {} vs {}", self.bits.len(), other.bits.len()),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        for idx in 0..self.bits.len() {
+            if other.bits.get_bit(idx) && !self.bits.get_bit(idx) {
+                self.bits.set_bit(idx, true);
+                self.set_bits += 1;
+            }
+        }
+        Ok(())
     }
 }
 

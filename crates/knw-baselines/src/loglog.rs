@@ -8,7 +8,7 @@
 //! analysis assumes a truly random hash function, which is exactly the
 //! assumption the KNW paper removes.
 
-use knw_core::CardinalityEstimator;
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
 use knw_hash::rng::SplitMix64;
 use knw_hash::tabulation::SimpleTabulation;
 use knw_hash::SpaceUsage;
@@ -21,6 +21,7 @@ pub struct LogLog {
     registers: FixedWidthVec,
     hash: SimpleTabulation,
     bucket_bits: u32,
+    seed: u64,
 }
 
 impl LogLog {
@@ -34,6 +35,7 @@ impl LogLog {
             registers: FixedWidthVec::zeros(buckets as usize, 6),
             hash: SimpleTabulation::random(u64::MAX, &mut rng),
             bucket_bits: buckets.trailing_zeros(),
+            seed,
         }
     }
 
@@ -56,6 +58,33 @@ impl LogLog {
         // The asymptotic constant is adequate for m ≥ 64, which with_error
         // always produces; smaller hand-built sketches accept the small bias.
         0.39701
+    }
+}
+
+impl MergeableEstimator for LogLog {
+    type MergeError = SketchError;
+
+    /// Pointwise register maximum — exact union semantics.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.bucket_bits != other.bucket_bits {
+            return Err(SketchError::IncompatibleConfig {
+                detail: format!(
+                    "register count {} vs {}",
+                    self.registers.len(),
+                    other.registers.len()
+                ),
+            });
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        for idx in 0..self.registers.len() {
+            let theirs = other.registers.get(idx);
+            if theirs > self.registers.get(idx) {
+                self.registers.set(idx, theirs);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,134 @@
+//! Criterion bench: the sharded batch-ingestion engine.
+//!
+//! Measures ingestion throughput (items/sec) of `ShardedF0Engine` as a
+//! function of shard count and hand-off batch size, and prints the headline
+//! comparison the engine exists for: batched sharded ingestion vs per-item
+//! sequential `insert` on a 10M-item stream (the acceptance target is ≥ 2×).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knw_core::{F0Config, KnwF0Sketch};
+use knw_engine::{EngineConfig, ShardedF0Engine};
+use knw_stream::{StreamGenerator, UniformGenerator};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The acceptance-criterion stream length.
+const STREAM_LEN: usize = 10_000_000;
+
+fn sketch_config() -> F0Config {
+    F0Config::new(0.05, 1 << 24).with_seed(7)
+}
+
+fn stream() -> Vec<u64> {
+    UniformGenerator::new(1 << 24, 3).take_vec(STREAM_LEN)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let items = stream();
+    let mut group = c.benchmark_group("engine_ingest_10M");
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let config = sketch_config();
+                let mut engine = ShardedF0Engine::new(EngineConfig::new(shards), move |_| {
+                    KnwF0Sketch::new(config)
+                });
+                engine.insert_batch(black_box(&items));
+                black_box(engine.estimate())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let items = stream();
+    let mut group = c.benchmark_group("engine_ingest_10M_4shards");
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for batch_size in [256usize, 4096, 65536] {
+        group.bench_with_input(
+            BenchmarkId::new("batch", batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| {
+                    let config = sketch_config();
+                    let mut engine = ShardedF0Engine::new(
+                        EngineConfig::new(4).with_batch_size(batch_size),
+                        move |_| KnwF0Sketch::new(config),
+                    );
+                    engine.insert_batch(black_box(&items));
+                    black_box(engine.estimate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The acceptance comparison, measured directly so the speedup factor can be
+/// printed: per-item sequential `insert` vs single-sketch `insert_batch` vs
+/// 4-shard engine ingestion over the same 10M-item stream.
+fn speedup_summary(_c: &mut Criterion) {
+    let items = stream();
+    let config = sketch_config();
+
+    let time = |label: &str, f: &mut dyn FnMut() -> f64| {
+        let start = Instant::now();
+        let estimate = f();
+        let elapsed = start.elapsed();
+        let throughput = items.len() as f64 / elapsed.as_secs_f64() / 1e6;
+        println!(
+            "{label:<44} {elapsed:>10.2?}  {throughput:>9.2} Melem/s  (estimate {estimate:.0})"
+        );
+        elapsed
+    };
+
+    println!("\n== 10M-item ingestion comparison ==");
+    let per_item = time("sequential, per-item insert", &mut || {
+        let mut sketch = KnwF0Sketch::new(config);
+        for &i in &items {
+            sketch.insert(black_box(i));
+        }
+        sketch.estimate_f0()
+    });
+    time("sequential, insert_batch(64Ki chunks)", &mut || {
+        let mut sketch = KnwF0Sketch::new(config);
+        for chunk in items.chunks(65_536) {
+            sketch.insert_batch(black_box(chunk));
+        }
+        sketch.estimate_f0()
+    });
+    let engine_batched = time("4-shard engine, batched hand-off", &mut || {
+        let mut engine =
+            ShardedF0Engine::new(EngineConfig::new(4), move |_| KnwF0Sketch::new(config));
+        engine.insert_batch(black_box(&items));
+        engine.finish().expect("uniform shards").estimate_f0()
+    });
+
+    let speedup = per_item.as_secs_f64() / engine_batched.as_secs_f64();
+    println!(
+        "batched sharded ingestion speedup over per-item insert: {speedup:.2}x {}",
+        if speedup >= 2.0 {
+            "(meets the >=2x target)"
+        } else {
+            "(BELOW the 2x target)"
+        }
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_shard_scaling,
+    bench_batch_size,
+    speedup_summary
+);
+criterion_main!(benches);

@@ -22,7 +22,14 @@ fn main() {
 
     let mut table = Table::new(
         &format!("Occupancy under k-wise independence (A = {balls} balls, K = {bins} bins)"),
-        &["k", "empirical mean", "exact E[X]", "relative bias", "empirical var", "Lemma 1 bound"],
+        &[
+            "k",
+            "empirical mean",
+            "exact E[X]",
+            "relative bias",
+            "empirical var",
+            "Lemma 1 bound",
+        ],
     );
 
     let paper_k = independence_for(bins, 1.0 / (bins as f64).sqrt());

@@ -71,7 +71,11 @@ fn main() {
         }
         table.add_row(&[
             delete_fraction.to_string(),
-            if mixed { "mixed".into() } else { "non-negative".to_string() },
+            if mixed {
+                "mixed".into()
+            } else {
+                "non-negative".to_string()
+            },
             final_l0.to_string(),
             fmt_f64(knw_stats.mean_abs_error()),
             fmt_f64(knw_stats.max_abs_error()),

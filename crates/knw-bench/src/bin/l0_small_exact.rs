@@ -49,11 +49,18 @@ fn main() {
         table.add_row(&[
             capacity.to_string(),
             true_l0.to_string(),
-            if deletes { "insert+delete".into() } else { "insert-only".to_string() },
+            if deletes {
+                "insert+delete".into()
+            } else {
+                "insert-only".to_string()
+            },
             format!("{exact_answers}/{trials}"),
             format!("{:.3}", exact_answers as f64 / trials as f64),
         ]);
     }
     table.print();
-    println!("Expected: exactness rate at or above 1 - delta = {:.3} in every row.", 1.0 - delta);
+    println!(
+        "Expected: exactness rate at or above 1 - delta = {:.3} in every row.",
+        1.0 - delta
+    );
 }

@@ -12,7 +12,15 @@ use knw_core::{F0Config, KnwF0Sketch, SpaceUsage};
 fn main() {
     let mut by_eps = Table::new(
         "Space vs epsilon at n = 2^20 (bits)",
-        &["epsilon", "K=1/eps^2", "knw", "hyperloglog", "kmv", "bjkst", "gibbons-tirthapura"],
+        &[
+            "epsilon",
+            "K=1/eps^2",
+            "knw",
+            "hyperloglog",
+            "kmv",
+            "bjkst",
+            "gibbons-tirthapura",
+        ],
     );
     for &eps in &[0.2f64, 0.1, 0.05, 0.02, 0.01] {
         let n = 1u64 << 20;
@@ -24,7 +32,9 @@ fn main() {
             HyperLogLog::with_error(eps, 1).space_bits().to_string(),
             KMinValues::with_error(eps, 1).space_bits().to_string(),
             BjkstSketch::with_error(eps, n, 1).space_bits().to_string(),
-            GibbonsTirthapura::with_error(eps, n, 1).space_bits().to_string(),
+            GibbonsTirthapura::with_error(eps, n, 1)
+                .space_bits()
+                .to_string(),
         ]);
     }
     by_eps.print();
@@ -42,7 +52,9 @@ fn main() {
             knw.space_bits().to_string(),
             KMinValues::with_error(eps, 1).space_bits().to_string(),
             BjkstSketch::with_error(eps, n, 1).space_bits().to_string(),
-            GibbonsTirthapura::with_error(eps, n, 1).space_bits().to_string(),
+            GibbonsTirthapura::with_error(eps, n, 1)
+                .space_bits()
+                .to_string(),
         ]);
     }
     by_n.print();

@@ -15,7 +15,13 @@ fn main() {
     // Sweep 1: stream length at fixed epsilon and n.
     let mut by_len = Table::new(
         "Per-update latency vs stream length (eps = 0.05, n = 2^20, tabulation h3)",
-        &["updates", "mean ns/update", "p99 chunk ns", "max chunk ns", "M updates/sec"],
+        &[
+            "updates",
+            "mean ns/update",
+            "p99 chunk ns",
+            "max chunk ns",
+            "M updates/sec",
+        ],
     );
     for &len in &[100_000usize, 1_000_000, 4_000_000] {
         let mut gen = UniformGenerator::new(1 << 20, 7);

@@ -148,7 +148,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(12345.6), "12346");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(3.26159), "3.26");
         assert_eq!(fmt_f64(0.012345), "0.0123");
     }
 }

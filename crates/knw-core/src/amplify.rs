@@ -22,7 +22,7 @@ pub fn copies_for_failure_probability(delta: f64) -> usize {
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
     let c = (18.0 * (1.0 / delta).ln()).ceil() as usize;
     let c = c.max(1);
-    if c % 2 == 0 {
+    if c.is_multiple_of(2) {
         c + 1
     } else {
         c

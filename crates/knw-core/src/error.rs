@@ -14,6 +14,15 @@ pub enum SketchError {
     /// Two sketches could not be merged because they were built with different
     /// hash-function seeds; their bucket assignments are not comparable.
     SeedMismatch,
+    /// A type-erased merge
+    /// ([`DynMergeableCardinalityEstimator::merge_dyn`](crate::estimator::DynMergeableCardinalityEstimator::merge_dyn))
+    /// was attempted between two different concrete estimator types.
+    TypeMismatch {
+        /// Name of the receiving estimator.
+        expected: &'static str,
+        /// Name of the estimator that was offered for merging.
+        found: &'static str,
+    },
     /// The Figure 3 space guard tripped: the total bit budget `A` of the
     /// offset counters exceeded `3K`, which the paper treats as a FAIL output.
     ///
@@ -30,6 +39,9 @@ impl fmt::Display for SketchError {
             }
             SketchError::SeedMismatch => {
                 write!(f, "sketches were built with different hash seeds")
+            }
+            SketchError::TypeMismatch { expected, found } => {
+                write!(f, "cannot merge estimator type {found:?} into {expected:?}")
             }
             SketchError::SpaceGuardTripped => {
                 write!(

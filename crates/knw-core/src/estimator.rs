@@ -14,8 +14,36 @@
 //! ([`SpaceUsage`](knw_hash::SpaceUsage)), including the space of its hash
 //! function descriptions, mirroring the paper's accounting conventions
 //! (Section 1.2: "all space bounds are given in bits").
+//!
+//! # Batched ingestion
+//!
+//! Both stream traits expose batch entry points
+//! ([`CardinalityEstimator::insert_batch`],
+//! [`TurnstileEstimator::update_batch`]) whose default implementations are
+//! per-item loops.  Sketches with meaningful per-call overhead (bookkeeping,
+//! guard checks) override them with fast paths; the sharded engine feeds
+//! sketches exclusively through these entry points so the override is the
+//! only hot path in production.
+//!
+//! # Mergeability
+//!
+//! The paper motivates F0 sketches precisely because they compose under
+//! stream unions (Section 1: "taking unions of streams if there are no
+//! deletions").  Two traits capture this:
+//!
+//! * [`MergeableEstimator`] — the statically-typed contract: merging a sketch
+//!   of stream `B` into a sketch of stream `A` (same configuration, same
+//!   seeds) yields a sketch of `A ∪ B`.
+//! * [`DynMergeableCardinalityEstimator`] — the object-safe erasure of the
+//!   same contract, so heterogeneous collections
+//!   (`Vec<Box<dyn DynMergeableCardinalityEstimator>>`, the baseline zoo, the
+//!   sharded engine's shard set) can be merged without knowing concrete
+//!   types.  It is implemented automatically for every
+//!   `CardinalityEstimator + MergeableEstimator<MergeError = SketchError>`.
 
+use crate::error::SketchError;
 use knw_hash::SpaceUsage;
+use std::any::Any;
 
 /// A streaming estimator of the number of distinct elements (F0) in an
 /// insertion-only stream.
@@ -31,12 +59,21 @@ pub trait CardinalityEstimator: SpaceUsage {
     /// rendering comparison tables (e.g. `"knw"`, `"hyperloglog"`).
     fn name(&self) -> &'static str;
 
-    /// Processes every item of a slice.  Provided for convenience; semantically
-    /// identical to repeated [`insert`](Self::insert).
-    fn insert_all(&mut self, items: &[u64]) {
+    /// Processes every item of a slice, semantically identical to repeated
+    /// [`insert`](Self::insert).
+    ///
+    /// The default is the plain loop; sketches override this with fast paths
+    /// that hoist per-call bookkeeping (update counters, guard checks) out of
+    /// the per-item loop.
+    fn insert_batch(&mut self, items: &[u64]) {
         for &item in items {
             self.insert(item);
         }
+    }
+
+    /// Legacy alias of [`insert_batch`](Self::insert_batch).
+    fn insert_all(&mut self, items: &[u64]) {
+        self.insert_batch(items);
     }
 }
 
@@ -52,20 +89,24 @@ pub trait TurnstileEstimator: SpaceUsage {
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// Applies a batch of updates in order.
-    fn update_all(&mut self, updates: &[(u64, i64)]) {
+    /// Applies a batch of updates in order, semantically identical to
+    /// repeated [`update`](Self::update).  Sketches override this with fast
+    /// paths that hoist per-call bookkeeping out of the per-update loop.
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
         for &(item, delta) in updates {
             self.update(item, delta);
         }
+    }
+
+    /// Legacy alias of [`update_batch`](Self::update_batch).
+    fn update_all(&mut self, updates: &[(u64, i64)]) {
+        self.update_batch(updates);
     }
 }
 
 /// Estimators that can be merged with another sketch built over a *different*
 /// stream using the *same* configuration and seed, yielding a sketch of the
 /// union of the two streams.
-///
-/// The paper motivates F0 sketches precisely because they compose under stream
-/// unions (Section 1: "taking unions of streams if there are no deletions").
 pub trait MergeableEstimator: Sized {
     /// The error type returned when two sketches are incompatible (different
     /// configuration or different hash seeds).
@@ -79,6 +120,60 @@ pub trait MergeableEstimator: Sized {
     /// Returns an error if the sketches were built with different parameters
     /// or hash functions, in which case `self` is left unchanged.
     fn merge_from(&mut self, other: &Self) -> Result<(), Self::MergeError>;
+}
+
+/// Object-safe mergeable cardinality estimator: the erased counterpart of
+/// [`MergeableEstimator`] for F0 sketches, usable behind `Box<dyn …>`.
+///
+/// This is the contract the sharded engine and the baseline zoo operate on:
+/// every shard (or zoo entry) is a `dyn DynMergeableCardinalityEstimator`, and
+/// [`merge_dyn`](Self::merge_dyn) recovers the concrete type via downcasting.
+/// Merging two different concrete sketch types fails with
+/// [`SketchError::TypeMismatch`]; merging the same type with different
+/// seeds/configurations fails with the type's own compatibility error.
+///
+/// The trait is implemented automatically (blanket impl) for every sized
+/// estimator whose [`MergeableEstimator::MergeError`] is [`SketchError`], so
+/// sketch authors only ever implement the statically-typed trait.
+pub trait DynMergeableCardinalityEstimator: CardinalityEstimator {
+    /// The receiver as [`Any`], enabling the downcast in
+    /// [`merge_dyn`](Self::merge_dyn).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Type-erased merge: downcasts `other` to `Self` and delegates to
+    /// [`MergeableEstimator::merge_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::TypeMismatch`] when `other` is a different
+    /// concrete estimator, or the underlying merge error when configurations
+    /// or seeds differ.
+    fn merge_dyn(
+        &mut self,
+        other: &dyn DynMergeableCardinalityEstimator,
+    ) -> Result<(), SketchError>;
+}
+
+impl<T> DynMergeableCardinalityEstimator for T
+where
+    T: CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Any,
+{
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn merge_dyn(
+        &mut self,
+        other: &dyn DynMergeableCardinalityEstimator,
+    ) -> Result<(), SketchError> {
+        match other.as_any().downcast_ref::<T>() {
+            Some(concrete) => self.merge_from(concrete),
+            None => Err(SketchError::TypeMismatch {
+                expected: self.name(),
+                found: other.name(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +202,40 @@ mod tests {
         }
     }
 
+    impl MergeableEstimator for Exact {
+        type MergeError = SketchError;
+        fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+            self.0.extend(other.0.iter().copied());
+            Ok(())
+        }
+    }
+
+    /// A second concrete type so type-mismatch merges can be exercised.
+    struct Zero;
+
+    impl SpaceUsage for Zero {
+        fn space_bits(&self) -> u64 {
+            1
+        }
+    }
+
+    impl CardinalityEstimator for Zero {
+        fn insert(&mut self, _item: u64) {}
+        fn estimate(&self) -> f64 {
+            0.0
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+
+    impl MergeableEstimator for Zero {
+        type MergeError = SketchError;
+        fn merge_from(&mut self, _other: &Self) -> Result<(), SketchError> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn insert_all_default_matches_repeated_insert() {
         let mut a = Exact(Default::default());
@@ -122,11 +251,49 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_default_matches_repeated_insert() {
+        let mut a = Exact(Default::default());
+        let mut b = Exact(Default::default());
+        let items = [7u64, 7, 8, 1 << 40];
+        a.insert_batch(&items);
+        for &i in &items {
+            b.insert(i);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
     fn trait_objects_are_usable() {
         let mut est: Box<dyn CardinalityEstimator> = Box::new(Exact(Default::default()));
         est.insert(3);
         est.insert(3);
         assert_eq!(est.estimate(), 1.0);
         assert!(est.space_bits() > 0);
+    }
+
+    #[test]
+    fn merge_dyn_merges_matching_types() {
+        let mut a: Box<dyn DynMergeableCardinalityEstimator> = Box::new(Exact(Default::default()));
+        let mut b: Box<dyn DynMergeableCardinalityEstimator> = Box::new(Exact(Default::default()));
+        a.insert_batch(&[1, 2, 3]);
+        b.insert_batch(&[3, 4]);
+        a.merge_dyn(b.as_ref()).expect("same concrete type");
+        assert_eq!(a.estimate(), 4.0);
+    }
+
+    #[test]
+    fn merge_dyn_rejects_type_mismatch() {
+        let mut a: Box<dyn DynMergeableCardinalityEstimator> = Box::new(Exact(Default::default()));
+        let b: Box<dyn DynMergeableCardinalityEstimator> = Box::new(Zero);
+        let err = a
+            .merge_dyn(b.as_ref())
+            .expect_err("different concrete types");
+        assert_eq!(
+            err,
+            SketchError::TypeMismatch {
+                expected: "exact-btree",
+                found: "zero"
+            }
+        );
     }
 }

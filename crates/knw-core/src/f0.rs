@@ -39,6 +39,14 @@
 //! * Reporting uses the hardware natural logarithm by default; the Lemma 7
 //!   lookup table is implemented and validated separately
 //!   ([`crate::ln_table`]), see DESIGN.md §3.
+//! * Batched ingestion ([`KnwF0Sketch::insert_batch`]) hoists the update
+//!   counter and the FAIL-guard check out of the per-item loop; the guard is
+//!   still evaluated before every rebase and at batch end, so the sticky
+//!   FAIL state is identical to the per-item path.
+//! * Merging ([`MergeableEstimator::merge_from`]) finishes by re-deriving
+//!   the subsampling base from the merged rough estimate, making
+//!   shard-and-merge *bit-identical* to a single-stream run — the property
+//!   the `knw-engine` sharded ingestion engine is built on.
 
 use crate::config::F0Config;
 use crate::error::SketchError;
@@ -113,7 +121,10 @@ impl KnwF0Sketch {
     #[must_use]
     pub fn with_subsample_divisor(config: F0Config, divisor: u64) -> Self {
         let k = config.num_bins();
-        assert!(divisor > 0 && divisor.is_power_of_two(), "divisor must be a power of two");
+        assert!(
+            divisor > 0 && divisor.is_power_of_two(),
+            "divisor must be a power of two"
+        );
         assert!(divisor <= k, "divisor {divisor} larger than K = {k}");
         let universe_pow2 = config.universe_pow2();
         let log_n = config.log_universe();
@@ -139,11 +150,7 @@ impl KnwF0Sketch {
             base: 0,
             est: 0,
             failed: false,
-            rough: RoughEstimator::with_strategy(
-                config.universe,
-                rough_seed,
-                config.hash_strategy,
-            ),
+            rough: RoughEstimator::with_strategy(config.universe, rough_seed, config.hash_strategy),
             rough_cached: 0.0,
             small: SmallF0Estimator::new(k, config.hash_strategy, &mut small_rng),
             updates: 0,
@@ -199,7 +206,12 @@ impl KnwF0Sketch {
         u64::from(ceil_log2((value + 2) as u64))
     }
 
-    /// Processes one stream index `i ∈ [n]`.
+    /// Processes one stream index `i ∈ [n]` — the Figure 3 update, literally:
+    /// every hash is evaluated and the FAIL guard is checked on every counter
+    /// write.  The batch entry point [`insert_batch`](Self::insert_batch) is
+    /// the optimized production path; this method is kept as the
+    /// paper-faithful reference (and is what the benches race the batch path
+    /// against).
     pub fn insert(&mut self, item: u64) {
         self.updates += 1;
         if self.rough.insert_tracked(item) {
@@ -215,8 +227,7 @@ impl KnwF0Sketch {
         let offset = level - i64::from(self.base);
         let new = current.max(offset);
         if new != current {
-            self.a_bits =
-                self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
+            self.a_bits = self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
             if current < 0 && new >= 0 {
                 self.occupied += 1;
             }
@@ -226,7 +237,87 @@ impl KnwF0Sketch {
             }
         }
 
-        // React to the rough estimator (Figure 3, step 6, the `R > 2^est` branch).
+        self.react_to_rough();
+    }
+
+    /// Processes a batch of stream indices — the production ingestion path.
+    ///
+    /// Produces the same estimates as repeated [`insert`](Self::insert), with
+    /// the per-call bookkeeping hoisted out of the loop and three
+    /// work-pruning observations applied per item:
+    ///
+    /// 1. **Level filter** — an item whose level `lsb(h1(i))` is below the
+    ///    current base `b` cannot change any offset counter (`max(C_j,
+    ///    level − b) = C_j` whenever `level − b < 0 ≤ C_j + 1`), so the
+    ///    expensive bucket hashes `h3(h2(i))` are skipped.  At steady state
+    ///    `b ≈ log F0 − log(K/32)`, so only a `Θ(K/F0)` fraction of items
+    ///    pays for bucket hashing.  Counter state stays bit-identical.
+    /// 2. **Rough-estimator pruning** — each RoughEstimator sub-sketch skips
+    ///    its `2·K_RE`-wise bucket hash when the item's level cannot exceed
+    ///    the sub-sketch's minimum counter
+    ///    ([`RoughEstimator::insert_tracked_pruned`]).  Bit-identical.
+    /// 3. **Small-F0 gating** — once the Section 3.3 structure has
+    ///    permanently certified LARGE
+    ///    ([`SmallF0Estimator::large_certified`]), its answer can never be
+    ///    consulted again (certification is monotone), so its updates stop.
+    ///    This is the one deviation from bit-identical internal state; every
+    ///    reported estimate, including after arbitrary merges, is unchanged.
+    ///
+    /// The `A > 3K` FAIL guard moves out of the per-write path: between
+    /// rebases `A` is nondecreasing, so checking it just before every rebase
+    /// (inside [`react_to_rough`](Self::react_to_rough)) and once at batch
+    /// end observes the same maxima, leaving the sticky
+    /// [`failed`](Self::failed) flag in the same state.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.updates += items.len() as u64;
+        let small_active = !self.small.large_certified();
+        for &item in items {
+            let rough_changed = self.rough.insert_tracked_pruned(item);
+            if rough_changed {
+                self.rough_cached = self.rough.estimate();
+            }
+            if small_active {
+                self.small.insert(item);
+            }
+
+            let level = i64::from(lsb_with_cap(self.h1.hash(item), self.log_n));
+            let offset = level - i64::from(self.base);
+            if offset >= 0 {
+                let bucket = self.h3.hash(self.h2.hash(item)) as usize;
+                let current = self.counters.read(bucket) as i64 - 1;
+                let new = current.max(offset);
+                if new != current {
+                    self.a_bits =
+                        self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
+                    if current < 0 && new >= 0 {
+                        self.occupied += 1;
+                    }
+                    self.counters.write(bucket, (new + 1) as u64);
+                }
+            }
+
+            // React *after* the write, as the per-item path does, so the
+            // pre-rebase guard check inside `react_to_rough` observes this
+            // item's write at the old base.  Reacting only on rough changes
+            // is equivalent to reacting every item: between changes the
+            // reaction recomputes the same `est` and leaves the base
+            // untouched.
+            if rough_changed {
+                self.react_to_rough();
+            }
+        }
+        if self.a_bits > 3 * self.k {
+            self.failed = true;
+        }
+    }
+
+    /// Figure 3, step 6, the `R > 2^est` branch: advances `est`/`b` when the
+    /// rough estimate has outgrown the current subsampling level.  Shared by
+    /// the ingestion paths and by [`merge_from`](MergeableEstimator::merge_from),
+    /// which is what makes merged sketches bit-identical to a single-stream
+    /// run (the base level is a pure function of the — itself exactly
+    /// mergeable — rough estimate).
+    fn react_to_rough(&mut self) {
         let rough = self.rough_cached;
         if rough > 0.0 && rough > (2.0f64).powi(self.est as i32) {
             // `est ← log R` (we take the floor, which keeps the expected number
@@ -239,6 +330,11 @@ impl KnwF0Sketch {
             // 1/n fraction of the items).
             let new_base = (self.est - shift).clamp(0, i64::from(self.log_n)) as u32;
             if new_base != self.base {
+                // The guard must see the pre-rebase maximum of A (rebasing
+                // can only shrink counters).
+                if self.a_bits > 3 * self.k {
+                    self.failed = true;
+                }
                 self.rebase(new_base);
             }
         }
@@ -252,7 +348,11 @@ impl KnwF0Sketch {
         let mut occupied = 0u64;
         for j in 0..self.k as usize {
             let current = self.counters.read(j) as i64 - 1;
-            let shifted = if current < 0 { -1 } else { (current + delta).max(-1) };
+            let shifted = if current < 0 {
+                -1
+            } else {
+                (current + delta).max(-1)
+            };
             if shifted != current {
                 self.counters.write(j, (shifted + 1) as u64);
             }
@@ -356,6 +456,10 @@ impl CardinalityEstimator for KnwF0Sketch {
         KnwF0Sketch::insert(self, item);
     }
 
+    fn insert_batch(&mut self, items: &[u64]) {
+        KnwF0Sketch::insert_batch(self, items);
+    }
+
     fn estimate(&self) -> f64 {
         self.estimate_f0()
     }
@@ -368,6 +472,17 @@ impl CardinalityEstimator for KnwF0Sketch {
 impl MergeableEstimator for KnwF0Sketch {
     type MergeError = SketchError;
 
+    /// Merges a sketch of another stream into `self` (union semantics).
+    ///
+    /// The merge is **exact**: because every component (offset counters under
+    /// a fixed base, the rough estimator's level maxima, the small-F0 state)
+    /// is an order-independent function of the distinct-item set, and the
+    /// base level is re-derived from the merged rough estimate afterwards
+    /// (the same Figure 3 step-6 reaction the ingestion path runs), the
+    /// merged sketch is field-for-field identical to a single sketch that
+    /// ingested any interleaving of both streams.  Shard-and-merge therefore
+    /// reproduces single-stream estimates bit-exactly, which the engine and
+    /// property tests rely on.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         self.compatible(other)?;
         // Align both sides to the deeper base, then take pointwise maxima.
@@ -402,6 +517,11 @@ impl MergeableEstimator for KnwF0Sketch {
         self.rough.merge_from_unchecked(&other.rough);
         self.small.merge_from_unchecked(&other.small);
         self.updates += other.updates;
+        // Re-derive `est`/`b` from the merged rough estimate, exactly as the
+        // ingestion path would have; this is what upgrades the merge from
+        // "statistically equivalent" to "bit-identical with the union run".
+        self.rough_cached = self.rough.estimate();
+        self.react_to_rough();
         Ok(())
     }
 }
@@ -565,17 +685,38 @@ mod tests {
         left.merge_from(&right).expect("compatible sketches");
         let merged = left.estimate_f0();
         let direct = union.estimate_f0();
-        // The merged sketch holds the same counter contents as the union run
-        // up to the base level chosen along the way, so the two estimates are
-        // two valid samples of the same quantity rather than bit-identical.
-        let rel = (merged - direct).abs() / direct;
-        assert!(
-            rel < 0.4,
-            "merged estimate {merged} deviates from union estimate {direct}"
-        );
-        // Both should be in the right ballpark of the true union cardinality.
+        // The merge re-derives the base level from the (exactly mergeable)
+        // rough estimator, so the merged sketch is bit-identical to the
+        // union-stream run.
+        assert_eq!(merged, direct, "merged estimate must equal the union run");
+        assert_eq!(left.base_level(), union.base_level());
+        assert_eq!(left.occupancy(), union.occupancy());
+        assert_eq!(left.counter_bits(), union.counter_bits());
+        // And both should be in the right ballpark of the true cardinality.
         let truth = 30_000.0;
         assert!((merged - truth).abs() / truth < 0.6);
+    }
+
+    #[test]
+    fn insert_batch_matches_per_item_insert() {
+        let cfg = F0Config::new(0.05, 1 << 20).with_seed(21);
+        let mut batched = KnwF0Sketch::new(cfg);
+        let mut one_by_one = KnwF0Sketch::new(cfg);
+        let items: Vec<u64> = (0..40_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 20))
+            .collect();
+        for chunk in items.chunks(977) {
+            batched.insert_batch(chunk);
+        }
+        for &i in &items {
+            one_by_one.insert(i);
+        }
+        assert_eq!(batched.estimate_f0(), one_by_one.estimate_f0());
+        assert_eq!(batched.occupancy(), one_by_one.occupancy());
+        assert_eq!(batched.base_level(), one_by_one.base_level());
+        assert_eq!(batched.counter_bits(), one_by_one.counter_bits());
+        assert_eq!(batched.failed(), one_by_one.failed());
+        assert_eq!(batched.updates_processed(), one_by_one.updates_processed());
     }
 
     #[test]

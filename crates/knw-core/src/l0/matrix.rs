@@ -84,8 +84,7 @@ impl L0Matrix {
         let field = DynField::new(prime);
         let salts = (0..k).map(|_| rng.next_below(prime)).collect();
         let rows = log_n as usize + 1;
-        let independence =
-            knw_hash::kwise::independence_for(k, 1.0 / (k as f64).sqrt());
+        let independence = knw_hash::kwise::independence_for(k, 1.0 / (k as f64).sqrt());
         Self {
             h1: PairwiseHash::random(universe_pow2, rng),
             h2: PairwiseHash::random(cube, rng),
@@ -168,9 +167,7 @@ impl L0Matrix {
         } else {
             (ratio.log2().floor() as usize).min(self.num_rows() - 1)
         };
-        while row + 1 < self.num_rows()
-            && self.row_occupancy(row) as f64 >= 0.9 * self.k as f64
-        {
+        while row + 1 < self.num_rows() && self.row_occupancy(row) as f64 >= 0.9 * self.k as f64 {
             row += 1;
         }
         row

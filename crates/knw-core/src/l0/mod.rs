@@ -56,7 +56,12 @@ struct MidRangeRow {
 }
 
 impl MidRangeRow {
-    fn new(k: u64, log_mm: u32, strategy: knw_hash::uniform::HashStrategy, rng: &mut SplitMix64) -> Self {
+    fn new(
+        k: u64,
+        log_mm: u32,
+        strategy: knw_hash::uniform::HashStrategy,
+        rng: &mut SplitMix64,
+    ) -> Self {
         let k_prime = 2 * k;
         let cube = k_prime.saturating_pow(3).min(1u64 << 60);
         let d = (100 * k_prime * u64::from(log_mm.max(1))).max(1 << 10);
@@ -173,6 +178,24 @@ impl KnwL0Sketch {
             return;
         }
         self.updates += 1;
+        self.apply(item, delta);
+    }
+
+    /// Applies a batch of updates in order — semantically identical to
+    /// repeated [`update`](Self::update), with the zero-delta filter and the
+    /// update counter hoisted out of the component loop.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        for &(item, delta) in updates {
+            if delta == 0 {
+                continue;
+            }
+            self.updates += 1;
+            self.apply(item, delta);
+        }
+    }
+
+    #[inline]
+    fn apply(&mut self, item: u64, delta: i64) {
         self.matrix.update(item, delta);
         self.rough.update(item, delta);
         self.exact.update(item, delta);
@@ -244,6 +267,10 @@ impl SpaceUsage for KnwL0Sketch {
 impl TurnstileEstimator for KnwL0Sketch {
     fn update(&mut self, item: u64, delta: i64) {
         KnwL0Sketch::update(self, item, delta);
+    }
+
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        KnwL0Sketch::update_batch(self, updates);
     }
 
     fn estimate(&self) -> f64 {

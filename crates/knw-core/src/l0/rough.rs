@@ -163,8 +163,14 @@ mod tests {
             r.update(i, -1);
         }
         let after = r.estimate();
-        assert!(after < before, "estimate did not shrink: {before} -> {after}");
-        assert!(after <= 100.0 * 2.0, "after-delete estimate {after} too large");
+        assert!(
+            after < before,
+            "estimate did not shrink: {before} -> {after}"
+        );
+        assert!(
+            after <= 100.0 * 2.0,
+            "after-delete estimate {after} too large"
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod small_f0;
 pub use amplify::MedianAmplified;
 pub use config::{F0Config, L0Config};
 pub use error::SketchError;
-pub use estimator::{CardinalityEstimator, MergeableEstimator, TurnstileEstimator};
+pub use estimator::{
+    CardinalityEstimator, DynMergeableCardinalityEstimator, MergeableEstimator, TurnstileEstimator,
+};
 pub use f0::KnwF0Sketch;
 pub use l0::KnwL0Sketch;
 pub use ln_table::{LnTable, OccupancyInverter};

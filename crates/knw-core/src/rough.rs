@@ -49,6 +49,10 @@ struct RoughSub {
     /// `counts[v]` = number of counters currently holding level `v`
     /// (shifted representation, so index 0 means "−1 / untouched").
     level_counts: Vec<u32>,
+    /// Minimum stored counter value (0 while any bucket is untouched),
+    /// maintained so the batch ingestion path can skip the expensive bucket
+    /// hash for items whose level cannot change any counter.
+    min_stored: u64,
 }
 
 impl RoughSub {
@@ -67,6 +71,7 @@ impl RoughSub {
             h3: BucketHash::random(strategy, (2 * k_re) as usize, k_re, rng),
             counters: FixedWidthVec::zeros(k_re as usize, counter_width),
             level_counts: vec![0u32; log_n as usize + 2],
+            min_stored: 0,
         }
     }
 
@@ -74,6 +79,25 @@ impl RoughSub {
     #[inline]
     fn insert(&mut self, item: u64, log_n: u32) -> bool {
         let level = lsb_with_cap(self.h1.hash(item), log_n);
+        self.apply_level(item, level)
+    }
+
+    /// Like [`insert`](Self::insert), but skips the bucket hashes entirely
+    /// when the item's level cannot exceed any stored counter — bit-identical
+    /// state, since `candidate ≤ min_j C_j` implies no counter changes.  The
+    /// level hash `h1` is a two-term polynomial; the pruned work (`h2`, `h3`)
+    /// is the `2·K_RE`-wise family, which dominates the per-item cost.
+    #[inline]
+    fn insert_pruned(&mut self, item: u64, log_n: u32) -> bool {
+        let level = lsb_with_cap(self.h1.hash(item), log_n);
+        if u64::from(level) < self.min_stored {
+            return false;
+        }
+        self.apply_level(item, level)
+    }
+
+    #[inline]
+    fn apply_level(&mut self, item: u64, level: u32) -> bool {
         let bucket = self.h3.hash(self.h2.hash(item)) as usize;
         let stored = self.counters.get(bucket);
         let candidate = u64::from(level) + 1;
@@ -83,10 +107,28 @@ impl RoughSub {
                 self.level_counts[stored as usize - 1] -= 1;
             }
             self.level_counts[level as usize] += 1;
+            if stored == self.min_stored {
+                self.recompute_min();
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Rescans the (constant-count, `K_RE ≤ O(log n / log log n)`) counters
+    /// for the minimum stored value.  Called only when a counter holding the
+    /// old minimum grows, which happens at most `3·K_RE·(log n + 1)` times
+    /// over a whole stream.
+    fn recompute_min(&mut self) {
+        let mut min = u64::MAX;
+        for idx in 0..self.counters.len() {
+            min = min.min(self.counters.get(idx));
+            if min == 0 {
+                break;
+            }
+        }
+        self.min_stored = min;
     }
 
     /// `T_r = |{i : C_i ≥ r}|` computed from the level histogram; the scan is
@@ -202,6 +244,20 @@ impl RoughEstimator {
         changed
     }
 
+    /// Batch-path variant of [`insert_tracked`](Self::insert_tracked): each
+    /// sub-estimator evaluates only its (cheap, pairwise) level hash first
+    /// and skips the expensive `2·K_RE`-wise bucket hash when the level
+    /// cannot change any of its counters.  The resulting state is
+    /// bit-identical to [`insert_tracked`](Self::insert_tracked).
+    #[inline]
+    pub fn insert_tracked_pruned(&mut self, item: u64) -> bool {
+        let mut changed = false;
+        for sub in &mut self.subs {
+            changed |= sub.insert_pruned(item, self.log_n);
+        }
+        changed
+    }
+
     /// The current rough estimate `F̃0(t)` — the median of the three
     /// sub-estimates.  Returns 0 while no sub-estimator has reached its
     /// occupancy threshold (i.e. while `F0(t)` is far below `K_RE`).
@@ -243,6 +299,7 @@ impl RoughEstimator {
                     a.level_counts[vb as usize - 1] += 1;
                 }
             }
+            a.recompute_min();
         }
     }
 }
@@ -354,7 +411,7 @@ mod tests {
             a.insert(i);
             b.insert(i);
             b.insert(i); // duplicate every item
-            b.insert(i ^ 0); // and again
+            b.insert(i); // and again
         }
         assert_eq!(a.estimate(), b.estimate());
     }
@@ -365,13 +422,16 @@ mod tests {
         let re = RoughEstimator::new(1 << 30, 5);
         // Hash descriptions dominate; a few kilobits is the expected order for
         // the polynomial strategy. It must certainly be far below 1M bits.
-        assert!(re.space_bits() < 1_000_000, "space {} bits", re.space_bits());
+        assert!(
+            re.space_bits() < 1_000_000,
+            "space {} bits",
+            re.space_bits()
+        );
     }
 
     #[test]
     fn tabulation_strategy_also_tracks_cardinality() {
-        let mut re =
-            RoughEstimator::with_strategy(1 << 20, 31, HashStrategy::Tabulation);
+        let mut re = RoughEstimator::with_strategy(1 << 20, 31, HashStrategy::Tabulation);
         run_stream(&mut re, 20_000);
         let est = re.estimate();
         assert!(est >= 20_000.0 * 0.5, "estimate {est}");
@@ -393,6 +453,26 @@ mod tests {
         }
         left.merge_from_unchecked(&right);
         assert_eq!(left.estimate(), both.estimate());
+    }
+
+    #[test]
+    fn pruned_insert_matches_plain_insert_bit_for_bit() {
+        let mut plain = RoughEstimator::new(1 << 22, 99);
+        let mut pruned = RoughEstimator::new(1 << 22, 99);
+        for i in 0..60_000u64 {
+            let item = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 22);
+            let a = plain.insert_tracked(item);
+            let b = pruned.insert_tracked_pruned(item);
+            assert_eq!(a, b, "change tracking diverged at item {i}");
+        }
+        assert_eq!(plain.estimate(), pruned.estimate());
+        for (a, b) in plain.subs.iter().zip(pruned.subs.iter()) {
+            assert_eq!(a.level_counts, b.level_counts);
+            assert_eq!(a.min_stored, b.min_stored);
+            for idx in 0..a.counters.len() {
+                assert_eq!(a.counters.get(idx), b.counters.get(idx));
+            }
+        }
     }
 
     #[test]

@@ -122,6 +122,19 @@ impl SmallF0Estimator {
         crate::balls_bins::invert_occupancy(self.occupied as f64, self.k_prime)
     }
 
+    /// Whether the estimator has permanently certified the LARGE regime.
+    ///
+    /// Both certification inputs are monotone — the exact-overflow flag is
+    /// sticky and the occupancy array only gains bits — so once this returns
+    /// `true` it returns `true` forever, and every subsequent
+    /// [`estimate`](Self::estimate) is [`SmallF0Estimate::Large`] no matter
+    /// what else is inserted.  The batch ingestion path uses this to stop
+    /// updating the structure once its answer can no longer be consulted.
+    #[must_use]
+    pub fn large_certified(&self) -> bool {
+        self.exact_overflowed && self.array_estimate() >= self.k_prime as f64 / 32.0
+    }
+
     /// The Theorem 4 answer: exact, approximate, or LARGE.
     #[must_use]
     pub fn estimate(&self) -> SmallF0Estimate {
@@ -193,7 +206,8 @@ mod tests {
         let mut s = fresh(1024, 1);
         for round in 0..3 {
             for i in 0..50u64 {
-                s.insert(i * 13 + round * 0); // same 50 items every round
+                let _ = round;
+                s.insert(i * 13); // same 50 items every round
             }
         }
         assert_eq!(s.estimate(), SmallF0Estimate::Exact(50));

@@ -1,0 +1,181 @@
+//! Sharded batch-ingestion engine over the mergeable KNW sketch contract.
+//!
+//! # Why shard-locally, merge-centrally works
+//!
+//! The paper's F0 sketches are *mergeable*: a sketch of stream `A` and a
+//! sketch of stream `B` built with the same configuration and hash seeds
+//! combine into a sketch of `A ∪ B`
+//! ([`MergeableEstimator`](knw_core::MergeableEstimator); Section 1 of the
+//! paper, "taking unions of streams if there are no deletions").  Every
+//! sketch state in this workspace is an order-independent function of the
+//! distinct-item set, so **any** partition of an input stream across shards
+//! — by hash, round-robin, or arbitrary load balancing — merges back to the
+//! state a single sketch would have reached over the whole stream.  For
+//! [`KnwF0Sketch`](knw_core::KnwF0Sketch) the merge is bit-exact (the
+//! subsampling base is re-derived from the merged rough estimator), which is
+//! what makes the engine *testable*: N-shard ingestion must reproduce the
+//! sequential estimate exactly, not just statistically.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            insert / insert_batch
+//!                     │
+//!              ┌──────▼──────┐   round-robin batches of `batch_size`
+//!              │   router    │
+//!              └──────┬──────┘
+//!        bounded chan │ (batched hand-off)
+//!        ┌─────────┬──┴──────┬───────────────┐
+//!   ┌────▼───┐ ┌───▼────┐ ┌──▼─────┐   ┌────▼───┐
+//!   │ shard 0│ │ shard 1│ │ shard 2│ … │ shard N│   worker threads,
+//!   │ sketch │ │ sketch │ │ sketch │   │ sketch │   one sketch each
+//!   └────┬───┘ └───┬────┘ └──┬─────┘   └────┬───┘
+//!        └─────────┴────┬────┴───────────────┘
+//!                `merge_from` fold
+//!                       │
+//!                  estimate()
+//! ```
+//!
+//! Two implementations share the routing behaviour:
+//!
+//! * [`ShardedF0Engine`] — N worker threads (std threads + bounded
+//!   `sync_channel`s), batched hand-off, for throughput.  Only the routing
+//!   step runs on the caller's thread; hashing and counter traffic happen on
+//!   the shard threads.
+//! * [`ShardRouter`] — the sequential fallback: identical routing and merge
+//!   behaviour with no threads, so engine behaviour can be tested
+//!   deterministically and platforms without spare cores degrade gracefully.
+//!
+//! Both are generic over the shard sketch type `S` (the [`ShardSketch`]
+//! bound): the KNW sketch, any mergeable baseline, or future backends.
+//!
+//! # Example
+//!
+//! ```
+//! use knw_core::{F0Config, KnwF0Sketch};
+//! use knw_engine::{EngineConfig, ShardedF0Engine};
+//!
+//! let cfg = F0Config::new(0.1, 1 << 20).with_seed(7);
+//! let mut engine = ShardedF0Engine::new(
+//!     EngineConfig::new(4),
+//!     move |_shard| KnwF0Sketch::new(cfg),
+//! );
+//! for i in 0..50_000u64 {
+//!     engine.insert(i % 10_000);
+//! }
+//! let estimate = engine.estimate();
+//! assert!((estimate - 10_000.0).abs() / 10_000.0 < 0.5);
+//! let merged = engine.finish().expect("uniformly seeded shards");
+//! assert_eq!(merged.estimate_f0(), estimate);
+//! ```
+
+mod router;
+mod sharded;
+
+pub use router::ShardRouter;
+pub use sharded::ShardedF0Engine;
+
+use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
+
+/// The bound a sketch must satisfy to serve as a shard: a mergeable
+/// cardinality estimator whose instances can be shipped to worker threads
+/// and cloned for snapshot reads.
+///
+/// Blanket-implemented; never implement it manually.
+pub trait ShardSketch:
+    CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static
+{
+}
+
+impl<T> ShardSketch for T where
+    T: CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static
+{
+}
+
+/// Default hand-off batch size (items per channel message).
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// Default bounded-channel capacity, in batches per shard.
+pub const DEFAULT_QUEUE_DEPTH: usize = 4;
+
+/// Sizing knobs shared by [`ShardedF0Engine`] and [`ShardRouter`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of shards (worker threads / sequential sub-sketches).
+    pub shards: usize,
+    /// Items per hand-off batch.  Larger batches amortize channel traffic;
+    /// smaller batches reduce snapshot latency.
+    pub batch_size: usize,
+    /// Bounded channel capacity, in batches, per shard.  Bounds memory and
+    /// applies back-pressure when shards fall behind the router.
+    pub queue_depth: usize,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the given shard count and default batch
+    /// size / queue depth.  A shard count of zero is clamped to one.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            batch_size: DEFAULT_BATCH_SIZE,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+
+    /// Sets the hand-off batch size (clamped to at least one item).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the per-shard bounded channel capacity in batches (clamped to at
+    /// least one).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    /// One shard per available core (minimum one), default batch size and
+    /// queue depth.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(cores)
+    }
+}
+
+/// Merges an iterator of shard sketches into its first element.
+///
+/// Shared by the engine and the router so "how shards are folded" has
+/// exactly one definition.  Returns `Ok(None)` only for an empty iterator
+/// (callers always have at least one shard).
+fn merge_shards<S>(mut shards: impl Iterator<Item = S>) -> Result<Option<S>, SketchError>
+where
+    S: MergeableEstimator<MergeError = SketchError>,
+{
+    let Some(mut merged) = shards.next() else {
+        return Ok(None);
+    };
+    for shard in shards {
+        merged.merge_from(&shard)?;
+    }
+    Ok(Some(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let cfg = EngineConfig::new(0).with_batch_size(0).with_queue_depth(0);
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.batch_size, 1);
+        assert_eq!(cfg.queue_depth, 1);
+        assert!(EngineConfig::default().shards >= 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! The sequential shard router — the deterministic, thread-free fallback of
+//! [`ShardedF0Engine`](crate::ShardedF0Engine).
+
+use crate::{merge_shards, EngineConfig, ShardSketch};
+use knw_core::{CardinalityEstimator, SketchError, SpaceUsage};
+
+/// Routes a stream across N sketches exactly like the threaded engine does —
+/// same batch sizes, same round-robin shard assignment — but processes every
+/// batch inline on the calling thread.
+///
+/// Because the routing is identical and all shard sketches merge exactly,
+/// `ShardRouter` and [`ShardedF0Engine`](crate::ShardedF0Engine) built from
+/// the same [`EngineConfig`] and factory produce identical estimates; tests
+/// use the router as the deterministic reference for the engine.
+#[derive(Debug, Clone)]
+pub struct ShardRouter<S> {
+    shards: Vec<S>,
+    buffer: Vec<u64>,
+    batch_size: usize,
+    next_shard: usize,
+    items: u64,
+}
+
+impl<S: ShardSketch> ShardRouter<S> {
+    /// Creates a router with `config.shards` sketches built by `factory`.
+    ///
+    /// The factory receives the shard index; it must produce sketches with
+    /// identical configuration and seeds, otherwise the final merge fails.
+    pub fn new(config: EngineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
+        let config = EngineConfig::new(config.shards).with_batch_size(config.batch_size);
+        Self {
+            shards: (0..config.shards).map(&mut factory).collect(),
+            buffer: Vec::with_capacity(config.batch_size),
+            batch_size: config.batch_size,
+            next_shard: 0,
+            items: 0,
+        }
+    }
+
+    /// Routes one item.
+    pub fn insert(&mut self, item: u64) {
+        self.buffer.push(item);
+        self.items += 1;
+        if self.buffer.len() >= self.batch_size {
+            self.dispatch();
+        }
+    }
+
+    /// Routes a slice of items, bulk-copying into the pending buffer chunk by
+    /// chunk (same dispatch sequence as repeated [`insert`](Self::insert)).
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.items += items.len() as u64;
+        let mut rest = items;
+        while !rest.is_empty() {
+            let space = self.batch_size - self.buffer.len();
+            let (chunk, tail) = rest.split_at(space.min(rest.len()));
+            self.buffer.extend_from_slice(chunk);
+            rest = tail;
+            if self.buffer.len() >= self.batch_size {
+                self.dispatch();
+            }
+        }
+    }
+
+    /// Sends the (possibly partial) pending batch to the next shard.
+    pub fn flush(&mut self) {
+        self.dispatch();
+    }
+
+    fn dispatch(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.shards[self.next_shard].insert_batch(&self.buffer);
+        self.buffer.clear();
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items routed so far.
+    #[must_use]
+    pub fn items_ingested(&self) -> u64 {
+        self.items
+    }
+
+    /// Read access to the shard sketches (pending buffered items are not yet
+    /// reflected in them).
+    #[must_use]
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// Merges clones of all shards (plus any buffered items) into one sketch
+    /// summarizing the full stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sketch's merge error if the factory produced
+    /// incompatible shards.
+    pub fn merged(&self) -> Result<S, SketchError> {
+        let mut merged = merge_shards(self.shards.iter().cloned())?
+            .expect("router always has at least one shard");
+        merged.insert_batch(&self.buffer);
+        Ok(merged)
+    }
+
+    /// Consumes the router, returning the merged sketch of the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sketch's merge error if the factory produced
+    /// incompatible shards.
+    pub fn into_merged(mut self) -> Result<S, SketchError> {
+        self.flush();
+        Ok(merge_shards(self.shards.into_iter())?.expect("router always has at least one shard"))
+    }
+}
+
+impl<S: ShardSketch> SpaceUsage for ShardRouter<S> {
+    fn space_bits(&self) -> u64 {
+        self.shards.iter().map(SpaceUsage::space_bits).sum::<u64>()
+            + self.buffer.capacity() as u64 * 64
+    }
+}
+
+impl<S: ShardSketch> CardinalityEstimator for ShardRouter<S> {
+    fn insert(&mut self, item: u64) {
+        ShardRouter::insert(self, item);
+    }
+
+    fn insert_batch(&mut self, items: &[u64]) {
+        ShardRouter::insert_batch(self, items);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.merged()
+            .expect("shards share configuration and seed")
+            .estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-router"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knw_core::{F0Config, KnwF0Sketch};
+
+    fn stream(len: u64) -> Vec<u64> {
+        (0..len)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 20))
+            .collect()
+    }
+
+    #[test]
+    fn router_matches_single_sketch_exactly() {
+        let cfg = F0Config::new(0.05, 1 << 20).with_seed(3);
+        let mut router = ShardRouter::new(EngineConfig::new(4).with_batch_size(512), move |_| {
+            KnwF0Sketch::new(cfg)
+        });
+        let mut single = KnwF0Sketch::new(cfg);
+        let items = stream(60_000);
+        router.insert_batch(&items);
+        single.insert_batch(&items);
+        // Midstream estimate (with a partial pending batch) and the final
+        // merged sketch both reproduce the sequential run bit-exactly.
+        assert_eq!(
+            CardinalityEstimator::estimate(&router),
+            single.estimate_f0()
+        );
+        assert_eq!(router.items_ingested(), 60_000);
+        let merged = router.into_merged().expect("compatible shards");
+        assert_eq!(merged.estimate_f0(), single.estimate_f0());
+        assert_eq!(merged.base_level(), single.base_level());
+        assert_eq!(merged.occupancy(), single.occupancy());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_answer() {
+        let cfg = F0Config::new(0.1, 1 << 18).with_seed(11);
+        let items = stream(20_000);
+        let mut answers = Vec::new();
+        for shards in [1usize, 2, 3, 8] {
+            let mut router =
+                ShardRouter::new(EngineConfig::new(shards).with_batch_size(100), move |_| {
+                    KnwF0Sketch::new(cfg)
+                });
+            router.insert_batch(&items);
+            answers.push(
+                router
+                    .into_merged()
+                    .expect("compatible shards")
+                    .estimate_f0(),
+            );
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "answers {answers:?}"
+        );
+    }
+
+    #[test]
+    fn incompatible_factory_surfaces_merge_error() {
+        // A factory that seeds shards differently violates the contract; the
+        // merge must say so rather than silently combining garbage.
+        let router = ShardRouter::new(EngineConfig::new(2).with_batch_size(4), |shard| {
+            KnwF0Sketch::new(F0Config::new(0.2, 1 << 12).with_seed(shard as u64))
+        });
+        assert_eq!(router.merged().unwrap_err(), SketchError::SeedMismatch);
+    }
+}

@@ -1,0 +1,292 @@
+//! The threaded sharded ingestion engine.
+
+use crate::{merge_shards, EngineConfig, ShardSketch};
+use knw_core::SketchError;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// Messages on the router → shard channels.  Channel order is FIFO, so a
+/// snapshot request observes every batch sent before it.
+enum ShardMsg<S> {
+    /// A batch of stream items to ingest.
+    Batch(Vec<u64>),
+    /// Request a clone of the shard's current sketch.
+    Snapshot(SyncSender<S>),
+}
+
+struct Worker<S> {
+    tx: SyncSender<ShardMsg<S>>,
+    handle: JoinHandle<S>,
+}
+
+/// A sharded, batched F0 ingestion engine: the stream is partitioned
+/// round-robin in batches across N worker threads, each owning one sketch;
+/// reporting merges the shard sketches (see the [crate docs](crate) for the
+/// architecture and why any partition is valid).
+///
+/// Estimates are exact with respect to a sequential run for every sketch in
+/// this workspace: `engine.estimate()` equals the estimate of one sketch fed
+/// the whole stream.  The deterministic reference implementation is
+/// [`ShardRouter`](crate::ShardRouter).
+///
+/// Dropping the engine without calling [`finish`](Self::finish) shuts the
+/// workers down and discards their sketches.
+pub struct ShardedF0Engine<S: ShardSketch> {
+    workers: Vec<Worker<S>>,
+    buffer: Vec<u64>,
+    batch_size: usize,
+    next_shard: usize,
+    items: u64,
+}
+
+impl<S: ShardSketch> ShardedF0Engine<S> {
+    /// Spawns `config.shards` worker threads, each owning one sketch built by
+    /// `factory`.
+    ///
+    /// The factory receives the shard index; it must produce sketches with
+    /// identical configuration and seeds, otherwise reporting fails with the
+    /// sketch's merge error.
+    pub fn new(config: EngineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
+        let config = EngineConfig::new(config.shards)
+            .with_batch_size(config.batch_size)
+            .with_queue_depth(config.queue_depth);
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let mut sketch = factory(shard);
+                let (tx, rx) = sync_channel::<ShardMsg<S>>(config.queue_depth);
+                let handle = std::thread::Builder::new()
+                    .name(format!("knw-shard-{shard}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                ShardMsg::Batch(batch) => sketch.insert_batch(&batch),
+                                ShardMsg::Snapshot(reply) => {
+                                    // The engine may have been dropped while a
+                                    // snapshot was in flight; ignore send
+                                    // failures.
+                                    let _ = reply.send(sketch.clone());
+                                }
+                            }
+                        }
+                        sketch
+                    })
+                    .expect("failed to spawn shard worker thread");
+                Worker { tx, handle }
+            })
+            .collect();
+        Self {
+            workers,
+            buffer: Vec::with_capacity(config.batch_size),
+            batch_size: config.batch_size,
+            next_shard: 0,
+            items: 0,
+        }
+    }
+
+    /// Routes one item (buffered; sent to a shard once a batch fills up).
+    pub fn insert(&mut self, item: u64) {
+        self.buffer.push(item);
+        self.items += 1;
+        if self.buffer.len() >= self.batch_size {
+            self.dispatch();
+        }
+    }
+
+    /// Routes a slice of items, bulk-copying into the hand-off buffer chunk
+    /// by chunk (the routing thread is the engine's one serial stage, so it
+    /// does memcpys, not per-item pushes).
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.items += items.len() as u64;
+        let mut rest = items;
+        while !rest.is_empty() {
+            let space = self.batch_size - self.buffer.len();
+            let (chunk, tail) = rest.split_at(space.min(rest.len()));
+            self.buffer.extend_from_slice(chunk);
+            rest = tail;
+            if self.buffer.len() >= self.batch_size {
+                self.dispatch();
+            }
+        }
+    }
+
+    /// Sends the (possibly partial) pending batch to the next shard.
+    pub fn flush(&mut self) {
+        self.dispatch();
+    }
+
+    fn dispatch(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
+        self.workers[self.next_shard]
+            .tx
+            .send(ShardMsg::Batch(batch))
+            .expect("shard worker exited while the engine was live");
+        self.next_shard = (self.next_shard + 1) % self.workers.len();
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The hand-off batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Total items routed so far.
+    #[must_use]
+    pub fn items_ingested(&self) -> u64 {
+        self.items
+    }
+
+    /// Flushes pending items and returns a merged snapshot of all shard
+    /// sketches — a sketch summarizing every item ingested so far.  The
+    /// engine keeps running; this is the paper's midstream "reporting".
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sketch's merge error if the factory produced
+    /// incompatible shards.
+    pub fn snapshot(&mut self) -> Result<S, SketchError> {
+        self.flush();
+        let snapshots: Vec<S> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                worker
+                    .tx
+                    .send(ShardMsg::Snapshot(reply_tx))
+                    .expect("shard worker exited while the engine was live");
+                reply_rx
+                    .recv()
+                    .expect("shard worker dropped a snapshot request")
+            })
+            .collect();
+        Ok(merge_shards(snapshots.into_iter())?.expect("engine always has at least one shard"))
+    }
+
+    /// Flushes, snapshots and reports the current estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory produced shards with mismatched configurations
+    /// or seeds (use [`snapshot`](Self::snapshot) to handle that as an
+    /// error).
+    pub fn estimate(&mut self) -> f64 {
+        self.snapshot()
+            .expect("shards share configuration and seed")
+            .estimate()
+    }
+
+    /// Shuts down the workers and returns the merged sketch of the whole
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sketch's merge error if the factory produced
+    /// incompatible shards.
+    pub fn finish(mut self) -> Result<S, SketchError> {
+        self.flush();
+        let workers = std::mem::take(&mut self.workers);
+        let shards: Vec<S> = workers
+            .into_iter()
+            .map(|worker| {
+                // Dropping the sender closes the channel; the worker then
+                // returns its sketch.
+                drop(worker.tx);
+                worker.handle.join().expect("shard worker panicked")
+            })
+            .collect();
+        Ok(merge_shards(shards.into_iter())?.expect("engine always has at least one shard"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardRouter;
+    use knw_core::{CardinalityEstimator, F0Config, KnwF0Sketch};
+
+    fn stream(len: u64) -> Vec<u64> {
+        (0..len)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D) % (1 << 20))
+            .collect()
+    }
+
+    #[test]
+    fn four_shards_match_a_single_sketch_exactly() {
+        let cfg = F0Config::new(0.05, 1 << 20).with_seed(42);
+        let mut engine =
+            ShardedF0Engine::new(EngineConfig::new(4).with_batch_size(1024), move |_| {
+                KnwF0Sketch::new(cfg)
+            });
+        let mut single = KnwF0Sketch::new(cfg);
+        let items = stream(100_000);
+        engine.insert_batch(&items);
+        single.insert_batch(&items);
+        assert_eq!(engine.estimate(), single.estimate_f0());
+        let merged = engine.finish().expect("compatible shards");
+        assert_eq!(merged.estimate_f0(), single.estimate_f0());
+        assert_eq!(merged.base_level(), single.base_level());
+        assert_eq!(merged.occupancy(), single.occupancy());
+        assert_eq!(merged.updates_processed(), single.updates_processed());
+    }
+
+    #[test]
+    fn engine_matches_the_sequential_router() {
+        let cfg = F0Config::new(0.1, 1 << 18).with_seed(5);
+        let config = EngineConfig::new(3).with_batch_size(100);
+        let mut engine = ShardedF0Engine::new(config, move |_| KnwF0Sketch::new(cfg));
+        let mut router = ShardRouter::new(config, move |_| KnwF0Sketch::new(cfg));
+        let items = stream(25_000);
+        for chunk in items.chunks(997) {
+            engine.insert_batch(chunk);
+            router.insert_batch(chunk);
+        }
+        assert_eq!(engine.estimate(), CardinalityEstimator::estimate(&router));
+        let from_engine = engine.finish().expect("compatible shards");
+        let from_router = router.into_merged().expect("compatible shards");
+        assert_eq!(from_engine.estimate_f0(), from_router.estimate_f0());
+        assert_eq!(from_engine.occupancy(), from_router.occupancy());
+    }
+
+    #[test]
+    fn midstream_snapshots_track_the_stream() {
+        let cfg = F0Config::new(0.1, 1 << 20).with_seed(8);
+        let mut engine = ShardedF0Engine::new(EngineConfig::new(2), move |_| KnwF0Sketch::new(cfg));
+        let mut single = KnwF0Sketch::new(cfg);
+        for (round, chunk) in stream(40_000).chunks(10_000).enumerate() {
+            engine.insert_batch(chunk);
+            single.insert_batch(chunk);
+            assert_eq!(
+                engine.estimate(),
+                single.estimate_f0(),
+                "snapshot diverged in round {round}"
+            );
+        }
+        assert_eq!(engine.items_ingested(), 40_000);
+    }
+
+    #[test]
+    fn incompatible_shards_surface_the_merge_error() {
+        let mut engine = ShardedF0Engine::new(EngineConfig::new(2), |shard| {
+            KnwF0Sketch::new(F0Config::new(0.2, 1 << 12).with_seed(shard as u64))
+        });
+        engine.insert_batch(&stream(10));
+        assert_eq!(engine.snapshot().unwrap_err(), SketchError::SeedMismatch);
+    }
+
+    #[test]
+    fn dropping_without_finish_is_clean() {
+        let cfg = F0Config::new(0.2, 1 << 12).with_seed(1);
+        let mut engine = ShardedF0Engine::new(EngineConfig::new(2), move |_| KnwF0Sketch::new(cfg));
+        engine.insert_batch(&stream(1_000));
+        drop(engine);
+    }
+}

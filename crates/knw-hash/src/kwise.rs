@@ -221,7 +221,10 @@ mod tests {
             }
         }
         let rate = collisions as f64 / pairs as f64;
-        assert!(rate < 3.0 / k_bins as f64 + 0.005, "collision rate {rate} too high");
+        assert!(
+            rate < 3.0 / k_bins as f64 + 0.005,
+            "collision rate {rate} too high"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
         }
         let rate = collisions as f64 / (trials * pairs_per_trial) as f64;
         // Expected 1/512 ≈ 0.00195; allow generous slack.
-        assert!(rate < 0.01, "collision rate {rate} too high for pairwise family");
+        assert!(
+            rate < 0.01,
+            "collision rate {rate} too high for pairwise family"
+        );
     }
 
     #[test]

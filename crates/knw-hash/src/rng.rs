@@ -174,10 +174,7 @@ impl Xoshiro256StarStar {
 impl Rng64 for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -236,7 +233,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl NetworkTraceGenerator {
     #[must_use]
     pub fn new(profile: TrafficProfile, background_sources: u32, seed: u64) -> Self {
         Self {
-            rng: Xoshiro256StarStar::new(seed ^ 0x9AC4_E7),
+            rng: Xoshiro256StarStar::new(seed ^ 0x009A_C4E7),
             profile,
             background_sources: background_sources.max(1),
             epidemic_counter: 0,

@@ -1,10 +1,13 @@
-//! Helpers for multi-stream experiments (unions / merges).
+//! Helpers for multi-stream experiments (unions / merges / sharding).
 //!
 //! The paper points out that F0 sketches compose under stream unions
 //! (Section 1), which is how distributed monitors aggregate per-link
 //! statistics.  The experiments build per-site streams with the generators in
 //! [`crate::generator`] and combine them either by merging sketches or by
-//! interleaving the raw streams; this module provides the interleaving.
+//! interleaving the raw streams; this module provides the interleaving and
+//! the inverse direction — partitioning one stream into per-shard streams,
+//! the input shape of the `knw-engine` sharded ingestion engine and of the
+//! merge property tests.
 
 /// Interleaves several streams round-robin into a single stream, preserving
 /// the relative order within each input.  Inputs of different lengths are
@@ -25,6 +28,40 @@ pub fn interleave_round_robin(streams: &[Vec<u64>]) -> Vec<u64> {
         }
     }
     out
+}
+
+/// Partitions a stream into `shards` sub-streams, assigning consecutive
+/// batches of `batch_size` items round-robin — the same policy the
+/// `knw-engine` router uses, so sketch-per-shard experiments reproduce the
+/// engine's shard contents exactly.
+///
+/// Because mergeable F0 sketches compose under unions, *any* partition is
+/// semantically valid; this one additionally balances load for uniform
+/// streams and preserves batch locality.
+#[must_use]
+pub fn partition_round_robin(stream: &[u64], shards: usize, batch_size: usize) -> Vec<Vec<u64>> {
+    let shards = shards.max(1);
+    let batch_size = batch_size.max(1);
+    let mut parts = vec![Vec::with_capacity(stream.len() / shards + batch_size); shards];
+    for (batch_idx, batch) in stream.chunks(batch_size).enumerate() {
+        parts[batch_idx % shards].extend_from_slice(batch);
+    }
+    parts
+}
+
+/// Partitions a stream into `shards` sub-streams by item value (a mixed
+/// hash), so every occurrence of an item lands on the same shard.  This is
+/// the partition shape of key-affine pipelines (e.g. per-flow NICs); distinct
+/// sets of the shards are disjoint, unlike [`partition_round_robin`].
+#[must_use]
+pub fn partition_by_item(stream: &[u64], shards: usize) -> Vec<Vec<u64>> {
+    let shards = shards.max(1);
+    let mut parts = vec![Vec::new(); shards];
+    for &item in stream {
+        let shard = knw_hash::rng::mix64(item) as usize % shards;
+        parts[shard].push(item);
+    }
+    parts
 }
 
 #[cfg(test)]
@@ -56,5 +93,44 @@ mod tests {
     fn empty_inputs_are_fine() {
         assert!(interleave_round_robin(&[]).is_empty());
         assert_eq!(interleave_round_robin(&[vec![], vec![7]]), vec![7]);
+    }
+
+    #[test]
+    fn round_robin_partition_preserves_the_multiset_and_batches() {
+        let stream: Vec<u64> = (0..103).collect();
+        let parts = partition_round_robin(&stream, 3, 10);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), stream.len());
+        // Batch 0 → shard 0, batch 1 → shard 1, …
+        assert_eq!(parts[0][..10], stream[..10]);
+        assert_eq!(parts[1][..10], stream[10..20]);
+        // Interleaving batch-by-batch reconstructs the multiset.
+        let mut all: Vec<u64> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, stream);
+    }
+
+    #[test]
+    fn by_item_partition_is_consistent_and_complete() {
+        let stream: Vec<u64> = (0..5_000u64).map(|i| i % 700).collect();
+        let parts = partition_by_item(&stream, 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), stream.len());
+        // Every occurrence of an item lands on exactly one shard: the
+        // per-shard distinct sets are pairwise disjoint.
+        let sets: Vec<HashSet<u64>> = parts.iter().map(|p| p.iter().copied().collect()).collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert!(sets[i].is_disjoint(&sets[j]));
+            }
+        }
+        let union: HashSet<u64> = stream.iter().copied().collect();
+        let parts_union: HashSet<u64> = sets.into_iter().flatten().collect();
+        assert_eq!(union, parts_union);
+    }
+
+    #[test]
+    fn degenerate_partitions_clamp() {
+        assert_eq!(partition_round_robin(&[1, 2], 0, 0), vec![vec![1, 2]]);
+        assert_eq!(partition_by_item(&[], 3), vec![vec![], vec![], vec![]]);
     }
 }

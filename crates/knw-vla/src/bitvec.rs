@@ -67,7 +67,11 @@ impl BitVec {
     #[inline]
     #[must_use]
     pub fn get_bit(&self, idx: u64) -> bool {
-        assert!(idx < self.len, "bit index {idx} out of bounds ({})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of bounds ({})",
+            self.len
+        );
         let word = self.words[(idx / 64) as usize];
         (word >> (idx % 64)) & 1 == 1
     }
@@ -79,7 +83,11 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn set_bit(&mut self, idx: u64, value: bool) {
-        assert!(idx < self.len, "bit index {idx} out of bounds ({})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of bounds ({})",
+            self.len
+        );
         let w = &mut self.words[(idx / 64) as usize];
         let mask = 1u64 << (idx % 64);
         if value {
@@ -140,7 +148,11 @@ impl BitVec {
             "field [{start}, {start}+{width}) out of bounds ({})",
             self.len
         );
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         assert!(value <= mask, "value {value} does not fit in {width} bits");
         let word_idx = (start / 64) as usize;
         let offset = (start % 64) as u32;
@@ -152,8 +164,7 @@ impl BitVec {
             let hi_bits = offset + width - 64;
             let hi_mask = (1u64 << hi_bits) - 1;
             let hi_value = value >> (64 - offset);
-            self.words[word_idx + 1] =
-                (self.words[word_idx + 1] & !hi_mask) | (hi_value & hi_mask);
+            self.words[word_idx + 1] = (self.words[word_idx + 1] & !hi_mask) | (hi_value & hi_mask);
         }
     }
 
@@ -195,7 +206,7 @@ impl FixedWidthVec {
     /// Panics if `width == 0` or `width > 64`.
     #[must_use]
     pub fn zeros(len: usize, width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         Self {
             bits: BitVec::zeros(len as u64 * width as u64),
             width,
@@ -240,7 +251,8 @@ impl FixedWidthVec {
     #[must_use]
     pub fn get(&self, idx: usize) -> u64 {
         assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
-        self.bits.get_bits(idx as u64 * self.width as u64, self.width)
+        self.bits
+            .get_bits(idx as u64 * self.width as u64, self.width)
     }
 
     /// Writes entry `idx`.

@@ -311,8 +311,8 @@ mod tests {
             let probe = (next() % n as u64) as usize;
             assert_eq!(v.read(probe), model[probe], "step {step} probe {probe}");
         }
-        for i in 0..n {
-            assert_eq!(v.read(i), model[i]);
+        for (i, &expect) in model.iter().enumerate() {
+            assert_eq!(v.read(i), expect);
         }
     }
 
@@ -354,12 +354,18 @@ mod tests {
         let mut v = Vla::new(k);
         let mut state = 12345u64;
         for i in 0..k {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Geometric-ish offsets.
             let val = (state >> 60).min(8);
             v.write(i, val);
         }
-        assert!(v.payload_bits() < 4 * k as u64, "payload {} bits", v.payload_bits());
+        assert!(
+            v.payload_bits() < 4 * k as u64,
+            "payload {} bits",
+            v.payload_bits()
+        );
         assert!(v.space_bits() < 12 * k as u64);
     }
 }

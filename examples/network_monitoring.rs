@@ -2,11 +2,13 @@
 //! flagging anomalies (worm spread / DDoS), the Section 1 motivating
 //! application of the paper (Estan et al.'s Code Red measurement).
 //!
-//! A router cannot afford a hash table of every source IP it has seen; the KNW
-//! sketch tracks the distinct-source count in a few kilobits and can be read
-//! at every packet.  The example builds a timeline with a benign phase, a worm
-//! outbreak and a spoofed-source flood, and shows the estimated distinct
-//! sources following the ground truth closely enough to trigger an alarm.
+//! A router cannot afford a hash table of every source IP it has seen; the
+//! KNW sketch tracks the distinct-source count in a few kilobits and can be
+//! read at every packet.  This example runs the production-shaped pipeline:
+//! packets are batched and sharded across worker threads by the
+//! [`knw::engine::ShardedF0Engine`], and each phase boundary reads a merged
+//! snapshot — which, because KNW merges are exact, is the *same* estimate a
+//! single sequential sketch would have produced.
 //!
 //! Run with:
 //! ```text
@@ -14,30 +16,54 @@
 //! ```
 
 use knw::core::{F0Config, KnwF0Sketch, SpaceUsage};
+use knw::engine::{EngineConfig, ShardedF0Engine};
 use knw::stream::{NetworkTraceGenerator, TrafficProfile};
 
 fn main() {
     let universe = 1u64 << 32; // IPv4 source space
-    let mut sketch = KnwF0Sketch::new(F0Config::new(0.05, universe).with_seed(2024));
+    let config = F0Config::new(0.05, universe).with_seed(2024);
+    let shards = 4;
+    let mut engine = ShardedF0Engine::new(
+        EngineConfig::new(shards).with_batch_size(4096),
+        move |_shard| KnwF0Sketch::new(config),
+    );
     let mut trace = NetworkTraceGenerator::new(TrafficProfile::Background, 4_000, 7);
 
     let phases = [
         (TrafficProfile::Background, 150_000usize, "benign traffic"),
-        (TrafficProfile::WormSpread, 120_000, "worm outbreak (Code-Red-style source spread)"),
+        (
+            TrafficProfile::WormSpread,
+            120_000,
+            "worm outbreak (Code-Red-style source spread)",
+        ),
         (TrafficProfile::Background, 80_000, "back to benign"),
-        (TrafficProfile::DdosFlood, 100_000, "DDoS flood with spoofed sources"),
+        (
+            TrafficProfile::DdosFlood,
+            100_000,
+            "DDoS flood with spoofed sources",
+        ),
     ];
 
-    println!("{:<50} {:>14} {:>14} {:>9}", "phase", "true sources", "estimate", "error");
+    println!(
+        "{:<50} {:>14} {:>14} {:>9}",
+        "phase", "true sources", "estimate", "error"
+    );
     let mut previous_estimate = 0.0f64;
+    let mut batch = Vec::with_capacity(4096);
     for (profile, packets, label) in phases {
         trace.set_profile(profile);
         for _ in 0..packets {
-            let pkt = trace.next_packet();
-            sketch.insert(pkt.source_key());
+            batch.push(trace.next_packet().source_key());
+            if batch.len() == batch.capacity() {
+                engine.insert_batch(&batch);
+                batch.clear();
+            }
         }
+        engine.insert_batch(&batch);
+        batch.clear();
+
         let truth = trace.distinct_sources();
-        let estimate = sketch.estimate_f0();
+        let estimate = engine.estimate();
         let err = (estimate - truth as f64).abs() / truth as f64;
         let growth = if previous_estimate > 0.0 {
             estimate / previous_estimate
@@ -54,9 +80,10 @@ fn main() {
         previous_estimate = estimate;
     }
 
+    let merged = engine.finish().expect("uniformly seeded shards");
     println!(
-        "\nsketch footprint: {} bits ({:.1} KiB) for a 2^32 address space",
-        sketch.space_bits(),
-        sketch.space_bits() as f64 / 8192.0
+        "\nper-shard sketch footprint: {} bits ({:.1} KiB) for a 2^32 address space, {shards} shards",
+        merged.space_bits(),
+        merged.space_bits() as f64 / 8192.0
     );
 }

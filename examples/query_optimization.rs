@@ -62,7 +62,10 @@ fn main() {
         status.observe(status_gen.next_item());
     }
 
-    println!("{:<45} {:>10} {:>12} {:>12} {:>8}", "column", "rows", "true NDV", "est. NDV", "error");
+    println!(
+        "{:<45} {:>10} {:>12} {:>12} {:>8}",
+        "column", "rows", "true NDV", "est. NDV", "error"
+    );
     for col in [&customer_id, &product_id, &status] {
         let truth = col.exact.len() as f64;
         let est = col.ndv();
@@ -87,7 +90,11 @@ fn main() {
     println!("  orders ⋈ products  : {join_products:.0}");
     println!(
         "  → the optimizer would join {} first",
-        if join_customers < join_products { "customers" } else { "products" }
+        if join_customers < join_products {
+            "customers"
+        } else {
+            "products"
+        }
     );
 
     // Partitioned scan: two shards of the same column, sketched independently

@@ -31,16 +31,32 @@ fn main() {
     println!("true distinct count  : {truth}");
     println!("KNW estimate         : {estimate:.0}");
     println!("relative error       : {:.2}%", 100.0 * relative_error);
-    println!("sketch space         : {} bits ({:.1} KiB)", sketch.space_bits(), sketch.space_bits() as f64 / 8192.0);
-    println!("exact set would need : {} bits ({:.1} KiB)", truth * 64, (truth * 64) as f64 / 8192.0);
-    println!("counter bit budget A : {} (FAIL threshold 3K = {})", sketch.counter_bits(), 3 * sketch.num_counters());
+    println!(
+        "sketch space         : {} bits ({:.1} KiB)",
+        sketch.space_bits(),
+        sketch.space_bits() as f64 / 8192.0
+    );
+    println!(
+        "exact set would need : {} bits ({:.1} KiB)",
+        truth * 64,
+        (truth * 64) as f64 / 8192.0
+    );
+    println!(
+        "counter bit budget A : {} (FAIL threshold 3K = {})",
+        sketch.counter_bits(),
+        3 * sketch.num_counters()
+    );
 
     // Midstream reporting is O(1): ask for an estimate at any time.
     let mut midstream = KnwF0Sketch::new(F0Config::new(0.05, universe).with_seed(9));
     for (t, &item) in stream.iter().enumerate() {
         midstream.insert(item);
         if (t + 1) % 500_000 == 0 {
-            println!("after {:>9} updates the estimate is {:.0}", t + 1, midstream.estimate());
+            println!(
+                "after {:>9} updates the estimate is {:.0}",
+                t + 1,
+                midstream.estimate()
+            );
         }
     }
 }

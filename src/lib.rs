@@ -2,6 +2,7 @@
 
 pub use knw_baselines as baselines;
 pub use knw_core as core;
+pub use knw_engine as engine;
 pub use knw_hash as hash;
 pub use knw_stream as stream;
 pub use knw_vla as vla;

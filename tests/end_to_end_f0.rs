@@ -4,8 +4,8 @@
 
 use knw::baselines::{ExactCounter, HyperLogLog};
 use knw::core::{
-    CardinalityEstimator, F0Config, HashStrategy, KnwF0Sketch, MedianAmplified,
-    MergeableEstimator, SpaceUsage,
+    CardinalityEstimator, F0Config, HashStrategy, KnwF0Sketch, MedianAmplified, MergeableEstimator,
+    SpaceUsage,
 };
 use knw::stream::{
     ClusteredGenerator, NetworkTraceGenerator, StreamGenerator, TrafficProfile, UniformGenerator,
@@ -32,7 +32,11 @@ fn knw_tracks_uniform_zipf_and_clustered_workloads() {
         for &i in &items {
             exact.insert(i);
         }
-        assert_eq!(exact.estimate(), truth, "generator ground truth is consistent");
+        assert_eq!(
+            exact.estimate(),
+            truth,
+            "generator ground truth is consistent"
+        );
         // The single-run guarantee is (1 ± O(ε)) with constant probability and
         // a noticeable constant (see EXPERIMENTS.md E3); use the median over a
         // few independent sketches for a stable integration check.
@@ -108,7 +112,11 @@ fn distributed_monitors_merge_into_a_global_view() {
     let merged = merged.expect("three sites processed");
     let truth = exact.estimate();
     let rel = relative_error(merged.estimate(), truth);
-    assert!(rel < 0.6, "merged estimate {} vs truth {truth}", merged.estimate());
+    assert!(
+        rel < 0.6,
+        "merged estimate {} vs truth {truth}",
+        merged.estimate()
+    );
 }
 
 #[test]

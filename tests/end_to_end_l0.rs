@@ -105,9 +105,7 @@ fn l0_and_f0_agree_on_insert_only_streams() {
     // On insertion-only streams L0 = F0; the two sketches should agree within
     // their combined error budgets.
     let mut l0 = l0_sketch(0.05, 21);
-    let mut f0 = knw::core::KnwF0Sketch::new(
-        knw::core::F0Config::new(0.05, 1 << 20).with_seed(22),
-    );
+    let mut f0 = knw::core::KnwF0Sketch::new(knw::core::F0Config::new(0.05, 1 << 20).with_seed(22));
     let truth = 30_000u64;
     for i in 0..truth {
         l0.update(i, 1);

@@ -115,7 +115,11 @@ fn merge_error_paths_leave_target_untouched() {
     }
     let before = a.estimate();
     assert!(a.merge_from(&b).is_err());
-    assert_eq!(a.estimate(), before, "failed merge must not mutate the target");
+    assert_eq!(
+        a.estimate(),
+        before,
+        "failed merge must not mutate the target"
+    );
 }
 
 #[test]

@@ -1,0 +1,159 @@
+//! End-to-end tests of the mergeable sketch contract and the sharded engine:
+//! for every mergeable F0 estimator, sharding a stream and merging the shard
+//! sketches must reproduce the single-stream estimate *exactly*, the error
+//! cases must be surfaced, and the threaded engine must agree with its
+//! deterministic sequential fallback.
+
+use knw::baselines::all_f0_estimators;
+use knw::core::{CardinalityEstimator, F0Config, KnwF0Sketch, MergeableEstimator, SketchError};
+use knw::engine::{EngineConfig, ShardRouter, ShardedF0Engine};
+use knw::stream::{partition_by_item, partition_round_robin, StreamGenerator, ZipfGenerator};
+
+const EPS: f64 = 0.1;
+const UNIVERSE: u64 = 1 << 20;
+const SEED: u64 = 77;
+
+fn stream(len: usize) -> Vec<u64> {
+    ZipfGenerator::new(UNIVERSE, 1.05, 13).take_vec(len)
+}
+
+/// Satellite requirement: `merge(shard_1..shard_k).estimate()` equals the
+/// single-stream estimate exactly, for every mergeable sketch in the zoo,
+/// under both partitioning disciplines and several shard counts.
+#[test]
+fn every_mergeable_sketch_merges_exactly_across_shards() {
+    let items = stream(40_000);
+    for shards in [2usize, 3, 5] {
+        for (label, parts) in [
+            ("round-robin", partition_round_robin(&items, shards, 64)),
+            ("by-item", partition_by_item(&items, shards)),
+        ] {
+            let mut merged_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+            let mut single_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+            // One sketch per shard per estimator; merge shard 1..k into 0.
+            for (est_idx, merged) in merged_zoo.iter_mut().enumerate() {
+                merged.insert_batch(&parts[0]);
+                for part in &parts[1..] {
+                    let mut shard_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+                    let shard = &mut shard_zoo[est_idx];
+                    shard.insert_batch(part);
+                    merged
+                        .merge_dyn(shard.as_ref())
+                        .expect("shards share type, config and seed");
+                }
+            }
+            for (merged, single) in merged_zoo.iter().zip(single_zoo.iter_mut()) {
+                single.insert_batch(&items);
+                assert_eq!(
+                    merged.estimate(),
+                    single.estimate(),
+                    "{} deviates from the single-stream run ({label}, {shards} shards)",
+                    merged.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mismatched_seed_and_epsilon_merges_are_rejected() {
+    // Same epsilon, different seed.
+    let cfg_a = F0Config::new(EPS, UNIVERSE).with_seed(1);
+    let cfg_b = F0Config::new(EPS, UNIVERSE).with_seed(2);
+    let mut a = KnwF0Sketch::new(cfg_a);
+    let b = KnwF0Sketch::new(cfg_b);
+    assert_eq!(a.merge_from(&b), Err(SketchError::SeedMismatch));
+    // Same seed, different epsilon.
+    let mut c = KnwF0Sketch::new(F0Config::new(0.25, UNIVERSE).with_seed(1));
+    assert!(matches!(
+        c.merge_from(&a),
+        Err(SketchError::IncompatibleConfig { .. })
+    ));
+    // Cross-seed rejections across the whole zoo (the seed-independent exact
+    // counter is exempt).
+    let mut zoo_a = all_f0_estimators(EPS, UNIVERSE, 1);
+    let zoo_b = all_f0_estimators(EPS, UNIVERSE, 2);
+    for (x, y) in zoo_a.iter_mut().zip(zoo_b.iter()) {
+        if x.name() == "exact" {
+            continue;
+        }
+        assert!(
+            x.merge_dyn(y.as_ref()).is_err(),
+            "{} accepted a cross-seed merge",
+            x.name()
+        );
+    }
+    // Cross-type rejections.
+    let mut zoo = all_f0_estimators(EPS, UNIVERSE, 1);
+    let other = all_f0_estimators(EPS, UNIVERSE, 1);
+    let err = zoo[2].merge_dyn(other[3].as_ref()).unwrap_err();
+    assert!(matches!(err, SketchError::TypeMismatch { .. }));
+}
+
+/// Acceptance criterion: a 4-shard engine produces the same estimate as a
+/// single `KnwF0Sketch` over the same stream — and agrees with the
+/// sequential `ShardRouter` fallback.
+#[test]
+fn four_shard_engine_matches_single_sketch_and_router() {
+    let cfg = F0Config::new(0.05, UNIVERSE).with_seed(SEED);
+    let items = stream(80_000);
+    let engine_config = EngineConfig::new(4).with_batch_size(2048);
+
+    let mut single = KnwF0Sketch::new(cfg);
+    single.insert_batch(&items);
+
+    let mut engine = ShardedF0Engine::new(engine_config, move |_| KnwF0Sketch::new(cfg));
+    engine.insert_batch(&items);
+
+    let mut router = ShardRouter::new(engine_config, move |_| KnwF0Sketch::new(cfg));
+    router.insert_batch(&items);
+
+    let direct = single.estimate_f0();
+    assert_eq!(engine.estimate(), direct);
+    assert_eq!(CardinalityEstimator::estimate(&router), direct);
+
+    let merged = engine.finish().expect("uniformly seeded shards");
+    assert_eq!(merged.estimate_f0(), direct);
+    assert_eq!(merged.base_level(), single.base_level());
+    assert_eq!(merged.occupancy(), single.occupancy());
+    assert_eq!(merged.updates_processed(), single.updates_processed());
+}
+
+/// The engine is generic over the shard sketch: run it over a mergeable
+/// baseline and check the same exactness holds.
+#[test]
+fn engine_is_generic_over_mergeable_baselines() {
+    use knw::baselines::HyperLogLog;
+    let items = stream(30_000);
+    let mut single = HyperLogLog::with_error(0.05, SEED);
+    single.insert_batch(&items);
+    let mut engine = ShardedF0Engine::new(EngineConfig::new(3), move |_| {
+        HyperLogLog::with_error(0.05, SEED)
+    });
+    engine.insert_batch(&items);
+    assert_eq!(engine.estimate(), single.estimate());
+}
+
+/// Batched ingestion through the trait object reports the same estimates as
+/// per-item ingestion for the entire zoo (the batch default and the sketch
+/// fast paths are semantically transparent).
+#[test]
+fn batch_and_per_item_ingestion_agree_for_the_zoo() {
+    let items = stream(20_000);
+    let mut batched = all_f0_estimators(EPS, UNIVERSE, SEED);
+    let mut per_item = all_f0_estimators(EPS, UNIVERSE, SEED);
+    for (b, p) in batched.iter_mut().zip(per_item.iter_mut()) {
+        for chunk in items.chunks(333) {
+            b.insert_batch(chunk);
+        }
+        for &i in &items {
+            p.insert(i);
+        }
+        assert_eq!(
+            b.estimate(),
+            p.estimate(),
+            "{} batch path diverged",
+            b.name()
+        );
+    }
+}
