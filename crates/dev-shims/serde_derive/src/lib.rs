@@ -1,0 +1,366 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Provides `#[derive(Serialize)]` and `#[derive(Deserialize)]` generating
+//! implementations of the sibling `serde` shim's traits (a compact binary
+//! codec), so the workspace's sketch types can keep the exact derive
+//! attributes they would carry against the real serde.
+//!
+//! The real `serde_derive` rides on `syn`/`quote`; offline environments have
+//! neither, so this shim parses the item declaration directly from the
+//! `proc_macro` token stream.  The supported surface is deliberately the
+//! shapes the workspace uses:
+//!
+//! * non-generic structs with named fields, tuple structs, unit structs;
+//! * non-generic enums whose variants are unit, tuple or struct-like
+//!   (serialized as a `u32` variant index followed by the fields);
+//! * no field attributes (`#[serde(...)]` is not interpreted).
+//!
+//! Unsupported shapes fail the build with a clear message rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Fields of a struct or struct-like variant.
+enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (only the arity matters).
+    Tuple(usize),
+    /// No fields at all (`struct X;` / unit variant).
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Derives the serde shim's `Serialize` for a struct or enum.
+///
+/// # Panics
+///
+/// Panics (failing the build) on generic types or other unsupported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_stmts(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut Vec<u8>) {{\n{body}    }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                let tag = format!("            ::serde::Serialize::serialize(&{idx}u32, out);\n");
+                match &variant.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "            {name}::{vname} => {{\n{tag}            }}\n"
+                        ));
+                    }
+                    Fields::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("field{i}")).collect();
+                        let pattern = binders.join(", ");
+                        let mut body = tag;
+                        for binder in &binders {
+                            body.push_str(&format!(
+                                "            ::serde::Serialize::serialize({binder}, out);\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "            {name}::{vname}({pattern}) => {{\n{body}            }}\n"
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let pattern = names.join(", ");
+                        let mut body = tag;
+                        for field in names {
+                            body.push_str(&format!(
+                                "            ::serde::Serialize::serialize({field}, out);\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "            {name}::{vname} {{ {pattern} }} => {{\n{body}            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut Vec<u8>) {{\n\
+                         match self {{\n{arms}        }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` for a struct or enum.
+///
+/// # Panics
+///
+/// Panics (failing the build) on generic types or other unsupported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let constructor = deserialize_constructor(fields, "Self");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(input: &mut &[u8]) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({constructor})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let constructor =
+                    deserialize_constructor(&variant.fields, &format!("{name}::{}", variant.name));
+                arms.push_str(&format!("            {idx}u32 => Ok({constructor}),\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(input: &mut &[u8]) -> Result<Self, ::serde::Error> {{\n\
+                         let tag: u32 = ::serde::Deserialize::deserialize(input)?;\n\
+                         match tag {{\n{arms}            _ => Err(::serde::Error::new(\n\
+                             format!(\"invalid variant tag {{tag}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+/// `self.`-prefixed field serialization statements for a struct body.
+fn serialize_fields_stmts(fields: &Fields, receiver: &str) -> String {
+    let mut out = String::new();
+    match fields {
+        Fields::Named(names) => {
+            for field in names {
+                out.push_str(&format!(
+                    "        ::serde::Serialize::serialize(&{receiver}{field}, out);\n"
+                ));
+            }
+        }
+        Fields::Tuple(arity) => {
+            for i in 0..*arity {
+                out.push_str(&format!(
+                    "        ::serde::Serialize::serialize(&{receiver}{i}, out);\n"
+                ));
+            }
+        }
+        Fields::Unit => {
+            out.push_str("        let _ = out;\n");
+        }
+    }
+    out
+}
+
+/// A constructor expression deserializing every field in order.
+fn deserialize_constructor(fields: &Fields, path: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|field| format!("{field}: ::serde::Deserialize::deserialize(input)?"))
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                .collect();
+            format!("{path}({})", inits.join(", "))
+        }
+        Fields::Unit => path.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving {name})");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(group.stream())),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(group.stream())),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, got `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // `#`
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => *pos += 1,
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1; // `pub(crate)` and friends
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(ident)) => {
+            *pos += 1;
+            ident.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Advances past tokens until a top-level `,` (angle-bracket depth zero),
+/// consuming the comma.  Used to skip field types and enum discriminants.
+fn skip_past_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        skip_past_top_level_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_past_top_level_comma(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let fields = Fields::Tuple(count_tuple_fields(group.stream()));
+                pos += 1;
+                fields
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = Fields::Named(parse_named_fields(group.stream()));
+                pos += 1;
+                fields
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_top_level_comma(&tokens, &mut pos);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

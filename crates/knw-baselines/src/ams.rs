@@ -18,6 +18,7 @@ use knw_hash::SpaceUsage;
 
 /// The AMS constant-factor F0 estimator (median over repetitions).
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AmsEstimator {
     hashes: Vec<PairwiseHash>,
     max_levels: Vec<u32>,
@@ -61,13 +62,11 @@ impl MergeableEstimator for AmsEstimator {
     /// semantics.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.hashes.len() != other.hashes.len() {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "repetitions {} vs {}",
-                    self.hashes.len(),
-                    other.hashes.len()
-                ),
-            });
+            return Err(SketchError::config_mismatch(
+                "repetitions",
+                self.hashes.len(),
+                other.hashes.len(),
+            ));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

@@ -21,6 +21,7 @@ use std::collections::HashSet;
 
 /// The BJKST distinct-elements sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BjkstSketch {
     /// Fingerprints of the sampled items (fingerprint collisions are part of
     /// the analysis and folded into the error budget).
@@ -94,11 +95,10 @@ impl MergeableEstimator for BjkstSketch {
     /// distinct-item set).
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.capacity != other.capacity || self.log_n != other.log_n {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "capacity {} vs {}, log n {} vs {}",
-                    self.capacity, other.capacity, self.log_n, other.log_n
-                ),
+            return Err(if self.capacity != other.capacity {
+                SketchError::config_mismatch("capacity", self.capacity, other.capacity)
+            } else {
+                SketchError::config_mismatch("log_n", self.log_n, other.log_n)
             });
         }
         if self.seed != other.seed {

@@ -8,6 +8,7 @@ use std::collections::HashSet;
 
 /// An exact distinct counter backed by a hash set.
 #[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExactCounter {
     seen: HashSet<u64>,
 }
@@ -67,6 +68,7 @@ impl CardinalityEstimator for ExactCounter {
 /// An exact L0 (Hamming norm) counter maintaining the full frequency vector,
 /// used as ground truth by the turnstile experiments.
 #[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExactL0Counter {
     frequencies: std::collections::HashMap<u64, i64>,
     nonzero: u64,
@@ -89,6 +91,19 @@ impl ExactL0Counter {
     #[must_use]
     pub fn frequency(&self, item: u64) -> i64 {
         self.frequencies.get(&item).copied().unwrap_or(0)
+    }
+}
+
+impl MergeableEstimator for ExactL0Counter {
+    type MergeError = SketchError;
+
+    /// Coordinate-wise frequency addition; exact counters are unconditionally
+    /// compatible.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        for (&item, &delta) in &other.frequencies {
+            knw_core::TurnstileEstimator::update(self, item, delta);
+        }
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@ const PHI: f64 = 0.77351;
 
 /// A PCSA (Probabilistic Counting with Stochastic Averaging) sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FlajoletMartin {
     /// One 64-bit bitmap per group.
     bitmaps: Vec<u64>,
@@ -66,13 +67,11 @@ impl MergeableEstimator for FlajoletMartin {
     /// Bitmap union (bitwise OR) — exact union semantics.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.bitmaps.len() != other.bitmaps.len() {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "group count {} vs {}",
-                    self.bitmaps.len(),
-                    other.bitmaps.len()
-                ),
-            });
+            return Err(SketchError::config_mismatch(
+                "group_count",
+                self.bitmaps.len(),
+                other.bitmaps.len(),
+            ));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

@@ -19,13 +19,14 @@
 //! a comfortably unsaturated occupancy), so this baseline does not need a
 //! separate rough oracle; that simplification only helps it.
 
-use knw_core::{SpaceUsage, TurnstileEstimator};
+use knw_core::{MergeableEstimator, SketchError, SpaceUsage, TurnstileEstimator};
 use knw_hash::bits::{ceil_log2, lsb_with_cap};
 use knw_hash::pairwise::PairwiseHash;
 use knw_hash::rng::SplitMix64;
 
 /// A Ganguly-style multi-level L0 estimator (non-negative frequencies only).
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GangulyL0 {
     /// Row-major cells: `(log n + 1) × k` signed frequency sums.
     cells: Vec<i64>,
@@ -79,6 +80,56 @@ impl GangulyL0 {
     }
 }
 
+impl MergeableEstimator for GangulyL0 {
+    type MergeError = SketchError;
+
+    /// Entrywise addition of the frequency-sum cells (they are plain linear
+    /// counters), recomputing the per-row occupancy.  Exact union semantics
+    /// hold for any pair of streams the algorithm itself supports: the merged
+    /// cells equal the cells a single run over the concatenation would hold.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.k != other.k {
+            return Err(SketchError::config_mismatch(
+                "cells_per_level",
+                self.k,
+                other.k,
+            ));
+        }
+        if self.log_n != other.log_n {
+            return Err(SketchError::config_mismatch(
+                "log_n",
+                self.log_n,
+                other.log_n,
+            ));
+        }
+        if self.log_mm != other.log_mm {
+            return Err(SketchError::config_mismatch(
+                "log_mm",
+                self.log_mm,
+                other.log_mm,
+            ));
+        }
+        if self.level_hash != other.level_hash || self.cell_hash != other.cell_hash {
+            return Err(SketchError::SeedMismatch);
+        }
+        assert_eq!(self.cells.len(), other.cells.len());
+        let k = self.k as usize;
+        for (row, nonzero) in self.row_nonzero.iter_mut().enumerate() {
+            let mut occupied = 0;
+            for col in 0..k {
+                let idx = row * k + col;
+                let merged = self.cells[idx] + other.cells[idx];
+                self.cells[idx] = merged;
+                if merged != 0 {
+                    occupied += 1;
+                }
+            }
+            *nonzero = occupied;
+        }
+        Ok(())
+    }
+}
+
 impl SpaceUsage for GangulyL0 {
     fn space_bits(&self) -> u64 {
         // Each cell charged at log(mM) bits (the frequency-sum width), which
@@ -108,6 +159,20 @@ impl TurnstileEstimator for GangulyL0 {
             (false, true) => self.row_nonzero[row] -= 1,
             _ => {}
         }
+    }
+
+    /// Delta-coalescing batch path: the cells are linear in the deltas, so
+    /// summing each item's deltas per window before touching the cells is
+    /// state-identical to the per-update loop (same justification as
+    /// [`knw_core::coalesce`]).
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        if updates.len() < knw_core::coalesce::COALESCE_MIN_BATCH {
+            for &(item, delta) in updates {
+                self.update(item, delta);
+            }
+            return;
+        }
+        knw_core::coalesce::for_each_coalesced(updates, |item, delta| self.update(item, delta));
     }
 
     fn estimate(&self) -> f64 {

@@ -19,6 +19,7 @@ use std::collections::HashSet;
 
 /// The Gibbons–Tirthapura distinct-sampling sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GibbonsTirthapura {
     /// Sampled item identifiers (full identifiers — this is the point of the
     /// comparison with BJKST).
@@ -79,11 +80,10 @@ impl MergeableEstimator for GibbonsTirthapura {
     /// designed for (exact union semantics).
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.capacity != other.capacity || self.log_n != other.log_n {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "capacity {} vs {}, log n {} vs {}",
-                    self.capacity, other.capacity, self.log_n, other.log_n
-                ),
+            return Err(if self.capacity != other.capacity {
+                SketchError::config_mismatch("capacity", self.capacity, other.capacity)
+            } else {
+                SketchError::config_mismatch("log_n", self.log_n, other.log_n)
             });
         }
         if self.seed != other.seed {

@@ -18,6 +18,7 @@ use knw_vla::SpaceUsage as VlaSpaceUsage;
 
 /// A HyperLogLog sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HyperLogLog {
     registers: FixedWidthVec,
     hash: SimpleTabulation,
@@ -76,9 +77,11 @@ impl MergeableEstimator for HyperLogLog {
     /// an order-independent function of the distinct hashed set).
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.precision != other.precision {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!("precision {} vs {}", self.precision, other.precision),
-            });
+            return Err(SketchError::config_mismatch(
+                "precision",
+                self.precision,
+                other.precision,
+            ));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 
 /// A bottom-k (K-minimum-values) sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KMinValues {
     /// The k smallest hash values seen so far (a set, so duplicates collapse).
     smallest: BTreeSet<u64>,
@@ -62,9 +63,7 @@ impl MergeableEstimator for KMinValues {
     /// combined value sets).
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.k != other.k {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!("k {} vs {}", self.k, other.k),
-            });
+            return Err(SketchError::config_mismatch("k", self.k, other.k));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

@@ -39,7 +39,7 @@ pub mod loglog;
 
 pub use ams::AmsEstimator;
 pub use bjkst::BjkstSketch;
-pub use exact::ExactCounter;
+pub use exact::{ExactCounter, ExactL0Counter};
 pub use fm::FlajoletMartin;
 pub use ganguly_l0::GangulyL0;
 pub use gibbons_tirthapura::GibbonsTirthapura;
@@ -48,7 +48,7 @@ pub use kmv::KMinValues;
 pub use linear_counting::LinearCounting;
 pub use loglog::LogLog;
 
-use knw_core::DynMergeableCardinalityEstimator;
+use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator};
 
 /// Sizing factor for the [`LinearCounting`] baseline in
 /// [`all_f0_estimators`]: the bitmap is provisioned for an expected maximum
@@ -90,6 +90,33 @@ pub fn all_f0_estimators(
         Box::new(LinearCounting::with_capacity(lc_capacity, seed)),
         Box::new(AmsEstimator::new(64, seed)),
         Box::new(ExactCounter::new()),
+    ]
+}
+
+/// Builds one instance of every *turnstile* (deletion-aware) estimator with
+/// exact union semantics, at a comparable accuracy target — the L0
+/// counterpart of [`all_f0_estimators`].
+///
+/// Every entry merges by entrywise addition of its linear counter state
+/// ([`DynMergeableTurnstileEstimator::merge_dyn`]): the KNW L0 sketch
+/// (Lemma 6 field counters), the Ganguly baseline (plain frequency-sum
+/// cells) and the exact ground-truth counter.  Two zoos built with the same
+/// parameters therefore merge entry-by-entry into the zoo a single run over
+/// the concatenated update streams would produce, bit for bit.
+#[must_use]
+pub fn all_l0_estimators(
+    epsilon: f64,
+    universe: u64,
+    seed: u64,
+) -> Vec<Box<dyn DynMergeableTurnstileEstimator>> {
+    let cfg = knw_core::L0Config::new(epsilon, universe)
+        .with_seed(seed)
+        .with_stream_length_bound(1 << 32)
+        .with_update_magnitude_bound(1 << 20);
+    vec![
+        Box::new(knw_core::KnwL0Sketch::new(cfg)),
+        Box::new(GangulyL0::new(epsilon, universe, cfg.log_mm(), seed)),
+        Box::new(ExactL0Counter::new()),
     ]
 }
 
@@ -173,5 +200,84 @@ mod tests {
         let zoo = all_f0_estimators(0.2, 1 << 12, 1);
         let names: HashSet<&'static str> = zoo.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), zoo.len());
+    }
+
+    fn signed_stream(len: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..len)
+            .map(|_| {
+                // Non-negative final frequencies are not guaranteed here, but
+                // every estimator in the turnstile zoo tolerates mixed signs
+                // for *merge exactness* (the counters are linear either way).
+                (next() % universe, (next() % 9) as i64 - 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn l0_zoo_is_complete_and_functional() {
+        let mut zoo = all_l0_estimators(0.1, 1 << 16, 42);
+        assert_eq!(zoo.len(), 3);
+        for est in &mut zoo {
+            for i in 0..3_000u64 {
+                est.update(i % 500, 2);
+            }
+            let e = est.estimate();
+            assert!(
+                e > 0.0 && e.is_finite(),
+                "{} produced a degenerate estimate {e}",
+                est.name()
+            );
+        }
+    }
+
+    #[test]
+    fn l0_zoo_merges_match_the_union_stream_exactly() {
+        let (eps, universe, seed) = (0.1, 1 << 16, 9);
+        let mut left = all_l0_estimators(eps, universe, seed);
+        let mut right = all_l0_estimators(eps, universe, seed);
+        let mut union = all_l0_estimators(eps, universe, seed);
+        let updates = signed_stream(8_000, 4_096, 77);
+        let (a, b) = updates.split_at(updates.len() / 3);
+        for ((l, r), u) in left.iter_mut().zip(right.iter_mut()).zip(union.iter_mut()) {
+            l.update_batch(a);
+            r.update_batch(b);
+            u.update_batch(&updates);
+        }
+        for (l, r) in left.iter_mut().zip(right.iter()) {
+            l.merge_dyn(r.as_ref()).expect("same type and seed");
+        }
+        for (l, u) in left.iter().zip(union.iter()) {
+            assert_eq!(
+                l.estimate(),
+                u.estimate(),
+                "{} merge deviates from the union stream",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn l0_zoo_merge_rejects_cross_type_and_cross_seed() {
+        let mut zoo_a = all_l0_estimators(0.2, 1 << 12, 1);
+        let zoo_b = all_l0_estimators(0.2, 1 << 12, 2);
+        let err = zoo_a[0].merge_dyn(zoo_b[1].as_ref()).unwrap_err();
+        assert!(matches!(err, knw_core::SketchError::TypeMismatch { .. }));
+        for (a, b) in zoo_a.iter_mut().zip(zoo_b.iter()) {
+            if a.name() == "exact-l0" {
+                continue;
+            }
+            assert!(
+                a.merge_dyn(b.as_ref()).is_err(),
+                "{} accepted a cross-seed merge",
+                a.name()
+            );
+        }
     }
 }

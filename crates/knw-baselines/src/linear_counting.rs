@@ -19,6 +19,7 @@ use knw_vla::SpaceUsage as VlaSpaceUsage;
 
 /// A linear-counting bitmap sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinearCounting {
     bits: BitVec,
     set_bits: u64,
@@ -68,9 +69,11 @@ impl MergeableEstimator for LinearCounting {
     /// Bitmap union (bitwise OR) — exact union semantics.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.bits.len() != other.bits.len() {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!("bitmap size {} vs {}", self.bits.len(), other.bits.len()),
-            });
+            return Err(SketchError::config_mismatch(
+                "bitmap_size",
+                self.bits.len(),
+                other.bits.len(),
+            ));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

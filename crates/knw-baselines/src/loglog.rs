@@ -17,6 +17,7 @@ use knw_vla::SpaceUsage as VlaSpaceUsage;
 
 /// A LogLog sketch with `m` 6-bit registers.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LogLog {
     registers: FixedWidthVec,
     hash: SimpleTabulation,
@@ -67,13 +68,11 @@ impl MergeableEstimator for LogLog {
     /// Pointwise register maximum — exact union semantics.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         if self.bucket_bits != other.bucket_bits {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "register count {} vs {}",
-                    self.registers.len(),
-                    other.registers.len()
-                ),
-            });
+            return Err(SketchError::config_mismatch(
+                "register_count",
+                self.registers.len(),
+                other.registers.len(),
+            ));
         }
         if self.seed != other.seed {
             return Err(SketchError::SeedMismatch);

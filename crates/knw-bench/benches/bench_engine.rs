@@ -2,12 +2,17 @@
 //!
 //! Measures ingestion throughput (items/sec) of `ShardedF0Engine` as a
 //! function of shard count and hand-off batch size, and prints the headline
-//! comparison the engine exists for: batched sharded ingestion vs per-item
-//! sequential `insert` on a 10M-item stream (the acceptance target is ≥ 2×).
+//! comparisons the engine exists for:
+//!
+//! * F0: batched sharded ingestion vs per-item sequential `insert` on a
+//!   10M-item stream (acceptance target ≥ 2×);
+//! * L0: `update_batch` (the delta-coalescing fast path) vs per-update
+//!   sequential `update` on a 10M-update turnstile churn stream (acceptance
+//!   target ≥ 5×), plus the 4-shard `ShardedL0Engine` on the same stream.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use knw_core::{F0Config, KnwF0Sketch};
-use knw_engine::{EngineConfig, ShardedF0Engine};
+use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
+use knw_engine::{EngineConfig, ShardedF0Engine, ShardedL0Engine};
 use knw_stream::{StreamGenerator, UniformGenerator};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -125,10 +130,103 @@ fn speedup_summary(_c: &mut Criterion) {
     );
 }
 
+/// A 10M-update turnstile stream with transactional burst churn: ~512
+/// concurrently open items, each receiving ~12 signed updates over a short
+/// lifetime, 60% deleted outright at the end of their burst — the
+/// insert-correct-delete locality of data-cleaning and sliding-window
+/// workloads, which is precisely the regime the `update_batch` coalescing
+/// fast path exploits.
+fn turnstile_churn_stream(len: usize, universe: u64) -> Vec<(u64, i64)> {
+    const OPEN: usize = 512;
+    const TOUCHES: u32 = 12;
+    let mut out = Vec::with_capacity(len);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut open: Vec<(u64, i64, u32)> = (0..OPEN as u64)
+        .map(|i| (i.wrapping_mul(0x2545_F491_4F6C_DD1D) % universe, 0i64, 0u32))
+        .collect();
+    while out.len() < len {
+        let idx = (next() as usize) % OPEN;
+        let (item, sum, touches) = open[idx];
+        if touches >= TOUCHES {
+            // Close the burst: 60% of items are deleted outright.
+            if next() % 10 < 6 && sum != 0 {
+                out.push((item, -sum));
+            }
+            open[idx] = (next() % universe, 0, 0);
+        } else {
+            let mut delta = (next() % 9) as i64 - 4;
+            if delta == 0 {
+                delta = 1;
+            }
+            out.push((item, delta));
+            open[idx] = (item, sum + delta, touches + 1);
+        }
+    }
+    out
+}
+
+/// The L0 acceptance comparison: per-update sequential `update` vs the
+/// `update_batch` coalescing fast path (acceptance: ≥ 5×) vs the 4-shard
+/// turnstile engine, over the same 10M-update churn stream.
+fn l0_speedup_summary(_c: &mut Criterion) {
+    let updates = turnstile_churn_stream(STREAM_LEN, 1 << 24);
+    let config = L0Config::new(0.05, 1 << 24).with_seed(7);
+
+    let time = |label: &str, f: &mut dyn FnMut() -> f64| {
+        let start = Instant::now();
+        let estimate = f();
+        let elapsed = start.elapsed();
+        let throughput = updates.len() as f64 / elapsed.as_secs_f64() / 1e6;
+        println!(
+            "{label:<44} {elapsed:>10.2?}  {throughput:>9.2} Melem/s  (estimate {estimate:.0})"
+        );
+        elapsed
+    };
+
+    println!("\n== 10M-update turnstile ingestion comparison ==");
+    let per_update = time("sequential, per-update update", &mut || {
+        let mut sketch = KnwL0Sketch::new(config);
+        for &(item, delta) in &updates {
+            sketch.update(black_box(item), black_box(delta));
+        }
+        sketch.estimate_l0()
+    });
+    let batched = time("sequential, update_batch(256Ki chunks)", &mut || {
+        let mut sketch = KnwL0Sketch::new(config);
+        for chunk in updates.chunks(1 << 18) {
+            sketch.update_batch(black_box(chunk));
+        }
+        sketch.estimate_l0()
+    });
+    time("4-shard L0 engine, batched hand-off", &mut || {
+        let mut engine =
+            ShardedL0Engine::new(EngineConfig::new(4), move |_| KnwL0Sketch::new(config));
+        engine.update_batch(black_box(&updates));
+        engine.finish().expect("uniform shards").estimate_l0()
+    });
+
+    let speedup = per_update.as_secs_f64() / batched.as_secs_f64();
+    println!(
+        "batched turnstile ingestion speedup over per-update: {speedup:.2}x {}",
+        if speedup >= 5.0 {
+            "(meets the >=5x target)"
+        } else {
+            "(BELOW the 5x target)"
+        }
+    );
+}
+
 criterion_group!(
     benches,
     bench_shard_scaling,
     bench_batch_size,
-    speedup_summary
+    speedup_summary,
+    l0_speedup_summary
 );
 criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Delta coalescing for batched turnstile ingestion.
+//!
+//! Every turnstile structure in this workspace (the Lemma 6 counter matrix,
+//! the Lemma 8 exact structures, the Theorem 11 rough oracle's levels, the
+//! Ganguly baseline's frequency cells) is **linear** in the update deltas:
+//! applying `(i, d₁)` then `(i, d₂)` leaves exactly the state of applying
+//! `(i, d₁ + d₂)`, and an update with delta `0` is a no-op.  The batched
+//! ingestion fast path exploits this by summing, within a bounded window of
+//! the batch, all deltas per item before touching any sketch component:
+//!
+//! * repeated updates to one item collapse into a single component update
+//!   (one pass over the matrix/oracle/exact structures instead of many);
+//! * churn that cancels within the window (insert-then-delete, the dominant
+//!   pattern of sliding-window and data-cleaning workloads) skips component
+//!   work entirely.
+//!
+//! This is the turnstile analogue of the F0 batch path's level filter: where
+//! the F0 sketch can skip items whose level falls below the subsampling base,
+//! the linear L0 structures can skip *work*, not items, by algebra alone —
+//! the resulting sketch state is bit-identical to the per-item run.
+//!
+//! The window ([`COALESCE_WINDOW`]) bounds the scratch table so arbitrarily
+//! large caller batches don't translate into unbounded allocations.
+
+use knw_hash::rng::mix64;
+
+/// Number of updates coalesced per scratch-table window.
+///
+/// Chosen so the open-addressing table (2× the window, ~25 bytes per slot)
+/// stays comfortably inside the L2 cache while still spanning enough of the
+/// stream to catch the insert/delete locality of churn-heavy workloads.
+pub const COALESCE_WINDOW: usize = 1 << 16;
+
+/// Below this batch length the scratch table costs more than it saves; the
+/// caller should fall back to the plain per-update loop.
+pub const COALESCE_MIN_BATCH: usize = 64;
+
+/// One open-addressing slot: the item and its accumulated delta, fused so a
+/// probe costs one cache line, not three.
+#[derive(Clone, Copy)]
+struct Slot {
+    key: u64,
+    sum: i64,
+}
+
+/// Calls `apply(item, delta)` once per distinct item of each
+/// [`COALESCE_WINDOW`]-sized window of `updates`, with `delta` the sum of the
+/// item's deltas in that window; items whose deltas cancel to zero (and
+/// updates with zero delta) are skipped.
+///
+/// For any structure that is linear in the deltas, driving it through this
+/// function is state-identical to applying every update individually.  Items
+/// are applied in first-occurrence order within each window, so the sequence
+/// of `apply` calls is deterministic.
+///
+/// Delta sums are accumulated in `i64`; in the (astronomically unlikely)
+/// event of overflow, the accumulated part is applied immediately and the
+/// slot restarts from the incoming delta — still exact by linearity, merely
+/// splitting one item's total across two `apply` calls.
+pub fn for_each_coalesced(updates: &[(u64, i64)], mut apply: impl FnMut(u64, i64)) {
+    let window = updates.len().min(COALESCE_WINDOW);
+    let capacity = (window * 2).next_power_of_two().max(64);
+    let mask = capacity - 1;
+    let mut slots = vec![Slot { key: 0, sum: 0 }; capacity];
+    // Occupancy as a bitmap: 2 bits of metadata per slot keep the whole
+    // used-set L1/L2-resident even when the slot array spills to L3.
+    let mut used = vec![0u64; capacity / 64];
+    let mut order: Vec<u32> = Vec::with_capacity(window);
+
+    for chunk in updates.chunks(COALESCE_WINDOW) {
+        for &(item, delta) in chunk {
+            if delta == 0 {
+                continue;
+            }
+            let mut slot = (mix64(item) as usize) & mask;
+            loop {
+                let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+                if used[word] & bit == 0 {
+                    used[word] |= bit;
+                    slots[slot] = Slot {
+                        key: item,
+                        sum: delta,
+                    };
+                    order.push(slot as u32);
+                    break;
+                }
+                if slots[slot].key == item {
+                    match slots[slot].sum.checked_add(delta) {
+                        Some(sum) => slots[slot].sum = sum,
+                        None => {
+                            // Overflow: flush the accumulated part now and
+                            // restart the slot from this delta.
+                            apply(item, slots[slot].sum);
+                            slots[slot].sum = delta;
+                        }
+                    }
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        for &slot in &order {
+            let slot = slot as usize;
+            used[slot / 64] &= !(1u64 << (slot % 64));
+            let Slot { key, sum } = slots[slot];
+            if sum != 0 {
+                apply(key, sum);
+            }
+        }
+        order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn coalesce_to_map(updates: &[(u64, i64)]) -> HashMap<u64, i64> {
+        let mut out: HashMap<u64, i64> = HashMap::new();
+        for_each_coalesced(updates, |item, delta| {
+            *out.entry(item).or_insert(0) += delta;
+        });
+        out.retain(|_, v| *v != 0);
+        out
+    }
+
+    fn reference_map(updates: &[(u64, i64)]) -> HashMap<u64, i64> {
+        let mut out: HashMap<u64, i64> = HashMap::new();
+        for &(item, delta) in updates {
+            *out.entry(item).or_insert(0) += delta;
+        }
+        out.retain(|_, v| *v != 0);
+        out
+    }
+
+    #[test]
+    fn sums_deltas_per_item() {
+        let updates = [(1u64, 3i64), (2, -1), (1, 4), (3, 2), (2, 1)];
+        assert_eq!(coalesce_to_map(&updates), reference_map(&updates));
+    }
+
+    #[test]
+    fn cancelling_items_are_skipped_entirely() {
+        let updates = [(9u64, 5i64), (9, -5), (7, 1)];
+        let mut calls = Vec::new();
+        for_each_coalesced(&updates, |item, delta| calls.push((item, delta)));
+        assert_eq!(calls, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn zero_deltas_are_ignored() {
+        let mut calls = Vec::new();
+        for_each_coalesced(&[(4u64, 0i64), (4, 0)], |item, delta| {
+            calls.push((item, delta));
+        });
+        assert!(calls.is_empty());
+    }
+
+    #[test]
+    fn application_order_is_first_occurrence() {
+        let updates = [(10u64, 1i64), (20, 1), (10, 1), (30, 1)];
+        let mut items = Vec::new();
+        for_each_coalesced(&updates, |item, _| items.push(item));
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn random_batches_match_reference_across_window_boundaries() {
+        let mut state = 0xD00D_F00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<(u64, i64)> = (0..3 * COALESCE_WINDOW)
+            .map(|_| (next() % 997, (next() % 11) as i64 - 5))
+            .collect();
+        assert_eq!(coalesce_to_map(&updates), reference_map(&updates));
+    }
+
+    #[test]
+    fn i64_overflow_is_split_into_steps() {
+        let updates = [(5u64, i64::MAX), (5, i64::MAX), (5, 2), (5, i64::MIN)];
+        let mut total: i128 = 0;
+        let mut calls = 0;
+        for_each_coalesced(&updates, |item, delta| {
+            assert_eq!(item, 5);
+            total += i128::from(delta);
+            calls += 1;
+        });
+        assert_eq!(total, 2 * i128::from(i64::MAX) + 2 + i128::from(i64::MIN));
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn colliding_slots_probe_correctly() {
+        // Many distinct items force open-addressing probes; the multiset of
+        // (item, delta) pairs must still match the reference.
+        let updates: Vec<(u64, i64)> = (0..10_000u64).map(|i| (i, 1i64)).collect();
+        assert_eq!(coalesce_to_map(&updates), reference_map(&updates));
+    }
+}

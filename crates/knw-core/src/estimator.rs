@@ -176,6 +176,55 @@ where
     }
 }
 
+/// Object-safe mergeable turnstile estimator: the erased counterpart of
+/// [`MergeableEstimator`] for L0 sketches, usable behind `Box<dyn …>`.
+///
+/// This mirrors [`DynMergeableCardinalityEstimator`] on the turnstile side:
+/// the L0 sketches in this workspace are built from *linear* counters
+/// (Lemma 6 / Lemma 8 of the paper), so two sketches over disjoint update
+/// streams merge by entrywise field addition, and heterogeneous collections
+/// (the turnstile baseline zoo, the sharded L0 engine's shard set) can be
+/// merged without knowing concrete types.
+///
+/// The trait is implemented automatically (blanket impl) for every sized
+/// turnstile estimator whose [`MergeableEstimator::MergeError`] is
+/// [`SketchError`], so sketch authors only ever implement the
+/// statically-typed trait.
+pub trait DynMergeableTurnstileEstimator: TurnstileEstimator {
+    /// The receiver as [`Any`], enabling the downcast in
+    /// [`merge_dyn`](Self::merge_dyn).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Type-erased merge: downcasts `other` to `Self` and delegates to
+    /// [`MergeableEstimator::merge_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::TypeMismatch`] when `other` is a different
+    /// concrete estimator, or the underlying merge error when configurations
+    /// or seeds differ.
+    fn merge_dyn(&mut self, other: &dyn DynMergeableTurnstileEstimator) -> Result<(), SketchError>;
+}
+
+impl<T> DynMergeableTurnstileEstimator for T
+where
+    T: TurnstileEstimator + MergeableEstimator<MergeError = SketchError> + Any,
+{
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn merge_dyn(&mut self, other: &dyn DynMergeableTurnstileEstimator) -> Result<(), SketchError> {
+        match other.as_any().downcast_ref::<T>() {
+            Some(concrete) => self.merge_from(concrete),
+            None => Err(SketchError::TypeMismatch {
+                expected: self.name(),
+                found: other.name(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

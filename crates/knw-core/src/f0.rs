@@ -66,6 +66,7 @@ pub const PAPER_SUBSAMPLE_DIVISOR: u64 = 32;
 
 /// The space-optimal KNW F0 (distinct elements) sketch.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KnwF0Sketch {
     config: F0Config,
     /// Number of counters `K = 1/ε²` (power of two).
@@ -416,20 +417,33 @@ impl KnwF0Sketch {
     }
 
     fn compatible(&self, other: &Self) -> Result<(), SketchError> {
-        if self.config.epsilon != other.config.epsilon
-            || self.config.universe != other.config.universe
-            || self.config.hash_strategy != other.config.hash_strategy
-            || self.subsample_divisor != other.subsample_divisor
-        {
-            return Err(SketchError::IncompatibleConfig {
-                detail: format!(
-                    "epsilon {} vs {}, universe {} vs {}",
-                    self.config.epsilon,
-                    other.config.epsilon,
-                    self.config.universe,
-                    other.config.universe
-                ),
-            });
+        if self.config.epsilon != other.config.epsilon {
+            return Err(SketchError::config_mismatch(
+                "epsilon",
+                self.config.epsilon,
+                other.config.epsilon,
+            ));
+        }
+        if self.config.universe != other.config.universe {
+            return Err(SketchError::config_mismatch(
+                "universe",
+                self.config.universe,
+                other.config.universe,
+            ));
+        }
+        if self.config.hash_strategy != other.config.hash_strategy {
+            return Err(SketchError::config_mismatch(
+                "hash_strategy",
+                self.config.hash_strategy,
+                other.config.hash_strategy,
+            ));
+        }
+        if self.subsample_divisor != other.subsample_divisor {
+            return Err(SketchError::config_mismatch(
+                "subsample_divisor",
+                self.subsample_divisor,
+                other.subsample_divisor,
+            ));
         }
         if self.config.seed != other.config.seed {
             return Err(SketchError::SeedMismatch);
@@ -483,6 +497,15 @@ impl MergeableEstimator for KnwF0Sketch {
     /// ingested any interleaving of both streams.  Shard-and-merge therefore
     /// reproduces single-stream estimates bit-exactly, which the engine and
     /// property tests rely on.
+    ///
+    /// One field is excluded from the bit-identity contract: the sticky
+    /// [`failed`](KnwF0Sketch::failed) flag is *trajectory*-dependent (it
+    /// records whether `A > 3K` ever held), and the merge path visits
+    /// different transient states than the sequential run, so the flags can
+    /// differ in either direction near the threshold.  The merge propagates
+    /// both inputs' flags and re-checks the guard on every state it
+    /// produces; the counters, base, occupancy and estimates — everything
+    /// the flag exists to protect — remain bit-identical.
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         self.compatible(other)?;
         // Align both sides to the deeper base, then take pointwise maxima.

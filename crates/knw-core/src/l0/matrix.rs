@@ -28,6 +28,7 @@ use knw_hash::SpaceUsage;
 
 /// The Lemma 6 counter matrix plus the hash functions that address it.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct L0Matrix {
     /// `h1 ∈ H_2([n], [0, n−1])` — row (level) selection via `lsb`.
     h1: PairwiseHash,
@@ -177,6 +178,36 @@ impl L0Matrix {
     #[must_use]
     pub fn total_nonzero(&self) -> u64 {
         self.row_nonzero.iter().sum()
+    }
+
+    /// Merges another matrix built with the *same seed and geometry* by
+    /// entrywise field addition, recomputing the per-row occupancy counts.
+    ///
+    /// Each cell stores a Lemma 6 dot product over `F_p`, a linear function
+    /// of the frequency vector; adding cells therefore yields exactly the
+    /// matrix a single-stream run over the union would hold.
+    pub fn merge_from_unchecked(&mut self, other: &Self) {
+        // "Unchecked" refers to seed compatibility (the caller's contract);
+        // geometry is still asserted so a structurally inconsistent sketch
+        // (e.g. forged serialized bytes) fails loudly instead of zipping
+        // short and merging garbage.
+        assert_eq!(self.field.modulus(), other.field.modulus());
+        assert_eq!(self.k, other.k);
+        assert_eq!(self.log_n, other.log_n);
+        assert_eq!(self.counters.len(), other.counters.len());
+        let k = self.k as usize;
+        for (row, nonzero) in self.row_nonzero.iter_mut().enumerate() {
+            let mut occupied = 0;
+            for col in 0..k {
+                let idx = row * k + col;
+                let merged = self.field.add(self.counters[idx], other.counters[idx]);
+                self.counters[idx] = merged;
+                if merged != 0 {
+                    occupied += 1;
+                }
+            }
+            *nonzero = occupied;
+        }
     }
 }
 

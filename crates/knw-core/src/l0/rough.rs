@@ -35,6 +35,7 @@ pub const LEVEL_THRESHOLD: u64 = 8;
 
 /// The constant-factor (Theorem 11) rough L0 estimator.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoughL0Estimator {
     /// The level-splitting pairwise hash.
     level_hash: PairwiseHash,
@@ -104,6 +105,26 @@ impl RoughL0Estimator {
     #[must_use]
     pub fn level_count(&self, j: usize) -> u64 {
         self.levels[j].estimate()
+    }
+
+    /// Merges another estimator built with the *same seed* by merging every
+    /// level's Lemma 8 structure (entrywise counter addition) and recomputing
+    /// the fired-level bitmask from the merged level states.
+    ///
+    /// In a single-stream run, bit `j` of the bitmask is last written right
+    /// after the final update to level `j`, so it is a pure function of that
+    /// level's final counter state; recomputing it from the merged counters
+    /// therefore reproduces the single-stream bitmask exactly.
+    pub fn merge_from_unchecked(&mut self, other: &Self) {
+        assert_eq!(self.log_n, other.log_n);
+        assert_eq!(self.levels.len(), other.levels.len());
+        self.fired = 0;
+        for (j, (mine, theirs)) in self.levels.iter_mut().zip(other.levels.iter()).enumerate() {
+            mine.merge_from_unchecked(theirs);
+            if mine.estimate() > LEVEL_THRESHOLD {
+                self.fired |= 1u64 << j;
+            }
+        }
     }
 }
 

@@ -32,6 +32,7 @@ use knw_hash::SpaceUsage;
 
 /// One trial of the Lemma 8 structure.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Trial {
     /// Pairwise hash from the universe into the buckets.
     hash: PairwiseHash,
@@ -70,10 +71,32 @@ impl Trial {
             _ => {}
         }
     }
+
+    /// Entrywise addition mod `p` of another trial's counters (Lemma 6
+    /// linearity: the counters are linear functions of the frequency vector,
+    /// so adding them yields the trial state of the union stream).  The
+    /// caller guarantees both trials share hash and prime (same seed).
+    fn merge_from_unchecked(&mut self, other: &Self) {
+        assert_eq!(
+            self.prime, other.prime,
+            "trials drawn with different primes"
+        );
+        assert_eq!(self.counters.len(), other.counters.len());
+        let mut nonzero = 0;
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            let merged = (u64::from(*mine) + u64::from(*theirs)) % self.prime;
+            *mine = merged as u32;
+            if merged != 0 {
+                nonzero += 1;
+            }
+        }
+        self.nonzero = nonzero;
+    }
 }
 
 /// The Lemma 8 exact small-L0 structure.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExactSmallL0 {
     trials: Vec<Trial>,
     capacity: u64,
@@ -139,6 +162,23 @@ impl ExactSmallL0 {
     #[must_use]
     pub fn saturated(&self) -> bool {
         self.estimate() > self.capacity
+    }
+
+    /// Merges another structure built with the *same seed and parameters* by
+    /// entrywise counter addition mod `p` per trial.
+    ///
+    /// Because every bucket counter is a linear function of the frequency
+    /// vector, the merged state is identical to the state a single structure
+    /// would have reached over any interleaving of both update streams.
+    pub fn merge_from_unchecked(&mut self, other: &Self) {
+        // Geometry is asserted (not debug-asserted) so structurally
+        // inconsistent sketches fail loudly; see the L0Matrix merge.
+        assert_eq!(self.capacity, other.capacity);
+        assert_eq!(self.buckets, other.buckets);
+        assert_eq!(self.trials.len(), other.trials.len());
+        for (mine, theirs) in self.trials.iter_mut().zip(other.trials.iter()) {
+            mine.merge_from_unchecked(theirs);
+        }
     }
 }
 

@@ -31,6 +31,7 @@
 
 pub mod amplify;
 pub mod balls_bins;
+pub mod coalesce;
 pub mod config;
 pub mod error;
 pub mod estimator;
@@ -44,7 +45,8 @@ pub use amplify::MedianAmplified;
 pub use config::{F0Config, L0Config};
 pub use error::SketchError;
 pub use estimator::{
-    CardinalityEstimator, DynMergeableCardinalityEstimator, MergeableEstimator, TurnstileEstimator,
+    CardinalityEstimator, DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator,
+    MergeableEstimator, TurnstileEstimator,
 };
 pub use f0::KnwF0Sketch;
 pub use l0::KnwL0Sketch;

@@ -36,6 +36,7 @@ const COPIES: usize = 3;
 
 /// One of the three sub-estimators of Figure 2.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct RoughSub {
     /// `h1 ∈ H_2([n], [0, n−1])` — level hash (via `lsb`).
     h1: PairwiseHash,
@@ -166,6 +167,7 @@ impl RoughSub {
 /// with probability `1 − o(1)`, within `[F0(t), 8·F0(t)]` simultaneously for
 /// all times `t` at which `F0(t) ≥ K_RE`.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoughEstimator {
     log_n: u32,
     k_re: u64,

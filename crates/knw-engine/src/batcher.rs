@@ -1,0 +1,134 @@
+//! The round-robin batching stage shared by [`ShardedEngine`] and
+//! [`ShardRouter`].
+//!
+//! Both front-ends guarantee *identical* routing — same batch boundaries,
+//! same shard assignment — which is what lets the sequential router serve as
+//! the deterministic reference for the threaded engine in tests.  Keeping
+//! the batching logic in one place makes that guarantee structural instead
+//! of a convention two copies must uphold.
+//!
+//! [`ShardedEngine`]: crate::ShardedEngine
+//! [`ShardRouter`]: crate::ShardRouter
+
+/// Accumulates updates into fixed-size batches and assigns full batches to
+/// shards round-robin, handing each one to a caller-supplied `dispatch`
+/// callback.
+#[derive(Debug, Clone)]
+pub(crate) struct RoundRobinBatcher<U> {
+    buffer: Vec<U>,
+    batch_size: usize,
+    num_shards: usize,
+    next_shard: usize,
+}
+
+impl<U: Copy> RoundRobinBatcher<U> {
+    pub(crate) fn new(num_shards: usize, batch_size: usize) -> Self {
+        Self {
+            buffer: Vec::with_capacity(batch_size),
+            batch_size,
+            num_shards: num_shards.max(1),
+            next_shard: 0,
+        }
+    }
+
+    /// Buffers one update, dispatching if the batch filled up.
+    pub(crate) fn push(&mut self, update: U, dispatch: &mut impl FnMut(usize, Vec<U>)) {
+        self.buffer.push(update);
+        if self.buffer.len() >= self.batch_size {
+            self.flush(dispatch);
+        }
+    }
+
+    /// Buffers a slice of updates chunk by chunk (bulk memcpys, not per-item
+    /// pushes), dispatching every time a batch fills.  The dispatch sequence
+    /// is identical to repeated [`push`](Self::push).
+    pub(crate) fn extend_from_slice(
+        &mut self,
+        updates: &[U],
+        dispatch: &mut impl FnMut(usize, Vec<U>),
+    ) {
+        let mut rest = updates;
+        while !rest.is_empty() {
+            let space = self.batch_size - self.buffer.len();
+            let (chunk, tail) = rest.split_at(space.min(rest.len()));
+            self.buffer.extend_from_slice(chunk);
+            rest = tail;
+            if self.buffer.len() >= self.batch_size {
+                self.flush(dispatch);
+            }
+        }
+    }
+
+    /// Dispatches the (possibly partial) pending batch, if any.
+    pub(crate) fn flush(&mut self, dispatch: &mut impl FnMut(usize, Vec<U>)) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.num_shards;
+        dispatch(shard, batch);
+    }
+
+    /// The buffered updates not yet dispatched to any shard.
+    pub(crate) fn pending(&self) -> &[U] {
+        &self.buffer
+    }
+
+    pub(crate) fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_dispatches(
+        batcher: &mut RoundRobinBatcher<u64>,
+        feed: impl FnOnce(&mut RoundRobinBatcher<u64>, &mut dyn FnMut(usize, Vec<u64>)),
+    ) -> Vec<(usize, Vec<u64>)> {
+        let mut out = Vec::new();
+        let mut sink = |shard: usize, batch: Vec<u64>| out.push((shard, batch));
+        feed(batcher, &mut sink);
+        out
+    }
+
+    #[test]
+    fn push_and_extend_produce_the_same_dispatch_sequence() {
+        let items: Vec<u64> = (0..103).collect();
+        let mut via_push = RoundRobinBatcher::new(3, 10);
+        let pushed = collect_dispatches(&mut via_push, |b, sink| {
+            for &i in &items {
+                b.push(i, &mut |s, batch| sink(s, batch));
+            }
+            b.flush(&mut |s, batch| sink(s, batch));
+        });
+        let mut via_extend = RoundRobinBatcher::new(3, 10);
+        let extended = collect_dispatches(&mut via_extend, |b, sink| {
+            for chunk in items.chunks(7) {
+                b.extend_from_slice(chunk, &mut |s, batch| sink(s, batch));
+            }
+            b.flush(&mut |s, batch| sink(s, batch));
+        });
+        assert_eq!(pushed, extended);
+        // Batch 0 → shard 0, batch 1 → shard 1, … wrapping round-robin.
+        for (idx, (shard, _)) in pushed.iter().enumerate() {
+            assert_eq!(*shard, idx % 3);
+        }
+        let total: usize = pushed.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, items.len());
+    }
+
+    #[test]
+    fn pending_holds_the_partial_batch() {
+        let mut b: RoundRobinBatcher<u64> = RoundRobinBatcher::new(2, 4);
+        let dispatched = collect_dispatches(&mut b, |b, sink| {
+            for i in 0..6 {
+                b.push(i, &mut |s, batch| sink(s, batch));
+            }
+        });
+        assert_eq!(dispatched.len(), 1);
+        assert_eq!(b.pending(), &[4, 5]);
+    }
+}

@@ -1,25 +1,42 @@
-//! Sharded batch-ingestion engine over the mergeable KNW sketch contract.
+//! Sharded batch-ingestion engine over the mergeable KNW sketch contract,
+//! generic over the stream's update type.
 //!
-//! # Why shard-locally, merge-centrally works
+//! # Insert-only vs turnstile: one engine, two update types
 //!
-//! The paper's F0 sketches are *mergeable*: a sketch of stream `A` and a
-//! sketch of stream `B` built with the same configuration and hash seeds
-//! combine into a sketch of `A ∪ B`
-//! ([`MergeableEstimator`](knw_core::MergeableEstimator); Section 1 of the
-//! paper, "taking unions of streams if there are no deletions").  Every
-//! sketch state in this workspace is an order-independent function of the
-//! distinct-item set, so **any** partition of an input stream across shards
-//! — by hash, round-robin, or arbitrary load balancing — merges back to the
-//! state a single sketch would have reached over the whole stream.  For
-//! [`KnwF0Sketch`](knw_core::KnwF0Sketch) the merge is bit-exact (the
-//! subsampling base is re-derived from the merged rough estimator), which is
-//! what makes the engine *testable*: N-shard ingestion must reproduce the
-//! sequential estimate exactly, not just statistically.
+//! The workspace has two families of mergeable sketches, and both compose
+//! under stream partitioning for the same algebraic reason in two different
+//! guises:
+//!
+//! * **F0 / insert-only** (`U = u64`): sketch state is an order-independent
+//!   function of the *distinct-item set*, and merging takes pointwise maxima
+//!   / unions ([`CardinalityEstimator`] +
+//!   [`MergeableEstimator`](knw_core::MergeableEstimator); Section 1 of the
+//!   paper, "taking unions of streams if there are no deletions").  For
+//!   [`KnwF0Sketch`](knw_core::KnwF0Sketch) the merge is bit-exact (the
+//!   subsampling base is re-derived from the merged rough estimator).
+//! * **L0 / turnstile** (`U = (u64, i64)`, signed `(item, delta)` updates):
+//!   sketch state is a *linear* function of the frequency vector (the
+//!   Lemma 6 / Lemma 8 counters of the paper), and merging is entrywise
+//!   field addition ([`TurnstileEstimator`] + the same merge contract).
+//!   Linearity is strictly stronger than union-mergeability: *any* partition
+//!   of the update stream — even one that splits a single item's inserts and
+//!   deletes across different shards — merges back to the exact
+//!   single-stream state.
+//!
+//! The engine code is oblivious to the difference: it routes fixed-size
+//! batches of `U` round-robin to shards and folds the shard sketches with
+//! `merge_from`.  The [`ShardSketch<U>`] trait is the seam — blanket
+//! implementations map `U = u64` onto
+//! [`insert_batch`](CardinalityEstimator::insert_batch) and
+//! `U = (u64, i64)` onto
+//! [`update_batch`](TurnstileEstimator::update_batch), so every mergeable
+//! sketch in the workspace is usable as a shard for its stream model without
+//! any engine-specific code.
 //!
 //! # Architecture
 //!
 //! ```text
-//!            insert / insert_batch
+//!        ingest / ingest_batch  (U = u64 or (item, ±delta))
 //!                     │
 //!              ┌──────▼──────┐   round-robin batches of `batch_size`
 //!              │   router    │
@@ -38,16 +55,15 @@
 //!
 //! Two implementations share the routing behaviour:
 //!
-//! * [`ShardedF0Engine`] — N worker threads (std threads + bounded
+//! * [`ShardedEngine`] (fronted by the [`ShardedF0Engine`] and
+//!   [`ShardedL0Engine`] aliases) — N worker threads (std threads + bounded
 //!   `sync_channel`s), batched hand-off, for throughput.  Only the routing
 //!   step runs on the caller's thread; hashing and counter traffic happen on
-//!   the shard threads.
+//!   the shard threads.  A worker panic is contained: reporting surfaces
+//!   [`SketchError::ShardPanicked`] instead of bringing the caller down.
 //! * [`ShardRouter`] — the sequential fallback: identical routing and merge
 //!   behaviour with no threads, so engine behaviour can be tested
 //!   deterministically and platforms without spare cores degrade gracefully.
-//!
-//! Both are generic over the shard sketch type `S` (the [`ShardSketch`]
-//! bound): the KNW sketch, any mergeable baseline, or future backends.
 //!
 //! # Example
 //!
@@ -68,42 +84,107 @@
 //! let merged = engine.finish().expect("uniformly seeded shards");
 //! assert_eq!(merged.estimate_f0(), estimate);
 //! ```
+//!
+//! The turnstile front looks identical, with signed updates:
+//!
+//! ```
+//! use knw_core::{KnwL0Sketch, L0Config};
+//! use knw_engine::{EngineConfig, ShardedL0Engine};
+//!
+//! let cfg = L0Config::new(0.2, 1 << 16).with_seed(3);
+//! let mut engine = ShardedL0Engine::new(
+//!     EngineConfig::new(2),
+//!     move |_shard| KnwL0Sketch::new(cfg),
+//! );
+//! for i in 0..500u64 {
+//!     engine.update(i, 7);
+//! }
+//! for i in 0..460u64 {
+//!     engine.update(i, -7); // deletions may land on a different shard
+//! }
+//! let merged = engine.finish().expect("uniformly seeded shards");
+//! assert_eq!(merged.estimate_l0(), 40.0); // 40 survivors: the exact regime
+//! ```
 
+mod batcher;
 mod router;
 mod sharded;
 
 pub use router::ShardRouter;
-pub use sharded::ShardedF0Engine;
+pub use sharded::{ShardedEngine, ShardedF0Engine, ShardedL0Engine};
 
-use knw_core::{CardinalityEstimator, MergeableEstimator, SketchError};
+use knw_core::{
+    CardinalityEstimator, MergeableEstimator, SketchError, SpaceUsage, TurnstileEstimator,
+};
 
-/// The bound a sketch must satisfy to serve as a shard: a mergeable
-/// cardinality estimator whose instances can be shipped to worker threads
-/// and cloned for snapshot reads.
+/// The update type of a shardable stream: a plain item (`u64`, insert-only
+/// streams) or a signed `(item, delta)` pair (turnstile streams).
 ///
-/// Blanket-implemented; never implement it manually.
-pub trait ShardSketch:
-    CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static
+/// Blanket-implemented for every `Copy + Send + 'static` type; it exists to
+/// keep the engine's signatures readable.
+pub trait StreamUpdate: Copy + Send + 'static {}
+
+impl<T: Copy + Send + 'static> StreamUpdate for T {}
+
+/// The bound a sketch must satisfy to serve as a shard for streams of update
+/// type `U`: a mergeable estimator of the matching stream model whose
+/// instances can be shipped to worker threads and cloned for snapshot reads.
+///
+/// Blanket-implemented — `U = u64` for every mergeable
+/// [`CardinalityEstimator`] (batches route to
+/// [`insert_batch`](CardinalityEstimator::insert_batch)) and
+/// `U = (u64, i64)` for every mergeable [`TurnstileEstimator`] (batches
+/// route to [`update_batch`](TurnstileEstimator::update_batch)).  Never
+/// implement it manually.
+pub trait ShardSketch<U: StreamUpdate = u64>:
+    SpaceUsage + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static
 {
+    /// Ingests one hand-off batch.
+    fn apply_batch(&mut self, batch: &[U]);
+
+    /// The sketch's current estimate (F0 or L0, per the stream model).
+    fn shard_estimate(&self) -> f64;
 }
 
-impl<T> ShardSketch for T where
-    T: CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static
+impl<S> ShardSketch<u64> for S
+where
+    S: CardinalityEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static,
 {
+    fn apply_batch(&mut self, batch: &[u64]) {
+        self.insert_batch(batch);
+    }
+
+    fn shard_estimate(&self) -> f64 {
+        self.estimate()
+    }
 }
 
-/// Default hand-off batch size (items per channel message).
+impl<S> ShardSketch<(u64, i64)> for S
+where
+    S: TurnstileEstimator + MergeableEstimator<MergeError = SketchError> + Clone + Send + 'static,
+{
+    fn apply_batch(&mut self, batch: &[(u64, i64)]) {
+        self.update_batch(batch);
+    }
+
+    fn shard_estimate(&self) -> f64 {
+        self.estimate()
+    }
+}
+
+/// Default hand-off batch size (updates per channel message).
 pub const DEFAULT_BATCH_SIZE: usize = 4096;
 
 /// Default bounded-channel capacity, in batches per shard.
 pub const DEFAULT_QUEUE_DEPTH: usize = 4;
 
-/// Sizing knobs shared by [`ShardedF0Engine`] and [`ShardRouter`].
+/// Sizing knobs shared by [`ShardedEngine`] and [`ShardRouter`].
 #[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
     /// Number of shards (worker threads / sequential sub-sketches).
     pub shards: usize,
-    /// Items per hand-off batch.  Larger batches amortize channel traffic;
+    /// Updates per hand-off batch.  Larger batches amortize channel traffic;
     /// smaller batches reduce snapshot latency.
     pub batch_size: usize,
     /// Bounded channel capacity, in batches, per shard.  Bounds memory and
@@ -123,7 +204,7 @@ impl EngineConfig {
         }
     }
 
-    /// Sets the hand-off batch size (clamped to at least one item).
+    /// Sets the hand-off batch size (clamped to at least one update).
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);

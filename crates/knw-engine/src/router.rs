@@ -1,27 +1,35 @@
 //! The sequential shard router — the deterministic, thread-free fallback of
-//! [`ShardedF0Engine`](crate::ShardedF0Engine).
+//! [`ShardedEngine`](crate::ShardedEngine).
 
-use crate::{merge_shards, EngineConfig, ShardSketch};
-use knw_core::{CardinalityEstimator, SketchError, SpaceUsage};
+use crate::batcher::RoundRobinBatcher;
+use crate::{merge_shards, EngineConfig, ShardSketch, StreamUpdate};
+use knw_core::{CardinalityEstimator, SketchError, SpaceUsage, TurnstileEstimator};
 
 /// Routes a stream across N sketches exactly like the threaded engine does —
 /// same batch sizes, same round-robin shard assignment — but processes every
 /// batch inline on the calling thread.
 ///
+/// Like the engine, the router is generic over the update type `U`:
+/// `ShardRouter<S>` (i.e. `U = u64`) shards insert-only F0 streams and
+/// implements [`CardinalityEstimator`]; `ShardRouter<S, (u64, i64)>` shards
+/// signed turnstile streams and implements [`TurnstileEstimator`].
+///
 /// Because the routing is identical and all shard sketches merge exactly,
-/// `ShardRouter` and [`ShardedF0Engine`](crate::ShardedF0Engine) built from
-/// the same [`EngineConfig`] and factory produce identical estimates; tests
-/// use the router as the deterministic reference for the engine.
+/// `ShardRouter` and [`ShardedEngine`](crate::ShardedEngine) built from the
+/// same [`EngineConfig`] and factory produce identical estimates; tests use
+/// the router as the deterministic reference for the engine.
 #[derive(Debug, Clone)]
-pub struct ShardRouter<S> {
+pub struct ShardRouter<S, U = u64> {
     shards: Vec<S>,
-    buffer: Vec<u64>,
-    batch_size: usize,
-    next_shard: usize,
-    items: u64,
+    batcher: RoundRobinBatcher<U>,
+    updates: u64,
 }
 
-impl<S: ShardSketch> ShardRouter<S> {
+impl<S, U> ShardRouter<S, U>
+where
+    S: ShardSketch<U>,
+    U: StreamUpdate,
+{
     /// Creates a router with `config.shards` sketches built by `factory`.
     ///
     /// The factory receives the shard index; it must produce sketches with
@@ -30,50 +38,37 @@ impl<S: ShardSketch> ShardRouter<S> {
         let config = EngineConfig::new(config.shards).with_batch_size(config.batch_size);
         Self {
             shards: (0..config.shards).map(&mut factory).collect(),
-            buffer: Vec::with_capacity(config.batch_size),
-            batch_size: config.batch_size,
-            next_shard: 0,
-            items: 0,
+            batcher: RoundRobinBatcher::new(config.shards, config.batch_size),
+            updates: 0,
         }
     }
 
-    /// Routes one item.
-    pub fn insert(&mut self, item: u64) {
-        self.buffer.push(item);
-        self.items += 1;
-        if self.buffer.len() >= self.batch_size {
-            self.dispatch();
-        }
+    /// Routes one update.
+    pub fn ingest(&mut self, update: U) {
+        self.updates += 1;
+        let shards = &mut self.shards;
+        self.batcher.push(update, &mut |shard, batch| {
+            shards[shard].apply_batch(&batch);
+        });
     }
 
-    /// Routes a slice of items, bulk-copying into the pending buffer chunk by
-    /// chunk (same dispatch sequence as repeated [`insert`](Self::insert)).
-    pub fn insert_batch(&mut self, items: &[u64]) {
-        self.items += items.len() as u64;
-        let mut rest = items;
-        while !rest.is_empty() {
-            let space = self.batch_size - self.buffer.len();
-            let (chunk, tail) = rest.split_at(space.min(rest.len()));
-            self.buffer.extend_from_slice(chunk);
-            rest = tail;
-            if self.buffer.len() >= self.batch_size {
-                self.dispatch();
-            }
-        }
+    /// Routes a slice of updates, bulk-copying into the pending buffer chunk
+    /// by chunk (same dispatch sequence as repeated [`ingest`](Self::ingest)).
+    pub fn ingest_batch(&mut self, updates: &[U]) {
+        self.updates += updates.len() as u64;
+        let shards = &mut self.shards;
+        self.batcher
+            .extend_from_slice(updates, &mut |shard, batch| {
+                shards[shard].apply_batch(&batch);
+            });
     }
 
     /// Sends the (possibly partial) pending batch to the next shard.
     pub fn flush(&mut self) {
-        self.dispatch();
-    }
-
-    fn dispatch(&mut self) {
-        if self.buffer.is_empty() {
-            return;
-        }
-        self.shards[self.next_shard].insert_batch(&self.buffer);
-        self.buffer.clear();
-        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        let shards = &mut self.shards;
+        self.batcher.flush(&mut |shard, batch| {
+            shards[shard].apply_batch(&batch);
+        });
     }
 
     /// Number of shards.
@@ -82,21 +77,21 @@ impl<S: ShardSketch> ShardRouter<S> {
         self.shards.len()
     }
 
-    /// Total items routed so far.
+    /// Total updates routed so far.
     #[must_use]
     pub fn items_ingested(&self) -> u64 {
-        self.items
+        self.updates
     }
 
-    /// Read access to the shard sketches (pending buffered items are not yet
-    /// reflected in them).
+    /// Read access to the shard sketches (pending buffered updates are not
+    /// yet reflected in them).
     #[must_use]
     pub fn shards(&self) -> &[S] {
         &self.shards
     }
 
-    /// Merges clones of all shards (plus any buffered items) into one sketch
-    /// summarizing the full stream.
+    /// Merges clones of all shards (plus any buffered updates) into one
+    /// sketch summarizing the full stream.
     ///
     /// # Errors
     ///
@@ -105,7 +100,7 @@ impl<S: ShardSketch> ShardRouter<S> {
     pub fn merged(&self) -> Result<S, SketchError> {
         let mut merged = merge_shards(self.shards.iter().cloned())?
             .expect("router always has at least one shard");
-        merged.insert_batch(&self.buffer);
+        merged.apply_batch(self.batcher.pending());
         Ok(merged)
     }
 
@@ -121,14 +116,46 @@ impl<S: ShardSketch> ShardRouter<S> {
     }
 }
 
-impl<S: ShardSketch> SpaceUsage for ShardRouter<S> {
-    fn space_bits(&self) -> u64 {
-        self.shards.iter().map(SpaceUsage::space_bits).sum::<u64>()
-            + self.buffer.capacity() as u64 * 64
+impl<S: ShardSketch<u64>> ShardRouter<S, u64> {
+    /// Routes one stream item (insert-only convenience for
+    /// [`ingest`](Self::ingest)).
+    pub fn insert(&mut self, item: u64) {
+        self.ingest(item);
+    }
+
+    /// Routes a slice of stream items (insert-only convenience for
+    /// [`ingest_batch`](Self::ingest_batch)).
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.ingest_batch(items);
     }
 }
 
-impl<S: ShardSketch> CardinalityEstimator for ShardRouter<S> {
+impl<S: ShardSketch<(u64, i64)>> ShardRouter<S, (u64, i64)> {
+    /// Routes one turnstile update (convenience for
+    /// [`ingest`](Self::ingest)).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.ingest((item, delta));
+    }
+
+    /// Routes a slice of turnstile updates (convenience for
+    /// [`ingest_batch`](Self::ingest_batch)).
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        self.ingest_batch(updates);
+    }
+}
+
+impl<S, U> SpaceUsage for ShardRouter<S, U>
+where
+    S: ShardSketch<U>,
+    U: StreamUpdate,
+{
+    fn space_bits(&self) -> u64 {
+        self.shards.iter().map(SpaceUsage::space_bits).sum::<u64>()
+            + (self.batcher.batch_size() * std::mem::size_of::<U>()) as u64 * 8
+    }
+}
+
+impl<S: ShardSketch<u64>> CardinalityEstimator for ShardRouter<S, u64> {
     fn insert(&mut self, item: u64) {
         ShardRouter::insert(self, item);
     }
@@ -140,7 +167,7 @@ impl<S: ShardSketch> CardinalityEstimator for ShardRouter<S> {
     fn estimate(&self) -> f64 {
         self.merged()
             .expect("shards share configuration and seed")
-            .estimate()
+            .shard_estimate()
     }
 
     fn name(&self) -> &'static str {
@@ -148,10 +175,30 @@ impl<S: ShardSketch> CardinalityEstimator for ShardRouter<S> {
     }
 }
 
+impl<S: ShardSketch<(u64, i64)>> TurnstileEstimator for ShardRouter<S, (u64, i64)> {
+    fn update(&mut self, item: u64, delta: i64) {
+        ShardRouter::update(self, item, delta);
+    }
+
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        ShardRouter::update_batch(self, updates);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.merged()
+            .expect("shards share configuration and seed")
+            .shard_estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-router-l0"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use knw_core::{F0Config, KnwF0Sketch};
+    use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
 
     fn stream(len: u64) -> Vec<u64> {
         (0..len)
@@ -204,6 +251,28 @@ mod tests {
             answers.windows(2).all(|w| w[0] == w[1]),
             "answers {answers:?}"
         );
+    }
+
+    #[test]
+    fn turnstile_router_matches_single_sketch_exactly() {
+        let cfg = L0Config::new(0.1, 1 << 16).with_seed(13);
+        let mut router: ShardRouter<KnwL0Sketch, (u64, i64)> =
+            ShardRouter::new(EngineConfig::new(3).with_batch_size(256), move |_| {
+                KnwL0Sketch::new(cfg)
+            });
+        let mut single = KnwL0Sketch::new(cfg);
+        let updates: Vec<(u64, i64)> = (0..30_000u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (x % 4_096, (x % 7) as i64 - 3)
+            })
+            .collect();
+        router.update_batch(&updates);
+        single.update_batch(&updates);
+        assert_eq!(TurnstileEstimator::estimate(&router), single.estimate_l0());
+        let merged = router.into_merged().expect("compatible shards");
+        assert_eq!(merged.estimate_l0(), single.estimate_l0());
+        assert_eq!(merged.updates_processed(), single.updates_processed());
     }
 
     #[test]

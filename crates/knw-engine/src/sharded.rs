@@ -1,45 +1,74 @@
-//! The threaded sharded ingestion engine.
+//! The threaded sharded ingestion engine, generic over the update type.
 
-use crate::{merge_shards, EngineConfig, ShardSketch};
+use crate::batcher::RoundRobinBatcher;
+use crate::{merge_shards, EngineConfig, ShardSketch, StreamUpdate};
 use knw_core::SketchError;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
 /// Messages on the router → shard channels.  Channel order is FIFO, so a
 /// snapshot request observes every batch sent before it.
-enum ShardMsg<S> {
-    /// A batch of stream items to ingest.
-    Batch(Vec<u64>),
+enum ShardMsg<S, U> {
+    /// A batch of stream updates to ingest.
+    Batch(Vec<U>),
     /// Request a clone of the shard's current sketch.
     Snapshot(SyncSender<S>),
 }
 
-struct Worker<S> {
-    tx: SyncSender<ShardMsg<S>>,
+struct Worker<S, U> {
+    tx: SyncSender<ShardMsg<S, U>>,
     handle: JoinHandle<S>,
 }
 
-/// A sharded, batched F0 ingestion engine: the stream is partitioned
+/// A sharded, batched ingestion engine: the stream is partitioned
 /// round-robin in batches across N worker threads, each owning one sketch;
 /// reporting merges the shard sketches (see the [crate docs](crate) for the
-/// architecture and why any partition is valid).
+/// architecture and why any partition is valid for both stream models).
 ///
-/// Estimates are exact with respect to a sequential run for every sketch in
-/// this workspace: `engine.estimate()` equals the estimate of one sketch fed
-/// the whole stream.  The deterministic reference implementation is
+/// The update type `U` selects the stream model: `u64` for insert-only F0
+/// streams (alias [`ShardedF0Engine`]), `(u64, i64)` for signed turnstile
+/// updates (alias [`ShardedL0Engine`]).  Estimates are exact with respect to
+/// a sequential run for every sketch in this workspace: `engine.estimate()`
+/// equals the estimate of one sketch fed the whole stream.  The
+/// deterministic reference implementation is
 /// [`ShardRouter`](crate::ShardRouter).
+///
+/// If a shard worker panics (a bug in a sketch, not an expected event), the
+/// engine stays usable for shutdown but reporting returns
+/// [`SketchError::ShardPanicked`]: a lost shard means the merged estimate
+/// would silently undercount, so it must not be produced.
 ///
 /// Dropping the engine without calling [`finish`](Self::finish) shuts the
 /// workers down and discards their sketches.
-pub struct ShardedF0Engine<S: ShardSketch> {
-    workers: Vec<Worker<S>>,
-    buffer: Vec<u64>,
-    batch_size: usize,
-    next_shard: usize,
-    items: u64,
+pub struct ShardedEngine<S, U = u64>
+where
+    S: ShardSketch<U>,
+    U: StreamUpdate,
+{
+    workers: Vec<Worker<S, U>>,
+    batcher: RoundRobinBatcher<U>,
+    updates: u64,
+    /// Index of the first shard observed dead (its channel disconnected),
+    /// i.e. its worker panicked.
+    poisoned: Option<usize>,
 }
 
-impl<S: ShardSketch> ShardedF0Engine<S> {
+/// The insert-only (F0) front of [`ShardedEngine`]: items are `u64` stream
+/// indices, shards ingest through `insert_batch`.
+pub type ShardedF0Engine<S> = ShardedEngine<S, u64>;
+
+/// The turnstile (L0) front of [`ShardedEngine`]: updates are signed
+/// `(item, delta)` pairs, shards ingest through `update_batch`.  Because the
+/// L0 sketch state is linear, *any* routing of updates to shards — including
+/// splitting one item's inserts and deletes across shards — merges back to
+/// the exact single-stream state.
+pub type ShardedL0Engine<S> = ShardedEngine<S, (u64, i64)>;
+
+impl<S, U> ShardedEngine<S, U>
+where
+    S: ShardSketch<U>,
+    U: StreamUpdate,
+{
     /// Spawns `config.shards` worker threads, each owning one sketch built by
     /// `factory`.
     ///
@@ -53,13 +82,13 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
         let workers = (0..config.shards)
             .map(|shard| {
                 let mut sketch = factory(shard);
-                let (tx, rx) = sync_channel::<ShardMsg<S>>(config.queue_depth);
+                let (tx, rx) = sync_channel::<ShardMsg<S, U>>(config.queue_depth);
                 let handle = std::thread::Builder::new()
                     .name(format!("knw-shard-{shard}"))
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
                             match msg {
-                                ShardMsg::Batch(batch) => sketch.insert_batch(&batch),
+                                ShardMsg::Batch(batch) => sketch.apply_batch(&batch),
                                 ShardMsg::Snapshot(reply) => {
                                     // The engine may have been dropped while a
                                     // snapshot was in flight; ignore send
@@ -76,54 +105,52 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
             .collect();
         Self {
             workers,
-            buffer: Vec::with_capacity(config.batch_size),
-            batch_size: config.batch_size,
-            next_shard: 0,
-            items: 0,
+            batcher: RoundRobinBatcher::new(config.shards, config.batch_size),
+            updates: 0,
+            poisoned: None,
         }
     }
 
-    /// Routes one item (buffered; sent to a shard once a batch fills up).
-    pub fn insert(&mut self, item: u64) {
-        self.buffer.push(item);
-        self.items += 1;
-        if self.buffer.len() >= self.batch_size {
-            self.dispatch();
-        }
+    /// Routes one update (buffered; sent to a shard once a batch fills up).
+    pub fn ingest(&mut self, update: U) {
+        self.updates += 1;
+        let (workers, poisoned) = (&self.workers, &mut self.poisoned);
+        self.batcher.push(update, &mut |shard, batch| {
+            Self::send_batch(workers, poisoned, shard, batch);
+        });
     }
 
-    /// Routes a slice of items, bulk-copying into the hand-off buffer chunk
+    /// Routes a slice of updates, bulk-copying into the hand-off buffer chunk
     /// by chunk (the routing thread is the engine's one serial stage, so it
-    /// does memcpys, not per-item pushes).
-    pub fn insert_batch(&mut self, items: &[u64]) {
-        self.items += items.len() as u64;
-        let mut rest = items;
-        while !rest.is_empty() {
-            let space = self.batch_size - self.buffer.len();
-            let (chunk, tail) = rest.split_at(space.min(rest.len()));
-            self.buffer.extend_from_slice(chunk);
-            rest = tail;
-            if self.buffer.len() >= self.batch_size {
-                self.dispatch();
-            }
-        }
+    /// does memcpys, not per-update pushes).
+    pub fn ingest_batch(&mut self, updates: &[U]) {
+        self.updates += updates.len() as u64;
+        let (workers, poisoned) = (&self.workers, &mut self.poisoned);
+        self.batcher
+            .extend_from_slice(updates, &mut |shard, batch| {
+                Self::send_batch(workers, poisoned, shard, batch);
+            });
     }
 
     /// Sends the (possibly partial) pending batch to the next shard.
     pub fn flush(&mut self) {
-        self.dispatch();
+        let (workers, poisoned) = (&self.workers, &mut self.poisoned);
+        self.batcher.flush(&mut |shard, batch| {
+            Self::send_batch(workers, poisoned, shard, batch);
+        });
     }
 
-    fn dispatch(&mut self) {
-        if self.buffer.is_empty() {
-            return;
+    fn send_batch(
+        workers: &[Worker<S, U>],
+        poisoned: &mut Option<usize>,
+        shard: usize,
+        batch: Vec<U>,
+    ) {
+        if workers[shard].tx.send(ShardMsg::Batch(batch)).is_err() {
+            // The worker's receiver is gone, which only happens when the
+            // worker panicked.  Remember the shard; reporting will refuse.
+            poisoned.get_or_insert(shard);
         }
-        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
-        self.workers[self.next_shard]
-            .tx
-            .send(ShardMsg::Batch(batch))
-            .expect("shard worker exited while the engine was live");
-        self.next_shard = (self.next_shard + 1) % self.workers.len();
     }
 
     /// Number of shards.
@@ -135,39 +162,51 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
     /// The hand-off batch size.
     #[must_use]
     pub fn batch_size(&self) -> usize {
-        self.batch_size
+        self.batcher.batch_size()
     }
 
-    /// Total items routed so far.
+    /// Total updates routed so far.
     #[must_use]
     pub fn items_ingested(&self) -> u64 {
-        self.items
+        self.updates
     }
 
-    /// Flushes pending items and returns a merged snapshot of all shard
-    /// sketches — a sketch summarizing every item ingested so far.  The
+    /// Flushes pending updates and returns a merged snapshot of all shard
+    /// sketches — a sketch summarizing every update ingested so far.  The
     /// engine keeps running; this is the paper's midstream "reporting".
     ///
     /// # Errors
     ///
     /// Propagates the sketch's merge error if the factory produced
-    /// incompatible shards.
+    /// incompatible shards, or [`SketchError::ShardPanicked`] if a worker
+    /// thread died.
     pub fn snapshot(&mut self) -> Result<S, SketchError> {
         self.flush();
-        let snapshots: Vec<S> = self
-            .workers
-            .iter()
-            .map(|worker| {
-                let (reply_tx, reply_rx) = sync_channel(1);
-                worker
-                    .tx
-                    .send(ShardMsg::Snapshot(reply_tx))
-                    .expect("shard worker exited while the engine was live");
-                reply_rx
-                    .recv()
-                    .expect("shard worker dropped a snapshot request")
-            })
-            .collect();
+        if let Some(shard) = self.poisoned {
+            return Err(SketchError::ShardPanicked { shard });
+        }
+        // Fan the snapshot requests out to every shard before collecting any
+        // reply, so the shards drain their queues and clone concurrently;
+        // snapshot latency is then the slowest shard's, not the sum.
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if worker.tx.send(ShardMsg::Snapshot(reply_tx)).is_err() {
+                self.poisoned.get_or_insert(shard);
+                return Err(SketchError::ShardPanicked { shard });
+            }
+            replies.push(reply_rx);
+        }
+        let mut snapshots: Vec<S> = Vec::with_capacity(replies.len());
+        for (shard, reply_rx) in replies.into_iter().enumerate() {
+            match reply_rx.recv() {
+                Ok(snapshot) => snapshots.push(snapshot),
+                Err(_) => {
+                    self.poisoned.get_or_insert(shard);
+                    return Err(SketchError::ShardPanicked { shard });
+                }
+            }
+        }
         Ok(merge_shards(snapshots.into_iter())?.expect("engine always has at least one shard"))
     }
 
@@ -176,12 +215,12 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
     /// # Panics
     ///
     /// Panics if the factory produced shards with mismatched configurations
-    /// or seeds (use [`snapshot`](Self::snapshot) to handle that as an
-    /// error).
+    /// or seeds, or if a worker thread died (use [`snapshot`](Self::snapshot)
+    /// to handle those as errors).
     pub fn estimate(&mut self) -> f64 {
         self.snapshot()
             .expect("shards share configuration and seed")
-            .estimate()
+            .shard_estimate()
     }
 
     /// Shuts down the workers and returns the merged sketch of the whole
@@ -190,20 +229,58 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
     /// # Errors
     ///
     /// Propagates the sketch's merge error if the factory produced
-    /// incompatible shards.
+    /// incompatible shards, or [`SketchError::ShardPanicked`] if a worker
+    /// thread died (the lost shard's updates cannot be recovered, so no
+    /// merged sketch is produced).
     pub fn finish(mut self) -> Result<S, SketchError> {
         self.flush();
+        let poisoned = self.poisoned;
         let workers = std::mem::take(&mut self.workers);
-        let shards: Vec<S> = workers
-            .into_iter()
-            .map(|worker| {
-                // Dropping the sender closes the channel; the worker then
-                // returns its sketch.
-                drop(worker.tx);
-                worker.handle.join().expect("shard worker panicked")
-            })
-            .collect();
+        let mut shards: Vec<S> = Vec::with_capacity(workers.len());
+        let mut first_panicked = poisoned;
+        for (shard, worker) in workers.into_iter().enumerate() {
+            // Dropping the sender closes the channel; a healthy worker then
+            // returns its sketch.
+            drop(worker.tx);
+            match worker.handle.join() {
+                Ok(sketch) => shards.push(sketch),
+                Err(_) => {
+                    first_panicked.get_or_insert(shard);
+                }
+            }
+        }
+        if let Some(shard) = first_panicked {
+            return Err(SketchError::ShardPanicked { shard });
+        }
         Ok(merge_shards(shards.into_iter())?.expect("engine always has at least one shard"))
+    }
+}
+
+impl<S: ShardSketch<u64>> ShardedEngine<S, u64> {
+    /// Routes one stream item (insert-only convenience for
+    /// [`ingest`](Self::ingest)).
+    pub fn insert(&mut self, item: u64) {
+        self.ingest(item);
+    }
+
+    /// Routes a slice of stream items (insert-only convenience for
+    /// [`ingest_batch`](Self::ingest_batch)).
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.ingest_batch(items);
+    }
+}
+
+impl<S: ShardSketch<(u64, i64)>> ShardedEngine<S, (u64, i64)> {
+    /// Routes one turnstile update `x_item ← x_item + delta` (convenience
+    /// for [`ingest`](Self::ingest)).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.ingest((item, delta));
+    }
+
+    /// Routes a slice of turnstile updates (convenience for
+    /// [`ingest_batch`](Self::ingest_batch)).
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        self.ingest_batch(updates);
     }
 }
 
@@ -211,11 +288,20 @@ impl<S: ShardSketch> ShardedF0Engine<S> {
 mod tests {
     use super::*;
     use crate::ShardRouter;
-    use knw_core::{CardinalityEstimator, F0Config, KnwF0Sketch};
+    use knw_core::{CardinalityEstimator, F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
 
     fn stream(len: u64) -> Vec<u64> {
         (0..len)
             .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D) % (1 << 20))
+            .collect()
+    }
+
+    fn signed_stream(len: u64) -> Vec<(u64, i64)> {
+        (0..len)
+            .map(|i| {
+                let x = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                (x % (1 << 16), (x % 9) as i64 - 4)
+            })
             .collect()
     }
 
@@ -239,6 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn l0_engine_matches_a_single_sketch_exactly() {
+        let cfg = L0Config::new(0.1, 1 << 16)
+            .with_seed(19)
+            .with_stream_length_bound(1 << 24)
+            .with_update_magnitude_bound(1 << 10);
+        let mut engine =
+            ShardedL0Engine::new(EngineConfig::new(4).with_batch_size(512), move |_| {
+                KnwL0Sketch::new(cfg)
+            });
+        let mut single = KnwL0Sketch::new(cfg);
+        let updates = signed_stream(60_000);
+        engine.update_batch(&updates);
+        single.update_batch(&updates);
+        assert_eq!(engine.estimate(), single.estimate_l0());
+        let merged = engine.finish().expect("compatible shards");
+        assert_eq!(merged.estimate_l0(), single.estimate_l0());
+        assert_eq!(
+            merged.matrix().total_nonzero(),
+            single.matrix().total_nonzero()
+        );
+        assert_eq!(merged.updates_processed(), single.updates_processed());
+    }
+
+    #[test]
     fn engine_matches_the_sequential_router() {
         let cfg = F0Config::new(0.1, 1 << 18).with_seed(5);
         let config = EngineConfig::new(3).with_batch_size(100);
@@ -254,6 +364,23 @@ mod tests {
         let from_router = router.into_merged().expect("compatible shards");
         assert_eq!(from_engine.estimate_f0(), from_router.estimate_f0());
         assert_eq!(from_engine.occupancy(), from_router.occupancy());
+    }
+
+    #[test]
+    fn l0_engine_matches_the_sequential_router() {
+        let cfg = L0Config::new(0.2, 1 << 14).with_seed(23);
+        let config = EngineConfig::new(3).with_batch_size(128);
+        let mut engine = ShardedL0Engine::new(config, move |_| KnwL0Sketch::new(cfg));
+        let mut router: ShardRouter<KnwL0Sketch, (u64, i64)> =
+            ShardRouter::new(config, move |_| KnwL0Sketch::new(cfg));
+        let updates = signed_stream(20_000);
+        for chunk in updates.chunks(731) {
+            engine.update_batch(chunk);
+            router.update_batch(chunk);
+        }
+        let from_engine = engine.finish().expect("compatible shards");
+        let from_router = router.into_merged().expect("compatible shards");
+        assert_eq!(from_engine.estimate_l0(), from_router.estimate_l0());
     }
 
     #[test]

@@ -31,4 +31,7 @@ pub use generator::{
 };
 pub use network::{NetworkTraceGenerator, PacketEvent, TrafficProfile};
 pub use turnstile::{TurnstileOp, TurnstileWorkload, TurnstileWorkloadBuilder};
-pub use union::{interleave_round_robin, partition_by_item, partition_round_robin};
+pub use union::{
+    interleave_round_robin, partition_by_item, partition_round_robin, partition_updates_by_item,
+    partition_updates_round_robin,
+};

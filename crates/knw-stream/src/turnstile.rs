@@ -31,6 +31,16 @@ pub struct TurnstileWorkload {
     pub final_frequencies: HashMap<u64, i64>,
 }
 
+impl TurnstileWorkload {
+    /// The operations as `(item, delta)` pairs — the update shape the
+    /// `TurnstileEstimator::update_batch` entry points and the
+    /// `ShardedL0Engine` ingest.
+    #[must_use]
+    pub fn ops_as_pairs(&self) -> Vec<(u64, i64)> {
+        self.ops.iter().map(|op| (op.item, op.delta)).collect()
+    }
+}
+
 /// Builder for turnstile workloads.
 #[derive(Debug, Clone)]
 pub struct TurnstileWorkloadBuilder {

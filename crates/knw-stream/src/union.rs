@@ -30,6 +30,30 @@ pub fn interleave_round_robin(streams: &[Vec<u64>]) -> Vec<u64> {
     out
 }
 
+/// The shared round-robin partition body: generic over the stream's update
+/// type so the insert-only and turnstile fronts cannot drift apart.
+fn partition_batches<T: Copy>(stream: &[T], shards: usize, batch_size: usize) -> Vec<Vec<T>> {
+    let shards = shards.max(1);
+    let batch_size = batch_size.max(1);
+    let mut parts = vec![Vec::with_capacity(stream.len() / shards + batch_size); shards];
+    for (batch_idx, batch) in stream.chunks(batch_size).enumerate() {
+        parts[batch_idx % shards].extend_from_slice(batch);
+    }
+    parts
+}
+
+/// The shared key-affine partition body: `key` extracts the item identifier
+/// every occurrence of which must land on the same shard.
+fn partition_by_key<T: Copy>(stream: &[T], shards: usize, key: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
+    let shards = shards.max(1);
+    let mut parts = vec![Vec::new(); shards];
+    for update in stream {
+        let shard = knw_hash::rng::mix64(key(update)) as usize % shards;
+        parts[shard].push(*update);
+    }
+    parts
+}
+
 /// Partitions a stream into `shards` sub-streams, assigning consecutive
 /// batches of `batch_size` items round-robin — the same policy the
 /// `knw-engine` router uses, so sketch-per-shard experiments reproduce the
@@ -40,13 +64,7 @@ pub fn interleave_round_robin(streams: &[Vec<u64>]) -> Vec<u64> {
 /// streams and preserves batch locality.
 #[must_use]
 pub fn partition_round_robin(stream: &[u64], shards: usize, batch_size: usize) -> Vec<Vec<u64>> {
-    let shards = shards.max(1);
-    let batch_size = batch_size.max(1);
-    let mut parts = vec![Vec::with_capacity(stream.len() / shards + batch_size); shards];
-    for (batch_idx, batch) in stream.chunks(batch_size).enumerate() {
-        parts[batch_idx % shards].extend_from_slice(batch);
-    }
-    parts
+    partition_batches(stream, shards, batch_size)
 }
 
 /// Partitions a stream into `shards` sub-streams by item value (a mixed
@@ -55,13 +73,30 @@ pub fn partition_round_robin(stream: &[u64], shards: usize, batch_size: usize) -
 /// sets of the shards are disjoint, unlike [`partition_round_robin`].
 #[must_use]
 pub fn partition_by_item(stream: &[u64], shards: usize) -> Vec<Vec<u64>> {
-    let shards = shards.max(1);
-    let mut parts = vec![Vec::new(); shards];
-    for &item in stream {
-        let shard = knw_hash::rng::mix64(item) as usize % shards;
-        parts[shard].push(item);
-    }
-    parts
+    partition_by_key(stream, shards, |&item| item)
+}
+
+/// [`partition_round_robin`] for turnstile streams of `(item, delta)`
+/// updates: consecutive batches of `batch_size` updates are assigned
+/// round-robin, matching the `ShardedL0Engine` router policy.
+///
+/// The L0 sketches' linear counters make *any* partition valid — an item's
+/// inserts and deletes may land on different shards and still merge back to
+/// the exact single-stream state.
+#[must_use]
+pub fn partition_updates_round_robin(
+    updates: &[(u64, i64)],
+    shards: usize,
+    batch_size: usize,
+) -> Vec<Vec<(u64, i64)>> {
+    partition_batches(updates, shards, batch_size)
+}
+
+/// [`partition_by_item`] for turnstile streams: every update to an item
+/// lands on the same shard, the key-affine partition shape.
+#[must_use]
+pub fn partition_updates_by_item(updates: &[(u64, i64)], shards: usize) -> Vec<Vec<(u64, i64)>> {
+    partition_by_key(updates, shards, |&(item, _)| item)
 }
 
 #[cfg(test)]
@@ -132,5 +167,36 @@ mod tests {
     fn degenerate_partitions_clamp() {
         assert_eq!(partition_round_robin(&[1, 2], 0, 0), vec![vec![1, 2]]);
         assert_eq!(partition_by_item(&[], 3), vec![vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn update_partitions_preserve_the_update_multiset() {
+        let updates: Vec<(u64, i64)> = (0..500u64).map(|i| (i % 97, (i % 5) as i64 - 2)).collect();
+        for parts in [
+            partition_updates_round_robin(&updates, 3, 16),
+            partition_updates_by_item(&updates, 3),
+        ] {
+            assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), updates.len());
+            let mut all: Vec<(u64, i64)> = parts.concat();
+            let mut expect = updates.clone();
+            all.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(all, expect);
+        }
+    }
+
+    #[test]
+    fn update_partition_by_item_is_key_affine() {
+        let updates: Vec<(u64, i64)> = (0..400u64).map(|i| (i % 50, 1)).collect();
+        let parts = partition_updates_by_item(&updates, 4);
+        let sets: Vec<HashSet<u64>> = parts
+            .iter()
+            .map(|p| p.iter().map(|&(item, _)| item).collect())
+            .collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert!(sets[i].is_disjoint(&sets[j]));
+            }
+        }
     }
 }

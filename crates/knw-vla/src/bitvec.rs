@@ -11,6 +11,7 @@ use crate::SpaceUsage;
 
 /// A growable packed bit vector.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitVec {
     words: Vec<u64>,
     /// Length in bits.
@@ -192,6 +193,7 @@ impl SpaceUsage for BitVec {
 
 /// A vector of packed integers, each exactly `width` bits wide.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FixedWidthVec {
     bits: BitVec,
     width: u32,

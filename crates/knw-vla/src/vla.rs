@@ -44,6 +44,7 @@ fn bit_len(value: u64) -> u32 {
 ///
 /// All entries start at value `0`, which occupies zero data bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vla {
     /// Per-entry widths, 7 bits each.
     widths: FixedWidthVec,

@@ -12,7 +12,8 @@
 //! cargo run --release --example data_cleaning_l0
 //! ```
 
-use knw::core::{KnwL0Sketch, L0Config, SpaceUsage};
+use knw::core::{KnwL0Sketch, L0Config, MergeableEstimator, SpaceUsage};
+use knw::engine::{EngineConfig, ShardedL0Engine};
 use knw::hash::rng::{Rng64, SplitMix64};
 
 fn main() {
@@ -87,4 +88,37 @@ fn main() {
         }
     }
     println!("\npacket audit: {dropped} packets were dropped; L0 estimate of the ingress−egress difference = {:.0}", audit.estimate_l0());
+
+    // Distributed variant: the two column scans run on different machines.
+    // Because the L0 counters are linear, each site sketches its own scan
+    // (A as +value, B as −value) and the shard sketches merge by field
+    // addition into exactly the sketch the sequential scan produced — the
+    // same property the ShardedL0Engine uses to parallelize one site's scan.
+    let mut site_a = KnwL0Sketch::new(config);
+    let mut site_b = KnwL0Sketch::new(config);
+    site_a.update_batch(&column_a);
+    let negated_b: Vec<(u64, i64)> = column_b
+        .iter()
+        .filter(|&&(_, value)| value != 0)
+        .map(|&(row, value)| (row, -value))
+        .collect();
+    site_b.update_batch(&negated_b);
+    site_a.merge_from(&site_b).expect("same config and seed");
+    println!(
+        "\ndistributed diff: site-merged estimate = {:.0} (bit-identical to the sequential scan: {})",
+        site_a.estimate_l0(),
+        site_a.estimate_l0() == estimate
+    );
+
+    // And one site's scan, parallelized across a 4-shard turnstile engine:
+    // any round-robin split of the updates merges back to the same sketch.
+    let mut engine = ShardedL0Engine::new(EngineConfig::new(4), move |_| KnwL0Sketch::new(config));
+    engine.update_batch(&column_a);
+    engine.update_batch(&negated_b);
+    let merged = engine.finish().expect("uniformly seeded shards");
+    println!(
+        "4-shard engine estimate = {:.0} (bit-identical: {})",
+        merged.estimate_l0(),
+        merged.estimate_l0() == estimate
+    );
 }

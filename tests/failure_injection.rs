@@ -131,3 +131,140 @@ fn zero_length_streams_everywhere() {
     assert_eq!(l0.estimate_l0(), 0.0);
     assert!(l0.try_estimate().is_ok());
 }
+
+// ---------------------------------------------------------------------------
+// Engine failure injection: worker panics, mid-stream shutdown, and merge
+// errors on the turnstile (L0) path.
+// ---------------------------------------------------------------------------
+
+mod engine_failures {
+    use knw::core::{
+        CardinalityEstimator, KnwL0Sketch, L0Config, MergeableEstimator, SketchError, SpaceUsage,
+    };
+    use knw::engine::{EngineConfig, ShardedF0Engine, ShardedL0Engine};
+
+    /// The item value that makes [`BoobyTrappedSketch`] panic, simulating a
+    /// sketch bug inside a worker thread.
+    const TRIGGER: u64 = u64::MAX;
+
+    /// A minimal mergeable estimator that panics when it sees [`TRIGGER`].
+    #[derive(Debug, Clone, Default)]
+    struct BoobyTrappedSketch {
+        count: u64,
+    }
+
+    impl SpaceUsage for BoobyTrappedSketch {
+        fn space_bits(&self) -> u64 {
+            64
+        }
+    }
+
+    impl CardinalityEstimator for BoobyTrappedSketch {
+        fn insert(&mut self, item: u64) {
+            assert!(item != TRIGGER, "injected worker failure");
+            self.count += 1;
+        }
+
+        fn estimate(&self) -> f64 {
+            self.count as f64
+        }
+
+        fn name(&self) -> &'static str {
+            "booby-trapped"
+        }
+    }
+
+    impl MergeableEstimator for BoobyTrappedSketch {
+        type MergeError = SketchError;
+
+        fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+            self.count += other.count;
+            Ok(())
+        }
+    }
+
+    /// A worker panic must surface as `ShardPanicked` from `finish`, not as a
+    /// panic on the caller's thread and not as a silently undercounting
+    /// merged sketch.
+    #[test]
+    fn worker_panic_surfaces_as_shard_panicked_from_finish() {
+        let mut engine = ShardedF0Engine::new(EngineConfig::new(2).with_batch_size(8), |_| {
+            BoobyTrappedSketch::default()
+        });
+        for i in 0..64u64 {
+            engine.insert(i);
+        }
+        engine.insert(TRIGGER);
+        match engine.finish() {
+            Err(SketchError::ShardPanicked { shard }) => assert!(shard < 2),
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+    }
+
+    /// Same failure, observed midstream through `snapshot` — the engine keeps
+    /// answering for shutdown but refuses to report.
+    #[test]
+    fn worker_panic_surfaces_as_shard_panicked_from_snapshot() {
+        let mut engine = ShardedF0Engine::new(EngineConfig::new(2).with_batch_size(4), |_| {
+            BoobyTrappedSketch::default()
+        });
+        engine.insert(TRIGGER);
+        engine.flush();
+        // Give the worker time to die, then keep feeding: ingestion must not
+        // panic the routing thread even while the shard is gone.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        for i in 0..64u64 {
+            engine.insert(i);
+        }
+        match engine.snapshot() {
+            Err(SketchError::ShardPanicked { shard }) => assert!(shard < 2),
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+    }
+
+    /// `finish` called mid-stream (pending partial batch in the buffer) must
+    /// flush that batch: no update may be lost at shutdown.
+    #[test]
+    fn midstream_finish_flushes_the_partial_batch() {
+        let cfg = L0Config::new(0.1, 1 << 16).with_seed(21);
+        // Batch size far larger than the stream: everything stays buffered
+        // until finish.
+        let mut engine =
+            ShardedL0Engine::new(EngineConfig::new(3).with_batch_size(1 << 16), move |_| {
+                KnwL0Sketch::new(cfg)
+            });
+        let mut single = KnwL0Sketch::new(cfg);
+        for i in 0..500u64 {
+            engine.update(i, 3);
+            single.update(i, 3);
+        }
+        assert_eq!(engine.items_ingested(), 500);
+        let merged = engine.finish().expect("healthy shards");
+        assert_eq!(merged.updates_processed(), single.updates_processed());
+        assert_eq!(merged.estimate_l0(), single.estimate_l0());
+    }
+
+    /// Seed and config mismatches on the L0 engine path surface the sketch's
+    /// structured merge errors through `snapshot` and `finish`.
+    #[test]
+    fn l0_engine_surfaces_seed_and_config_mismatches() {
+        // Different seed per shard: SeedMismatch.
+        let mut engine = ShardedL0Engine::new(EngineConfig::new(2).with_batch_size(4), |shard| {
+            KnwL0Sketch::new(L0Config::new(0.2, 1 << 12).with_seed(shard as u64))
+        });
+        engine.update(1, 1);
+        assert_eq!(engine.snapshot().unwrap_err(), SketchError::SeedMismatch);
+        assert_eq!(engine.finish().unwrap_err(), SketchError::SeedMismatch);
+
+        // Different epsilon per shard: IncompatibleConfig naming the field.
+        let mut engine = ShardedL0Engine::new(EngineConfig::new(2).with_batch_size(4), |shard| {
+            let epsilon = if shard == 0 { 0.2 } else { 0.4 };
+            KnwL0Sketch::new(L0Config::new(epsilon, 1 << 12).with_seed(7))
+        });
+        engine.update(1, 1);
+        match engine.finish() {
+            Err(SketchError::IncompatibleConfig { field, .. }) => assert_eq!(field, "epsilon"),
+            other => panic!("expected IncompatibleConfig, got {other:?}"),
+        }
+    }
+}

@@ -1,13 +1,19 @@
 //! End-to-end tests of the mergeable sketch contract and the sharded engine:
-//! for every mergeable F0 estimator, sharding a stream and merging the shard
-//! sketches must reproduce the single-stream estimate *exactly*, the error
-//! cases must be surfaced, and the threaded engine must agree with its
-//! deterministic sequential fallback.
+//! for every mergeable F0 *and* L0 estimator, sharding a stream and merging
+//! the shard sketches must reproduce the single-stream estimate *exactly*,
+//! the error cases must be surfaced, and the threaded engine must agree with
+//! its deterministic sequential fallback.
 
-use knw::baselines::all_f0_estimators;
-use knw::core::{CardinalityEstimator, F0Config, KnwF0Sketch, MergeableEstimator, SketchError};
-use knw::engine::{EngineConfig, ShardRouter, ShardedF0Engine};
-use knw::stream::{partition_by_item, partition_round_robin, StreamGenerator, ZipfGenerator};
+use knw::baselines::{all_f0_estimators, all_l0_estimators};
+use knw::core::{
+    CardinalityEstimator, F0Config, KnwF0Sketch, KnwL0Sketch, L0Config, MergeableEstimator,
+    SketchError, TurnstileEstimator,
+};
+use knw::engine::{EngineConfig, ShardRouter, ShardedF0Engine, ShardedL0Engine};
+use knw::stream::{
+    partition_by_item, partition_round_robin, partition_updates_by_item,
+    partition_updates_round_robin, StreamGenerator, TurnstileWorkloadBuilder, ZipfGenerator,
+};
 
 const EPS: f64 = 0.1;
 const UNIVERSE: u64 = 1 << 20;
@@ -148,6 +154,175 @@ fn batch_and_per_item_ingestion_agree_for_the_zoo() {
         }
         for &i in &items {
             p.insert(i);
+        }
+        assert_eq!(
+            b.estimate(),
+            p.estimate(),
+            "{} batch path diverged",
+            b.name()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The turnstile (L0) side of the same contract
+// ---------------------------------------------------------------------------
+
+/// A deterministic random signed update stream: churn-heavy (inserts,
+/// partial deletes, full cancellations, mixed signs), the regime where only
+/// linear sketches stay exact under arbitrary partitioning.
+fn signed_stream(len: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| (next() % universe, (next() % 9) as i64 - 4))
+        .collect()
+}
+
+/// Satellite requirement (property test): for random signed update streams,
+/// merged L0 shards reproduce the single-stream estimate bit-for-bit, for
+/// every estimator in the turnstile zoo, under both partitioning disciplines
+/// — including by-batch partitions that split an item's inserts and deletes
+/// across shards — several shard counts, and several stream seeds.
+#[test]
+fn every_mergeable_l0_sketch_merges_exactly_across_shards() {
+    for stream_seed in [13u64, 77, 1_000_003] {
+        let updates = signed_stream(30_000, 4_096, stream_seed);
+        for shards in [2usize, 3, 5] {
+            for (label, parts) in [
+                (
+                    "round-robin",
+                    partition_updates_round_robin(&updates, shards, 64),
+                ),
+                ("by-item", partition_updates_by_item(&updates, shards)),
+            ] {
+                let mut merged_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+                let mut single_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+                for (est_idx, merged) in merged_zoo.iter_mut().enumerate() {
+                    merged.update_batch(&parts[0]);
+                    for part in &parts[1..] {
+                        let mut shard_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+                        let shard = &mut shard_zoo[est_idx];
+                        shard.update_batch(part);
+                        merged
+                            .merge_dyn(shard.as_ref())
+                            .expect("shards share type, config and seed");
+                    }
+                }
+                for (merged, single) in merged_zoo.iter().zip(single_zoo.iter_mut()) {
+                    single.update_batch(&updates);
+                    assert_eq!(
+                        merged.estimate(),
+                        single.estimate(),
+                        "{} deviates from the single-stream run \
+                         ({label}, {shards} shards, stream seed {stream_seed})",
+                        merged.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Workload-driven exactness: a data-cleaning style insert-then-delete
+/// workload sharded across the turnstile engine reproduces both the single
+/// sketch and the ground truth regime.
+#[test]
+fn l0_engine_matches_single_sketch_on_churn_workload() {
+    let workload = TurnstileWorkloadBuilder::new(UNIVERSE)
+        .insert_items(20_000)
+        .delete_fraction(0.6)
+        .seed(5)
+        .build();
+    let updates = workload.ops_as_pairs();
+    let cfg = L0Config::new(0.05, UNIVERSE).with_seed(SEED);
+
+    let mut single = KnwL0Sketch::new(cfg);
+    single.update_batch(&updates);
+
+    let mut engine = ShardedL0Engine::new(EngineConfig::new(4).with_batch_size(2048), move |_| {
+        KnwL0Sketch::new(cfg)
+    });
+    engine.update_batch(&updates);
+
+    let mut router: ShardRouter<KnwL0Sketch, (u64, i64)> =
+        ShardRouter::new(EngineConfig::new(4).with_batch_size(2048), move |_| {
+            KnwL0Sketch::new(cfg)
+        });
+    router.update_batch(&updates);
+
+    let direct = single.estimate_l0();
+    assert_eq!(engine.estimate(), direct);
+    assert_eq!(TurnstileEstimator::estimate(&router), direct);
+
+    let merged = engine.finish().expect("uniformly seeded shards");
+    assert_eq!(merged.estimate_l0(), direct);
+    assert_eq!(merged.updates_processed(), single.updates_processed());
+
+    // And the estimate tracks the ground truth.
+    let truth = workload.final_l0 as f64;
+    let rel = (direct - truth).abs() / truth;
+    assert!(rel < 0.5, "estimate {direct} vs truth {truth} (rel {rel})");
+}
+
+/// L0 zoo mismatches: cross-seed and cross-type merges are rejected with the
+/// structured errors, and the KNW L0 config check names the offending field.
+#[test]
+fn mismatched_l0_merges_are_rejected_with_field_detail() {
+    let cfg_a = L0Config::new(EPS, UNIVERSE).with_seed(1);
+    let cfg_b = L0Config::new(EPS, UNIVERSE).with_seed(2);
+    let mut a = KnwL0Sketch::new(cfg_a);
+    let b = KnwL0Sketch::new(cfg_b);
+    assert_eq!(a.merge_from(&b), Err(SketchError::SeedMismatch));
+
+    let mut c = KnwL0Sketch::new(L0Config::new(0.25, UNIVERSE).with_seed(1));
+    match c.merge_from(&a) {
+        Err(SketchError::IncompatibleConfig {
+            field,
+            ours,
+            theirs,
+        }) => {
+            assert_eq!(field, "epsilon");
+            assert!(ours.contains("0.25"));
+            assert!(theirs.contains("0.1"));
+        }
+        other => panic!("unexpected merge result {other:?}"),
+    }
+
+    let mut zoo_a = all_l0_estimators(EPS, UNIVERSE, 1);
+    let zoo_b = all_l0_estimators(EPS, UNIVERSE, 2);
+    let err = zoo_a[0].merge_dyn(zoo_b[1].as_ref()).unwrap_err();
+    assert!(matches!(err, SketchError::TypeMismatch { .. }));
+    for (x, y) in zoo_a.iter_mut().zip(zoo_b.iter()) {
+        if x.name() == "exact-l0" {
+            continue;
+        }
+        assert!(
+            x.merge_dyn(y.as_ref()).is_err(),
+            "{} accepted a cross-seed merge",
+            x.name()
+        );
+    }
+}
+
+/// Batched turnstile ingestion (the delta-coalescing fast path) agrees with
+/// per-update ingestion across the turnstile zoo.
+#[test]
+fn batch_and_per_update_ingestion_agree_for_the_l0_zoo() {
+    let updates = signed_stream(25_000, 2_048, 3);
+    let mut batched = all_l0_estimators(EPS, UNIVERSE, SEED);
+    let mut per_update = all_l0_estimators(EPS, UNIVERSE, SEED);
+    for (b, p) in batched.iter_mut().zip(per_update.iter_mut()) {
+        for chunk in updates.chunks(700) {
+            b.update_batch(chunk);
+        }
+        for &(item, delta) in &updates {
+            p.update(item, delta);
         }
         assert_eq!(
             b.estimate(),
