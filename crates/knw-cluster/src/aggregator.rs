@@ -1,0 +1,533 @@
+//! The aggregator side: spawns N worker processes, streams batches to them
+//! over the frame protocol using the *same* routing stage as the in-process
+//! engine ([`knw_engine::ShardBatcher`]), and merges their serialized
+//! shards into one sketch.
+//!
+//! ```text
+//!        ingest / ingest_batch  (U = u64 or (item, ±delta))
+//!                     │
+//!          ┌──────────▼──────────┐   optional pre-coalescing
+//!          │  ShardBatcher       │   (per-item delta sums, L0 only)
+//!          │  RoundRobin/HashAff │
+//!          └──────────┬──────────┘
+//!     Batch frames    │  (length-prefixed serde codec, stdin pipes)
+//!      ┌──────────┬───┴──────┬──────────────┐
+//! ┌────▼───┐ ┌────▼───┐ ┌────▼───┐    ┌────▼───┐
+//! │worker 0│ │worker 1│ │worker 2│  … │worker N│   child processes,
+//! │ sketch │ │ sketch │ │ sketch │    │ sketch │   one shard each
+//! └────┬───┘ └────┬───┘ └────┬───┘    └────┬───┘
+//!      └──────────┴─────┬────┴──────────────┘
+//!       Shard{bytes}    │  (stdout pipes)
+//!                deserialize + merge_dyn fold
+//!                       │
+//!                  estimate()
+//! ```
+//!
+//! Because the batcher, policies and batch sizes are shared with
+//! [`ShardRouter`](knw_engine::ShardRouter) / `ShardedEngine`, a cluster
+//! run's shard contents are identical to an in-process run's — and since
+//! every sketch in the workspace merges exactly, the final estimate is
+//! bit-identical to a single-process, single-sketch run over the same
+//! stream.
+
+use crate::error::ClusterError;
+use crate::frame::{
+    read_frame, write_frame, BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError,
+};
+use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
+use crate::spec::{WireF0Sketch, WireL0Sketch};
+use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator, SketchError};
+use knw_engine::{EngineConfig, Routable, ShardBatcher};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// An update type the cluster can stream: ties the routing-stage contract
+/// ([`Routable`]) to the wire format (payload framing, shard construction,
+/// deserialization and merging) for its stream model.
+///
+/// Implemented for `u64` (insert-only F0 workers) and `(u64, i64)`
+/// (turnstile L0 workers); never implement it manually.
+pub trait ClusterUpdate: Routable {
+    /// The erased shard-sketch type of this stream model.
+    type Shard: ?Sized;
+
+    /// The stream model tag sent in the `Hello` frame.
+    fn mode() -> StreamMode;
+
+    /// Wraps a routed batch into the wire payload.
+    fn payload(batch: Vec<Self>) -> BatchPayload;
+
+    /// Builds a fresh local sketch for `spec` (used to validate the spec
+    /// before spawning, and by single-process comparisons).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownEstimator`] for names outside the zoo.
+    fn build(spec: &SketchSpec) -> Result<Box<Self::Shard>, ClusterError>;
+
+    /// Decodes a worker's shard bytes; the error is the codec's message.
+    ///
+    /// # Errors
+    ///
+    /// The codec rejection, as a message the caller attributes to a worker.
+    fn shard_from_bytes(spec: &SketchSpec, bytes: &[u8]) -> Result<Box<Self::Shard>, String>;
+
+    /// Applies buffered (not yet dispatched) updates to a merged snapshot.
+    fn apply(shard: &mut Self::Shard, batch: &[Self]);
+
+    /// Merges `other` into `into` (exact for every workspace sketch).
+    ///
+    /// # Errors
+    ///
+    /// The sketch-level incompatibility, if the shards disagree on
+    /// configuration or seeds.
+    fn merge(into: &mut Self::Shard, other: &Self::Shard) -> Result<(), SketchError>;
+
+    /// The shard's current estimate.
+    fn estimate(shard: &Self::Shard) -> f64;
+}
+
+impl ClusterUpdate for u64 {
+    type Shard = dyn WireF0Sketch;
+
+    fn mode() -> StreamMode {
+        StreamMode::F0
+    }
+
+    fn payload(batch: Vec<u64>) -> BatchPayload {
+        BatchPayload::Items(batch)
+    }
+
+    fn build(spec: &SketchSpec) -> Result<Box<Self::Shard>, ClusterError> {
+        build_f0(spec)
+    }
+
+    fn shard_from_bytes(spec: &SketchSpec, bytes: &[u8]) -> Result<Box<Self::Shard>, String> {
+        f0_shard_from_bytes(spec, bytes)
+    }
+
+    fn apply(shard: &mut Self::Shard, batch: &[u64]) {
+        shard.insert_batch(batch);
+    }
+
+    fn merge(into: &mut Self::Shard, other: &Self::Shard) -> Result<(), SketchError> {
+        into.merge_dyn(other as &dyn DynMergeableCardinalityEstimator)
+    }
+
+    fn estimate(shard: &Self::Shard) -> f64 {
+        shard.estimate()
+    }
+}
+
+impl ClusterUpdate for (u64, i64) {
+    type Shard = dyn WireL0Sketch;
+
+    fn mode() -> StreamMode {
+        StreamMode::L0
+    }
+
+    fn payload(batch: Vec<(u64, i64)>) -> BatchPayload {
+        BatchPayload::Updates(batch)
+    }
+
+    fn build(spec: &SketchSpec) -> Result<Box<Self::Shard>, ClusterError> {
+        build_l0(spec)
+    }
+
+    fn shard_from_bytes(spec: &SketchSpec, bytes: &[u8]) -> Result<Box<Self::Shard>, String> {
+        l0_shard_from_bytes(spec, bytes)
+    }
+
+    fn apply(shard: &mut Self::Shard, batch: &[(u64, i64)]) {
+        shard.update_batch(batch);
+    }
+
+    fn merge(into: &mut Self::Shard, other: &Self::Shard) -> Result<(), SketchError> {
+        into.merge_dyn(other as &dyn DynMergeableTurnstileEstimator)
+    }
+
+    fn estimate(shard: &Self::Shard) -> f64 {
+        shard.estimate()
+    }
+}
+
+/// Cluster sizing: the shared engine knobs (shard count = worker count,
+/// batch size, routing policy, pre-coalescing) plus the path of the worker
+/// executable to spawn.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Routing knobs, shared verbatim with the in-process engine.
+    pub engine: EngineConfig,
+    /// Path to the `knw-worker` executable.
+    pub worker_exe: PathBuf,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster configuration for `workers` worker processes using
+    /// the given worker executable.
+    #[must_use]
+    pub fn new(workers: usize, worker_exe: impl Into<PathBuf>) -> Self {
+        Self {
+            engine: EngineConfig::new(workers),
+            worker_exe: worker_exe.into(),
+        }
+    }
+
+    /// Replaces the engine knobs (batch size, routing, pre-coalescing),
+    /// keeping the worker count consistent with `engine.shards`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Locates the sibling `knw-worker` binary next to the current executable
+/// (handling cargo's `target/<profile>/deps/` layout for tests and
+/// benches).  Returns `None` when no such file exists — e.g. when only the
+/// library was built.
+#[must_use]
+pub fn sibling_worker_exe() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("knw-worker");
+    candidate.is_file().then_some(candidate)
+}
+
+struct WorkerHandle {
+    child: Child,
+    /// `None` once the pipe was closed (at `Finish`).
+    stdin: Option<BufWriter<ChildStdin>>,
+    stdout: BufReader<ChildStdout>,
+}
+
+/// The multi-process aggregation engine: the cross-process sibling of
+/// [`ShardedEngine`](knw_engine::ShardedEngine), with worker *processes*
+/// instead of worker threads and serialized shards instead of cloned ones.
+///
+/// A worker crash mirrors the in-process
+/// [`SketchError::ShardPanicked`](knw_core::SketchError::ShardPanicked)
+/// philosophy: the lost shard's updates cannot be recovered, so reporting
+/// refuses with [`ClusterError::WorkerDied`] instead of silently
+/// undercounting.
+pub struct ClusterAggregator<U: ClusterUpdate> {
+    spec: SketchSpec,
+    workers: Vec<WorkerHandle>,
+    batcher: ShardBatcher<U>,
+    precoalesce: bool,
+    updates: u64,
+    /// First worker whose pipe broke (its process died).
+    dead: Option<usize>,
+}
+
+/// The insert-only (F0) front of [`ClusterAggregator`].
+pub type F0ClusterAggregator = ClusterAggregator<u64>;
+
+/// The turnstile (L0) front of [`ClusterAggregator`].
+pub type L0ClusterAggregator = ClusterAggregator<(u64, i64)>;
+
+impl<U: ClusterUpdate> ClusterAggregator<U> {
+    /// Spawns `config.engine.shards` worker processes and performs the
+    /// `Hello` handshake.  The spec's stream model is forced to `U`'s.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownEstimator`] if the spec names a sketch
+    /// outside the zoo (validated *before* spawning anything), or an
+    /// [`ClusterError::Io`] if a worker cannot be spawned or greeted.
+    pub fn spawn(config: &ClusterConfig, spec: &SketchSpec) -> Result<Self, ClusterError> {
+        let mut spec = spec.clone();
+        spec.mode = U::mode();
+        // Fail fast on bad specs, before any process exists.
+        let _ = U::build(&spec)?;
+
+        let engine = config.engine.normalized();
+        let mut workers = Vec::with_capacity(engine.shards);
+        for index in 0..engine.shards {
+            let mut handle = spawn_worker(&config.worker_exe, index)?;
+            let hello = Frame::Hello(HelloConfig {
+                worker_index: index as u64,
+                spec: spec.clone(),
+            });
+            write_to(&mut handle, index, &hello)?;
+            workers.push(handle);
+        }
+        Ok(Self {
+            spec,
+            workers,
+            batcher: ShardBatcher::new(engine.routing, engine.shards, engine.batch_size),
+            precoalesce: engine.precoalesce && U::coalescible(),
+            updates: 0,
+            dead: None,
+        })
+    }
+
+    /// The spec every worker was configured with.
+    #[must_use]
+    pub fn spec(&self) -> &SketchSpec {
+        &self.spec
+    }
+
+    /// Number of worker processes.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total updates routed so far (raw, before any pre-coalescing).
+    #[must_use]
+    pub fn items_ingested(&self) -> u64 {
+        self.updates
+    }
+
+    /// Routes one update (buffered; shipped once a batch fills up).
+    pub fn ingest(&mut self, update: U) {
+        self.updates += 1;
+        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        self.batcher.push(update, &mut |worker, batch| {
+            send_batch::<U>(workers, dead, worker, batch);
+        });
+    }
+
+    /// Routes a slice of updates.  With pre-coalescing enabled, turnstile
+    /// batches are first collapsed to per-item delta sums so workers
+    /// receive fewer, pre-summed updates — less wire traffic, same final
+    /// state for every linear sketch.
+    pub fn ingest_batch(&mut self, updates: &[U]) {
+        self.updates += updates.len() as u64;
+        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        let mut dispatch = |worker: usize, batch: Vec<U>| {
+            send_batch::<U>(workers, dead, worker, batch);
+        };
+        if self.precoalesce {
+            let coalesced = U::coalesce_batch(updates);
+            self.batcher.extend_from_slice(&coalesced, &mut dispatch);
+        } else {
+            self.batcher.extend_from_slice(updates, &mut dispatch);
+        }
+    }
+
+    /// Ships every (possibly partial) pending batch to its worker.
+    pub fn flush(&mut self) {
+        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        self.batcher.flush(&mut |worker, batch| {
+            send_batch::<U>(workers, dead, worker, batch);
+        });
+    }
+
+    /// Kills one worker process — a fault-injection / operations hook
+    /// (e.g. evicting a wedged worker).  The next report will surface
+    /// [`ClusterError::WorkerDied`] for it.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `kill(2)` failure, if any.
+    pub fn kill_worker(&mut self, worker: usize) -> std::io::Result<()> {
+        self.workers[worker].child.kill()
+    }
+
+    /// Requests a shard snapshot from every worker and merges them (plus
+    /// any locally buffered updates) into one sketch summarizing every
+    /// update ingested so far.  The cluster keeps running — this is the
+    /// paper's midstream "reporting".
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::WorkerDied`] if a worker process died (its updates
+    /// are unrecoverable), or the transport / codec / merge failure.
+    pub fn snapshot(&mut self) -> Result<Box<U::Shard>, ClusterError> {
+        if let Some(worker) = self.dead {
+            return Err(ClusterError::WorkerDied { worker });
+        }
+        // Fan the snapshot requests out before collecting any reply, so the
+        // workers drain their pipes and serialize concurrently.
+        for index in 0..self.workers.len() {
+            let handle = &mut self.workers[index];
+            if let Err(e) = write_to(handle, index, &Frame::Snapshot) {
+                self.dead.get_or_insert(index);
+                return Err(e);
+            }
+        }
+        let mut merged: Option<Box<U::Shard>> = None;
+        for index in 0..self.workers.len() {
+            let bytes = match read_shard(&mut self.workers[index], index) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    if matches!(e, ClusterError::WorkerDied { .. }) {
+                        self.dead.get_or_insert(index);
+                    }
+                    return Err(e);
+                }
+            };
+            let shard =
+                U::shard_from_bytes(&self.spec, &bytes).map_err(|message| ClusterError::Frame {
+                    worker: index,
+                    message,
+                })?;
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(into) => U::merge(into.as_mut(), shard.as_ref())?,
+            }
+        }
+        let mut merged = merged.expect("cluster always has at least one worker");
+        // Fold in the locally buffered (not yet shipped) updates, exactly
+        // like the in-process router's midstream `merged()`.
+        self.batcher.for_each_pending(|batch| {
+            U::apply(merged.as_mut(), batch);
+        });
+        Ok(merged)
+    }
+
+    /// Snapshots and reports the current estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`snapshot`](Self::snapshot).
+    pub fn estimate(&mut self) -> Result<f64, ClusterError> {
+        Ok(U::estimate(self.snapshot()?.as_ref()))
+    }
+
+    /// Ships all pending batches, sends `Finish`, collects every worker's
+    /// final shard, waits for the processes to exit, and returns the merged
+    /// sketch of the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::WorkerDied`] if a worker process died or exited
+    /// uncleanly, or the transport / codec / merge failure.  Remaining
+    /// workers are killed on the error path (no orphans).
+    pub fn finish(mut self) -> Result<Box<U::Shard>, ClusterError> {
+        self.flush();
+        if let Some(worker) = self.dead {
+            return Err(ClusterError::WorkerDied { worker });
+        }
+        // Fan the Finish requests out to every worker before collecting any
+        // shard (as `snapshot` does), so the workers drain their pipes,
+        // serialize and exit concurrently: shutdown latency is the slowest
+        // worker's, not the sum.
+        for index in 0..self.workers.len() {
+            let handle = &mut self.workers[index];
+            write_to(handle, index, &Frame::Finish)?;
+            // Closing stdin is the belt to the Finish suspenders: a worker
+            // that somehow missed the frame still sees EOF and exits.
+            drop(handle.stdin.take());
+        }
+        let mut merged: Option<Box<U::Shard>> = None;
+        for index in 0..self.workers.len() {
+            let handle = &mut self.workers[index];
+            let bytes = read_shard(handle, index)?;
+            let status = handle
+                .child
+                .wait()
+                .map_err(|e| ClusterError::io(index, e))?;
+            if !status.success() {
+                return Err(ClusterError::WorkerDied { worker: index });
+            }
+            let shard =
+                U::shard_from_bytes(&self.spec, &bytes).map_err(|message| ClusterError::Frame {
+                    worker: index,
+                    message,
+                })?;
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(into) => U::merge(into.as_mut(), shard.as_ref())?,
+            }
+        }
+        self.workers.clear(); // all waited; Drop has nothing left to kill
+        Ok(merged.expect("cluster always has at least one worker"))
+    }
+}
+
+impl<U: ClusterUpdate> Drop for ClusterAggregator<U> {
+    /// Reaps every still-running worker so an abandoned (or failed)
+    /// aggregator leaves no orphan processes behind.
+    fn drop(&mut self) {
+        for handle in &mut self.workers {
+            drop(handle.stdin.take());
+            let _ = handle.child.kill();
+            let _ = handle.child.wait();
+        }
+    }
+}
+
+fn spawn_worker(exe: &Path, index: usize) -> Result<WorkerHandle, ClusterError> {
+    let mut child = Command::new(exe)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| ClusterError::io(index, e))?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let stdout = child.stdout.take().expect("stdout was piped");
+    Ok(WorkerHandle {
+        child,
+        stdin: Some(BufWriter::new(stdin)),
+        stdout: BufReader::new(stdout),
+    })
+}
+
+/// Writes one frame to a worker and flushes, mapping transport failures to
+/// worker-attributed errors.
+fn write_to(handle: &mut WorkerHandle, index: usize, frame: &Frame) -> Result<(), ClusterError> {
+    let Some(stdin) = handle.stdin.as_mut() else {
+        return Err(ClusterError::WorkerDied { worker: index });
+    };
+    let io_dead = |e: std::io::Error| {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            ClusterError::WorkerDied { worker: index }
+        } else {
+            ClusterError::io(index, e)
+        }
+    };
+    match write_frame(stdin, frame) {
+        Ok(()) => {}
+        Err(WireError::Io(e)) => return Err(io_dead(e)),
+        Err(e) => {
+            return Err(ClusterError::Frame {
+                worker: index,
+                message: e.to_string(),
+            })
+        }
+    }
+    stdin.flush().map_err(io_dead)
+}
+
+/// Best-effort batch hand-off: a broken pipe marks the worker dead (its
+/// process exited), to be surfaced by the next report — mirroring the
+/// in-process engine's `poisoned` bookkeeping.
+fn send_batch<U: ClusterUpdate>(
+    workers: &mut [WorkerHandle],
+    dead: &mut Option<usize>,
+    worker: usize,
+    batch: Vec<U>,
+) {
+    let frame = Frame::Batch(U::payload(batch));
+    if write_to(&mut workers[worker], worker, &frame).is_err() {
+        dead.get_or_insert(worker);
+    }
+}
+
+/// Reads the `Shard` reply a `Snapshot`/`Finish` request promises.
+fn read_shard(handle: &mut WorkerHandle, index: usize) -> Result<Vec<u8>, ClusterError> {
+    match read_frame(&mut handle.stdout) {
+        Ok(Some(Frame::Shard(bytes))) => Ok(bytes),
+        Ok(Some(Frame::Err(message))) => Err(ClusterError::WorkerReported {
+            worker: index,
+            message,
+        }),
+        Ok(Some(other)) => Err(ClusterError::Protocol {
+            worker: index,
+            expected: "Shard",
+            got: other.kind().to_string(),
+        }),
+        Ok(None) | Err(WireError::Truncated) => Err(ClusterError::WorkerDied { worker: index }),
+        Err(WireError::Io(e)) => Err(ClusterError::io(index, e)),
+        Err(e) => Err(ClusterError::Frame {
+            worker: index,
+            message: e.to_string(),
+        }),
+    }
+}

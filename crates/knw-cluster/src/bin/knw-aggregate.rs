@@ -1,0 +1,230 @@
+//! The cluster demo front end: spawns N `knw-worker` processes, streams a
+//! synthetic workload to them over the frame protocol, merges their
+//! serialized shards, and checks the merged estimate against a
+//! single-process run of the same sketch — which must agree **bit for
+//! bit** (that is the whole point of exact mergeability).
+//!
+//! ```text
+//! knw-aggregate [--workers N] [--mode f0|l0] [--estimator NAME]
+//!               [--updates COUNT] [--universe N] [--epsilon E] [--seed S]
+//!               [--routing round-robin|hash-affine] [--precoalesce]
+//!               [--worker PATH]
+//! ```
+//!
+//! With `--mode l0` the stream is churn-heavy signed updates; otherwise a
+//! skewed insert-only stream.  The worker binary defaults to the sibling
+//! `knw-worker` next to this executable.
+
+use knw_cluster::{
+    sibling_worker_exe, ClusterConfig, ClusterError, F0ClusterAggregator, L0ClusterAggregator,
+    SketchSpec,
+};
+use knw_engine::{EngineConfig, RoutingPolicy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    workers: usize,
+    mode: String,
+    /// `None` until `--estimator`; defaults per mode (`knw-f0` / `knw-l0`).
+    estimator: Option<String>,
+    updates: usize,
+    universe: u64,
+    epsilon: f64,
+    seed: u64,
+    routing: RoutingPolicy,
+    precoalesce: bool,
+    worker: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            mode: "f0".into(),
+            estimator: None,
+            updates: 1_000_000,
+            universe: 1 << 20,
+            epsilon: 0.05,
+            seed: 7,
+            routing: RoutingPolicy::RoundRobin,
+            precoalesce: false,
+            worker: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--workers" => {
+                opts.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--mode" => {
+                opts.mode = match value("--mode")?.as_str() {
+                    mode @ ("f0" | "l0") => mode.to_string(),
+                    other => return Err(format!("unknown mode {other:?} (expected f0 or l0)")),
+                };
+            }
+            "--estimator" => opts.estimator = Some(value("--estimator")?),
+            "--updates" => {
+                opts.updates = value("--updates")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--universe" => {
+                opts.universe = value("--universe")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--routing" => {
+                opts.routing = match value("--routing")?.as_str() {
+                    "round-robin" => RoutingPolicy::RoundRobin,
+                    "hash-affine" => RoutingPolicy::HashAffine { seed: 0 },
+                    other => return Err(format!("unknown routing policy {other:?}")),
+                };
+            }
+            "--precoalesce" => opts.precoalesce = true,
+            "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: knw-aggregate [--workers N] [--mode f0|l0] [--estimator NAME]\n\
+                     \u{20}                    [--updates COUNT] [--universe N] [--epsilon E]\n\
+                     \u{20}                    [--seed S] [--routing round-robin|hash-affine]\n\
+                     \u{20}                    [--precoalesce] [--worker PATH]\n\
+                     F0 estimators: {}\nL0 estimators: {}",
+                    knw_cluster::f0_estimator_names().join(", "),
+                    knw_cluster::l0_estimator_names().join(", "),
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// A skewed insert-only stream (a few hot items, a long tail).
+fn f0_stream(len: usize, universe: u64, seed: u64) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            let x = (i + seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // ~1/4 of the stream hits a 256-item hot set.
+            if x.is_multiple_of(4) {
+                x % 256
+            } else {
+                x % universe
+            }
+        })
+        .collect()
+}
+
+/// A churn-heavy signed stream (inserts, partial deletes, cancellations).
+fn l0_stream(len: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| (next() % universe, (next() % 9) as i64 - 4))
+        .collect()
+}
+
+fn run(opts: &Options) -> Result<(), ClusterError> {
+    let worker = opts
+        .worker
+        .clone()
+        .or_else(sibling_worker_exe)
+        .ok_or_else(|| ClusterError::Io {
+            worker: None,
+            source: std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "knw-worker binary not found; pass --worker PATH",
+            ),
+        })?;
+    let engine = EngineConfig::new(opts.workers)
+        .with_routing(opts.routing)
+        .with_precoalesce(opts.precoalesce);
+    let config = ClusterConfig::new(opts.workers, worker).with_engine(engine);
+    let estimator = opts.estimator.clone().unwrap_or_else(|| {
+        if opts.mode == "l0" {
+            "knw-l0"
+        } else {
+            "knw-f0"
+        }
+        .to_string()
+    });
+
+    println!(
+        "spawning {} workers ({:?} routing{}) for `{estimator}` over {} updates …",
+        opts.workers,
+        opts.routing,
+        if opts.precoalesce {
+            ", pre-coalescing"
+        } else {
+            ""
+        },
+        opts.updates,
+    );
+
+    let (cluster_estimate, single_estimate) = if opts.mode == "l0" {
+        let spec = SketchSpec::l0(&estimator, opts.epsilon, opts.universe, opts.seed);
+        let updates = l0_stream(opts.updates, opts.universe, opts.seed);
+        let mut cluster = L0ClusterAggregator::spawn(&config, &spec)?;
+        for chunk in updates.chunks(1 << 16) {
+            cluster.ingest_batch(chunk);
+        }
+        let merged = cluster.finish()?;
+        let mut single = knw_cluster::build_l0(&spec)?;
+        single.update_batch(&updates);
+        (
+            <(u64, i64) as knw_cluster::ClusterUpdate>::estimate(merged.as_ref()),
+            single.estimate(),
+        )
+    } else {
+        let spec = SketchSpec::f0(&estimator, opts.epsilon, opts.universe, opts.seed);
+        let items = f0_stream(opts.updates, opts.universe, opts.seed);
+        let mut cluster = F0ClusterAggregator::spawn(&config, &spec)?;
+        for chunk in items.chunks(1 << 16) {
+            cluster.ingest_batch(chunk);
+        }
+        let merged = cluster.finish()?;
+        let mut single = knw_cluster::build_f0(&spec)?;
+        single.insert_batch(&items);
+        (
+            <u64 as knw_cluster::ClusterUpdate>::estimate(merged.as_ref()),
+            single.estimate(),
+        )
+    };
+
+    println!("cluster-merged estimate : {cluster_estimate}");
+    println!("single-process estimate : {single_estimate}");
+    println!(
+        "bit-identical           : {}",
+        cluster_estimate.to_bits() == single_estimate.to_bits()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("knw-aggregate: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("knw-aggregate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

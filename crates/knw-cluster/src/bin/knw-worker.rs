@@ -1,0 +1,22 @@
+//! The shard worker process: speaks the `knw-cluster` frame protocol on
+//! stdin/stdout (see `knw_cluster::frame`), holding one shard sketch.
+//!
+//! Spawned by the aggregator (`knw_cluster::ClusterAggregator` or the
+//! `knw-aggregate` demo binary); not intended for interactive use.  Exits
+//! 0 on a clean `Finish` (or aggregator EOF), nonzero after reporting an
+//! `Err` frame.
+
+use std::io::{stdin, stdout, BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = BufReader::new(stdin().lock());
+    let mut output = BufWriter::new(stdout().lock());
+    match knw_cluster::run_worker(&mut input, &mut output) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("knw-worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types of the distributed aggregation layer.
+
+use knw_core::SketchError;
+use std::fmt;
+
+/// Errors arising on the aggregator side of a cluster run: transport
+/// failures, protocol violations, worker crashes, and sketch-level merge
+/// incompatibilities.
+///
+/// The variants mirror the in-process engine's failure philosophy
+/// ([`SketchError::ShardPanicked`]): a lost worker means the merged estimate
+/// would silently undercount, so reporting refuses with a typed error
+/// naming the worker instead of producing a number.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An I/O error on a worker pipe (spawn failure, broken pipe, …).
+    Io {
+        /// Index of the worker whose pipe failed (`None` for spawn-time
+        /// failures not attributable to a worker).
+        worker: Option<usize>,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A frame could not be decoded: truncated length prefix, oversized
+    /// declared length, or a payload the codec rejects.
+    Frame {
+        /// Index of the worker the malformed frame came from.
+        worker: usize,
+        /// Codec-level description of the failure.
+        message: String,
+    },
+    /// A worker process died (its stream ended, or it exited nonzero)
+    /// before delivering its shard; the shard's updates are lost, so no
+    /// trustworthy merged estimate can be produced.
+    WorkerDied {
+        /// Index of the dead worker.
+        worker: usize,
+    },
+    /// A worker answered with a frame the protocol does not allow in the
+    /// current state (e.g. a `Batch` where a `Shard` was expected).
+    Protocol {
+        /// Index of the offending worker.
+        worker: usize,
+        /// The frame kind the aggregator was waiting for.
+        expected: &'static str,
+        /// A rendering of what arrived instead.
+        got: String,
+    },
+    /// A worker reported an error of its own (an `Err` frame): unknown
+    /// estimator, mode mismatch, or a local codec failure.
+    WorkerReported {
+        /// Index of the reporting worker.
+        worker: usize,
+        /// The worker's error message, verbatim.
+        message: String,
+    },
+    /// The requested estimator name is not in the wire-format zoo.
+    UnknownEstimator {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Merging the collected shards failed (mismatched configuration or
+    /// seeds — the cluster-level equivalent of a misconfigured factory).
+    Sketch(SketchError),
+}
+
+impl ClusterError {
+    /// Wraps an I/O error attributable to a specific worker.
+    #[must_use]
+    pub fn io(worker: usize, source: std::io::Error) -> Self {
+        ClusterError::Io {
+            worker: Some(worker),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io { worker, source } => match worker {
+                Some(w) => write!(f, "i/o error on worker {w}: {source}"),
+                None => write!(f, "i/o error: {source}"),
+            },
+            ClusterError::Frame { worker, message } => {
+                write!(f, "malformed frame from worker {worker}: {message}")
+            }
+            ClusterError::WorkerDied { worker } => {
+                write!(
+                    f,
+                    "worker process {worker} died before delivering its shard; \
+                     its updates are lost"
+                )
+            }
+            ClusterError::Protocol {
+                worker,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "protocol violation from worker {worker}: expected {expected}, got {got}"
+                )
+            }
+            ClusterError::WorkerReported { worker, message } => {
+                write!(f, "worker {worker} reported an error: {message}")
+            }
+            ClusterError::UnknownEstimator { name } => {
+                write!(f, "estimator {name:?} is not in the wire-format zoo")
+            }
+            ClusterError::Sketch(e) => write!(f, "shard merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io { source, .. } => Some(source),
+            ClusterError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for ClusterError {
+    fn from(e: SketchError) -> Self {
+        ClusterError::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_worker() {
+        let died = ClusterError::WorkerDied { worker: 2 };
+        assert!(died.to_string().contains("worker process 2"));
+        let proto = ClusterError::Protocol {
+            worker: 1,
+            expected: "Shard",
+            got: "Batch".into(),
+        };
+        assert!(proto.to_string().contains("expected Shard"));
+        let io = ClusterError::io(3, std::io::Error::other("pipe gone"));
+        assert!(io.to_string().contains("worker 3"));
+        assert!(std::error::Error::source(&io).is_some());
+        let sketch = ClusterError::from(SketchError::SeedMismatch);
+        assert!(sketch.to_string().contains("seeds"));
+    }
+}

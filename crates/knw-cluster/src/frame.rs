@@ -1,0 +1,420 @@
+//! The length-prefixed frame protocol spoken between the aggregator and its
+//! worker processes.
+//!
+//! # Wire format
+//!
+//! Every frame is a `u32` little-endian length prefix followed by exactly
+//! that many payload bytes; the payload is the [`Frame`] enum encoded with
+//! the workspace's serde binary codec (a `u32` variant index followed by
+//! the variant's fields, see `dev-shims/serde`).  The format is
+//! deliberately boring: framing survives any byte content, a reader can
+//! skip frames it does not understand, and the golden-bytes tests below pin
+//! the encoding so the two sides of the pipe (which are separate binaries)
+//! cannot drift silently.
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────────────────────┐
+//! │ len: u32LE │ payload: serde(Frame), exactly `len` bytes   │
+//! └────────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! # Conversation
+//!
+//! ```text
+//! aggregator → worker:  Hello{config}  (Batch{…})*  (Snapshot (…))*  Finish
+//! worker → aggregator:                 Shard{bytes} per Snapshot/Finish,
+//!                                      Err{message} on any failure
+//! ```
+//!
+//! Decoding is strict and total: truncated input, oversized length
+//! prefixes and codec rejections all surface as typed [`WireError`]s, never
+//! panics — a crashed peer must not take the survivor down with it.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard ceiling on a frame's declared payload length: a corrupt or
+/// adversarial length prefix must not translate into an unbounded
+/// allocation.  256 MiB comfortably covers any sketch in the workspace
+/// (sketches are *small* — that is the point of the paper).
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Which stream model a worker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StreamMode {
+    /// Insert-only F0 streams (`u64` items).
+    F0,
+    /// Turnstile L0 streams (`(u64, i64)` signed updates).
+    L0,
+}
+
+/// Everything a worker needs to construct its shard sketch: the stream
+/// model, the estimator's zoo name, and the accuracy / universe / seed
+/// parameters every estimator in the zoo is built from.
+///
+/// All workers of a run receive the *same* spec — identical configuration
+/// and seeds are what make the final merge exact, precisely as with the
+/// in-process engine's factory contract.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SketchSpec {
+    /// Stream model (selects the zoo the name is resolved in).
+    pub mode: StreamMode,
+    /// Estimator name as reported by `CardinalityEstimator::name` /
+    /// `TurnstileEstimator::name` (e.g. `"knw-f0"`, `"hyperloglog"`).
+    pub estimator: String,
+    /// Relative accuracy target ε.
+    pub epsilon: f64,
+    /// Universe size `n`.
+    pub universe: u64,
+    /// Hash seed shared by every shard.
+    pub seed: u64,
+}
+
+impl SketchSpec {
+    /// Creates an F0 spec.
+    #[must_use]
+    pub fn f0(estimator: impl Into<String>, epsilon: f64, universe: u64, seed: u64) -> Self {
+        Self {
+            mode: StreamMode::F0,
+            estimator: estimator.into(),
+            epsilon,
+            universe,
+            seed,
+        }
+    }
+
+    /// Creates an L0 spec.
+    #[must_use]
+    pub fn l0(estimator: impl Into<String>, epsilon: f64, universe: u64, seed: u64) -> Self {
+        Self {
+            mode: StreamMode::L0,
+            estimator: estimator.into(),
+            epsilon,
+            universe,
+            seed,
+        }
+    }
+}
+
+/// The handshake payload: the worker's index (for diagnostics) and the
+/// sketch spec it must instantiate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HelloConfig {
+    /// This worker's shard index in the cluster.
+    pub worker_index: u64,
+    /// The sketch every worker of the run builds.
+    pub spec: SketchSpec,
+}
+
+/// A batch of stream updates, in the worker's stream model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BatchPayload {
+    /// Insert-only items.
+    Items(Vec<u64>),
+    /// Signed turnstile updates.
+    Updates(Vec<(u64, i64)>),
+}
+
+impl BatchPayload {
+    /// Number of updates in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            BatchPayload::Items(v) => v.len(),
+            BatchPayload::Updates(v) => v.len(),
+        }
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One protocol message.  See the module docs for the conversation shape.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Frame {
+    /// Aggregator → worker: handshake carrying the sketch spec.
+    Hello(HelloConfig),
+    /// Aggregator → worker: a batch of stream updates to ingest.
+    Batch(BatchPayload),
+    /// Aggregator → worker: request the current shard bytes (midstream
+    /// reporting); the worker answers with [`Frame::Shard`] and keeps going.
+    Snapshot,
+    /// Aggregator → worker: finalize — answer with [`Frame::Shard`] and
+    /// exit cleanly.
+    Finish,
+    /// Worker → aggregator: the serialized shard sketch.
+    Shard(Vec<u8>),
+    /// Worker → aggregator: a worker-side failure, in human-readable form.
+    Err(String),
+}
+
+impl Frame {
+    /// A short name for protocol-violation diagnostics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "Hello",
+            Frame::Batch(_) => "Batch",
+            Frame::Snapshot => "Snapshot",
+            Frame::Finish => "Finish",
+            Frame::Shard(_) => "Shard",
+            Frame::Err(_) => "Err",
+        }
+    }
+}
+
+/// Frame-level transport / codec failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The stream ended inside a frame (after a length prefix, or with a
+    /// partial prefix) — the peer died mid-send.
+    Truncated,
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The payload bytes were rejected by the codec.
+    Codec(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Oversized { declared } => {
+                write!(
+                    f,
+                    "frame declares {declared} payload bytes, above the {MAX_FRAME_LEN} cap"
+                )
+            }
+            WireError::Codec(msg) => write!(f, "frame payload rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.  The caller flushes (frames are
+/// usually batched behind a `BufWriter`; flush before expecting an answer).
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the encoded frame exceeds [`MAX_FRAME_LEN`],
+/// [`WireError::Io`] on transport failure.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let payload = serde::to_bytes(frame);
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized {
+            declared: payload.len() as u64,
+        });
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(&payload)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a *clean* end of stream (no bytes where a length
+/// prefix would start) — the peer closed the connection between frames.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the stream ends inside a frame,
+/// [`WireError::Oversized`] on an absurd length prefix, [`WireError::Codec`]
+/// if the payload does not decode, [`WireError::Io`] on transport failure.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(reader, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Partial => return Err(WireError::Truncated),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized {
+            declared: len as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(reader, &mut payload)? {
+        ReadOutcome::Full => {}
+        _ => return Err(WireError::Truncated),
+    }
+    serde::from_bytes::<Frame>(&payload)
+        .map(Some)
+        .map_err(|e| WireError::Codec(e.to_string()))
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Partial,
+}
+
+/// `read_exact`, but distinguishing "no bytes at all" (clean EOF between
+/// frames) from "some bytes then EOF" (peer died mid-frame).
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame).expect("write");
+        let mut reader = wire.as_slice();
+        let back = read_frame(&mut reader).expect("read").expect("one frame");
+        assert!(reader.is_empty(), "trailing bytes after one frame");
+        back
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = [
+            Frame::Hello(HelloConfig {
+                worker_index: 3,
+                spec: SketchSpec::f0("knw-f0", 0.1, 1 << 20, 42),
+            }),
+            Frame::Batch(BatchPayload::Items(vec![1, 2, 3])),
+            Frame::Batch(BatchPayload::Updates(vec![(7, -2), (9, 5)])),
+            Frame::Snapshot,
+            Frame::Finish,
+            Frame::Shard(vec![0xDE, 0xAD, 0xBE, 0xEF]),
+            Frame::Err("boom".into()),
+        ];
+        for frame in &frames {
+            assert_eq!(&round_trip(frame), frame, "{} deviated", frame.kind());
+        }
+    }
+
+    /// Golden bytes: the encoding is pinned so the aggregator and worker
+    /// binaries (separate executables!) cannot drift apart silently.  If
+    /// this test fails, the wire format changed — bump both sides together.
+    #[test]
+    fn golden_bytes_are_stable() {
+        // Finish = variant index 3, no fields; prefix says 4 payload bytes.
+        let mut finish = Vec::new();
+        write_frame(&mut finish, &Frame::Finish).expect("write");
+        assert_eq!(finish, [4, 0, 0, 0, 3, 0, 0, 0]);
+
+        // Shard(vec![1, 2]): variant 4, then a u64 length-prefixed byte Vec.
+        let mut shard = Vec::new();
+        write_frame(&mut shard, &Frame::Shard(vec![1, 2])).expect("write");
+        assert_eq!(
+            shard,
+            [
+                14, 0, 0, 0, // u32 frame length: 4 (tag) + 8 (vec len) + 2
+                4, 0, 0, 0, // variant index 4 = Shard
+                2, 0, 0, 0, 0, 0, 0, 0, // vec length 2 (u64 LE)
+                1, 2, // the bytes
+            ]
+        );
+
+        // Batch(Items([5])): variant 1, payload variant 0, one u64 item.
+        let mut batch = Vec::new();
+        write_frame(&mut batch, &Frame::Batch(BatchPayload::Items(vec![5]))).expect("write");
+        assert_eq!(
+            batch,
+            [
+                24, 0, 0, 0, // frame length: 4 + 4 + 8 + 8
+                1, 0, 0, 0, // variant index 1 = Batch
+                0, 0, 0, 0, // payload variant 0 = Items
+                1, 0, 0, 0, 0, 0, 0, 0, // vec length 1
+                5, 0, 0, 0, 0, 0, 0, 0, // the item
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error_not_a_panic() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Hello(HelloConfig {
+                worker_index: 0,
+                spec: SketchSpec::l0("knw-l0", 0.1, 1 << 16, 7),
+            }),
+        )
+        .expect("write");
+        for cut in 1..wire.len() {
+            let mut reader = &wire[..cut];
+            let err = read_frame(&mut reader).expect_err("truncated read must fail");
+            assert!(
+                matches!(err, WireError::Truncated | WireError::Codec(_)),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_variant_tag_is_a_codec_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Finish).expect("write");
+        wire[4] = 0xFF; // smash the Frame variant index
+        let mut reader = wire.as_slice();
+        assert!(matches!(read_frame(&mut reader), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let wire = u32::MAX.to_le_bytes();
+        let mut reader = wire.as_slice();
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_frame_is_a_codec_error() {
+        // A valid Finish payload padded with one extra byte, with the
+        // length prefix covering the padding: strict decode must reject.
+        let wire = [5u8, 0, 0, 0, 3, 0, 0, 0, 9];
+        let mut reader = wire.as_slice();
+        assert!(matches!(read_frame(&mut reader), Err(WireError::Codec(_))));
+    }
+}

@@ -1,0 +1,112 @@
+//! Multi-process distributed aggregation over the KNW serde wire format.
+//!
+//! The KNW sketches merge *exactly*: shards built over disjoint substreams
+//! reproduce the single-stream estimate bit for bit (`knw-core`'s
+//! mergeable contract, PR 1 and PR 2).  Until now the repo only exercised
+//! that property inside one process — threads exchanging cloned sketches.
+//! This crate is the missing layer: worker **processes** that never share
+//! memory ingest substreams and exchange **serialized** shards with an
+//! aggregator, which merges them with the same `merge_dyn` fold the
+//! in-process engine uses.  Workers scale across cores, machines behind a
+//! pipe-shaped transport, or restarts — and the combine step at the end is
+//! cheap and exact.
+//!
+//! # Process topology
+//!
+//! ```text
+//!                         ┌───────────────────────────┐
+//!                         │        aggregator         │
+//!                         │  ShardBatcher (RoundRobin │
+//!                         │  or HashAffine) + optional│
+//!                         │  L0 pre-coalescing        │
+//!                         └─┬───────┬───────┬───────┬─┘
+//!              Hello,Batch…,│       │       │       │ …Finish   (stdin)
+//!                           ▼       ▼       ▼       ▼
+//!                      ┌───────┐┌───────┐┌───────┐┌───────┐
+//!                      │worker0││worker1││worker2││worker3│  spawned child
+//!                      │sketch ││sketch ││sketch ││sketch │  processes
+//!                      └───┬───┘└───┬───┘└───┬───┘└───┬───┘
+//!                          │        │        │        │     (stdout)
+//!                          └──one Shard{serialized bytes} each──┐
+//!                                                               ▼
+//!                          deserialize → merge_dyn fold → merged estimate
+//! ```
+//!
+//! # The frame protocol
+//!
+//! All traffic is length-prefixed frames (`u32` little-endian length +
+//! serde-codec payload, see [`frame`]):
+//!
+//! | frame | direction | meaning |
+//! |---|---|---|
+//! | `Hello{worker_index, spec}` | aggregator → worker | handshake: which sketch to build ([`SketchSpec`]: stream model, zoo name, ε, n, seed) |
+//! | `Batch{Items\|Updates}` | aggregator → worker | a routed batch of stream updates |
+//! | `Snapshot` | aggregator → worker | request the current shard bytes (midstream reporting); the worker keeps running |
+//! | `Finish` | aggregator → worker | finalize: send the shard and exit cleanly |
+//! | `Shard{bytes}` | worker → aggregator | the serialized shard sketch (the workspace serde codec) |
+//! | `Err{message}` | worker → aggregator | worker-side failure, before the worker exits nonzero |
+//!
+//! Routing reuses [`knw_engine::ShardBatcher`] — the *same* code that
+//! routes the in-process `ShardedEngine`/`ShardRouter` — so in-process and
+//! cross-process runs of the same [`EngineConfig`](knw_engine::EngineConfig)
+//! produce identical shard contents.  Two policies:
+//! [`RoutingPolicy::RoundRobin`](knw_engine::RoutingPolicy) (batch-cyclic,
+//! valid because every workspace sketch merges exactly under arbitrary
+//! partitions) and
+//! [`RoutingPolicy::HashAffine`](knw_engine::RoutingPolicy) (item → fixed
+//! worker; required for correct by-item partitioning of turnstile streams
+//! when a shard structure needs to see all of an item's inserts and
+//! deletes).  For turnstile streams the aggregator can additionally
+//! **pre-coalesce** batches (sum each item's deltas via
+//! [`knw_core::coalesce`]) before the shard split, cutting wire traffic
+//! and restoring the coalescing window the split would otherwise dilute.
+//!
+//! # Failure model
+//!
+//! A worker crash is detected at the pipe (broken write, EOF where a
+//! `Shard` was due, nonzero exit) and surfaces as
+//! [`ClusterError::WorkerDied`] — the cross-process mirror of the engine's
+//! [`SketchError::ShardPanicked`](knw_core::SketchError::ShardPanicked):
+//! a lost shard means the merged estimate would silently undercount, so no
+//! estimate is produced.  Malformed frames and worker-reported failures
+//! get their own typed variants; nothing in the protocol path panics on
+//! bad bytes.
+//!
+//! # Example
+//!
+//! The `knw-aggregate` binary is the demo front end (`knw-aggregate
+//! --workers 4 --estimator knw-f0 …`); programmatically:
+//!
+//! ```no_run
+//! use knw_cluster::{ClusterConfig, F0ClusterAggregator, SketchSpec};
+//!
+//! let config = ClusterConfig::new(4, "target/release/knw-worker");
+//! let spec = SketchSpec::f0("knw-f0", 0.05, 1 << 20, 7);
+//! let mut cluster = F0ClusterAggregator::spawn(&config, &spec).unwrap();
+//! for i in 0..1_000_000u64 {
+//!     cluster.ingest(i % 250_000);
+//! }
+//! let merged = cluster.finish().unwrap();
+//! println!("distinct ≈ {}", merged.estimate());
+//! ```
+
+pub mod aggregator;
+pub mod error;
+pub mod frame;
+pub mod spec;
+pub mod worker;
+
+pub use aggregator::{
+    sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterUpdate, F0ClusterAggregator,
+    L0ClusterAggregator,
+};
+pub use error::ClusterError;
+pub use frame::{
+    read_frame, write_frame, BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError,
+    MAX_FRAME_LEN,
+};
+pub use spec::{
+    build_f0, build_l0, f0_estimator_names, f0_shard_from_bytes, l0_estimator_names,
+    l0_shard_from_bytes, WireF0Sketch, WireL0Sketch,
+};
+pub use worker::run_worker;

@@ -1,0 +1,242 @@
+//! The worker side of the cluster protocol: one process, one shard sketch.
+//!
+//! [`run_worker`] is transport-agnostic (any `Read`/`Write` pair), so the
+//! same loop serves the `knw-worker` binary (stdin/stdout pipes), Unix
+//! sockets, and in-process tests over byte buffers.  The loop is a strict
+//! little state machine:
+//!
+//! ```text
+//! wait Hello ──► ingest loop:  Batch     → apply to the shard sketch
+//!                              Snapshot  → reply Shard{bytes}, keep going
+//!                              Finish    → reply Shard{bytes}, exit Ok
+//!                              clean EOF → exit Ok (aggregator went away)
+//! ```
+//!
+//! Every failure — codec rejection, protocol violation, unknown estimator,
+//! stream-model mismatch — is reported to the aggregator as an `Err` frame
+//! (best effort) *and* returned to the caller, so the binary exits nonzero
+//! and process supervisors see the crash.
+
+use crate::frame::{read_frame, write_frame, BatchPayload, Frame, StreamMode, WireError};
+use crate::spec::{build_f0, build_l0, WireF0Sketch, WireL0Sketch};
+use std::io::{Read, Write};
+
+/// The worker's shard sketch, in whichever stream model the spec named.
+enum ShardState {
+    F0(Box<dyn WireF0Sketch>),
+    L0(Box<dyn WireL0Sketch>),
+}
+
+impl ShardState {
+    fn apply(&mut self, payload: &BatchPayload) -> Result<(), String> {
+        match (self, payload) {
+            (ShardState::F0(sketch), BatchPayload::Items(items)) => {
+                sketch.insert_batch(items);
+                Ok(())
+            }
+            (ShardState::L0(sketch), BatchPayload::Updates(updates)) => {
+                sketch.update_batch(updates);
+                Ok(())
+            }
+            (ShardState::F0(_), BatchPayload::Updates(_)) => {
+                Err("stream-model mismatch: turnstile batch sent to an F0 worker".into())
+            }
+            (ShardState::L0(_), BatchPayload::Items(_)) => {
+                Err("stream-model mismatch: insert-only batch sent to an L0 worker".into())
+            }
+        }
+    }
+
+    fn wire_bytes(&self) -> Vec<u8> {
+        match self {
+            ShardState::F0(sketch) => sketch.wire_bytes(),
+            ShardState::L0(sketch) => sketch.wire_bytes(),
+        }
+    }
+}
+
+/// Sends an `Err` frame best-effort (the pipe may already be gone) and
+/// returns the message as the loop's error.
+fn report(output: &mut impl Write, message: String) -> Result<(), String> {
+    let _ = write_frame(output, &Frame::Err(message.clone()));
+    let _ = output.flush();
+    Err(message)
+}
+
+/// Runs the worker protocol loop to completion over the given transport.
+///
+/// # Errors
+///
+/// Returns the failure message (already sent to the aggregator as an `Err`
+/// frame where the transport still worked): transport/codec failures,
+/// protocol violations, unknown estimator names, stream-model mismatches.
+pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), String> {
+    // Handshake.
+    let hello = match read_frame(input) {
+        Ok(Some(Frame::Hello(hello))) => hello,
+        Ok(Some(other)) => {
+            return report(
+                output,
+                format!("protocol violation: expected Hello, got {}", other.kind()),
+            )
+        }
+        // The aggregator vanished before saying anything; nothing to do.
+        Ok(None) => return Ok(()),
+        Err(e) => return report(output, format!("handshake failed: {e}")),
+    };
+    let mut state = match hello.spec.mode {
+        StreamMode::F0 => match build_f0(&hello.spec) {
+            Ok(sketch) => ShardState::F0(sketch),
+            Err(e) => return report(output, e.to_string()),
+        },
+        StreamMode::L0 => match build_l0(&hello.spec) {
+            Ok(sketch) => ShardState::L0(sketch),
+            Err(e) => return report(output, e.to_string()),
+        },
+    };
+
+    // Ingest loop.
+    loop {
+        match read_frame(input) {
+            Ok(Some(Frame::Batch(payload))) => {
+                if let Err(message) = state.apply(&payload) {
+                    return report(output, message);
+                }
+            }
+            Ok(Some(Frame::Snapshot)) => {
+                if let Err(e) = send_shard(output, &state) {
+                    return Err(format!("failed to send snapshot shard: {e}"));
+                }
+            }
+            Ok(Some(Frame::Finish)) => {
+                return send_shard(output, &state)
+                    .map_err(|e| format!("failed to send final shard: {e}"));
+            }
+            Ok(Some(other)) => {
+                return report(
+                    output,
+                    format!(
+                        "protocol violation: unexpected {} frame midstream",
+                        other.kind()
+                    ),
+                );
+            }
+            // Clean EOF without Finish: the aggregator was dropped without
+            // reporting; mirror the in-process engine (workers shut down
+            // quietly when the router goes away).
+            Ok(None) => return Ok(()),
+            Err(WireError::Io(e)) => return Err(format!("transport failed: {e}")),
+            Err(e) => return report(output, format!("bad frame: {e}")),
+        }
+    }
+}
+
+fn send_shard(output: &mut impl Write, state: &ShardState) -> Result<(), WireError> {
+    write_frame(output, &Frame::Shard(state.wire_bytes()))?;
+    output.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{HelloConfig, SketchSpec};
+    use crate::spec::build_f0;
+
+    fn hello(spec: SketchSpec) -> Frame {
+        Frame::Hello(HelloConfig {
+            worker_index: 0,
+            spec,
+        })
+    }
+
+    fn script(frames: &[Frame]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for frame in frames {
+            write_frame(&mut wire, frame).expect("write");
+        }
+        wire
+    }
+
+    fn run(input: &[u8]) -> (Result<(), String>, Vec<Frame>) {
+        let mut reader = input;
+        let mut output = Vec::new();
+        let result = run_worker(&mut reader, &mut output);
+        let mut replies = Vec::new();
+        let mut cursor = output.as_slice();
+        while let Some(frame) = read_frame(&mut cursor).expect("well-formed replies") {
+            replies.push(frame);
+        }
+        (result, replies)
+    }
+
+    #[test]
+    fn full_conversation_yields_the_correct_shard() {
+        let spec = SketchSpec::f0("knw-f0", 0.1, 1 << 16, 5);
+        let wire = script(&[
+            hello(spec.clone()),
+            Frame::Batch(BatchPayload::Items((0..500).collect())),
+            Frame::Snapshot,
+            Frame::Batch(BatchPayload::Items((500..900).collect())),
+            Frame::Finish,
+        ]);
+        let (result, replies) = run(&wire);
+        result.expect("clean run");
+        assert_eq!(replies.len(), 2, "one snapshot + one final shard");
+        // The final shard must decode to the sketch a local run produces.
+        let Frame::Shard(bytes) = &replies[1] else {
+            panic!("expected Shard, got {}", replies[1].kind());
+        };
+        let wired = crate::spec::f0_shard_from_bytes(&spec, bytes).expect("decodes");
+        let mut local = build_f0(&spec).expect("builds");
+        local.insert_batch(&(0..900).collect::<Vec<_>>());
+        assert_eq!(wired.estimate(), local.estimate());
+    }
+
+    #[test]
+    fn mode_mismatch_is_reported_as_an_err_frame() {
+        let wire = script(&[
+            hello(SketchSpec::f0("knw-f0", 0.1, 1 << 16, 5)),
+            Frame::Batch(BatchPayload::Updates(vec![(1, 1)])),
+        ]);
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("mismatch")));
+    }
+
+    #[test]
+    fn unknown_estimator_is_reported_as_an_err_frame() {
+        let wire = script(&[hello(SketchSpec::f0("bogus", 0.1, 1 << 16, 5))]);
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("bogus")));
+    }
+
+    #[test]
+    fn missing_hello_is_a_protocol_violation() {
+        let wire = script(&[Frame::Snapshot]);
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("expected Hello")));
+    }
+
+    #[test]
+    fn clean_eof_before_finish_is_a_quiet_shutdown() {
+        let wire = script(&[
+            hello(SketchSpec::l0("knw-l0", 0.2, 1 << 12, 9)),
+            Frame::Batch(BatchPayload::Updates(vec![(1, 1), (2, 3)])),
+        ]);
+        let (result, replies) = run(&wire);
+        result.expect("quiet shutdown");
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn corrupt_frame_midstream_is_reported_not_panicked() {
+        let mut wire = script(&[hello(SketchSpec::f0("exact", 0.1, 1 << 16, 5))]);
+        wire.extend_from_slice(&[3, 0, 0, 0, 0xFF, 0xFF, 0xFF]); // garbage frame
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("bad frame")));
+    }
+}

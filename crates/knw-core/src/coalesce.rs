@@ -111,6 +111,24 @@ pub fn for_each_coalesced(updates: &[(u64, i64)], mut apply: impl FnMut(u64, i64
     }
 }
 
+/// Materializes the coalesced form of an update batch: one `(item, summed
+/// delta)` pair per distinct item of each [`COALESCE_WINDOW`]-sized window,
+/// in first-occurrence order, with cancelled items and zero deltas dropped.
+///
+/// This is the routing-stage counterpart of [`for_each_coalesced`]: the
+/// in-process shard router and the multi-process cluster aggregator run it
+/// *before* splitting a batch across shards, so churn that would be diluted
+/// across shard-local coalescing windows is collapsed once, up front, and
+/// workers receive pre-summed deltas (less channel / wire traffic, less
+/// per-shard counter work).  Feeding any linear turnstile structure the
+/// returned batch is state-identical to feeding it the original.
+#[must_use]
+pub fn coalesce_updates(updates: &[(u64, i64)]) -> Vec<(u64, i64)> {
+    let mut out = Vec::with_capacity(updates.len().min(COALESCE_WINDOW));
+    for_each_coalesced(updates, |item, delta| out.push((item, delta)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +210,16 @@ mod tests {
         });
         assert_eq!(total, 2 * i128::from(i64::MAX) + 2 + i128::from(i64::MIN));
         assert!(calls >= 2);
+    }
+
+    #[test]
+    fn coalesce_updates_materializes_the_callback_sequence() {
+        // Per-item sums in first-occurrence order; cancelled items dropped.
+        let updates = [(1u64, 3i64), (2, -1), (1, 4), (3, 2), (2, 5), (3, -2)];
+        assert_eq!(coalesce_updates(&updates), vec![(1, 7), (2, 4)]);
+        let cancelling = [(9u64, 5i64), (9, -5), (7, 1)];
+        assert_eq!(coalesce_updates(&cancelling), vec![(7, 1)]);
+        assert!(coalesce_updates(&[]).is_empty());
     }
 
     #[test]

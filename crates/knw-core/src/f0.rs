@@ -207,13 +207,70 @@ impl KnwF0Sketch {
         u64::from(ceil_log2((value + 2) as u64))
     }
 
-    /// Processes one stream index `i ∈ [n]` — the Figure 3 update, literally:
-    /// every hash is evaluated and the FAIL guard is checked on every counter
-    /// write.  The batch entry point [`insert_batch`](Self::insert_batch) is
-    /// the optimized production path; this method is kept as the
-    /// paper-faithful reference (and is what the benches race the batch path
-    /// against).
+    /// Processes one stream index `i ∈ [n]`.
+    ///
+    /// This is the production per-item path: it applies the two
+    /// *provably bit-identical* pruning observations of the batch path
+    /// ([`insert_batch`](Self::insert_batch)) that do not depend on batch
+    /// context:
+    ///
+    /// 1. **Level filter** — when `lsb(h1(i)) < b` the counter write is a
+    ///    no-op (`max(C_j, level − b) = C_j` for any `C_j ≥ −1` and negative
+    ///    offset), and the reference path performs no guard check for a
+    ///    no-op write either, so the bucket hashes `h3(h2(i))` can be
+    ///    skipped without observable difference.
+    /// 2. **Rough-estimator pruning** — each RoughEstimator sub-sketch skips
+    ///    its bucket hash when the item's level cannot exceed the
+    ///    sub-sketch's minimum counter
+    ///    ([`RoughEstimator::insert_tracked_pruned`]), which never changes
+    ///    counter state.
+    ///
+    /// Reacting to the rough estimate only when it *changed* is likewise
+    /// equivalent: between changes the reaction recomputes the same `est`
+    /// and leaves the base untouched.  The third batch-path idea (small-F0
+    /// LARGE gating) is **not** applied here because it changes internal
+    /// small-F0 state (it is only estimate-preserving, not bit-identical).
+    ///
+    /// The literal Figure 3 update is kept as
+    /// [`insert_reference`](Self::insert_reference); the two paths leave the
+    /// sketch field-for-field identical (see the equivalence test).
     pub fn insert(&mut self, item: u64) {
+        self.updates += 1;
+        let rough_changed = self.rough.insert_tracked_pruned(item);
+        if rough_changed {
+            self.rough_cached = self.rough.estimate();
+        }
+        self.small.insert(item);
+
+        let level = i64::from(lsb_with_cap(self.h1.hash(item), self.log_n));
+        let offset = level - i64::from(self.base);
+        if offset >= 0 {
+            let bucket = self.h3.hash(self.h2.hash(item)) as usize;
+            let current = self.counters.read(bucket) as i64 - 1;
+            let new = current.max(offset);
+            if new != current {
+                self.a_bits = self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
+                if current < 0 && new >= 0 {
+                    self.occupied += 1;
+                }
+                self.counters.write(bucket, (new + 1) as u64);
+                if self.a_bits > 3 * self.k {
+                    self.failed = true;
+                }
+            }
+        }
+
+        if rough_changed {
+            self.react_to_rough();
+        }
+    }
+
+    /// The Figure 3 update, literally: every hash is evaluated and the FAIL
+    /// guard is checked on every counter write.  Kept as the paper-faithful
+    /// reference the pruned paths ([`insert`](Self::insert),
+    /// [`insert_batch`](Self::insert_batch)) are tested against (and what
+    /// the benches race them against).
+    pub fn insert_reference(&mut self, item: u64) {
         self.updates += 1;
         if self.rough.insert_tracked(item) {
             self.rough_cached = self.rough.estimate();
@@ -740,6 +797,38 @@ mod tests {
         assert_eq!(batched.counter_bits(), one_by_one.counter_bits());
         assert_eq!(batched.failed(), one_by_one.failed());
         assert_eq!(batched.updates_processed(), one_by_one.updates_processed());
+    }
+
+    #[test]
+    fn pruned_insert_is_bit_identical_to_the_figure3_reference() {
+        // The production per-item path (level filter + rough pruning +
+        // react-on-change) must leave the sketch field-for-field identical
+        // to the literal Figure 3 reference, across base rebases and for
+        // streams large enough that the level filter actually prunes.
+        let cfg = F0Config::new(0.1, 1 << 22).with_seed(37);
+        let mut pruned = KnwF0Sketch::new(cfg);
+        let mut reference = KnwF0Sketch::new(cfg);
+        for i in 0..120_000u64 {
+            let item = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 22);
+            pruned.insert(item);
+            reference.insert_reference(item);
+            if i % 20_000 == 19_999 {
+                assert_eq!(pruned.estimate_f0(), reference.estimate_f0(), "at {i}");
+            }
+        }
+        assert_eq!(pruned.base_level(), reference.base_level());
+        assert_eq!(pruned.occupancy(), reference.occupancy());
+        assert_eq!(pruned.counter_bits(), reference.counter_bits());
+        assert_eq!(pruned.failed(), reference.failed());
+        assert_eq!(pruned.updates_processed(), reference.updates_processed());
+        assert_eq!(pruned.estimate_f0(), reference.estimate_f0());
+        for j in 0..pruned.num_counters() as usize {
+            assert_eq!(pruned.counter(j), reference.counter(j), "counter {j}");
+        }
+        assert!(
+            pruned.base_level() > 0,
+            "stream too small to exercise the level filter"
+        );
     }
 
     #[test]

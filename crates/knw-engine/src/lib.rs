@@ -106,11 +106,12 @@
 //! assert_eq!(merged.estimate_l0(), 40.0); // 40 survivors: the exact regime
 //! ```
 
-mod batcher;
 mod router;
+pub mod routing;
 mod sharded;
 
 pub use router::ShardRouter;
+pub use routing::{Routable, RoutingPolicy, ShardBatcher};
 pub use sharded::{ShardedEngine, ShardedF0Engine, ShardedL0Engine};
 
 use knw_core::{
@@ -178,11 +179,13 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 /// Default bounded-channel capacity, in batches per shard.
 pub const DEFAULT_QUEUE_DEPTH: usize = 4;
 
-/// Sizing knobs shared by [`ShardedEngine`] and [`ShardRouter`].
+/// Sizing and routing knobs shared by [`ShardedEngine`], [`ShardRouter`]
+/// and the `knw-cluster` multi-process aggregator.
 #[derive(Debug, Clone, Copy)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
-    /// Number of shards (worker threads / sequential sub-sketches).
+    /// Number of shards (worker threads / sequential sub-sketches /
+    /// worker processes).
     pub shards: usize,
     /// Updates per hand-off batch.  Larger batches amortize channel traffic;
     /// smaller batches reduce snapshot latency.
@@ -190,17 +193,28 @@ pub struct EngineConfig {
     /// Bounded channel capacity, in batches, per shard.  Bounds memory and
     /// applies back-pressure when shards fall behind the router.
     pub queue_depth: usize,
+    /// How batches are assigned to shards (see [`RoutingPolicy`]).
+    pub routing: RoutingPolicy,
+    /// Whether the router pre-coalesces turnstile batches before hand-off
+    /// (sums each item's deltas via [`knw_core::coalesce`], so shards
+    /// receive fewer, pre-summed updates).  Exact for every linear sketch;
+    /// a no-op for insert-only streams.  Note that shard update *counters*
+    /// then count coalesced updates, not raw ones.
+    pub precoalesce: bool,
 }
 
 impl EngineConfig {
     /// Creates a configuration with the given shard count and default batch
-    /// size / queue depth.  A shard count of zero is clamped to one.
+    /// size / queue depth / round-robin routing.  A shard count of zero is
+    /// clamped to one.
     #[must_use]
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
             batch_size: DEFAULT_BATCH_SIZE,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            routing: RoutingPolicy::RoundRobin,
+            precoalesce: false,
         }
     }
 
@@ -217,6 +231,33 @@ impl EngineConfig {
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth.max(1);
         self
+    }
+
+    /// Sets the shard-assignment policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Enables or disables router-side pre-coalescing of turnstile batches.
+    #[must_use]
+    pub fn with_precoalesce(mut self, precoalesce: bool) -> Self {
+        self.precoalesce = precoalesce;
+        self
+    }
+
+    /// Normalizes every field (clamps degenerate values) — the one
+    /// definition of "a valid configuration", shared by the in-process
+    /// front-end constructors *and* the `knw-cluster` aggregator so the
+    /// clamping rules cannot drift between them.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        Self::new(self.shards)
+            .with_batch_size(self.batch_size)
+            .with_queue_depth(self.queue_depth)
+            .with_routing(self.routing)
+            .with_precoalesce(self.precoalesce)
     }
 }
 

@@ -1,13 +1,14 @@
 //! The sequential shard router — the deterministic, thread-free fallback of
 //! [`ShardedEngine`](crate::ShardedEngine).
 
-use crate::batcher::RoundRobinBatcher;
-use crate::{merge_shards, EngineConfig, ShardSketch, StreamUpdate};
+use crate::routing::{Routable, ShardBatcher};
+use crate::{merge_shards, EngineConfig, ShardSketch};
 use knw_core::{CardinalityEstimator, SketchError, SpaceUsage, TurnstileEstimator};
 
 /// Routes a stream across N sketches exactly like the threaded engine does —
-/// same batch sizes, same round-robin shard assignment — but processes every
-/// batch inline on the calling thread.
+/// same batch sizes, same shard assignment under either
+/// [`RoutingPolicy`](crate::RoutingPolicy) — but processes every batch
+/// inline on the calling thread.
 ///
 /// Like the engine, the router is generic over the update type `U`:
 /// `ShardRouter<S>` (i.e. `U = u64`) shards insert-only F0 streams and
@@ -17,28 +18,32 @@ use knw_core::{CardinalityEstimator, SketchError, SpaceUsage, TurnstileEstimator
 /// Because the routing is identical and all shard sketches merge exactly,
 /// `ShardRouter` and [`ShardedEngine`](crate::ShardedEngine) built from the
 /// same [`EngineConfig`] and factory produce identical estimates; tests use
-/// the router as the deterministic reference for the engine.
+/// the router as the deterministic reference for the engine (and the
+/// `knw-cluster` aggregator uses the same batcher, extending the guarantee
+/// across process boundaries).
 #[derive(Debug, Clone)]
 pub struct ShardRouter<S, U = u64> {
     shards: Vec<S>,
-    batcher: RoundRobinBatcher<U>,
+    batcher: ShardBatcher<U>,
+    precoalesce: bool,
     updates: u64,
 }
 
 impl<S, U> ShardRouter<S, U>
 where
     S: ShardSketch<U>,
-    U: StreamUpdate,
+    U: Routable,
 {
     /// Creates a router with `config.shards` sketches built by `factory`.
     ///
     /// The factory receives the shard index; it must produce sketches with
     /// identical configuration and seeds, otherwise the final merge fails.
     pub fn new(config: EngineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
-        let config = EngineConfig::new(config.shards).with_batch_size(config.batch_size);
+        let config = config.normalized();
         Self {
             shards: (0..config.shards).map(&mut factory).collect(),
-            batcher: RoundRobinBatcher::new(config.shards, config.batch_size),
+            batcher: ShardBatcher::new(config.routing, config.shards, config.batch_size),
+            precoalesce: config.precoalesce && U::coalescible(),
             updates: 0,
         }
     }
@@ -52,18 +57,26 @@ where
         });
     }
 
-    /// Routes a slice of updates, bulk-copying into the pending buffer chunk
-    /// by chunk (same dispatch sequence as repeated [`ingest`](Self::ingest)).
+    /// Routes a slice of updates (same dispatch sequence as repeated
+    /// [`ingest`](Self::ingest)).  With pre-coalescing enabled, turnstile
+    /// batches are first collapsed to per-item delta sums
+    /// ([`knw_core::coalesce`]) and the coalesced updates are what gets
+    /// routed — exact for every linear sketch in the workspace.
     pub fn ingest_batch(&mut self, updates: &[U]) {
         self.updates += updates.len() as u64;
         let shards = &mut self.shards;
-        self.batcher
-            .extend_from_slice(updates, &mut |shard, batch| {
-                shards[shard].apply_batch(&batch);
-            });
+        let mut dispatch = |shard: usize, batch: Vec<U>| {
+            shards[shard].apply_batch(&batch);
+        };
+        if self.precoalesce {
+            let coalesced = U::coalesce_batch(updates);
+            self.batcher.extend_from_slice(&coalesced, &mut dispatch);
+        } else {
+            self.batcher.extend_from_slice(updates, &mut dispatch);
+        }
     }
 
-    /// Sends the (possibly partial) pending batch to the next shard.
+    /// Sends every (possibly partial) pending batch to its shard.
     pub fn flush(&mut self) {
         let shards = &mut self.shards;
         self.batcher.flush(&mut |shard, batch| {
@@ -77,7 +90,7 @@ where
         self.shards.len()
     }
 
-    /// Total updates routed so far.
+    /// Total updates routed so far (raw updates, before any pre-coalescing).
     #[must_use]
     pub fn items_ingested(&self) -> u64 {
         self.updates
@@ -100,7 +113,9 @@ where
     pub fn merged(&self) -> Result<S, SketchError> {
         let mut merged = merge_shards(self.shards.iter().cloned())?
             .expect("router always has at least one shard");
-        merged.apply_batch(self.batcher.pending());
+        self.batcher.for_each_pending(|batch| {
+            merged.apply_batch(batch);
+        });
         Ok(merged)
     }
 
@@ -147,11 +162,13 @@ impl<S: ShardSketch<(u64, i64)>> ShardRouter<S, (u64, i64)> {
 impl<S, U> SpaceUsage for ShardRouter<S, U>
 where
     S: ShardSketch<U>,
-    U: StreamUpdate,
+    U: Routable,
 {
     fn space_bits(&self) -> u64 {
         self.shards.iter().map(SpaceUsage::space_bits).sum::<u64>()
-            + (self.batcher.batch_size() * std::mem::size_of::<U>()) as u64 * 8
+            + (self.batcher.batch_size() * self.batcher.buffer_count() * std::mem::size_of::<U>())
+                as u64
+                * 8
     }
 }
 
@@ -198,11 +215,21 @@ impl<S: ShardSketch<(u64, i64)>> TurnstileEstimator for ShardRouter<S, (u64, i64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RoutingPolicy;
     use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
 
     fn stream(len: u64) -> Vec<u64> {
         (0..len)
             .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 20))
+            .collect()
+    }
+
+    fn signed_stream(len: u64) -> Vec<(u64, i64)> {
+        (0..len)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (x % 4_096, (x % 7) as i64 - 3)
+            })
             .collect()
     }
 
@@ -235,17 +262,24 @@ mod tests {
         let items = stream(20_000);
         let mut answers = Vec::new();
         for shards in [1usize, 2, 3, 8] {
-            let mut router =
-                ShardRouter::new(EngineConfig::new(shards).with_batch_size(100), move |_| {
-                    KnwF0Sketch::new(cfg)
-                });
-            router.insert_batch(&items);
-            answers.push(
-                router
-                    .into_merged()
-                    .expect("compatible shards")
-                    .estimate_f0(),
-            );
+            for routing in [
+                RoutingPolicy::RoundRobin,
+                RoutingPolicy::HashAffine { seed: 5 },
+            ] {
+                let mut router = ShardRouter::new(
+                    EngineConfig::new(shards)
+                        .with_batch_size(100)
+                        .with_routing(routing),
+                    move |_| KnwF0Sketch::new(cfg),
+                );
+                router.insert_batch(&items);
+                answers.push(
+                    router
+                        .into_merged()
+                        .expect("compatible shards")
+                        .estimate_f0(),
+                );
+            }
         }
         assert!(
             answers.windows(2).all(|w| w[0] == w[1]),
@@ -273,6 +307,73 @@ mod tests {
         let merged = router.into_merged().expect("compatible shards");
         assert_eq!(merged.estimate_l0(), single.estimate_l0());
         assert_eq!(merged.updates_processed(), single.updates_processed());
+    }
+
+    #[test]
+    fn hash_affine_router_matches_the_by_item_partition() {
+        // The router's HashAffine shard contents must equal what
+        // `shard_for_key` pre-partitioning produces: feed the same stream
+        // both ways and compare the per-shard sketches field-for-field.
+        let cfg = L0Config::new(0.2, 1 << 14).with_seed(29);
+        let seed = 17u64;
+        let shards = 3usize;
+        let updates = signed_stream(20_000);
+        let mut router: ShardRouter<KnwL0Sketch, (u64, i64)> = ShardRouter::new(
+            EngineConfig::new(shards)
+                .with_batch_size(64)
+                .with_routing(RoutingPolicy::HashAffine { seed }),
+            move |_| KnwL0Sketch::new(cfg),
+        );
+        router.update_batch(&updates);
+        router.flush();
+        let mut parts: Vec<Vec<(u64, i64)>> = vec![Vec::new(); shards];
+        for &(item, delta) in &updates {
+            parts[knw_hash::rng::shard_for_key(seed, item, shards)].push((item, delta));
+        }
+        for (shard, part) in router.shards().iter().zip(parts.iter()) {
+            let mut reference = KnwL0Sketch::new(cfg);
+            reference.update_batch(part);
+            assert_eq!(shard.estimate_l0(), reference.estimate_l0());
+            assert_eq!(shard.updates_processed(), reference.updates_processed());
+        }
+    }
+
+    #[test]
+    fn precoalescing_router_reports_identical_estimates() {
+        // Churn-heavy stream: pre-coalescing collapses most updates before
+        // hand-off, yet the merged estimate (and the full counter state) is
+        // bit-identical to the plain router and the single sketch.
+        let cfg = L0Config::new(0.1, 1 << 16).with_seed(41);
+        let updates: Vec<(u64, i64)> = (0..40_000u64)
+            .flat_map(|i| {
+                let item = i % 256;
+                [(item, 5i64), (item, -5i64), (item % 64, 1)]
+            })
+            .collect();
+        let config = EngineConfig::new(4).with_batch_size(512);
+        let mut plain: ShardRouter<KnwL0Sketch, (u64, i64)> =
+            ShardRouter::new(config, move |_| KnwL0Sketch::new(cfg));
+        let mut coalescing: ShardRouter<KnwL0Sketch, (u64, i64)> =
+            ShardRouter::new(config.with_precoalesce(true), move |_| {
+                KnwL0Sketch::new(cfg)
+            });
+        let mut single = KnwL0Sketch::new(cfg);
+        for chunk in updates.chunks(7_000) {
+            plain.update_batch(chunk);
+            coalescing.update_batch(chunk);
+            single.update_batch(chunk);
+        }
+        assert_eq!(plain.items_ingested(), coalescing.items_ingested());
+        let plain = plain.into_merged().expect("compatible shards");
+        let coalesced = coalescing.into_merged().expect("compatible shards");
+        assert_eq!(plain.estimate_l0(), single.estimate_l0());
+        assert_eq!(coalesced.estimate_l0(), single.estimate_l0());
+        assert_eq!(
+            coalesced.matrix().total_nonzero(),
+            single.matrix().total_nonzero()
+        );
+        // The coalesced shards saw strictly fewer updates.
+        assert!(coalesced.updates_processed() < single.updates_processed());
     }
 
     #[test]

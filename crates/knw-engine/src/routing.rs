@@ -1,0 +1,393 @@
+//! The routing stage shared by every shard front-end in the workspace: the
+//! threaded [`ShardedEngine`], the sequential [`ShardRouter`], and the
+//! multi-process `knw-cluster` aggregator.
+//!
+//! All three guarantee *identical* routing — same batch boundaries, same
+//! shard assignment — which is what lets the sequential router serve as the
+//! deterministic reference for the threaded engine in tests, and what makes
+//! a multi-process run reproduce the in-process run bit for bit.  Keeping
+//! the policy and batching logic in one public module makes that guarantee
+//! structural instead of a convention three copies must uphold.
+//!
+//! Two routing policies exist:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — consecutive batches of `batch_size`
+//!   updates go to shards 0, 1, 2, … cyclically.  Maximum locality for the
+//!   router (one buffer, bulk memcpys); valid whenever shard sketches merge
+//!   exactly under *arbitrary* stream partitions (every estimator in this
+//!   workspace).
+//! * [`RoutingPolicy::HashAffine`] — every occurrence of an item lands on
+//!   the shard [`shard_for_key`](knw_hash::rng::shard_for_key)`(seed, item)`
+//!   selects.  This is the *by-item* partition: required when a turnstile
+//!   shard sketch is only correct if it sees all of an item's inserts and
+//!   deletes (true of non-linear deletion-aware structures outside this
+//!   workspace), and the natural policy when shards are keyed caches.  The
+//!   seed lets disjoint deployments decorrelate their shard assignments;
+//!   seed 0 matches `knw_stream::partition_by_item`.
+//!
+//! [`ShardedEngine`]: crate::ShardedEngine
+//! [`ShardRouter`]: crate::ShardRouter
+
+use knw_hash::rng::shard_for_key;
+
+/// Which shard-assignment discipline a router uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RoutingPolicy {
+    /// Consecutive batches go to shards cyclically (the default).
+    #[default]
+    RoundRobin,
+    /// Every occurrence of an item goes to the shard
+    /// [`shard_for_key`](knw_hash::rng::shard_for_key)`(seed, item)` picks.
+    HashAffine {
+        /// Decorrelation seed; 0 matches `knw_stream::partition_by_item`.
+        seed: u64,
+    },
+}
+
+/// An update a router can dispatch: exposes the item identifier hash-affine
+/// routing keys on, and the (optional) pre-coalescing transform applied
+/// before hand-off.
+///
+/// Implemented for the two stream models of the workspace — `u64` (insert
+/// only, the item is its own key, coalescing is the identity) and
+/// `(u64, i64)` (turnstile, keyed by the item, coalescing sums deltas per
+/// item via [`knw_core::coalesce`]).
+pub trait Routable: Copy + Send + 'static {
+    /// The item identifier all occurrences of which must co-locate under
+    /// hash-affine routing.
+    fn routing_key(&self) -> u64;
+
+    /// Collapses a batch into an equivalent (for the stream model) but
+    /// typically smaller batch, applied by routers with pre-coalescing
+    /// enabled before the batch is split across shards.  The default is the
+    /// identity; the turnstile implementation sums each item's deltas
+    /// (exact for every linear sketch).
+    #[must_use]
+    fn coalesce_batch(updates: &[Self]) -> Vec<Self> {
+        updates.to_vec()
+    }
+
+    /// Whether [`coalesce_batch`](Self::coalesce_batch) can ever shrink a
+    /// batch (lets routers skip the copy for insert-only streams).
+    #[must_use]
+    fn coalescible() -> bool {
+        false
+    }
+}
+
+impl Routable for u64 {
+    #[inline]
+    fn routing_key(&self) -> u64 {
+        *self
+    }
+}
+
+impl Routable for (u64, i64) {
+    #[inline]
+    fn routing_key(&self) -> u64 {
+        self.0
+    }
+
+    fn coalesce_batch(updates: &[Self]) -> Vec<Self> {
+        knw_core::coalesce::coalesce_updates(updates)
+    }
+
+    fn coalescible() -> bool {
+        true
+    }
+}
+
+/// Policy-specific buffering state.
+#[derive(Debug, Clone)]
+enum Buffers<U> {
+    /// One shared buffer; full batches are assigned to shards cyclically.
+    RoundRobin { buffer: Vec<U>, next_shard: usize },
+    /// One buffer per shard; an update is buffered on its item's shard.
+    HashAffine { seed: u64, buffers: Vec<Vec<U>> },
+}
+
+/// Accumulates updates into fixed-size batches and assigns them to shards
+/// according to a [`RoutingPolicy`], handing each full batch to a
+/// caller-supplied `dispatch(shard, batch)` callback.
+///
+/// This is the routing stage of [`ShardedEngine`](crate::ShardedEngine),
+/// [`ShardRouter`](crate::ShardRouter) *and* the `knw-cluster` multi-process
+/// aggregator; sharing it is what keeps in-process and cross-process shard
+/// contents identical for the same policy and batch size.
+#[derive(Debug, Clone)]
+pub struct ShardBatcher<U> {
+    buffers: Buffers<U>,
+    batch_size: usize,
+    num_shards: usize,
+}
+
+impl<U: Routable> ShardBatcher<U> {
+    /// Creates a batcher for `num_shards` shards dispatching batches of
+    /// `batch_size` updates (both clamped to at least one).
+    #[must_use]
+    pub fn new(policy: RoutingPolicy, num_shards: usize, batch_size: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let batch_size = batch_size.max(1);
+        let buffers = match policy {
+            RoutingPolicy::RoundRobin => Buffers::RoundRobin {
+                buffer: Vec::with_capacity(batch_size),
+                next_shard: 0,
+            },
+            RoutingPolicy::HashAffine { seed } => Buffers::HashAffine {
+                seed,
+                buffers: (0..num_shards)
+                    .map(|_| Vec::with_capacity(batch_size))
+                    .collect(),
+            },
+        };
+        Self {
+            buffers,
+            batch_size,
+            num_shards,
+        }
+    }
+
+    /// Buffers one update, dispatching if its batch filled up.
+    pub fn push(&mut self, update: U, dispatch: &mut impl FnMut(usize, Vec<U>)) {
+        let batch_size = self.batch_size;
+        match &mut self.buffers {
+            Buffers::RoundRobin { buffer, next_shard } => {
+                buffer.push(update);
+                if buffer.len() >= batch_size {
+                    let batch = std::mem::replace(buffer, Vec::with_capacity(batch_size));
+                    let shard = *next_shard;
+                    *next_shard = (*next_shard + 1) % self.num_shards;
+                    dispatch(shard, batch);
+                }
+            }
+            Buffers::HashAffine { seed, buffers } => {
+                let shard = shard_for_key(*seed, update.routing_key(), self.num_shards);
+                let buffer = &mut buffers[shard];
+                buffer.push(update);
+                if buffer.len() >= batch_size {
+                    dispatch(
+                        shard,
+                        std::mem::replace(buffer, Vec::with_capacity(batch_size)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Buffers a slice of updates, dispatching every time a batch fills.
+    /// The dispatch sequence is identical to repeated [`push`](Self::push);
+    /// under round-robin the copies are bulk memcpys, not per-item pushes.
+    pub fn extend_from_slice(&mut self, updates: &[U], dispatch: &mut impl FnMut(usize, Vec<U>)) {
+        match &mut self.buffers {
+            Buffers::RoundRobin { buffer, next_shard } => {
+                let mut rest = updates;
+                while !rest.is_empty() {
+                    let space = self.batch_size - buffer.len();
+                    let (chunk, tail) = rest.split_at(space.min(rest.len()));
+                    buffer.extend_from_slice(chunk);
+                    rest = tail;
+                    if buffer.len() >= self.batch_size {
+                        let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
+                        let shard = *next_shard;
+                        *next_shard = (*next_shard + 1) % self.num_shards;
+                        dispatch(shard, batch);
+                    }
+                }
+            }
+            Buffers::HashAffine { .. } => {
+                // Hash-affine routing is inherently per-item (each update is
+                // hashed), so there is no bulk-copy shortcut.
+                for &update in updates {
+                    self.push(update, dispatch);
+                }
+            }
+        }
+    }
+
+    /// Dispatches every (possibly partial) pending batch.
+    pub fn flush(&mut self, dispatch: &mut impl FnMut(usize, Vec<U>)) {
+        match &mut self.buffers {
+            Buffers::RoundRobin { buffer, next_shard } => {
+                if buffer.is_empty() {
+                    return;
+                }
+                let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
+                let shard = *next_shard;
+                *next_shard = (*next_shard + 1) % self.num_shards;
+                dispatch(shard, batch);
+            }
+            Buffers::HashAffine { buffers, .. } => {
+                for (shard, buffer) in buffers.iter_mut().enumerate() {
+                    if !buffer.is_empty() {
+                        dispatch(
+                            shard,
+                            std::mem::replace(buffer, Vec::with_capacity(self.batch_size)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Calls `f` on every non-empty pending (not yet dispatched) buffer,
+    /// without dispatching it.  Used by snapshot paths that fold pending
+    /// updates into a merged sketch directly.
+    pub fn for_each_pending(&self, mut f: impl FnMut(&[U])) {
+        match &self.buffers {
+            Buffers::RoundRobin { buffer, .. } => {
+                if !buffer.is_empty() {
+                    f(buffer);
+                }
+            }
+            Buffers::HashAffine { buffers, .. } => {
+                for buffer in buffers {
+                    if !buffer.is_empty() {
+                        f(buffer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of buffered, not-yet-dispatched updates.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        let mut len = 0;
+        self.for_each_pending(|b| len += b.len());
+        len
+    }
+
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of internal buffers (1 for round-robin, one per shard for
+    /// hash-affine) — used for space accounting.
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        match &self.buffers {
+            Buffers::RoundRobin { .. } => 1,
+            Buffers::HashAffine { buffers, .. } => buffers.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_dispatches(
+        batcher: &mut ShardBatcher<u64>,
+        feed: impl FnOnce(&mut ShardBatcher<u64>, &mut dyn FnMut(usize, Vec<u64>)),
+    ) -> Vec<(usize, Vec<u64>)> {
+        let mut out = Vec::new();
+        let mut sink = |shard: usize, batch: Vec<u64>| out.push((shard, batch));
+        feed(batcher, &mut sink);
+        out
+    }
+
+    #[test]
+    fn push_and_extend_produce_the_same_dispatch_sequence() {
+        let items: Vec<u64> = (0..103).collect();
+        let mut via_push = ShardBatcher::new(RoutingPolicy::RoundRobin, 3, 10);
+        let pushed = collect_dispatches(&mut via_push, |b, sink| {
+            for &i in &items {
+                b.push(i, &mut |s, batch| sink(s, batch));
+            }
+            b.flush(&mut |s, batch| sink(s, batch));
+        });
+        let mut via_extend = ShardBatcher::new(RoutingPolicy::RoundRobin, 3, 10);
+        let extended = collect_dispatches(&mut via_extend, |b, sink| {
+            for chunk in items.chunks(7) {
+                b.extend_from_slice(chunk, &mut |s, batch| sink(s, batch));
+            }
+            b.flush(&mut |s, batch| sink(s, batch));
+        });
+        assert_eq!(pushed, extended);
+        // Batch 0 → shard 0, batch 1 → shard 1, … wrapping round-robin.
+        for (idx, (shard, _)) in pushed.iter().enumerate() {
+            assert_eq!(*shard, idx % 3);
+        }
+        let total: usize = pushed.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, items.len());
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped_not_hung() {
+        // batch_size 0 / shards 0 must clamp to 1 rather than loop forever
+        // dispatching empty batches (the constructor is public API now).
+        let mut b: ShardBatcher<u64> = ShardBatcher::new(RoutingPolicy::RoundRobin, 0, 0);
+        let dispatched = collect_dispatches(&mut b, |b, sink| {
+            b.extend_from_slice(&[1, 2, 3], &mut |s, batch| sink(s, batch));
+        });
+        assert_eq!(dispatched, vec![(0, vec![1]), (0, vec![2]), (0, vec![3])]);
+        assert_eq!(b.batch_size(), 1);
+    }
+
+    #[test]
+    fn pending_holds_the_partial_batch() {
+        let mut b: ShardBatcher<u64> = ShardBatcher::new(RoutingPolicy::RoundRobin, 2, 4);
+        let dispatched = collect_dispatches(&mut b, |b, sink| {
+            for i in 0..6 {
+                b.push(i, &mut |s, batch| sink(s, batch));
+            }
+        });
+        assert_eq!(dispatched.len(), 1);
+        let mut pending = Vec::new();
+        b.for_each_pending(|batch| pending.extend_from_slice(batch));
+        assert_eq!(pending, &[4, 5]);
+        assert_eq!(b.pending_len(), 2);
+    }
+
+    #[test]
+    fn hash_affine_co_locates_every_occurrence_of_an_item() {
+        let seed = 11u64;
+        let items: Vec<u64> = (0..500u64).map(|i| i % 37).collect();
+        let mut batcher = ShardBatcher::new(RoutingPolicy::HashAffine { seed }, 4, 8);
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut check = |shard: usize, batch: Vec<u64>| {
+            for item in batch {
+                let expected = *seen.entry(item).or_insert(shard);
+                assert_eq!(shard, expected, "item {item} moved shards");
+                assert_eq!(shard, shard_for_key(seed, item, 4));
+            }
+        };
+        for &i in &items {
+            batcher.push(i, &mut check);
+        }
+        batcher.flush(&mut check);
+        assert_eq!(seen.len(), 37);
+    }
+
+    #[test]
+    fn hash_affine_push_and_extend_agree() {
+        let items: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let policy = RoutingPolicy::HashAffine { seed: 3 };
+        let mut a = ShardBatcher::new(policy, 3, 16);
+        let mut b = ShardBatcher::new(policy, 3, 16);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for &i in &items {
+            a.push(i, &mut |s, batch| out_a.push((s, batch)));
+        }
+        a.flush(&mut |s, batch| out_a.push((s, batch)));
+        b.extend_from_slice(&items, &mut |s, batch| out_b.push((s, batch)));
+        b.flush(&mut |s, batch| out_b.push((s, batch)));
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn turnstile_updates_route_on_the_item() {
+        assert_eq!((7u64, -3i64).routing_key(), 7);
+        assert_eq!(7u64.routing_key(), 7);
+        assert!(<(u64, i64)>::coalescible());
+        assert!(!u64::coalescible());
+        // Coalescing a turnstile batch sums per item; u64 batches pass through.
+        let coalesced = <(u64, i64)>::coalesce_batch(&[(1, 2), (1, 3), (2, 1), (2, -1)]);
+        assert_eq!(coalesced, vec![(1, 5)]);
+        assert_eq!(u64::coalesce_batch(&[5, 5, 6]), vec![5, 5, 6]);
+    }
+}

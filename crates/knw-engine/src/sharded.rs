@@ -1,7 +1,7 @@
 //! The threaded sharded ingestion engine, generic over the update type.
 
-use crate::batcher::RoundRobinBatcher;
-use crate::{merge_shards, EngineConfig, ShardSketch, StreamUpdate};
+use crate::routing::{Routable, ShardBatcher};
+use crate::{merge_shards, EngineConfig, ShardSketch};
 use knw_core::SketchError;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
@@ -43,10 +43,11 @@ struct Worker<S, U> {
 pub struct ShardedEngine<S, U = u64>
 where
     S: ShardSketch<U>,
-    U: StreamUpdate,
+    U: Routable,
 {
     workers: Vec<Worker<S, U>>,
-    batcher: RoundRobinBatcher<U>,
+    batcher: ShardBatcher<U>,
+    precoalesce: bool,
     updates: u64,
     /// Index of the first shard observed dead (its channel disconnected),
     /// i.e. its worker panicked.
@@ -67,7 +68,7 @@ pub type ShardedL0Engine<S> = ShardedEngine<S, (u64, i64)>;
 impl<S, U> ShardedEngine<S, U>
 where
     S: ShardSketch<U>,
-    U: StreamUpdate,
+    U: Routable,
 {
     /// Spawns `config.shards` worker threads, each owning one sketch built by
     /// `factory`.
@@ -76,9 +77,7 @@ where
     /// identical configuration and seeds, otherwise reporting fails with the
     /// sketch's merge error.
     pub fn new(config: EngineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
-        let config = EngineConfig::new(config.shards)
-            .with_batch_size(config.batch_size)
-            .with_queue_depth(config.queue_depth);
+        let config = config.normalized();
         let workers = (0..config.shards)
             .map(|shard| {
                 let mut sketch = factory(shard);
@@ -105,7 +104,8 @@ where
             .collect();
         Self {
             workers,
-            batcher: RoundRobinBatcher::new(config.shards, config.batch_size),
+            batcher: ShardBatcher::new(config.routing, config.shards, config.batch_size),
+            precoalesce: config.precoalesce && U::coalescible(),
             updates: 0,
             poisoned: None,
         }
@@ -122,14 +122,23 @@ where
 
     /// Routes a slice of updates, bulk-copying into the hand-off buffer chunk
     /// by chunk (the routing thread is the engine's one serial stage, so it
-    /// does memcpys, not per-update pushes).
+    /// does memcpys, not per-update pushes).  With pre-coalescing enabled,
+    /// turnstile batches are first collapsed to per-item delta sums
+    /// ([`knw_core::coalesce`]) so shards receive fewer, pre-summed updates
+    /// — exact for every linear sketch, and it restores the coalescing
+    /// window the shard split would otherwise dilute.
     pub fn ingest_batch(&mut self, updates: &[U]) {
         self.updates += updates.len() as u64;
         let (workers, poisoned) = (&self.workers, &mut self.poisoned);
-        self.batcher
-            .extend_from_slice(updates, &mut |shard, batch| {
-                Self::send_batch(workers, poisoned, shard, batch);
-            });
+        let mut dispatch = |shard: usize, batch: Vec<U>| {
+            Self::send_batch(workers, poisoned, shard, batch);
+        };
+        if self.precoalesce {
+            let coalesced = U::coalesce_batch(updates);
+            self.batcher.extend_from_slice(&coalesced, &mut dispatch);
+        } else {
+            self.batcher.extend_from_slice(updates, &mut dispatch);
+        }
     }
 
     /// Sends the (possibly partial) pending batch to the next shard.

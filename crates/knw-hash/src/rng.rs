@@ -119,6 +119,21 @@ pub fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The canonical hash-affine shard assignment: every occurrence of `key`
+/// lands on the same shard, `shards` is clamped to at least one, and a seed
+/// of zero reduces to plain `mix64(key) % shards`.
+///
+/// This is the *single* definition of "which shard owns this item" shared by
+/// the stream-partition helpers (`knw-stream`), the in-process shard router
+/// (`knw-engine`) and the multi-process aggregator (`knw-cluster`), so
+/// experiments that pre-partition a stream reproduce exactly the shard
+/// contents the routers produce.
+#[inline]
+#[must_use]
+pub fn shard_for_key(seed: u64, key: u64, shards: usize) -> usize {
+    (mix64(key ^ seed) % shards.max(1) as u64) as usize
+}
+
 /// xoshiro256**: a fast general-purpose generator with a 256-bit state.
 ///
 /// Used where long streams of pseudo-random words are consumed, e.g. the
@@ -317,5 +332,30 @@ mod tests {
         use std::collections::HashSet;
         let outs: HashSet<u64> = (0..10_000u64).map(mix64).collect();
         assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn shard_for_key_is_stable_balanced_and_seed_sensitive() {
+        // Stability: the same (seed, key) always maps to the same shard, and
+        // seed 0 reduces to the historical `mix64(key) % shards` assignment.
+        for key in 0..1_000u64 {
+            assert_eq!(shard_for_key(0, key, 4), (mix64(key) % 4) as usize);
+            assert_eq!(shard_for_key(9, key, 7), shard_for_key(9, key, 7));
+        }
+        // Degenerate shard counts are clamped rather than dividing by zero.
+        assert_eq!(shard_for_key(1, 42, 0), 0);
+        // Rough balance across shards.
+        let mut counts = [0usize; 4];
+        for key in 0..8_000u64 {
+            counts[shard_for_key(7, key, 4)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..=2_500).contains(&c), "imbalanced: {counts:?}");
+        }
+        // Different seeds give different partitions.
+        let moved = (0..1_000u64)
+            .filter(|&k| shard_for_key(1, k, 4) != shard_for_key(2, k, 4))
+            .count();
+        assert!(moved > 500, "only {moved} keys moved between seeds");
     }
 }

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the KNW distinct-elements workspace public API.
 
 pub use knw_baselines as baselines;
+pub use knw_cluster as cluster;
 pub use knw_core as core;
 pub use knw_engine as engine;
 pub use knw_hash as hash;

@@ -9,7 +9,7 @@ use knw::core::{
     CardinalityEstimator, F0Config, KnwF0Sketch, KnwL0Sketch, L0Config, MergeableEstimator,
     SketchError, TurnstileEstimator,
 };
-use knw::engine::{EngineConfig, ShardRouter, ShardedF0Engine, ShardedL0Engine};
+use knw::engine::{EngineConfig, RoutingPolicy, ShardRouter, ShardedF0Engine, ShardedL0Engine};
 use knw::stream::{
     partition_by_item, partition_round_robin, partition_updates_by_item,
     partition_updates_round_robin, StreamGenerator, TurnstileWorkloadBuilder, ZipfGenerator,
@@ -123,6 +123,160 @@ fn four_shard_engine_matches_single_sketch_and_router() {
     assert_eq!(merged.base_level(), single.base_level());
     assert_eq!(merged.occupancy(), single.occupancy());
     assert_eq!(merged.updates_processed(), single.updates_processed());
+}
+
+/// Satellite requirement: the `HashAffine` routing policy — the same
+/// `shard_for_key` assignment the cluster aggregator and
+/// `partition_by_item` use — on both in-process front-ends (threaded engine
+/// and sequential router) is bit-identical to the single-stream run, for
+/// the F0 zoo's flagship and across the whole zoo via the shared policy
+/// function.
+#[test]
+fn hash_affine_routing_is_bit_identical_for_f0() {
+    let cfg = F0Config::new(0.05, UNIVERSE).with_seed(SEED);
+    let items = stream(60_000);
+    let policy = RoutingPolicy::HashAffine { seed: 12 };
+    let engine_config = EngineConfig::new(4)
+        .with_batch_size(512)
+        .with_routing(policy);
+
+    let mut single = KnwF0Sketch::new(cfg);
+    single.insert_batch(&items);
+
+    let mut engine = ShardedF0Engine::new(engine_config, move |_| KnwF0Sketch::new(cfg));
+    engine.insert_batch(&items);
+    assert_eq!(engine.estimate(), single.estimate_f0());
+    let merged = engine.finish().expect("uniformly seeded shards");
+    assert_eq!(merged.estimate_f0(), single.estimate_f0());
+    assert_eq!(merged.occupancy(), single.occupancy());
+
+    let mut router = ShardRouter::new(engine_config, move |_| KnwF0Sketch::new(cfg));
+    router.insert_batch(&items);
+    assert_eq!(
+        CardinalityEstimator::estimate(&router),
+        single.estimate_f0()
+    );
+
+    // The whole zoo, partitioned with the very same policy function and
+    // merged through the dyn contract, reproduces single-stream bit for bit.
+    let shards = 4usize;
+    let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &item in &items {
+        parts[knw::hash::rng::shard_for_key(12, item, shards)].push(item);
+    }
+    let mut merged_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+    let mut single_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+    for (est_idx, merged) in merged_zoo.iter_mut().enumerate() {
+        merged.insert_batch(&parts[0]);
+        for part in &parts[1..] {
+            let mut shard_zoo = all_f0_estimators(EPS, UNIVERSE, SEED);
+            let shard = &mut shard_zoo[est_idx];
+            shard.insert_batch(part);
+            merged.merge_dyn(shard.as_ref()).expect("compatible shards");
+        }
+    }
+    for (merged, single) in merged_zoo.iter().zip(single_zoo.iter_mut()) {
+        single.insert_batch(&items);
+        assert_eq!(
+            merged.estimate(),
+            single.estimate(),
+            "{} deviates under hash-affine by-item routing",
+            merged.name()
+        );
+    }
+}
+
+/// The L0 counterpart: hash-affine (by-item) routing on the turnstile
+/// engine/router and across the turnstile zoo is bit-identical to the
+/// single-stream run — the partition discipline a non-linear
+/// deletion-aware shard structure would *require*.
+#[test]
+fn hash_affine_routing_is_bit_identical_for_l0() {
+    let cfg = L0Config::new(0.1, 1 << 14).with_seed(SEED);
+    let updates = signed_stream(40_000, 4_096, 7);
+    let policy = RoutingPolicy::HashAffine { seed: 5 };
+    let engine_config = EngineConfig::new(3)
+        .with_batch_size(256)
+        .with_routing(policy);
+
+    let mut single = KnwL0Sketch::new(cfg);
+    single.update_batch(&updates);
+
+    let mut engine = ShardedL0Engine::new(engine_config, move |_| KnwL0Sketch::new(cfg));
+    engine.update_batch(&updates);
+    let merged = engine.finish().expect("uniformly seeded shards");
+    assert_eq!(merged.estimate_l0(), single.estimate_l0());
+    assert_eq!(merged.updates_processed(), single.updates_processed());
+
+    let mut router: ShardRouter<KnwL0Sketch, (u64, i64)> =
+        ShardRouter::new(engine_config, move |_| KnwL0Sketch::new(cfg));
+    router.update_batch(&updates);
+    assert_eq!(TurnstileEstimator::estimate(&router), single.estimate_l0());
+
+    let shards = 3usize;
+    let mut parts: Vec<Vec<(u64, i64)>> = vec![Vec::new(); shards];
+    for &(item, delta) in &updates {
+        parts[knw::hash::rng::shard_for_key(5, item, shards)].push((item, delta));
+    }
+    let mut merged_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+    let mut single_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+    for (est_idx, merged) in merged_zoo.iter_mut().enumerate() {
+        merged.update_batch(&parts[0]);
+        for part in &parts[1..] {
+            let mut shard_zoo = all_l0_estimators(EPS, UNIVERSE, SEED);
+            let shard = &mut shard_zoo[est_idx];
+            shard.update_batch(part);
+            merged.merge_dyn(shard.as_ref()).expect("compatible shards");
+        }
+    }
+    for (merged, single) in merged_zoo.iter().zip(single_zoo.iter_mut()) {
+        single.update_batch(&updates);
+        assert_eq!(
+            merged.estimate(),
+            single.estimate(),
+            "{} deviates under hash-affine by-item routing",
+            merged.name()
+        );
+    }
+}
+
+/// Satellite requirement: router-side pre-coalescing on the in-process
+/// turnstile hand-off (sum deltas per item before the shard split) leaves
+/// the merged estimate bit-identical while the shards see strictly fewer
+/// updates on churn workloads.
+#[test]
+fn precoalesced_l0_engine_is_bit_identical_on_churn() {
+    let workload = TurnstileWorkloadBuilder::new(UNIVERSE)
+        .insert_items(15_000)
+        .delete_fraction(0.7)
+        .seed(23)
+        .build();
+    let updates = workload.ops_as_pairs();
+    let cfg = L0Config::new(0.05, UNIVERSE).with_seed(SEED);
+
+    let mut single = KnwL0Sketch::new(cfg);
+    single.update_batch(&updates);
+
+    let base = EngineConfig::new(4).with_batch_size(2048);
+    for config in [
+        base,
+        base.with_routing(RoutingPolicy::HashAffine { seed: 1 }),
+    ] {
+        let mut engine = ShardedL0Engine::new(config.with_precoalesce(true), move |_| {
+            KnwL0Sketch::new(cfg)
+        });
+        engine.update_batch(&updates);
+        assert_eq!(engine.estimate(), single.estimate_l0());
+        let merged = engine.finish().expect("uniformly seeded shards");
+        assert_eq!(merged.estimate_l0(), single.estimate_l0());
+        assert_eq!(
+            merged.matrix().total_nonzero(),
+            single.matrix().total_nonzero()
+        );
+        // Churn cancels inside the coalescing window: the shards ingested
+        // strictly fewer (pre-summed) updates than the raw stream carries.
+        assert!(merged.updates_processed() < single.updates_processed());
+    }
 }
 
 /// The engine is generic over the shard sketch: run it over a mergeable
