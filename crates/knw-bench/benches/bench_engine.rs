@@ -12,15 +12,20 @@
 //!   target ≥ 5×), plus the 4-shard `ShardedL0Engine` on the same stream —
 //!   with and without router-side pre-coalescing (the ROADMAP's "coalesce
 //!   in the router before hand-off");
-//! * cluster: 4 `knw-worker` processes fed over the frame protocol
-//!   (skipped with a note if the worker binary has not been built).
+//! * cluster: 4 `knw-worker` processes fed over the frame protocol, on
+//!   both transports — stdin/stdout pipes (spawned children) and TCP
+//!   sockets (`--listen` serve loops on localhost) — so pipe vs socket
+//!   ns/op land side by side in the JSON (skipped with a note if the
+//!   worker binary has not been built).
 //!
 //! Every headline number is also appended to `BENCH_engine.json` at the
 //! workspace root (ns/op and Melem/s per labelled path), so the perf
 //! trajectory is machine-readable across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use knw_cluster::{ClusterConfig, F0ClusterAggregator, L0ClusterAggregator, SketchSpec};
+use knw_cluster::{
+    ClusterConfig, F0ClusterAggregator, L0ClusterAggregator, SketchSpec, TcpClusterConfig,
+};
 use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
 use knw_engine::{EngineConfig, ShardedF0Engine, ShardedL0Engine};
 use knw_stream::{StreamGenerator, UniformGenerator};
@@ -299,10 +304,11 @@ fn l0_speedup_summary(_c: &mut Criterion) {
     );
 }
 
-/// Multi-process ingestion: 4 `knw-worker` children fed over the frame
-/// protocol (the `knw-cluster` aggregator), F0 and pre-coalesced L0.
-/// Skipped with a note when the worker binary is not built (run
-/// `cargo build --release` first — tier-1 does).
+/// Multi-process ingestion over both transports: 4 `knw-worker` children
+/// fed over the frame protocol — stdin/stdout pipes (spawned) and TCP
+/// sockets (`--listen` serve loops on localhost) side by side — F0 and
+/// pre-coalesced L0.  Skipped with a note when the worker binary is not
+/// built (run `cargo build --release` first — tier-1 does).
 fn cluster_summary(_c: &mut Criterion) {
     println!("\n== 10M-update multi-process (4 workers) ingestion ==");
     let Some(worker) = knw_cluster::sibling_worker_exe() else {
@@ -313,17 +319,38 @@ fn cluster_summary(_c: &mut Criterion) {
         ClusterConfig::new(4, &worker)
             .with_engine(EngineConfig::new(4).with_precoalesce(precoalesce))
     };
+    // Reaped by the fleet's Drop (even if a measurement panics).
+    let fleet = knw_cluster::ListeningWorkerFleet::spawn(&worker, "127.0.0.1:0", 4)
+        .expect("spawn listening workers");
+    let tcp_config = |precoalesce: bool| {
+        TcpClusterConfig::new(fleet.addrs().iter().cloned())
+            .with_engine(EngineConfig::new(4).with_precoalesce(precoalesce))
+    };
 
     let items = stream();
     let f0 = sketch_config();
+    let f0_spec = SketchSpec::f0("knw-f0", f0.epsilon, f0.universe, f0.seed);
     time_run(
         "f0_cluster_4workers",
-        "4-worker F0 cluster, frame protocol",
+        "4-worker F0 cluster, pipe transport",
         items.len(),
         &mut || {
-            let spec = SketchSpec::f0("knw-f0", f0.epsilon, f0.universe, f0.seed);
             let mut cluster =
-                F0ClusterAggregator::spawn(&cluster_config(false), &spec).expect("spawn");
+                F0ClusterAggregator::spawn(&cluster_config(false), &f0_spec).expect("spawn");
+            for chunk in items.chunks(1 << 18) {
+                cluster.ingest_batch(black_box(chunk));
+            }
+            let merged = cluster.finish().expect("clean run");
+            merged.estimate()
+        },
+    );
+    time_run(
+        "f0_cluster_4workers_tcp",
+        "4-worker F0 cluster, tcp transport",
+        items.len(),
+        &mut || {
+            let mut cluster =
+                F0ClusterAggregator::connect(&tcp_config(false), &f0_spec).expect("connect");
             for chunk in items.chunks(1 << 18) {
                 cluster.ingest_batch(black_box(chunk));
             }
@@ -335,14 +362,14 @@ fn cluster_summary(_c: &mut Criterion) {
 
     let updates = turnstile_churn_stream(STREAM_LEN, 1 << 24);
     let l0 = L0Config::new(0.05, 1 << 24).with_seed(7);
+    let l0_spec = SketchSpec::l0("knw-l0", l0.epsilon, l0.universe, l0.seed);
     time_run(
         "l0_cluster_4workers_precoalesced",
-        "4-worker L0 cluster, pre-coalesced",
+        "4-worker L0 cluster, pre-coalesced, pipe",
         updates.len(),
         &mut || {
-            let spec = SketchSpec::l0("knw-l0", l0.epsilon, l0.universe, l0.seed);
             let mut cluster =
-                L0ClusterAggregator::spawn(&cluster_config(true), &spec).expect("spawn");
+                L0ClusterAggregator::spawn(&cluster_config(true), &l0_spec).expect("spawn");
             for chunk in updates.chunks(1 << 18) {
                 cluster.ingest_batch(black_box(chunk));
             }
@@ -350,6 +377,22 @@ fn cluster_summary(_c: &mut Criterion) {
             merged.estimate()
         },
     );
+    time_run(
+        "l0_cluster_4workers_precoalesced_tcp",
+        "4-worker L0 cluster, pre-coalesced, tcp",
+        updates.len(),
+        &mut || {
+            let mut cluster =
+                L0ClusterAggregator::connect(&tcp_config(true), &l0_spec).expect("connect");
+            for chunk in updates.chunks(1 << 18) {
+                cluster.ingest_batch(black_box(chunk));
+            }
+            let merged = cluster.finish().expect("clean run");
+            merged.estimate()
+        },
+    );
+
+    // `fleet` reaps the listening workers here (and on any panic above).
 }
 
 /// Flushes the accumulated headline numbers to `BENCH_engine.json` at the

@@ -1,7 +1,10 @@
-//! The aggregator side: spawns N worker processes, streams batches to them
-//! over the frame protocol using the *same* routing stage as the in-process
-//! engine ([`knw_engine::ShardBatcher`]), and merges their serialized
-//! shards into one sketch.
+//! The aggregator side: reaches N workers through a [`Transport`] — spawned
+//! child processes on stdin/stdout pipes ([`PipeTransport`], via
+//! [`ClusterAggregator::spawn`]) or already-running remote workers on TCP
+//! sockets ([`TcpTransport`], via [`ClusterAggregator::connect_workers`]) —
+//! streams batches to them over the frame protocol using the *same* routing
+//! stage as the in-process engine ([`knw_engine::ShardBatcher`]), and
+//! merges their serialized shards into one sketch.
 //!
 //! ```text
 //!        ingest / ingest_batch  (U = u64 or (item, ±delta))
@@ -10,14 +13,15 @@
 //!          │  ShardBatcher       │   (per-item delta sums, L0 only)
 //!          │  RoundRobin/HashAff │
 //!          └──────────┬──────────┘
-//!     Batch frames    │  (length-prefixed serde codec, stdin pipes)
+//!     Batch frames    │  (length-prefixed serde codec,
+//!                     │   pipes or TCP sockets)
 //!      ┌──────────┬───┴──────┬──────────────┐
 //! ┌────▼───┐ ┌────▼───┐ ┌────▼───┐    ┌────▼───┐
-//! │worker 0│ │worker 1│ │worker 2│  … │worker N│   child processes,
-//! │ sketch │ │ sketch │ │ sketch │    │ sketch │   one shard each
-//! └────┬───┘ └────┬───┘ └────┬───┘    └────┬───┘
+//! │worker 0│ │worker 1│ │worker 2│  … │worker N│   child processes or
+//! │ sketch │ │ sketch │ │ sketch │    │ sketch │   listening hosts,
+//! └────┬───┘ └────┬───┘ └────┬───┘    └────┬───┘   one shard each
 //!      └──────────┴─────┬────┴──────────────┘
-//!       Shard{bytes}    │  (stdout pipes)
+//!       Shard{bytes}    │  (pipes / sockets back)
 //!                deserialize + merge_dyn fold
 //!                       │
 //!                  estimate()
@@ -31,16 +35,15 @@
 //! stream.
 
 use crate::error::ClusterError;
-use crate::frame::{
-    read_frame, write_frame, BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError,
-};
+use crate::frame::{BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError};
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
+use crate::transport::{
+    PipeTransport, TcpClusterConfig, TcpTransport, Transport, WorkerConnection,
+};
 use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator, SketchError};
 use knw_engine::{EngineConfig, Routable, ShardBatcher};
-use std::io::{BufReader, BufWriter, Write};
-use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::path::PathBuf;
 
 /// An update type the cluster can stream: ties the routing-stage contract
 /// ([`Routable`]) to the wire format (payload framing, shard construction,
@@ -198,11 +201,62 @@ pub fn sibling_worker_exe() -> Option<PathBuf> {
     candidate.is_file().then_some(candidate)
 }
 
-struct WorkerHandle {
-    child: Child,
-    /// `None` once the pipe was closed (at `Finish`).
-    stdin: Option<BufWriter<ChildStdin>>,
-    stdout: BufReader<ChildStdout>,
+/// How a worker link failed mid-stream; replayed as the matching typed
+/// error at the next report.
+#[derive(Debug, Clone, Copy)]
+enum WorkerFault {
+    /// The link broke (dead process, reset connection, EOF).
+    Died,
+    /// The link timed out (stalled or half-open peer).
+    TimedOut,
+    /// An exchange failed without killing the link (codec rejection,
+    /// protocol violation, merge failure): the conversation state is
+    /// unknown — batches may be lost, reply frames may still be queued —
+    /// so later reports refuse instead of silently under-merging.
+    Desynced,
+}
+
+impl WorkerFault {
+    fn to_error(self, worker: usize) -> ClusterError {
+        match self {
+            WorkerFault::Died => ClusterError::WorkerDied { worker },
+            WorkerFault::TimedOut => ClusterError::Timeout { worker },
+            WorkerFault::Desynced => ClusterError::Protocol {
+                worker,
+                expected: "Shard",
+                got: "a link desynchronized by an earlier failure".to_string(),
+            },
+        }
+    }
+
+    /// The sticky fault a snapshot-path error leaves behind.
+    fn from_error(error: &ClusterError) -> Self {
+        match error {
+            ClusterError::WorkerDied { .. } => WorkerFault::Died,
+            ClusterError::Timeout { .. } => WorkerFault::TimedOut,
+            _ => WorkerFault::Desynced,
+        }
+    }
+}
+
+/// Maps a wire-level failure on worker `index`'s link to the aggregation
+/// error it means: broken links are dead workers, expired deadlines are
+/// stalled workers, everything else keeps its I/O or codec identity.
+fn wire_fault(index: usize, error: WireError) -> ClusterError {
+    use std::io::ErrorKind;
+    match error {
+        WireError::Io(e) => match e.kind() {
+            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => {
+                ClusterError::WorkerDied { worker: index }
+            }
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => ClusterError::Timeout { worker: index },
+            _ => ClusterError::io(index, e),
+        },
+        e => ClusterError::Frame {
+            worker: index,
+            message: e.to_string(),
+        },
+    }
 }
 
 /// The multi-process aggregation engine: the cross-process sibling of
@@ -216,12 +270,12 @@ struct WorkerHandle {
 /// undercounting.
 pub struct ClusterAggregator<U: ClusterUpdate> {
     spec: SketchSpec,
-    workers: Vec<WorkerHandle>,
+    workers: Vec<Box<dyn WorkerConnection>>,
     batcher: ShardBatcher<U>,
     precoalesce: bool,
     updates: u64,
-    /// First worker whose pipe broke (its process died).
-    dead: Option<usize>,
+    /// First worker whose link failed mid-stream, and how.
+    fault: Option<(usize, WorkerFault)>,
 }
 
 /// The insert-only (F0) front of [`ClusterAggregator`].
@@ -231,8 +285,9 @@ pub type F0ClusterAggregator = ClusterAggregator<u64>;
 pub type L0ClusterAggregator = ClusterAggregator<(u64, i64)>;
 
 impl<U: ClusterUpdate> ClusterAggregator<U> {
-    /// Spawns `config.engine.shards` worker processes and performs the
-    /// `Hello` handshake.  The spec's stream model is forced to `U`'s.
+    /// Spawns `config.engine.shards` worker processes on stdin/stdout pipes
+    /// ([`PipeTransport`]) and performs the `Hello` handshake.  The spec's
+    /// stream model is forced to `U`'s.
     ///
     /// # Errors
     ///
@@ -240,21 +295,76 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// outside the zoo (validated *before* spawning anything), or an
     /// [`ClusterError::Io`] if a worker cannot be spawned or greeted.
     pub fn spawn(config: &ClusterConfig, spec: &SketchSpec) -> Result<Self, ClusterError> {
+        let transport = PipeTransport::new(&config.worker_exe);
+        Self::start(&transport, config.engine, spec)
+    }
+
+    /// Connects to already-running workers (`knw-worker --listen <addr>`)
+    /// over TCP ([`TcpTransport`]) and performs the `Hello` handshake — the
+    /// multi-host topology.  One shard per address, in order; routing knobs
+    /// and timeouts come from `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownEstimator`] for specs outside the zoo
+    /// (validated *before* connecting anything), or
+    /// [`ClusterError::ConnectFailed`] naming the first worker address
+    /// that could not be reached.
+    pub fn connect(config: &TcpClusterConfig, spec: &SketchSpec) -> Result<Self, ClusterError> {
+        if config.addrs.is_empty() {
+            // `with_shards` clamps 0 to 1, so an empty address list would
+            // otherwise reach `open(0)` and panic; refuse it typed instead.
+            return Err(ClusterError::Io {
+                worker: None,
+                source: std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "a TCP cluster needs at least one worker address",
+                ),
+            });
+        }
+        let transport = TcpTransport::new(config);
+        let engine = config.engine.with_shards(config.addrs.len());
+        Self::start(&transport, engine, spec)
+    }
+
+    /// Connects to already-running TCP workers with default routing knobs
+    /// and timeouts — the `&[addr]` front of [`connect`](Self::connect).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`connect`](Self::connect).
+    pub fn connect_workers<A: AsRef<str>>(
+        addrs: &[A],
+        spec: &SketchSpec,
+    ) -> Result<Self, ClusterError> {
+        Self::connect(
+            &TcpClusterConfig::new(addrs.iter().map(AsRef::as_ref)),
+            spec,
+        )
+    }
+
+    /// The transport-agnostic constructor: opens one link per shard through
+    /// `transport` and greets each worker.
+    fn start(
+        transport: &dyn Transport,
+        engine: EngineConfig,
+        spec: &SketchSpec,
+    ) -> Result<Self, ClusterError> {
         let mut spec = spec.clone();
         spec.mode = U::mode();
-        // Fail fast on bad specs, before any process exists.
+        // Fail fast on bad specs, before any process or connection exists.
         let _ = U::build(&spec)?;
 
-        let engine = config.engine.normalized();
-        let mut workers = Vec::with_capacity(engine.shards);
+        let engine = engine.normalized();
+        let mut workers: Vec<Box<dyn WorkerConnection>> = Vec::with_capacity(engine.shards);
         for index in 0..engine.shards {
-            let mut handle = spawn_worker(&config.worker_exe, index)?;
+            let mut conn = transport.open(index)?;
             let hello = Frame::Hello(HelloConfig {
                 worker_index: index as u64,
                 spec: spec.clone(),
             });
-            write_to(&mut handle, index, &hello)?;
-            workers.push(handle);
+            conn.send(&hello).map_err(|e| wire_fault(index, e))?;
+            workers.push(conn);
         }
         Ok(Self {
             spec,
@@ -262,7 +372,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
             batcher: ShardBatcher::new(engine.routing, engine.shards, engine.batch_size),
             precoalesce: engine.precoalesce && U::coalescible(),
             updates: 0,
-            dead: None,
+            fault: None,
         })
     }
 
@@ -287,9 +397,9 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// Routes one update (buffered; shipped once a batch fills up).
     pub fn ingest(&mut self, update: U) {
         self.updates += 1;
-        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        let (workers, fault) = (&mut self.workers, &mut self.fault);
         self.batcher.push(update, &mut |worker, batch| {
-            send_batch::<U>(workers, dead, worker, batch);
+            send_batch::<U>(workers, fault, worker, batch);
         });
     }
 
@@ -299,9 +409,9 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// state for every linear sketch.
     pub fn ingest_batch(&mut self, updates: &[U]) {
         self.updates += updates.len() as u64;
-        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        let (workers, fault) = (&mut self.workers, &mut self.fault);
         let mut dispatch = |worker: usize, batch: Vec<U>| {
-            send_batch::<U>(workers, dead, worker, batch);
+            send_batch::<U>(workers, fault, worker, batch);
         };
         if self.precoalesce {
             let coalesced = U::coalesce_batch(updates);
@@ -313,21 +423,22 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
 
     /// Ships every (possibly partial) pending batch to its worker.
     pub fn flush(&mut self) {
-        let (workers, dead) = (&mut self.workers, &mut self.dead);
+        let (workers, fault) = (&mut self.workers, &mut self.fault);
         self.batcher.flush(&mut |worker, batch| {
-            send_batch::<U>(workers, dead, worker, batch);
+            send_batch::<U>(workers, fault, worker, batch);
         });
     }
 
-    /// Kills one worker process — a fault-injection / operations hook
-    /// (e.g. evicting a wedged worker).  The next report will surface
-    /// [`ClusterError::WorkerDied`] for it.
+    /// Severs one worker's link — a fault-injection / operations hook
+    /// (e.g. evicting a wedged worker).  Kills the child process on the
+    /// pipe transport, shuts the socket down on TCP.  The next report will
+    /// surface [`ClusterError::WorkerDied`] for it.
     ///
     /// # Errors
     ///
-    /// The underlying `kill(2)` failure, if any.
+    /// The underlying `kill(2)` / `shutdown(2)` failure, if any.
     pub fn kill_worker(&mut self, worker: usize) -> std::io::Result<()> {
-        self.workers[worker].child.kill()
+        self.workers[worker].kill()
     }
 
     /// Requests a shard snapshot from every worker and merges them (plus
@@ -340,46 +451,56 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// [`ClusterError::WorkerDied`] if a worker process died (its updates
     /// are unrecoverable), or the transport / codec / merge failure.
     pub fn snapshot(&mut self) -> Result<Box<U::Shard>, ClusterError> {
-        if let Some(worker) = self.dead {
-            return Err(ClusterError::WorkerDied { worker });
+        if let Some((worker, fault)) = self.fault {
+            return Err(fault.to_error(worker));
         }
-        // Fan the snapshot requests out before collecting any reply, so the
-        // workers drain their pipes and serialize concurrently.
-        for index in 0..self.workers.len() {
-            let handle = &mut self.workers[index];
-            if let Err(e) = write_to(handle, index, &Frame::Snapshot) {
-                self.dead.get_or_insert(index);
-                return Err(e);
-            }
+        // *Any* failure below leaves the request/reply conversation in an
+        // unknown state (some workers may still have a Shard reply queued),
+        // so it poisons the aggregator: later reports refuse instead of
+        // silently merging stale shards.
+        let result = self.snapshot_exchange();
+        if let Err((index, error)) = &result {
+            self.fault
+                .get_or_insert((*index, WorkerFault::from_error(error)));
         }
-        let mut merged: Option<Box<U::Shard>> = None;
-        for index in 0..self.workers.len() {
-            let bytes = match read_shard(&mut self.workers[index], index) {
-                Ok(bytes) => bytes,
-                Err(e) => {
-                    if matches!(e, ClusterError::WorkerDied { .. }) {
-                        self.dead.get_or_insert(index);
-                    }
-                    return Err(e);
-                }
-            };
-            let shard =
-                U::shard_from_bytes(&self.spec, &bytes).map_err(|message| ClusterError::Frame {
-                    worker: index,
-                    message,
-                })?;
-            match &mut merged {
-                None => merged = Some(shard),
-                Some(into) => U::merge(into.as_mut(), shard.as_ref())?,
-            }
-        }
-        let mut merged = merged.expect("cluster always has at least one worker");
+        let mut merged = result.map_err(|(_, error)| error)?;
         // Fold in the locally buffered (not yet shipped) updates, exactly
         // like the in-process router's midstream `merged()`.
         self.batcher.for_each_pending(|batch| {
             U::apply(merged.as_mut(), batch);
         });
         Ok(merged)
+    }
+
+    /// The snapshot request/reply round, with every failure attributed to
+    /// the worker index it happened on (for fault bookkeeping).
+    fn snapshot_exchange(&mut self) -> Result<Box<U::Shard>, (usize, ClusterError)> {
+        // Fan the snapshot requests out before collecting any reply, so the
+        // workers drain their links and serialize concurrently.
+        for index in 0..self.workers.len() {
+            if let Err(e) = self.workers[index].send(&Frame::Snapshot) {
+                return Err((index, wire_fault(index, e)));
+            }
+        }
+        let mut merged: Option<Box<U::Shard>> = None;
+        for index in 0..self.workers.len() {
+            let bytes = read_shard(self.workers[index].as_mut(), index).map_err(|e| (index, e))?;
+            let shard = U::shard_from_bytes(&self.spec, &bytes).map_err(|message| {
+                (
+                    index,
+                    ClusterError::Frame {
+                        worker: index,
+                        message,
+                    },
+                )
+            })?;
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(into) => U::merge(into.as_mut(), shard.as_ref())
+                    .map_err(|e| (index, ClusterError::Sketch(e)))?,
+            }
+        }
+        Ok(merged.expect("cluster always has at least one worker"))
     }
 
     /// Snapshots and reports the current estimate.
@@ -402,30 +523,30 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// workers are killed on the error path (no orphans).
     pub fn finish(mut self) -> Result<Box<U::Shard>, ClusterError> {
         self.flush();
-        if let Some(worker) = self.dead {
-            return Err(ClusterError::WorkerDied { worker });
+        if let Some((worker, fault)) = self.fault {
+            return Err(fault.to_error(worker));
         }
         // Fan the Finish requests out to every worker before collecting any
-        // shard (as `snapshot` does), so the workers drain their pipes,
-        // serialize and exit concurrently: shutdown latency is the slowest
-        // worker's, not the sum.
+        // shard (as `snapshot` does), so the workers drain their links,
+        // serialize and wind down concurrently: shutdown latency is the
+        // slowest worker's, not the sum.
         for index in 0..self.workers.len() {
-            let handle = &mut self.workers[index];
-            write_to(handle, index, &Frame::Finish)?;
-            // Closing stdin is the belt to the Finish suspenders: a worker
-            // that somehow missed the frame still sees EOF and exits.
-            drop(handle.stdin.take());
+            let conn = &mut self.workers[index];
+            conn.send(&Frame::Finish)
+                .map_err(|e| wire_fault(index, e))?;
+            // Half-closing the link is the belt to the Finish suspenders: a
+            // worker that somehow missed the frame still sees EOF and winds
+            // the session down.
+            conn.close_send();
         }
         let mut merged: Option<Box<U::Shard>> = None;
         for index in 0..self.workers.len() {
-            let handle = &mut self.workers[index];
-            let bytes = read_shard(handle, index)?;
-            let status = handle
-                .child
-                .wait()
-                .map_err(|e| ClusterError::io(index, e))?;
-            if !status.success() {
-                return Err(ClusterError::WorkerDied { worker: index });
+            let conn = &mut self.workers[index];
+            let bytes = read_shard(conn.as_mut(), index)?;
+            match conn.confirm_finished() {
+                Ok(true) => {}
+                Ok(false) => return Err(ClusterError::WorkerDied { worker: index }),
+                Err(e) => return Err(wire_fault(index, WireError::Io(e))),
             }
             let shard =
                 U::shard_from_bytes(&self.spec, &bytes).map_err(|message| ClusterError::Frame {
@@ -437,82 +558,41 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
                 Some(into) => U::merge(into.as_mut(), shard.as_ref())?,
             }
         }
-        self.workers.clear(); // all waited; Drop has nothing left to kill
         Ok(merged.expect("cluster always has at least one worker"))
     }
 }
 
-impl<U: ClusterUpdate> Drop for ClusterAggregator<U> {
-    /// Reaps every still-running worker so an abandoned (or failed)
-    /// aggregator leaves no orphan processes behind.
-    fn drop(&mut self) {
-        for handle in &mut self.workers {
-            drop(handle.stdin.take());
-            let _ = handle.child.kill();
-            let _ = handle.child.wait();
-        }
-    }
-}
+// Dropping a `ClusterAggregator` drops its worker links; each transport's
+// connection reaps its own resources (`PipeConnection` kills and waits on
+// the child, sockets just close), so an abandoned — or failed — aggregator
+// leaves no orphan processes behind.
 
-fn spawn_worker(exe: &Path, index: usize) -> Result<WorkerHandle, ClusterError> {
-    let mut child = Command::new(exe)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .map_err(|e| ClusterError::io(index, e))?;
-    let stdin = child.stdin.take().expect("stdin was piped");
-    let stdout = child.stdout.take().expect("stdout was piped");
-    Ok(WorkerHandle {
-        child,
-        stdin: Some(BufWriter::new(stdin)),
-        stdout: BufReader::new(stdout),
-    })
-}
-
-/// Writes one frame to a worker and flushes, mapping transport failures to
-/// worker-attributed errors.
-fn write_to(handle: &mut WorkerHandle, index: usize, frame: &Frame) -> Result<(), ClusterError> {
-    let Some(stdin) = handle.stdin.as_mut() else {
-        return Err(ClusterError::WorkerDied { worker: index });
-    };
-    let io_dead = |e: std::io::Error| {
-        if e.kind() == std::io::ErrorKind::BrokenPipe {
-            ClusterError::WorkerDied { worker: index }
-        } else {
-            ClusterError::io(index, e)
-        }
-    };
-    match write_frame(stdin, frame) {
-        Ok(()) => {}
-        Err(WireError::Io(e)) => return Err(io_dead(e)),
-        Err(e) => {
-            return Err(ClusterError::Frame {
-                worker: index,
-                message: e.to_string(),
-            })
-        }
-    }
-    stdin.flush().map_err(io_dead)
-}
-
-/// Best-effort batch hand-off: a broken pipe marks the worker dead (its
-/// process exited), to be surfaced by the next report — mirroring the
+/// Best-effort batch hand-off: a failed link marks the worker faulted (dead
+/// or timed out), to be surfaced by the next report — mirroring the
 /// in-process engine's `poisoned` bookkeeping.
 fn send_batch<U: ClusterUpdate>(
-    workers: &mut [WorkerHandle],
-    dead: &mut Option<usize>,
+    workers: &mut [Box<dyn WorkerConnection>],
+    fault: &mut Option<(usize, WorkerFault)>,
     worker: usize,
     batch: Vec<U>,
 ) {
+    // Once any link has faulted the run can only end in that error, so
+    // stop shipping batches: on TCP each further flush to a stalled peer
+    // would block for a full io_timeout, turning one bounded failure into
+    // a stall proportional to the remaining stream length.
+    if fault.is_some() {
+        return;
+    }
     let frame = Frame::Batch(U::payload(batch));
-    if write_to(&mut workers[worker], worker, &frame).is_err() {
-        dead.get_or_insert(worker);
+    if let Err(e) = workers[worker].send(&frame) {
+        let error = wire_fault(worker, e);
+        fault.get_or_insert((worker, WorkerFault::from_error(&error)));
     }
 }
 
 /// Reads the `Shard` reply a `Snapshot`/`Finish` request promises.
-fn read_shard(handle: &mut WorkerHandle, index: usize) -> Result<Vec<u8>, ClusterError> {
-    match read_frame(&mut handle.stdout) {
+fn read_shard(conn: &mut dyn WorkerConnection, index: usize) -> Result<Vec<u8>, ClusterError> {
+    match conn.recv() {
         Ok(Some(Frame::Shard(bytes))) => Ok(bytes),
         Ok(Some(Frame::Err(message))) => Err(ClusterError::WorkerReported {
             worker: index,
@@ -524,10 +604,6 @@ fn read_shard(handle: &mut WorkerHandle, index: usize) -> Result<Vec<u8>, Cluste
             got: other.kind().to_string(),
         }),
         Ok(None) | Err(WireError::Truncated) => Err(ClusterError::WorkerDied { worker: index }),
-        Err(WireError::Io(e)) => Err(ClusterError::io(index, e)),
-        Err(e) => Err(ClusterError::Frame {
-            worker: index,
-            message: e.to_string(),
-        }),
+        Err(e) => Err(wire_fault(index, e)),
     }
 }

@@ -1,30 +1,47 @@
-//! The cluster demo front end: spawns N `knw-worker` processes, streams a
-//! synthetic workload to them over the frame protocol, merges their
-//! serialized shards, and checks the merged estimate against a
-//! single-process run of the same sketch — which must agree **bit for
-//! bit** (that is the whole point of exact mergeability).
+//! The cluster demo front end: fans a synthetic workload out to N workers
+//! over the frame protocol, merges their serialized shards, and checks the
+//! merged estimate against a single-process run of the same sketch — which
+//! must agree **bit for bit** (that is the whole point of exact
+//! mergeability).
 //!
 //! ```text
-//! knw-aggregate [--workers N] [--mode f0|l0] [--estimator NAME]
-//!               [--updates COUNT] [--universe N] [--epsilon E] [--seed S]
+//! knw-aggregate [--transport pipe|tcp] [--workers N] [--mode f0|l0]
+//!               [--estimator NAME] [--updates COUNT] [--universe N]
+//!               [--epsilon E] [--seed S]
 //!               [--routing round-robin|hash-affine] [--precoalesce]
-//!               [--worker PATH]
+//!               [--worker PATH]                       (pipe transport)
+//!               [--connect ADDR]... [--io-timeout S]  (tcp transport)
 //! ```
 //!
+//! Two transports:
+//!
+//! * `--transport pipe` (default): spawns `--workers` N `knw-worker` child
+//!   processes on stdin/stdout pipes.  The worker binary defaults to the
+//!   sibling `knw-worker` next to this executable (`--worker PATH`
+//!   overrides).
+//! * `--transport tcp`: connects to **already-running** workers — one
+//!   `--connect host:port` per worker (repeatable; start them with
+//!   `knw-worker --listen host:port`).  The worker count is the address
+//!   count; `--io-timeout SECS` bounds every read/write so a stalled
+//!   worker fails the run instead of hanging it.
+//!
 //! With `--mode l0` the stream is churn-heavy signed updates; otherwise a
-//! skewed insert-only stream.  The worker binary defaults to the sibling
-//! `knw-worker` next to this executable.
+//! skewed insert-only stream.
 
 use knw_cluster::{
-    sibling_worker_exe, ClusterConfig, ClusterError, F0ClusterAggregator, L0ClusterAggregator,
-    SketchSpec,
+    sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterError, ClusterUpdate, SketchSpec,
+    TcpClusterConfig,
 };
 use knw_engine::{EngineConfig, RoutingPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
-    workers: usize,
+    transport: String,
+    /// `None` until `--workers`; pipe transport defaults to 4, the tcp
+    /// transport derives the count from `--connect` and rejects the flag.
+    workers: Option<usize>,
     mode: String,
     /// `None` until `--estimator`; defaults per mode (`knw-f0` / `knw-l0`).
     estimator: Option<String>,
@@ -35,12 +52,16 @@ struct Options {
     routing: RoutingPolicy,
     precoalesce: bool,
     worker: Option<PathBuf>,
+    connect: Vec<String>,
+    /// `None` until `--io-timeout`; `Some(0)` disables the timeout.
+    io_timeout_secs: Option<u64>,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Self {
-            workers: 4,
+            transport: "pipe".into(),
+            workers: None,
             mode: "f0".into(),
             estimator: None,
             updates: 1_000_000,
@@ -50,6 +71,8 @@ impl Default for Options {
             routing: RoutingPolicy::RoundRobin,
             precoalesce: false,
             worker: None,
+            connect: Vec::new(),
+            io_timeout_secs: None,
         }
     }
 }
@@ -60,8 +83,18 @@ fn parse_args() -> Result<Options, String> {
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
         match flag.as_str() {
+            "--transport" => {
+                opts.transport = match value("--transport")?.as_str() {
+                    transport @ ("pipe" | "tcp") => transport.to_string(),
+                    other => {
+                        return Err(format!(
+                            "unknown transport {other:?} (expected pipe or tcp)"
+                        ))
+                    }
+                };
+            }
             "--workers" => {
-                opts.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+                opts.workers = Some(value("--workers")?.parse().map_err(|e| format!("{e}"))?);
             }
             "--mode" => {
                 opts.mode = match value("--mode")?.as_str() {
@@ -89,12 +122,22 @@ fn parse_args() -> Result<Options, String> {
             }
             "--precoalesce" => opts.precoalesce = true,
             "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
+            "--connect" => opts.connect.push(value("--connect")?),
+            "--io-timeout" => {
+                opts.io_timeout_secs =
+                    Some(value("--io-timeout")?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: knw-aggregate [--workers N] [--mode f0|l0] [--estimator NAME]\n\
-                     \u{20}                    [--updates COUNT] [--universe N] [--epsilon E]\n\
-                     \u{20}                    [--seed S] [--routing round-robin|hash-affine]\n\
-                     \u{20}                    [--precoalesce] [--worker PATH]\n\
+                    "usage: knw-aggregate [--transport pipe|tcp] [--workers N] [--mode f0|l0]\n\
+                     \u{20}                    [--estimator NAME] [--updates COUNT] [--universe N]\n\
+                     \u{20}                    [--epsilon E] [--seed S]\n\
+                     \u{20}                    [--routing round-robin|hash-affine] [--precoalesce]\n\
+                     \u{20}                    [--worker PATH]                       (pipe transport)\n\
+                     \u{20}                    [--connect ADDR]... [--io-timeout S]  (tcp transport)\n\
+                     transports: pipe spawns N `knw-worker` children on stdin/stdout;\n\
+                     \u{20}           tcp connects to running `knw-worker --listen ADDR` hosts,\n\
+                     \u{20}           one --connect per worker.\n\
                      F0 estimators: {}\nL0 estimators: {}",
                     knw_cluster::f0_estimator_names().join(", "),
                     knw_cluster::l0_estimator_names().join(", "),
@@ -104,7 +147,93 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    // Each transport owns its flags; a flag for the other transport is a
+    // misconfiguration, not something to silently ignore.
+    if opts.transport == "tcp" {
+        if opts.connect.is_empty() {
+            return Err("--transport tcp needs at least one --connect ADDR".into());
+        }
+        if opts.workers.is_some() {
+            return Err(
+                "--workers is pipe-only; the tcp worker count is the number of --connect flags"
+                    .into(),
+            );
+        }
+        if opts.worker.is_some() {
+            return Err("--worker PATH is pipe-only; tcp connects to running workers".into());
+        }
+    } else {
+        if !opts.connect.is_empty() {
+            return Err("--connect is only meaningful with --transport tcp".into());
+        }
+        if opts.io_timeout_secs.is_some() {
+            return Err("--io-timeout is only meaningful with --transport tcp".into());
+        }
+    }
     Ok(opts)
+}
+
+/// How the aggregator reaches its workers, resolved from the CLI flags.
+enum TransportChoice {
+    Pipe(ClusterConfig),
+    Tcp(TcpClusterConfig),
+}
+
+impl TransportChoice {
+    fn from_options(opts: &Options) -> Result<Self, ClusterError> {
+        let workers = opts.workers.unwrap_or(4);
+        let engine = EngineConfig::new(workers)
+            .with_routing(opts.routing)
+            .with_precoalesce(opts.precoalesce);
+        if opts.transport == "tcp" {
+            let mut config = TcpClusterConfig::new(opts.connect.iter().cloned());
+            config = config.with_engine(engine);
+            if let Some(secs) = opts.io_timeout_secs {
+                // 0 = no timeout (a zero Duration would be rejected by
+                // set_read_timeout and fail every connection).
+                config = config.with_io_timeout((secs > 0).then(|| Duration::from_secs(secs)));
+            }
+            return Ok(TransportChoice::Tcp(config));
+        }
+        let worker = opts
+            .worker
+            .clone()
+            .or_else(sibling_worker_exe)
+            .ok_or_else(|| ClusterError::Io {
+                worker: None,
+                source: std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "knw-worker binary not found; pass --worker PATH",
+                ),
+            })?;
+        Ok(TransportChoice::Pipe(
+            ClusterConfig::new(workers, worker).with_engine(engine),
+        ))
+    }
+
+    fn workers(&self) -> usize {
+        match self {
+            TransportChoice::Pipe(config) => config.engine.shards,
+            TransportChoice::Tcp(config) => config.addrs.len(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TransportChoice::Pipe(_) => "pipe (spawned children)".into(),
+            TransportChoice::Tcp(config) => format!("tcp ({})", config.addrs.join(", ")),
+        }
+    }
+
+    fn aggregator<U: ClusterUpdate>(
+        &self,
+        spec: &SketchSpec,
+    ) -> Result<ClusterAggregator<U>, ClusterError> {
+        match self {
+            TransportChoice::Pipe(config) => ClusterAggregator::spawn(config, spec),
+            TransportChoice::Tcp(config) => ClusterAggregator::connect(config, spec),
+        }
+    }
 }
 
 /// A skewed insert-only stream (a few hot items, a long tail).
@@ -137,21 +266,7 @@ fn l0_stream(len: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
 }
 
 fn run(opts: &Options) -> Result<(), ClusterError> {
-    let worker = opts
-        .worker
-        .clone()
-        .or_else(sibling_worker_exe)
-        .ok_or_else(|| ClusterError::Io {
-            worker: None,
-            source: std::io::Error::new(
-                std::io::ErrorKind::NotFound,
-                "knw-worker binary not found; pass --worker PATH",
-            ),
-        })?;
-    let engine = EngineConfig::new(opts.workers)
-        .with_routing(opts.routing)
-        .with_precoalesce(opts.precoalesce);
-    let config = ClusterConfig::new(opts.workers, worker).with_engine(engine);
+    let choice = TransportChoice::from_options(opts)?;
     let estimator = opts.estimator.clone().unwrap_or_else(|| {
         if opts.mode == "l0" {
             "knw-l0"
@@ -162,8 +277,9 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
     });
 
     println!(
-        "spawning {} workers ({:?} routing{}) for `{estimator}` over {} updates …",
-        opts.workers,
+        "aggregating over {} workers via {} ({:?} routing{}) for `{estimator}` over {} updates …",
+        choice.workers(),
+        choice.describe(),
         opts.routing,
         if opts.precoalesce {
             ", pre-coalescing"
@@ -176,7 +292,7 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
     let (cluster_estimate, single_estimate) = if opts.mode == "l0" {
         let spec = SketchSpec::l0(&estimator, opts.epsilon, opts.universe, opts.seed);
         let updates = l0_stream(opts.updates, opts.universe, opts.seed);
-        let mut cluster = L0ClusterAggregator::spawn(&config, &spec)?;
+        let mut cluster = choice.aggregator::<(u64, i64)>(&spec)?;
         for chunk in updates.chunks(1 << 16) {
             cluster.ingest_batch(chunk);
         }
@@ -184,13 +300,13 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
         let mut single = knw_cluster::build_l0(&spec)?;
         single.update_batch(&updates);
         (
-            <(u64, i64) as knw_cluster::ClusterUpdate>::estimate(merged.as_ref()),
+            <(u64, i64) as ClusterUpdate>::estimate(merged.as_ref()),
             single.estimate(),
         )
     } else {
         let spec = SketchSpec::f0(&estimator, opts.epsilon, opts.universe, opts.seed);
         let items = f0_stream(opts.updates, opts.universe, opts.seed);
-        let mut cluster = F0ClusterAggregator::spawn(&config, &spec)?;
+        let mut cluster = choice.aggregator::<u64>(&spec)?;
         for chunk in items.chunks(1 << 16) {
             cluster.ingest_batch(chunk);
         }
@@ -198,7 +314,7 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
         let mut single = knw_cluster::build_f0(&spec)?;
         single.insert_batch(&items);
         (
-            <u64 as knw_cluster::ClusterUpdate>::estimate(merged.as_ref()),
+            <u64 as ClusterUpdate>::estimate(merged.as_ref()),
             single.estimate(),
         )
     };

@@ -36,6 +36,25 @@ pub enum ClusterError {
         /// Index of the dead worker.
         worker: usize,
     },
+    /// A worker's socket could not be connected: refused, unreachable,
+    /// unresolvable, or the connect attempt timed out.  Raised before any
+    /// frame flows — the aggregation never starts on a partial cluster.
+    ConnectFailed {
+        /// Index of the unreachable worker.
+        worker: usize,
+        /// The address that failed to connect.
+        addr: String,
+        /// The underlying connect failure.
+        source: std::io::Error,
+    },
+    /// A worker link timed out mid-conversation: the peer is half-open or
+    /// stalled (accepted the connection but stopped reading or replying).
+    /// The transport's read/write timeouts bound how long the aggregator
+    /// waits before raising this.
+    Timeout {
+        /// Index of the stalled worker.
+        worker: usize,
+    },
     /// A worker answered with a frame the protocol does not allow in the
     /// current state (e.g. a `Batch` where a `Shard` was expected).
     Protocol {
@@ -92,6 +111,23 @@ impl fmt::Display for ClusterError {
                      its updates are lost"
                 )
             }
+            ClusterError::ConnectFailed {
+                worker,
+                addr,
+                source,
+            } => {
+                write!(
+                    f,
+                    "connecting to worker {worker} at {addr} failed: {source}"
+                )
+            }
+            ClusterError::Timeout { worker } => {
+                write!(
+                    f,
+                    "worker {worker} stalled: the link timed out before it \
+                     answered; its shard cannot be trusted"
+                )
+            }
             ClusterError::Protocol {
                 worker,
                 expected,
@@ -106,7 +142,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "worker {worker} reported an error: {message}")
             }
             ClusterError::UnknownEstimator { name } => {
-                write!(f, "estimator {name:?} is not in the wire-format zoo")
+                write!(
+                    f,
+                    "spec field `estimator`: {name:?} is not in the wire-format zoo"
+                )
             }
             ClusterError::Sketch(e) => write!(f, "shard merge failed: {e}"),
         }
@@ -116,7 +155,9 @@ impl fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ClusterError::Io { source, .. } => Some(source),
+            ClusterError::Io { source, .. } | ClusterError::ConnectFailed { source, .. } => {
+                Some(source)
+            }
             ClusterError::Sketch(e) => Some(e),
             _ => None,
         }
@@ -148,5 +189,26 @@ mod tests {
         assert!(std::error::Error::source(&io).is_some());
         let sketch = ClusterError::from(SketchError::SeedMismatch);
         assert!(sketch.to_string().contains("seeds"));
+        let refused = ClusterError::ConnectFailed {
+            worker: 4,
+            addr: "10.0.0.9:7000".into(),
+            source: std::io::ErrorKind::ConnectionRefused.into(),
+        };
+        assert!(refused.to_string().contains("worker 4"));
+        assert!(refused.to_string().contains("10.0.0.9:7000"));
+        assert!(std::error::Error::source(&refused).is_some());
+        let stalled = ClusterError::Timeout { worker: 1 };
+        assert!(stalled.to_string().contains("worker 1"));
+        assert!(stalled.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn unknown_estimator_names_the_spec_field() {
+        let unknown = ClusterError::UnknownEstimator {
+            name: "bogus".into(),
+        };
+        let message = unknown.to_string();
+        assert!(message.contains("`estimator`"), "{message}");
+        assert!(message.contains("bogus"), "{message}");
     }
 }

@@ -7,11 +7,11 @@
 //! This crate is the missing layer: worker **processes** that never share
 //! memory ingest substreams and exchange **serialized** shards with an
 //! aggregator, which merges them with the same `merge_dyn` fold the
-//! in-process engine uses.  Workers scale across cores, machines behind a
-//! pipe-shaped transport, or restarts — and the combine step at the end is
-//! cheap and exact.
+//! in-process engine uses.  Workers scale across cores, across machines,
+//! or across restarts — and the combine step at the end is cheap and
+//! exact.
 //!
-//! # Process topology
+//! # Process topology and transports
 //!
 //! ```text
 //!                         ┌───────────────────────────┐
@@ -20,17 +20,29 @@
 //!                         │  or HashAffine) + optional│
 //!                         │  L0 pre-coalescing        │
 //!                         └─┬───────┬───────┬───────┬─┘
-//!              Hello,Batch…,│       │       │       │ …Finish   (stdin)
+//!              Hello,Batch…,│       │       │       │ …Finish
 //!                           ▼       ▼       ▼       ▼
 //!                      ┌───────┐┌───────┐┌───────┐┌───────┐
-//!                      │worker0││worker1││worker2││worker3│  spawned child
-//!                      │sketch ││sketch ││sketch ││sketch │  processes
+//!                      │worker0││worker1││worker2││worker3│  spawned children
+//!                      │sketch ││sketch ││sketch ││sketch │  or listening hosts
 //!                      └───┬───┘└───┬───┘└───┬───┘└───┬───┘
-//!                          │        │        │        │     (stdout)
+//!                          │        │        │        │
 //!                          └──one Shard{serialized bytes} each──┐
 //!                                                               ▼
 //!                          deserialize → merge_dyn fold → merged estimate
 //! ```
+//!
+//! The frame layer is transport-agnostic, and the [`transport`] module
+//! names the two transports that carry it:
+//!
+//! * [`PipeTransport`] — [`ClusterAggregator::spawn`] forks `knw-worker`
+//!   child processes and speaks frames over stdin/stdout pipes (the
+//!   single-box topology);
+//! * [`TcpTransport`] — [`ClusterAggregator::connect_workers`] connects to
+//!   **already-running** workers (`knw-worker --listen <addr>`, the
+//!   [`serve`] loop) over TCP sockets with bounded connect/read/write
+//!   timeouts: the multi-host topology.  `knw-aggregate --transport tcp
+//!   --connect host:port …` is the CLI front.
 //!
 //! # The frame protocol
 //!
@@ -63,19 +75,26 @@
 //!
 //! # Failure model
 //!
-//! A worker crash is detected at the pipe (broken write, EOF where a
-//! `Shard` was due, nonzero exit) and surfaces as
+//! A worker crash is detected at the link (broken write, EOF where a
+//! `Shard` was due, nonzero exit, reset connection) and surfaces as
 //! [`ClusterError::WorkerDied`] — the cross-process mirror of the engine's
 //! [`SketchError::ShardPanicked`](knw_core::SketchError::ShardPanicked):
 //! a lost shard means the merged estimate would silently undercount, so no
-//! estimate is produced.  Malformed frames and worker-reported failures
-//! get their own typed variants; nothing in the protocol path panics on
-//! bad bytes.
+//! estimate is produced.  The socket transport adds two failure shapes of
+//! its own, each typed: a worker that was never reachable is
+//! [`ClusterError::ConnectFailed`] (raised before any frame flows), and a
+//! half-open or stalled peer trips the transport's read/write timeouts as
+//! [`ClusterError::Timeout`] — every failure mode resolves within a
+//! bounded interval; nothing hangs.  Malformed frames and worker-reported
+//! failures get their own typed variants; nothing in the protocol path
+//! panics on bad bytes.
 //!
 //! # Example
 //!
 //! The `knw-aggregate` binary is the demo front end (`knw-aggregate
-//! --workers 4 --estimator knw-f0 …`); programmatically:
+//! --workers 4 --estimator knw-f0 …` over pipes, or `knw-aggregate
+//! --transport tcp --connect host:port --connect host:port …` against
+//! listening workers); programmatically:
 //!
 //! ```no_run
 //! use knw_cluster::{ClusterConfig, F0ClusterAggregator, SketchSpec};
@@ -94,6 +113,7 @@ pub mod aggregator;
 pub mod error;
 pub mod frame;
 pub mod spec;
+pub mod transport;
 pub mod worker;
 
 pub use aggregator::{
@@ -109,4 +129,8 @@ pub use spec::{
     build_f0, build_l0, f0_estimator_names, f0_shard_from_bytes, l0_estimator_names,
     l0_shard_from_bytes, WireF0Sketch, WireL0Sketch,
 };
-pub use worker::run_worker;
+pub use transport::{
+    spawn_listening_worker, ListeningWorkerFleet, PipeTransport, TcpClusterConfig, TcpTransport,
+    Transport, WorkerConnection, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
+};
+pub use worker::{run_worker, serve, serve_connection, ServeOptions};

@@ -1,0 +1,547 @@
+//! How the aggregator reaches its workers: the transport layer under the
+//! frame protocol.
+//!
+//! The frame codec ([`crate::frame`]) and the worker loop
+//! ([`crate::run_worker`]) are transport-agnostic — any `Read`/`Write` pair
+//! carries them.  This module names the two transports the aggregator
+//! ships with and hides their differences behind two small traits:
+//!
+//! * [`Transport`] — a factory that opens one link per worker index.
+//!   [`PipeTransport`] *spawns* a `knw-worker` child process per worker and
+//!   talks over its stdin/stdout pipes (the single-box topology).
+//!   [`TcpTransport`] *connects* to already-running workers listening on
+//!   TCP addresses (`knw-worker --listen <addr>`), which is what an actual
+//!   multi-host run looks like.
+//! * [`WorkerConnection`] — one live, framed, bidirectional link.  The
+//!   aggregator only ever sends frames, receives frames, half-closes, and
+//!   tears down; whether that maps to pipe writes and `waitpid` or socket
+//!   writes and `shutdown(2)` is the connection's business.
+//!
+//! # Failure model
+//!
+//! Pipes fail like processes: a broken pipe or EOF means the child died.
+//! Sockets add two failure shapes of their own, and each gets a typed
+//! [`ClusterError`] variant mirroring
+//! [`WorkerDied`](ClusterError::WorkerDied):
+//!
+//! * the peer was never there — [`ClusterError::ConnectFailed`] (refused,
+//!   unreachable, or the connect timed out), raised before any frame flows;
+//! * the peer is there but wedged — every TCP link carries read/write
+//!   timeouts (see [`TcpClusterConfig::io_timeout`]), so a half-open or
+//!   stalled worker surfaces as [`ClusterError::Timeout`] within a bounded
+//!   interval instead of hanging the aggregation forever.
+
+use crate::error::ClusterError;
+use crate::frame::{read_frame, write_frame, Frame, WireError};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// Default TCP connect timeout: long enough for a loaded host to accept,
+/// short enough that a dead address fails the run promptly.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default per-link read/write timeout on TCP transports.  Generous —
+/// workers may legitimately spend a while serializing a large shard — but
+/// bounded: a stalled peer surfaces as [`ClusterError::Timeout`] instead of
+/// hanging the aggregation forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One live, framed, bidirectional link to a worker.
+///
+/// Implementations pair a buffered writer with a buffered reader over the
+/// transport's byte stream; [`send`](Self::send) flushes, so a frame is on
+/// the wire when the call returns.
+pub trait WorkerConnection: Send {
+    /// Writes one frame and flushes it to the worker.
+    ///
+    /// # Errors
+    ///
+    /// The wire-level failure; the caller attributes it to a worker index.
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError>;
+
+    /// Reads the worker's next frame (`Ok(None)` on clean end of stream).
+    ///
+    /// # Errors
+    ///
+    /// The wire-level failure; the caller attributes it to a worker index.
+    fn recv(&mut self) -> Result<Option<Frame>, WireError>;
+
+    /// Signals end-of-input to the worker: closes the pipe's stdin, or
+    /// shuts down the socket's write half.  Idempotent; the read side
+    /// stays open so a final `Shard` can still arrive.
+    fn close_send(&mut self);
+
+    /// Forcibly severs the link: kills the child process, or shuts the
+    /// socket down in both directions.  Used for fault injection and for
+    /// tear-down of abandoned aggregations.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `kill(2)` / `shutdown(2)` failure, if any.
+    fn kill(&mut self) -> std::io::Result<()>;
+
+    /// Confirms the worker wound the session down cleanly after `Finish`:
+    /// a pipe worker must exit with status zero; a TCP worker must close
+    /// the connection (it keeps serving other sessions).  Returns
+    /// `Ok(false)` for an unclean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// The transport failure observed while confirming (including a read
+    /// timeout on a socket that never closes).
+    fn confirm_finished(&mut self) -> std::io::Result<bool>;
+}
+
+/// A factory for worker links: opens one [`WorkerConnection`] per worker
+/// index.  The aggregator is written against this trait, so the pipe,
+/// socket and any future transport share every line of routing, merging
+/// and supervision code.
+pub trait Transport {
+    /// Opens the link to worker `index` (spawns the child, or connects the
+    /// socket).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Io`] if a child cannot be spawned,
+    /// [`ClusterError::ConnectFailed`] if a socket cannot be connected.
+    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError>;
+}
+
+/// Spawns a `knw-worker --listen <addr>` child process and parses the
+/// `listening on <addr>` banner it prints, returning the child and the
+/// address it actually bound (meaningful with port 0).  The `--listen`
+/// discovery handshake in one place, shared by benches, tests and
+/// supervisors; the caller owns (and eventually reaps) the child.  The
+/// child's stderr is inherited, so the serve loop's session-failure
+/// diagnostics stay observable.
+///
+/// # Errors
+///
+/// Spawn or banner-read failures, or a child that printed something other
+/// than the banner (killed and reaped before returning).
+pub fn spawn_listening_worker(
+    worker_exe: &Path,
+    addr: &str,
+    extra_args: &[&str],
+) -> std::io::Result<(Child, String)> {
+    use std::io::BufRead;
+    let mut child = Command::new(worker_exe)
+        .arg("--listen")
+        .arg(addr)
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut banner = String::new();
+    BufReader::new(stdout).read_line(&mut banner)?;
+    let Some(bound) = banner.trim().strip_prefix("listening on ") else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected worker banner {banner:?}"),
+        ));
+    };
+    Ok((child, bound.to_string()))
+}
+
+/// A fleet of listening `knw-worker --listen` processes, reaped on drop so
+/// a panicking caller (a failing test, an aborted bench) leaves no
+/// forever-serving strays behind.  The process-supervision counterpart of
+/// [`spawn_listening_worker`], shared by the integration tests, the
+/// benches, and any embedding supervisor.
+pub struct ListeningWorkerFleet {
+    children: Vec<Child>,
+    addrs: Vec<String>,
+}
+
+impl ListeningWorkerFleet {
+    /// Spawns `count` listening workers on `addr` (`127.0.0.1:0` picks a
+    /// free localhost port per worker) and collects their bound
+    /// addresses.  Already-spawned workers are reaped if a later spawn
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// The first spawn or banner-handshake failure.
+    pub fn spawn(worker_exe: &Path, addr: &str, count: usize) -> std::io::Result<Self> {
+        let mut fleet = Self {
+            children: Vec::with_capacity(count),
+            addrs: Vec::with_capacity(count),
+        };
+        for _ in 0..count {
+            let (child, bound) = spawn_listening_worker(worker_exe, addr, &[])?;
+            fleet.children.push(child);
+            fleet.addrs.push(bound);
+        }
+        Ok(fleet)
+    }
+
+    /// The bound worker addresses, in shard order.
+    #[must_use]
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Kills the worker *process* behind shard `index` — real fault
+    /// injection, not a polite shutdown.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `kill(2)` failure, if any.
+    pub fn kill(&mut self, index: usize) -> std::io::Result<()> {
+        self.children[index].kill()?;
+        let _ = self.children[index].wait();
+        Ok(())
+    }
+}
+
+impl Drop for ListeningWorkerFleet {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+// --------------------------------------------------------------------- pipe
+
+/// The single-box transport: spawn one `knw-worker` child process per
+/// worker and speak frames over its stdin/stdout pipes.
+#[derive(Debug, Clone)]
+pub struct PipeTransport {
+    worker_exe: PathBuf,
+}
+
+impl PipeTransport {
+    /// Creates a pipe transport spawning the given worker executable.
+    #[must_use]
+    pub fn new(worker_exe: impl Into<PathBuf>) -> Self {
+        Self {
+            worker_exe: worker_exe.into(),
+        }
+    }
+
+    /// The worker executable this transport spawns.
+    #[must_use]
+    pub fn worker_exe(&self) -> &Path {
+        &self.worker_exe
+    }
+}
+
+impl Transport for PipeTransport {
+    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        let mut child = Command::new(&self.worker_exe)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| ClusterError::io(index, e))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        Ok(Box::new(PipeConnection {
+            child,
+            stdin: Some(BufWriter::new(stdin)),
+            stdout: BufReader::new(stdout),
+        }))
+    }
+}
+
+/// A spawned `knw-worker` child on stdin/stdout pipes.
+struct PipeConnection {
+    child: Child,
+    /// `None` once the pipe was half-closed (at `Finish`).
+    stdin: Option<BufWriter<ChildStdin>>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerConnection for PipeConnection {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        let Some(stdin) = self.stdin.as_mut() else {
+            // Writing after close_send: the pipe is gone, same as a dead
+            // child from the caller's perspective.
+            return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
+        };
+        write_frame(stdin, frame)?;
+        stdin.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        read_frame(&mut self.stdout)
+    }
+
+    fn close_send(&mut self) {
+        drop(self.stdin.take());
+    }
+
+    fn kill(&mut self) -> std::io::Result<()> {
+        drop(self.stdin.take());
+        self.child.kill()
+    }
+
+    fn confirm_finished(&mut self) -> std::io::Result<bool> {
+        Ok(self.child.wait()?.success())
+    }
+}
+
+impl Drop for PipeConnection {
+    /// Reaps the child so an abandoned (or failed) link leaves no orphan
+    /// process behind.  A no-op for children already waited on.
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------- tcp
+
+/// Sizing and safety knobs of a TCP cluster run: the shared engine knobs
+/// (shard count = worker count, batch size, routing policy,
+/// pre-coalescing) plus the worker addresses and the transport timeouts.
+///
+/// The shard count always tracks the address list — one worker, one shard —
+/// so a spec mismatch between the two cannot exist.
+#[derive(Debug, Clone)]
+pub struct TcpClusterConfig {
+    /// Routing knobs, shared verbatim with the in-process engine.  The
+    /// shard count is forced to `addrs.len()`.
+    pub engine: knw_engine::EngineConfig,
+    /// One `host:port` per worker, in shard order.
+    pub addrs: Vec<String>,
+    /// How long to wait for each worker to accept the connection.
+    pub connect_timeout: Duration,
+    /// Per-link read/write timeout (`None` blocks forever — not
+    /// recommended; the default keeps every failure mode bounded).
+    pub io_timeout: Option<Duration>,
+}
+
+impl TcpClusterConfig {
+    /// Creates a TCP cluster configuration for the given worker addresses
+    /// (one shard per address) with default engine knobs and timeouts.
+    #[must_use]
+    pub fn new<A: Into<String>>(addrs: impl IntoIterator<Item = A>) -> Self {
+        let addrs: Vec<String> = addrs.into_iter().map(Into::into).collect();
+        Self {
+            engine: knw_engine::EngineConfig::new(addrs.len()),
+            addrs,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+        }
+    }
+
+    /// Replaces the engine knobs (batch size, routing, pre-coalescing).
+    /// The shard count is re-forced to the address count.
+    #[must_use]
+    pub fn with_engine(mut self, engine: knw_engine::EngineConfig) -> Self {
+        self.engine = engine.with_shards(self.addrs.len());
+        self
+    }
+
+    /// Sets the connect timeout.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-link read/write timeout (`None` blocks forever).
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+}
+
+/// The multi-host transport: connect to already-running workers
+/// (`knw-worker --listen <addr>`) over TCP.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addrs: Vec<String>,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+}
+
+impl TcpTransport {
+    /// Creates a TCP transport for the given worker addresses and timeouts.
+    #[must_use]
+    pub fn new(config: &TcpClusterConfig) -> Self {
+        Self {
+            addrs: config.addrs.clone(),
+            connect_timeout: config.connect_timeout,
+            io_timeout: config.io_timeout,
+        }
+    }
+
+    /// The worker addresses, in shard order.
+    #[must_use]
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Connects to the first reachable of `addr`'s resolved socket
+    /// addresses (a hostname may resolve to several — e.g. IPv6 then IPv4
+    /// for `localhost`; a worker listening on only one family must still
+    /// be reachable).
+    fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+        let mut last_error = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_error = Some(e),
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "address resolved to no socket address",
+            )
+        }))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        let addr = &self.addrs[index];
+        let connect = || -> std::io::Result<TcpConnection> {
+            let stream = Self::connect(addr, self.connect_timeout)?;
+            // Frames are already batched; ship them as they flush.
+            let _ = stream.set_nodelay(true);
+            stream.set_read_timeout(self.io_timeout)?;
+            stream.set_write_timeout(self.io_timeout)?;
+            let reader = stream.try_clone()?;
+            Ok(TcpConnection {
+                writer: BufWriter::new(stream),
+                reader: BufReader::new(reader),
+                write_open: true,
+            })
+        };
+        match connect() {
+            Ok(conn) => Ok(Box::new(conn)),
+            Err(source) => Err(ClusterError::ConnectFailed {
+                worker: index,
+                addr: addr.clone(),
+                source,
+            }),
+        }
+    }
+}
+
+/// One framed TCP link to a listening worker.
+struct TcpConnection {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    write_open: bool,
+}
+
+impl WorkerConnection for TcpConnection {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        if !self.write_open {
+            return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
+        }
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        read_frame(&mut self.reader)
+    }
+
+    fn close_send(&mut self) {
+        if self.write_open {
+            self.write_open = false;
+            let _ = self.writer.flush();
+            let _ = self.writer.get_ref().shutdown(Shutdown::Write);
+        }
+    }
+
+    fn kill(&mut self) -> std::io::Result<()> {
+        self.write_open = false;
+        self.writer.get_ref().shutdown(Shutdown::Both)
+    }
+
+    fn confirm_finished(&mut self) -> std::io::Result<bool> {
+        // A finishing worker sends its Shard and closes the connection (it
+        // may keep serving *other* sessions); clean EOF is the handshake.
+        match read_frame(&mut self.reader) {
+            Ok(None) => Ok(true),
+            Ok(Some(_)) => Ok(false),
+            Err(WireError::Truncated) => Ok(false),
+            Err(WireError::Io(e)) => Err(e),
+            Err(_) => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_failure_is_typed_and_names_the_address() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let config =
+            TcpClusterConfig::new([addr.clone()]).with_connect_timeout(Duration::from_millis(500));
+        let transport = TcpTransport::new(&config);
+        match transport.open(0).map(|_| "a connection") {
+            Err(ClusterError::ConnectFailed {
+                worker,
+                addr: failed,
+                ..
+            }) => {
+                assert_eq!(worker, 0);
+                assert_eq!(failed, addr);
+            }
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolvable_address_is_a_connect_failure() {
+        let config = TcpClusterConfig::new(["not an address"]);
+        match TcpTransport::new(&config).open(0).map(|_| "a connection") {
+            Err(ClusterError::ConnectFailed { worker: 0, .. }) => {}
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_config_keeps_shards_locked_to_the_address_count() {
+        let config = TcpClusterConfig::new(["a:1", "b:2", "c:3"])
+            .with_engine(knw_engine::EngineConfig::new(16));
+        assert_eq!(config.engine.shards, 3);
+        assert_eq!(config.addrs.len(), 3);
+    }
+
+    #[test]
+    fn tcp_round_trip_over_a_local_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            let frame = read_frame(&mut reader).expect("read").expect("frame");
+            write_frame(&mut writer, &frame).expect("write");
+            writer.flush().expect("flush");
+        });
+        let config = TcpClusterConfig::new([addr]);
+        let mut conn = TcpTransport::new(&config).open(0).expect("connect");
+        conn.send(&Frame::Snapshot).expect("send");
+        let back = conn.recv().expect("recv").expect("one frame");
+        assert_eq!(back, Frame::Snapshot);
+        echo.join().expect("echo thread");
+        // The peer closed after echoing: a clean shutdown from our side.
+        assert!(conn.confirm_finished().expect("confirm"));
+    }
+}

@@ -1,8 +1,11 @@
-//! The worker side of the cluster protocol: one process, one shard sketch.
+//! The worker side of the cluster protocol: one process, one shard sketch
+//! per session.
 //!
 //! [`run_worker`] is transport-agnostic (any `Read`/`Write` pair), so the
-//! same loop serves the `knw-worker` binary (stdin/stdout pipes), Unix
-//! sockets, and in-process tests over byte buffers.  The loop is a strict
+//! same loop serves the `knw-worker` binary in both of its modes —
+//! stdin/stdout pipes when spawned by an aggregator, a TCP serve loop
+//! ([`serve`]) under `knw-worker --listen <addr>` — as well as Unix
+//! sockets and in-process tests over byte buffers.  The loop is a strict
 //! little state machine:
 //!
 //! ```text
@@ -19,7 +22,9 @@
 
 use crate::frame::{read_frame, write_frame, BatchPayload, Frame, StreamMode, WireError};
 use crate::spec::{build_f0, build_l0, WireF0Sketch, WireL0Sketch};
-use std::io::{Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 /// The worker's shard sketch, in whichever stream model the spec named.
 enum ShardState {
@@ -134,6 +139,93 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
 fn send_shard(output: &mut impl Write, state: &ShardState) -> Result<(), WireError> {
     write_frame(output, &Frame::Shard(state.wire_bytes()))?;
     output.flush()?;
+    Ok(())
+}
+
+/// Knobs of the TCP serve loop ([`serve`]).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Stop after this many sessions (`None` serves forever) — handy for
+    /// tests and demos that want the worker to wind itself down.
+    pub max_sessions: Option<usize>,
+    /// Per-connection read/write timeout.  Bounded by default
+    /// ([`DEFAULT_IO_TIMEOUT`](crate::DEFAULT_IO_TIMEOUT)): the serve loop
+    /// handles sessions sequentially, so a half-open aggregator that never
+    /// sends another byte must surface as a session error instead of
+    /// wedging the worker (and everything queued behind it) forever.
+    /// `None` blocks forever — only for aggregators that legitimately go
+    /// quiet for long stretches.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_sessions: None,
+            io_timeout: Some(crate::transport::DEFAULT_IO_TIMEOUT),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Limits the loop to `sessions` aggregation sessions.
+    #[must_use]
+    pub fn with_max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = Some(sessions);
+        self
+    }
+
+    /// Sets the per-connection read/write timeout.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+}
+
+/// Runs one aggregation session ([`run_worker`]) over an accepted TCP
+/// stream: buffered both ways, `TCP_NODELAY` on, optional read/write
+/// timeouts.
+///
+/// # Errors
+///
+/// The session's failure message (protocol violation, codec rejection,
+/// transport failure), exactly as [`run_worker`] reports it.
+pub fn serve_connection(stream: &TcpStream, io_timeout: Option<Duration>) -> Result<(), String> {
+    let _ = stream.set_nodelay(true);
+    let configure = || -> std::io::Result<(TcpStream, TcpStream)> {
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok((stream.try_clone()?, stream.try_clone()?))
+    };
+    let (reader, writer) = configure().map_err(|e| format!("socket setup failed: {e}"))?;
+    let mut input = BufReader::new(reader);
+    let mut output = BufWriter::new(writer);
+    run_worker(&mut input, &mut output)
+}
+
+/// The TCP serve loop behind `knw-worker --listen <addr>`: accepts
+/// connections on `listener` and runs one aggregation session
+/// ([`run_worker`]) per connection, sequentially.
+///
+/// A failed session does **not** stop the loop: the failure was already
+/// reported to that session's aggregator as an `Err` frame (best effort)
+/// and is logged to stderr here; a misbehaving client must not take a
+/// shared worker host down.  The loop ends after
+/// [`ServeOptions::max_sessions`] sessions, or never.
+///
+/// # Errors
+///
+/// Only `accept(2)` failures — the listener itself broke.
+pub fn serve(listener: &TcpListener, options: &ServeOptions) -> std::io::Result<()> {
+    let mut served = 0usize;
+    while options.max_sessions.is_none_or(|max| served < max) {
+        let (stream, peer) = listener.accept()?;
+        if let Err(message) = serve_connection(&stream, options.io_timeout) {
+            eprintln!("knw-worker: session with {peer} failed: {message}");
+        }
+        served += 1;
+    }
     Ok(())
 }
 

@@ -218,6 +218,15 @@ impl EngineConfig {
         }
     }
 
+    /// Sets the shard count (clamped to at least one).  The cluster layer
+    /// uses this to keep "one shard per addressed worker" an invariant:
+    /// connecting to N socket addresses forces an N-shard configuration.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Sets the hand-off batch size (clamped to at least one update).
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {

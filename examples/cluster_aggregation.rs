@@ -14,6 +14,10 @@
 //! cargo run --release --bin knw-aggregate -- --workers 4 --estimator knw-f0
 //! ```
 //!
+//! For the multi-host topology — listening workers reached over TCP
+//! sockets with `ClusterAggregator::connect_workers` — see the
+//! `cluster_tcp` example and `knw-aggregate --transport tcp`.
+//!
 //! Run this example with:
 //! ```text
 //! cargo run --release --example cluster_aggregation

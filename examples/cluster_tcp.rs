@@ -1,0 +1,94 @@
+//! Multi-host distributed aggregation over TCP sockets: N workers, each a
+//! "host" with its own listening socket (here: localhost threads running
+//! the exact serve loop inside `knw-worker --listen`), an aggregator that
+//! `connect_workers`-fans out to them, and a merged estimate that is
+//! **bit-identical** to a single-process run — sketches shipped only as
+//! serialized bytes over real sockets, never as shared memory.
+//!
+//! On actual separate machines the topology is the same, minus the
+//! threads:
+//!
+//! ```text
+//! hostA$ knw-worker --listen 0.0.0.0:7001     # prints `listening on …`
+//! hostB$ knw-worker --listen 0.0.0.0:7001
+//! hostC$ knw-aggregate --transport tcp --connect hostA:7001 \
+//!                      --connect hostB:7001 --estimator knw-f0
+//! ```
+//!
+//! Run this example with:
+//! ```text
+//! cargo run --release --example cluster_tcp
+//! ```
+
+use knw::cluster::{
+    build_f0, serve, F0ClusterAggregator, ServeOptions, SketchSpec, TcpClusterConfig,
+};
+use knw::engine::{EngineConfig, RoutingPolicy};
+use std::net::TcpListener;
+
+fn main() {
+    let workers = 4usize;
+    let spec = SketchSpec::f0("knw-f0", 0.05, 1 << 20, 42);
+
+    // A skewed insert-only stream: a small hot set over a large tail.
+    let items: Vec<u64> = (0..400_000u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            if x.is_multiple_of(4) {
+                x % 512
+            } else {
+                x % (1 << 20)
+            }
+        })
+        .collect();
+
+    println!("== multi-host aggregation over TCP sockets ==");
+    println!(
+        "stream: {} items over a 1Mi universe, {} worker hosts\n",
+        items.len(),
+        workers
+    );
+
+    // Bring up one "host" per worker: a listening socket served by the
+    // same loop `knw-worker --listen` runs.  `--once` semantics
+    // (max_sessions = 1) make each host wind down after its session, so
+    // the example exits cleanly.
+    let mut addrs = Vec::with_capacity(workers);
+    let mut hosts = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker host");
+        let addr = listener.local_addr().expect("bound address").to_string();
+        println!("worker host {index}: listening on {addr}");
+        addrs.push(addr);
+        hosts.push(std::thread::spawn(move || {
+            serve(&listener, &ServeOptions::default().with_max_sessions(1)).expect("serve loop");
+        }));
+    }
+
+    // The aggregator fans out over TCP: hash-affine routing, one shard per
+    // connected host, every frame on a real socket.
+    let config = TcpClusterConfig::new(addrs).with_engine(
+        EngineConfig::new(workers).with_routing(RoutingPolicy::HashAffine { seed: 0 }),
+    );
+    let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect worker hosts");
+    for chunk in items.chunks(8_192) {
+        cluster.ingest_batch(chunk);
+    }
+    let merged = cluster.finish().expect("clean multi-host run");
+    for host in hosts {
+        host.join().expect("worker host thread");
+    }
+
+    // The ground truth of exact mergeability: a single sketch over the
+    // whole stream answers the same, bit for bit.
+    let mut single = build_f0(&spec).expect("zoo name");
+    single.insert_batch(&items);
+    println!("\nmerged-over-tcp estimate : {}", merged.estimate());
+    println!("single-process estimate  : {}", single.estimate());
+    assert_eq!(
+        merged.estimate().to_bits(),
+        single.estimate().to_bits(),
+        "socket merge must be bit-identical"
+    );
+    println!("bit-identical            : true");
+}

@@ -1,6 +1,9 @@
 //! Facade crate re-exporting the KNW distinct-elements workspace public API.
 
 pub use knw_baselines as baselines;
+/// Distributed aggregation: frame protocol, spec registry, and the
+/// pipe/TCP transports (`cluster::transport`) behind
+/// `ClusterAggregator::{spawn, connect_workers}`.
 pub use knw_cluster as cluster;
 pub use knw_core as core;
 pub use knw_engine as engine;
