@@ -16,7 +16,9 @@
 //!   both transports — stdin/stdout pipes (spawned children) and TCP
 //!   sockets (`--listen` serve loops on localhost) — so pipe vs socket
 //!   ns/op land side by side in the JSON (skipped with a note if the
-//!   worker binary has not been built).
+//!   worker binary has not been built); plus the recovery path (journaling
+//!   on, one mid-stream kill + reconnect-and-replay) next to the
+//!   fault-free TCP run.
 //!
 //! Every headline number is also appended to `BENCH_engine.json` at the
 //! workspace root (ns/op and Melem/s per labelled path), so the perf
@@ -24,7 +26,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use knw_cluster::{
-    ClusterConfig, F0ClusterAggregator, L0ClusterAggregator, SketchSpec, TcpClusterConfig,
+    ClusterConfig, F0ClusterAggregator, L0ClusterAggregator, RecoveryPolicy, SketchSpec,
+    TcpClusterConfig,
 };
 use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
 use knw_engine::{EngineConfig, ShardedF0Engine, ShardedL0Engine};
@@ -355,6 +358,31 @@ fn cluster_summary(_c: &mut Criterion) {
                 cluster.ingest_batch(black_box(chunk));
             }
             let merged = cluster.finish().expect("clean run");
+            merged.estimate()
+        },
+    );
+    // The recovery path: same TCP run, but worker 2's link is severed at
+    // the stream's midpoint, so the aggregator journals throughout and
+    // must reconnect + replay ~1/4 of the first half mid-measurement —
+    // the ns/op lands next to the fault-free run so the supervision
+    // overhead (journaling + one replay) stays visible across PRs.
+    time_run(
+        "f0_cluster_4workers_tcp_recovery",
+        "4-worker F0 TCP, mid-stream kill + replay",
+        items.len(),
+        &mut || {
+            let config = tcp_config(false)
+                .with_recovery(RecoveryPolicy::default().with_journal_cap(usize::MAX));
+            let mut cluster = F0ClusterAggregator::connect(&config, &f0_spec).expect("connect");
+            let half = items.len() / 2;
+            for chunk in items[..half].chunks(1 << 18) {
+                cluster.ingest_batch(black_box(chunk));
+            }
+            cluster.kill_worker(2).expect("sever worker 2");
+            for chunk in items[half..].chunks(1 << 18) {
+                cluster.ingest_batch(black_box(chunk));
+            }
+            let merged = cluster.finish().expect("recovered run");
             merged.estimate()
         },
     );

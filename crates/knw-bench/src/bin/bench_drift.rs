@@ -1,0 +1,290 @@
+//! Performance drift gate over `BENCH_engine.json`: compares a freshly
+//! measured report against the committed baseline and fails (exit 1) when
+//! any watched ingestion path regressed beyond the allowed fraction.
+//!
+//! ```text
+//! bench_drift --baseline PATH --current PATH
+//!             [--max-regression 0.25]          allowed ns/op growth fraction
+//!             [--paths f0_cluster,l0_cluster]  watched record-name prefixes
+//! ```
+//!
+//! CI runs it after `cargo bench -p knw-bench --bench bench_engine`: the
+//! committed `BENCH_engine.json` is copied aside as the baseline, the
+//! bench rewrites it, and this tool diffs the two.  The default watch list
+//! is the multi-process ingestion paths (pipe and TCP, F0 and
+//! pre-coalesced L0) — the numbers the cluster subsystem exists for.
+//!
+//! A watched record present in the baseline but missing from the fresh
+//! report also fails: a silently dropped measurement is how a regression
+//! hides.  Records new in the current report (a path added by this very
+//! PR) are reported and tolerated.
+
+use std::process::ExitCode;
+
+/// One `{name, ns_per_op}` record of the bench report (the `melem_per_s`
+/// field is derived from ns/op, so only ns/op is compared).
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    name: String,
+    ns_per_op: f64,
+}
+
+/// Extracts the string value following `key` at `at` in `json`.
+fn string_after(json: &str, at: usize, key: &str) -> Option<(String, usize)> {
+    let pattern = format!("\"{key}\": \"");
+    let start = json[at..].find(&pattern)? + at + pattern.len();
+    let end = json[start..].find('"')? + start;
+    Some((json[start..end].to_string(), end))
+}
+
+/// Extracts the numeric value following `key` at `at` in `json`.
+fn number_after(json: &str, at: usize, key: &str) -> Option<(f64, usize)> {
+    let pattern = format!("\"{key}\": ");
+    let start = json[at..].find(&pattern)? + at + pattern.len();
+    let end = start
+        + json[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(json.len() - start);
+    json[start..end].parse().ok().map(|v| (v, end))
+}
+
+/// Parses the bench report's records.  The format is the workspace's own
+/// (emitted by `bench_engine`'s `emit_bench_json`), so a hand-rolled
+/// scanner is both sufficient and dependency-free; anything unparsable
+/// simply yields no records, which the caller treats as an error.
+fn parse_records(json: &str) -> Vec<Record> {
+    let mut records = Vec::new();
+    let mut at = 0;
+    while let Some((name, after_name)) = string_after(json, at, "name") {
+        let Some((ns_per_op, after_value)) = number_after(json, after_name, "ns_per_op") else {
+            break;
+        };
+        records.push(Record { name, ns_per_op });
+        at = after_value;
+    }
+    records
+}
+
+/// One watched path's comparison outcome.
+#[derive(Debug, PartialEq)]
+enum Drift {
+    /// Present in both reports; `ratio` = current / baseline ns/op.
+    Compared { name: String, ratio: f64 },
+    /// Watched, in the baseline, missing from the current report.
+    Dropped { name: String },
+    /// Watched, new in the current report (no baseline to compare).
+    New { name: String },
+}
+
+/// Diffs the watched (by name prefix) records of two reports.
+fn drifts(baseline: &[Record], current: &[Record], prefixes: &[String]) -> Vec<Drift> {
+    let watched = |name: &str| prefixes.iter().any(|p| name.starts_with(p.as_str()));
+    let mut out = Vec::new();
+    for base in baseline.iter().filter(|r| watched(&r.name)) {
+        match current.iter().find(|c| c.name == base.name) {
+            Some(cur) => out.push(Drift::Compared {
+                name: base.name.clone(),
+                ratio: cur.ns_per_op / base.ns_per_op,
+            }),
+            None => out.push(Drift::Dropped {
+                name: base.name.clone(),
+            }),
+        }
+    }
+    for cur in current.iter().filter(|r| watched(&r.name)) {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            out.push(Drift::New {
+                name: cur.name.clone(),
+            });
+        }
+    }
+    out
+}
+
+struct Options {
+    baseline: String,
+    current: String,
+    max_regression: f64,
+    prefixes: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_regression = 0.25;
+    let mut prefixes = vec!["f0_cluster".to_string(), "l0_cluster".to_string()];
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--max-regression" => {
+                max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--paths" => {
+                prefixes = value("--paths")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_drift --baseline PATH --current PATH\n\
+                     \u{20}                  [--max-regression FRACTION]   (default 0.25)\n\
+                     \u{20}                  [--paths PREFIX,PREFIX,...]   (default f0_cluster,l0_cluster)\n\
+                     Fails when a watched ns/op record grew beyond the allowed fraction,\n\
+                     or a watched baseline record vanished from the current report."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.ok_or("--baseline PATH is required")?,
+        current: current.ok_or("--current PATH is required")?,
+        max_regression,
+        prefixes,
+    })
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let read = |path: &str| -> Result<Vec<Record>, String> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let records = parse_records(&json);
+        if records.is_empty() {
+            return Err(format!("{path} holds no bench records"));
+        }
+        Ok(records)
+    };
+    let baseline = read(&opts.baseline)?;
+    let current = read(&opts.current)?;
+    let mut healthy = true;
+    for drift in drifts(&baseline, &current, &opts.prefixes) {
+        match drift {
+            Drift::Compared { name, ratio } => {
+                let verdict = if ratio > 1.0 + opts.max_regression {
+                    healthy = false;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{name:<44} {:>7.1}% of baseline ns/op  {verdict}",
+                    ratio * 100.0
+                );
+            }
+            Drift::Dropped { name } => {
+                healthy = false;
+                println!("{name:<44} MISSING from the current report");
+            }
+            Drift::New { name } => {
+                println!("{name:<44} new (no baseline; recorded for next time)");
+            }
+        }
+    }
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("bench_drift: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(true) => {
+            println!(
+                "bench_drift: within ±{:.0}% budget",
+                opts.max_regression * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench_drift: ingestion paths regressed beyond {:.0}%",
+                opts.max_regression * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench_drift: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "bench_engine",
+  "stream_len": 10000000,
+  "results": [
+    {"name": "f0_insert_reference", "ns_per_op": 55.0, "melem_per_s": 18.2},
+    {"name": "f0_cluster_4workers", "ns_per_op": 26.8, "melem_per_s": 37.3},
+    {"name": "f0_cluster_4workers_tcp", "ns_per_op": 29.3, "melem_per_s": 34.1},
+    {"name": "l0_cluster_4workers_precoalesced", "ns_per_op": 92.0, "melem_per_s": 10.9}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_every_record() {
+        let records = parse_records(SAMPLE);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1].name, "f0_cluster_4workers");
+        assert!((records[1].ns_per_op - 26.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compares_only_watched_prefixes() {
+        let baseline = parse_records(SAMPLE);
+        let mut current = baseline.clone();
+        current[0].ns_per_op = 1e9; // unwatched: must not trip the gate
+        current[2].ns_per_op = 30.0;
+        let prefixes = vec!["f0_cluster".to_string(), "l0_cluster".to_string()];
+        let drifts = drifts(&baseline, &current, &prefixes);
+        assert_eq!(drifts.len(), 3);
+        assert!(drifts.iter().all(|d| matches!(
+            d,
+            Drift::Compared { ratio, .. } if *ratio <= 1.25
+        )));
+    }
+
+    #[test]
+    fn regression_and_dropped_records_are_flagged() {
+        let baseline = parse_records(SAMPLE);
+        // TCP path regresses 30%, the pre-coalesced L0 record vanishes.
+        let current = parse_records(
+            r#"{"results": [
+            {"name": "f0_cluster_4workers", "ns_per_op": 27.0, "melem_per_s": 37.0},
+            {"name": "f0_cluster_4workers_tcp", "ns_per_op": 38.1, "melem_per_s": 26.2},
+            {"name": "f0_cluster_4workers_tcp_recovery", "ns_per_op": 31.0, "melem_per_s": 32.2}
+        ]}"#,
+        );
+        let prefixes = vec!["f0_cluster".to_string(), "l0_cluster".to_string()];
+        let report = drifts(&baseline, &current, &prefixes);
+        assert!(report.iter().any(|d| matches!(
+            d,
+            Drift::Compared { name, ratio } if name == "f0_cluster_4workers_tcp" && *ratio > 1.25
+        )));
+        assert!(report.iter().any(|d| matches!(
+            d,
+            Drift::Dropped { name } if name == "l0_cluster_4workers_precoalesced"
+        )));
+        // A record new in this PR is tolerated, not a failure.
+        assert!(report.iter().any(|d| matches!(
+            d,
+            Drift::New { name } if name == "f0_cluster_4workers_tcp_recovery"
+        )));
+    }
+}

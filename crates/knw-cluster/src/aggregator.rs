@@ -35,7 +35,9 @@
 //! stream.
 
 use crate::error::ClusterError;
+use crate::frame::MAX_FRAME_LEN;
 use crate::frame::{BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError};
+use crate::recovery::RecoveryPolicy;
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
 use crate::transport::{
@@ -54,6 +56,12 @@ use std::path::PathBuf;
 pub trait ClusterUpdate: Routable {
     /// The erased shard-sketch type of this stream model.
     type Shard: ?Sized;
+
+    /// Encoded size of one update inside a `Batch` frame's array (the
+    /// workspace codec is fixed-width: 8 bytes per `u64` item, 16 per
+    /// `(u64, i64)` update).  Drives the outgoing frame chunking that keeps
+    /// every `Batch` frame below [`MAX_FRAME_LEN`].
+    const WIRE_BYTES: usize;
 
     /// The stream model tag sent in the `Hello` frame.
     fn mode() -> StreamMode;
@@ -94,6 +102,8 @@ pub trait ClusterUpdate: Routable {
 impl ClusterUpdate for u64 {
     type Shard = dyn WireF0Sketch;
 
+    const WIRE_BYTES: usize = 8;
+
     fn mode() -> StreamMode {
         StreamMode::F0
     }
@@ -125,6 +135,8 @@ impl ClusterUpdate for u64 {
 
 impl ClusterUpdate for (u64, i64) {
     type Shard = dyn WireL0Sketch;
+
+    const WIRE_BYTES: usize = 16;
 
     fn mode() -> StreamMode {
         StreamMode::L0
@@ -164,6 +176,11 @@ pub struct ClusterConfig {
     pub engine: EngineConfig,
     /// Path to the `knw-worker` executable.
     pub worker_exe: PathBuf,
+    /// Reconnect-and-replay recovery for faulted workers (`None` — the
+    /// default — fails the run on the first worker fault).  On the pipe
+    /// transport recovery re-*spawns* a fresh child process and replays
+    /// the shard's journal through it.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl ClusterConfig {
@@ -174,6 +191,7 @@ impl ClusterConfig {
         Self {
             engine: EngineConfig::new(workers),
             worker_exe: worker_exe.into(),
+            recovery: None,
         }
     }
 
@@ -182,6 +200,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables reconnect-and-replay recovery with the given policy.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 }
@@ -201,9 +226,10 @@ pub fn sibling_worker_exe() -> Option<PathBuf> {
     candidate.is_file().then_some(candidate)
 }
 
-/// How a worker link failed mid-stream; replayed as the matching typed
-/// error at the next report.
-#[derive(Debug, Clone, Copy)]
+/// How a worker link failed terminally mid-stream (recovery disabled, or
+/// already attempted and lost); replayed as the matching typed error at
+/// the next report.
+#[derive(Debug, Clone)]
 enum WorkerFault {
     /// The link broke (dead process, reset connection, EOF).
     Died,
@@ -214,10 +240,22 @@ enum WorkerFault {
     /// unknown — batches may be lost, reply frames may still be queued —
     /// so later reports refuse instead of silently under-merging.
     Desynced,
+    /// Reconnect-and-replay recovery ran out of attempts.
+    RecoveryExhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// Rendering of the last attempt's failure.
+        last: String,
+    },
+    /// The replay journal had overflowed its bound before the fault.
+    JournalOverflow {
+        /// The configured per-shard journal bound.
+        cap: usize,
+    },
 }
 
 impl WorkerFault {
-    fn to_error(self, worker: usize) -> ClusterError {
+    fn to_error(&self, worker: usize) -> ClusterError {
         match self {
             WorkerFault::Died => ClusterError::WorkerDied { worker },
             WorkerFault::TimedOut => ClusterError::Timeout { worker },
@@ -226,15 +264,328 @@ impl WorkerFault {
                 expected: "Shard",
                 got: "a link desynchronized by an earlier failure".to_string(),
             },
+            WorkerFault::RecoveryExhausted { attempts, last } => ClusterError::RecoveryExhausted {
+                worker,
+                attempts: *attempts,
+                last: last.clone(),
+            },
+            WorkerFault::JournalOverflow { cap } => {
+                ClusterError::JournalOverflow { worker, cap: *cap }
+            }
         }
     }
 
-    /// The sticky fault a snapshot-path error leaves behind.
+    /// The sticky fault a failed exchange (or failed recovery) leaves
+    /// behind.
     fn from_error(error: &ClusterError) -> Self {
         match error {
             ClusterError::WorkerDied { .. } => WorkerFault::Died,
             ClusterError::Timeout { .. } => WorkerFault::TimedOut,
+            ClusterError::RecoveryExhausted { attempts, last, .. } => {
+                WorkerFault::RecoveryExhausted {
+                    attempts: *attempts,
+                    last: last.clone(),
+                }
+            }
+            ClusterError::JournalOverflow { cap, .. } => WorkerFault::JournalOverflow { cap: *cap },
             _ => WorkerFault::Desynced,
+        }
+    }
+}
+
+/// Whether an error is a *link* fault (the worker or its connection is
+/// gone or stalled) — the class reconnect-and-replay can repair.  Protocol
+/// violations, codec rejections and merge incompatibilities are
+/// deterministic: a fresh worker fed the same journal reproduces them, so
+/// recovery refuses to retry those.
+fn is_link_fault(error: &ClusterError) -> bool {
+    matches!(
+        error,
+        ClusterError::WorkerDied { .. }
+            | ClusterError::Timeout { .. }
+            | ClusterError::ConnectFailed { .. }
+            | ClusterError::Io { .. }
+    )
+}
+
+/// Encoded overhead of a `Batch` frame around its update array: the
+/// `Frame` variant tag (4 bytes), the `BatchPayload` variant tag (4) and
+/// the array length (8).
+const BATCH_FRAME_OVERHEAD: usize = 16;
+
+/// The most updates one `Batch` frame can carry with its encoded payload
+/// still within [`MAX_FRAME_LEN`]; the send boundary chunks larger routed
+/// batches so an `Oversized` frame cannot be constructed locally.
+fn max_updates_per_frame<U: ClusterUpdate>() -> usize {
+    (MAX_FRAME_LEN - BATCH_FRAME_OVERHEAD) / U::WIRE_BYTES
+}
+
+/// Ships one routed batch as one or more `Batch` frames, each holding at
+/// most `cap` updates (callers pass [`max_updates_per_frame`]; tests pass
+/// small caps to exercise the splitting).  A batch that fits in one frame
+/// — every routed batch does, `batch_size` sits orders of magnitude below
+/// the cap — is *moved* into the frame: the chunking guard costs the hot
+/// ingestion path no copy.
+fn send_update_batch_capped<U: ClusterUpdate>(
+    conn: &mut dyn WorkerConnection,
+    worker: usize,
+    batch: Vec<U>,
+    cap: usize,
+) -> Result<(), ClusterError> {
+    if batch.len() <= cap.max(1) {
+        return conn
+            .send(&Frame::Batch(U::payload(batch)))
+            .map_err(|e| wire_fault(worker, e));
+    }
+    for chunk in batch.chunks(cap.max(1)) {
+        conn.send(&Frame::Batch(U::payload(chunk.to_vec())))
+            .map_err(|e| wire_fault(worker, e))?;
+    }
+    Ok(())
+}
+
+/// [`send_update_batch_capped`] at the wire-format frame cap.
+fn send_update_batch<U: ClusterUpdate>(
+    conn: &mut dyn WorkerConnection,
+    worker: usize,
+    batch: Vec<U>,
+) -> Result<(), ClusterError> {
+    send_update_batch_capped(conn, worker, batch, max_updates_per_frame::<U>())
+}
+
+/// One shard's replay journal: everything needed to rebuild the shard's
+/// state on a fresh worker — the serialized checkpoint of the last
+/// acknowledged snapshot (if any) plus every batch routed to the shard
+/// since.  Sound because shard state is a pure fold of its batch stream:
+/// `checkpoint ⊕ fold(batches)` *is* the state, byte for byte.
+struct ShardJournal<U> {
+    /// Serialized shard bytes of the last acknowledged snapshot.
+    checkpoint: Option<Vec<u8>>,
+    /// Batches dispatched since the checkpoint, in dispatch order.
+    batches: Vec<Vec<U>>,
+    /// Total updates across `batches`.
+    journaled: usize,
+    /// The journal exceeded its bound and was discarded; the shard can no
+    /// longer be replayed (until the next acknowledged snapshot re-anchors
+    /// it).
+    overflowed: bool,
+}
+
+impl<U: Copy> ShardJournal<U> {
+    fn new() -> Self {
+        Self {
+            checkpoint: None,
+            batches: Vec::new(),
+            journaled: 0,
+            overflowed: false,
+        }
+    }
+
+    /// Records one dispatched batch, honouring the journal bound: a batch
+    /// that would push the journal past `cap` discards the journal instead
+    /// (memory stays bounded; a later fault is a typed
+    /// [`ClusterError::JournalOverflow`]).
+    fn record(&mut self, batch: &[U], cap: usize) {
+        if self.overflowed {
+            return;
+        }
+        if self.journaled + batch.len() > cap {
+            self.overflowed = true;
+            self.batches = Vec::new();
+            self.journaled = 0;
+        } else {
+            self.journaled += batch.len();
+            self.batches.push(batch.to_vec());
+        }
+    }
+
+    /// Re-anchors the journal on an acknowledged snapshot: the serialized
+    /// shard bytes become the checkpoint, the batch list (and any overflow
+    /// mark) is cleared.
+    fn truncate_to_checkpoint(&mut self, bytes: Vec<u8>) {
+        self.checkpoint = Some(bytes);
+        self.batches.clear();
+        self.journaled = 0;
+        self.overflowed = false;
+    }
+}
+
+/// The aggregator's mutable link state, split off from the batcher so the
+/// routing callbacks can dispatch, journal and recover while the batcher
+/// is borrowed: connections, sticky-fault bookkeeping, journals, and the
+/// transport + policy that reconnect-and-replay runs through.
+struct LinkSet<'a, U: ClusterUpdate> {
+    workers: &'a mut Vec<Box<dyn WorkerConnection>>,
+    fault: &'a mut Option<(usize, WorkerFault)>,
+    journals: &'a mut Vec<ShardJournal<U>>,
+    transport: &'a dyn Transport,
+    recovery: Option<RecoveryPolicy>,
+    spec: &'a SketchSpec,
+}
+
+impl<U: ClusterUpdate> LinkSet<'_, U> {
+    /// Best-effort batch hand-off: the batch is journaled (when recovery is
+    /// on) before the send, so a failed link can be reconnected and
+    /// replayed in place; with recovery off — or lost — the worker is
+    /// marked faulted for the next report, mirroring the in-process
+    /// engine's `poisoned` bookkeeping.
+    fn dispatch(&mut self, worker: usize, batch: Vec<U>) {
+        // Once any link has faulted terminally the run can only end in
+        // that error, so stop shipping batches: on TCP each further flush
+        // to a stalled peer would cost a full io_timeout.
+        if self.fault.is_some() {
+            return;
+        }
+        if let Some(policy) = self.recovery {
+            self.journals[worker].record(&batch, policy.journal_cap);
+        }
+        if let Err(error) = send_update_batch(self.workers[worker].as_mut(), worker, batch) {
+            // The failed batch is already in the journal, so a successful
+            // recovery's replay delivers it — nothing to re-send here.
+            if let Err(error) = self.try_recover(worker, error) {
+                self.fault
+                    .get_or_insert((worker, WorkerFault::from_error(&error)));
+            }
+        }
+    }
+
+    /// Attempts reconnect-and-replay for `worker` after `error`.  Returns
+    /// `Ok(())` with a fresh, caught-up link in place, or the terminal
+    /// error (the original one when recovery is off or the fault is not a
+    /// link fault; [`ClusterError::JournalOverflow`] /
+    /// [`ClusterError::RecoveryExhausted`] otherwise).
+    fn try_recover(&mut self, worker: usize, error: ClusterError) -> Result<(), ClusterError> {
+        let Some(policy) = self.recovery else {
+            return Err(error);
+        };
+        if !is_link_fault(&error) {
+            return Err(error);
+        }
+        if self.journals[worker].overflowed {
+            return Err(ClusterError::JournalOverflow {
+                worker,
+                cap: policy.journal_cap,
+            });
+        }
+        let mut last = error;
+        for attempt in 1..=policy.max_retries {
+            if attempt > 1 {
+                // Linear backoff: probe a flapping worker quickly at
+                // first, ever more patiently after.
+                std::thread::sleep(policy.backoff * (attempt as u32 - 1));
+            }
+            match self.reconnect_and_replay(worker) {
+                Ok(conn) => {
+                    self.workers[worker] = conn;
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ClusterError::RecoveryExhausted {
+            worker,
+            attempts: policy.max_retries,
+            last: last.to_string(),
+        })
+    }
+
+    /// One recovery attempt: re-open the link (same address, respawned
+    /// child, or a registered replacement), greet the fresh worker, restore
+    /// the checkpoint, and replay every journaled batch.  The fresh session
+    /// starts from empty state, so the replayed fold reproduces the lost
+    /// shard exactly.
+    fn reconnect_and_replay(
+        &mut self,
+        worker: usize,
+    ) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        let mut conn = self.transport.reopen(worker)?;
+        conn.send(&Frame::Hello(HelloConfig {
+            worker_index: worker as u64,
+            spec: self.spec.clone(),
+        }))
+        .map_err(|e| wire_fault(worker, e))?;
+        let journal = &self.journals[worker];
+        if let Some(bytes) = &journal.checkpoint {
+            conn.send(&Frame::Restore(bytes.clone()))
+                .map_err(|e| wire_fault(worker, e))?;
+        }
+        for batch in &journal.batches {
+            // The journal keeps its copy (the replay may run again on a
+            // later fault); the clone is confined to the cold path.
+            send_update_batch(conn.as_mut(), worker, batch.clone())?;
+        }
+        Ok(conn)
+    }
+
+    /// The snapshot request/reply round with per-worker recovery: requests
+    /// are fanned out before any reply is collected (workers serialize
+    /// concurrently), and a link fault at either step triggers one
+    /// reconnect-and-replay plus a re-request on the fresh link.  Failures
+    /// are attributed to the worker index they happened on.
+    fn snapshot_shards(&mut self) -> Result<Vec<Vec<u8>>, (usize, ClusterError)> {
+        for index in 0..self.workers.len() {
+            if let Err(e) = self.workers[index].send(&Frame::Snapshot) {
+                let error = wire_fault(index, e);
+                self.try_recover(index, error).map_err(|e| (index, e))?;
+                self.workers[index]
+                    .send(&Frame::Snapshot)
+                    .map_err(|e| (index, wire_fault(index, e)))?;
+            }
+        }
+        let mut shards = Vec::with_capacity(self.workers.len());
+        for index in 0..self.workers.len() {
+            let bytes = match read_shard(self.workers[index].as_mut(), index) {
+                Ok(bytes) => bytes,
+                Err(error) => {
+                    // The fresh link replayed the journal; ask it again.
+                    self.try_recover(index, error).map_err(|e| (index, e))?;
+                    self.workers[index]
+                        .send(&Frame::Snapshot)
+                        .map_err(|e| (index, wire_fault(index, e)))?;
+                    read_shard(self.workers[index].as_mut(), index).map_err(|e| (index, e))?
+                }
+            };
+            shards.push(bytes);
+        }
+        Ok(shards)
+    }
+
+    /// Sends `Finish` and half-closes worker `index`'s link, with one
+    /// recovery retry on a link fault.
+    fn send_finish(&mut self, worker: usize) -> Result<(), ClusterError> {
+        if let Err(e) = self.workers[worker].send(&Frame::Finish) {
+            let error = wire_fault(worker, e);
+            self.try_recover(worker, error)?;
+            self.workers[worker]
+                .send(&Frame::Finish)
+                .map_err(|e| wire_fault(worker, e))?;
+        }
+        self.workers[worker].close_send();
+        Ok(())
+    }
+
+    /// Collects worker `index`'s final shard and confirms the clean
+    /// shutdown, recovering (replay + re-`Finish`) once on a link fault.
+    fn collect_final_shard(&mut self, worker: usize) -> Result<Vec<u8>, ClusterError> {
+        match self.final_shard_once(worker) {
+            Ok(bytes) => Ok(bytes),
+            Err(error) => {
+                self.try_recover(worker, error)?;
+                self.workers[worker]
+                    .send(&Frame::Finish)
+                    .map_err(|e| wire_fault(worker, e))?;
+                self.workers[worker].close_send();
+                self.final_shard_once(worker)
+            }
+        }
+    }
+
+    fn final_shard_once(&mut self, worker: usize) -> Result<Vec<u8>, ClusterError> {
+        let bytes = read_shard(self.workers[worker].as_mut(), worker)?;
+        match self.workers[worker].confirm_finished() {
+            Ok(true) => Ok(bytes),
+            Ok(false) => Err(ClusterError::WorkerDied { worker }),
+            Err(e) => Err(wire_fault(worker, WireError::Io(e))),
         }
     }
 }
@@ -270,11 +621,17 @@ fn wire_fault(index: usize, error: WireError) -> ClusterError {
 /// undercounting.
 pub struct ClusterAggregator<U: ClusterUpdate> {
     spec: SketchSpec,
+    transport: Box<dyn Transport>,
     workers: Vec<Box<dyn WorkerConnection>>,
     batcher: ShardBatcher<U>,
     precoalesce: bool,
     updates: u64,
-    /// First worker whose link failed mid-stream, and how.
+    /// Reconnect-and-replay policy; `None` fails the run on the first
+    /// worker fault (the pre-recovery contract).
+    recovery: Option<RecoveryPolicy>,
+    /// One replay journal per shard (empty when recovery is off).
+    journals: Vec<ShardJournal<U>>,
+    /// First worker whose link failed terminally mid-stream, and how.
     fault: Option<(usize, WorkerFault)>,
 }
 
@@ -296,7 +653,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// [`ClusterError::Io`] if a worker cannot be spawned or greeted.
     pub fn spawn(config: &ClusterConfig, spec: &SketchSpec) -> Result<Self, ClusterError> {
         let transport = PipeTransport::new(&config.worker_exe);
-        Self::start(&transport, config.engine, spec)
+        Self::start(Box::new(transport), config.engine, spec, config.recovery)
     }
 
     /// Connects to already-running workers (`knw-worker --listen <addr>`)
@@ -324,7 +681,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
         }
         let transport = TcpTransport::new(config);
         let engine = config.engine.with_shards(config.addrs.len());
-        Self::start(&transport, engine, spec)
+        Self::start(Box::new(transport), engine, spec, config.recovery)
     }
 
     /// Connects to already-running TCP workers with default routing knobs
@@ -344,11 +701,15 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     }
 
     /// The transport-agnostic constructor: opens one link per shard through
-    /// `transport` and greets each worker.
+    /// `transport` and greets each worker.  With recovery enabled, a link
+    /// that cannot be opened is retried under the policy (including
+    /// registry re-resolution) before the constructor gives up — the
+    /// aggregation still never starts on a partial cluster.
     fn start(
-        transport: &dyn Transport,
+        transport: Box<dyn Transport>,
         engine: EngineConfig,
         spec: &SketchSpec,
+        recovery: Option<RecoveryPolicy>,
     ) -> Result<Self, ClusterError> {
         let mut spec = spec.clone();
         spec.mode = U::mode();
@@ -358,22 +719,47 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
         let engine = engine.normalized();
         let mut workers: Vec<Box<dyn WorkerConnection>> = Vec::with_capacity(engine.shards);
         for index in 0..engine.shards {
-            let mut conn = transport.open(index)?;
-            let hello = Frame::Hello(HelloConfig {
-                worker_index: index as u64,
-                spec: spec.clone(),
-            });
-            conn.send(&hello).map_err(|e| wire_fault(index, e))?;
-            workers.push(conn);
+            workers.push(open_link(transport.as_ref(), index, &spec, recovery)?);
         }
+        let journals = if recovery.is_some() {
+            (0..engine.shards).map(|_| ShardJournal::new()).collect()
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             spec,
+            transport,
             workers,
             batcher: ShardBatcher::new(engine.routing, engine.shards, engine.batch_size),
             precoalesce: engine.precoalesce && U::coalescible(),
             updates: 0,
+            recovery,
+            journals,
             fault: None,
         })
+    }
+
+    /// Splits the batcher apart from the link state, so the routing
+    /// callbacks can dispatch, journal and recover (through the
+    /// [`LinkSet`]) while the batcher itself is mutably borrowed.
+    fn batcher_and_links(&mut self) -> (&mut ShardBatcher<U>, LinkSet<'_, U>) {
+        (
+            &mut self.batcher,
+            LinkSet {
+                workers: &mut self.workers,
+                fault: &mut self.fault,
+                journals: &mut self.journals,
+                transport: self.transport.as_ref(),
+                recovery: self.recovery,
+                spec: &self.spec,
+            },
+        )
+    }
+
+    /// The link-state view alone (see [`LinkSet`]), for the exchange
+    /// rounds that do not touch the batcher.
+    fn links(&mut self) -> LinkSet<'_, U> {
+        self.batcher_and_links().1
     }
 
     /// The spec every worker was configured with.
@@ -397,10 +783,8 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// Routes one update (buffered; shipped once a batch fills up).
     pub fn ingest(&mut self, update: U) {
         self.updates += 1;
-        let (workers, fault) = (&mut self.workers, &mut self.fault);
-        self.batcher.push(update, &mut |worker, batch| {
-            send_batch::<U>(workers, fault, worker, batch);
-        });
+        let (batcher, mut links) = self.batcher_and_links();
+        batcher.push(update, &mut |worker, batch| links.dispatch(worker, batch));
     }
 
     /// Routes a slice of updates.  With pre-coalescing enabled, turnstile
@@ -409,30 +793,29 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// state for every linear sketch.
     pub fn ingest_batch(&mut self, updates: &[U]) {
         self.updates += updates.len() as u64;
-        let (workers, fault) = (&mut self.workers, &mut self.fault);
-        let mut dispatch = |worker: usize, batch: Vec<U>| {
-            send_batch::<U>(workers, fault, worker, batch);
-        };
-        if self.precoalesce {
+        let precoalesce = self.precoalesce;
+        let (batcher, mut links) = self.batcher_and_links();
+        let mut dispatch = |worker: usize, batch: Vec<U>| links.dispatch(worker, batch);
+        if precoalesce {
             let coalesced = U::coalesce_batch(updates);
-            self.batcher.extend_from_slice(&coalesced, &mut dispatch);
+            batcher.extend_from_slice(&coalesced, &mut dispatch);
         } else {
-            self.batcher.extend_from_slice(updates, &mut dispatch);
+            batcher.extend_from_slice(updates, &mut dispatch);
         }
     }
 
     /// Ships every (possibly partial) pending batch to its worker.
     pub fn flush(&mut self) {
-        let (workers, fault) = (&mut self.workers, &mut self.fault);
-        self.batcher.flush(&mut |worker, batch| {
-            send_batch::<U>(workers, fault, worker, batch);
-        });
+        let (batcher, mut links) = self.batcher_and_links();
+        batcher.flush(&mut |worker, batch| links.dispatch(worker, batch));
     }
 
     /// Severs one worker's link — a fault-injection / operations hook
     /// (e.g. evicting a wedged worker).  Kills the child process on the
-    /// pipe transport, shuts the socket down on TCP.  The next report will
-    /// surface [`ClusterError::WorkerDied`] for it.
+    /// pipe transport, shuts the socket down on TCP.  Without recovery the
+    /// next report surfaces [`ClusterError::WorkerDied`] for it; with a
+    /// [`RecoveryPolicy`] configured, the next exchange touching the
+    /// worker reconnects and replays its journal instead.
     ///
     /// # Errors
     ///
@@ -446,24 +829,39 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// update ingested so far.  The cluster keeps running — this is the
     /// paper's midstream "reporting".
     ///
+    /// With recovery enabled, a worker lost during the exchange is
+    /// reconnected and replayed *inside* this call (the snapshot waits for
+    /// the recovery — it never merges a partial cluster), and an
+    /// acknowledged snapshot doubles as the journals' checkpoint: each
+    /// worker's serialized shard bytes replace its batch log, so journal
+    /// memory is bounded by snapshot cadence, not stream length.
+    ///
     /// # Errors
     ///
     /// [`ClusterError::WorkerDied`] if a worker process died (its updates
-    /// are unrecoverable), or the transport / codec / merge failure.
+    /// are unrecoverable), [`ClusterError::RecoveryExhausted`] /
+    /// [`ClusterError::JournalOverflow`] if recovery was enabled but could
+    /// not rebuild it, or the transport / codec / merge failure.
     pub fn snapshot(&mut self) -> Result<Box<U::Shard>, ClusterError> {
-        if let Some((worker, fault)) = self.fault {
-            return Err(fault.to_error(worker));
+        if let Some((worker, fault)) = &self.fault {
+            return Err(fault.to_error(*worker));
         }
         // *Any* failure below leaves the request/reply conversation in an
         // unknown state (some workers may still have a Shard reply queued),
         // so it poisons the aggregator: later reports refuse instead of
-        // silently merging stale shards.
+        // silently merging stale shards.  (Recoverable link faults were
+        // already retried under the policy inside the exchange.)
         let result = self.snapshot_exchange();
         if let Err((index, error)) = &result {
             self.fault
                 .get_or_insert((*index, WorkerFault::from_error(error)));
         }
-        let mut merged = result.map_err(|(_, error)| error)?;
+        let (mut merged, shards) = result.map_err(|(_, error)| error)?;
+        if self.recovery.is_some() {
+            for (journal, bytes) in self.journals.iter_mut().zip(shards) {
+                journal.truncate_to_checkpoint(bytes);
+            }
+        }
         // Fold in the locally buffered (not yet shipped) updates, exactly
         // like the in-process router's midstream `merged()`.
         self.batcher.for_each_pending(|batch| {
@@ -472,20 +870,19 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
         Ok(merged)
     }
 
-    /// The snapshot request/reply round, with every failure attributed to
-    /// the worker index it happened on (for fault bookkeeping).
-    fn snapshot_exchange(&mut self) -> Result<Box<U::Shard>, (usize, ClusterError)> {
-        // Fan the snapshot requests out before collecting any reply, so the
-        // workers drain their links and serialize concurrently.
-        for index in 0..self.workers.len() {
-            if let Err(e) = self.workers[index].send(&Frame::Snapshot) {
-                return Err((index, wire_fault(index, e)));
-            }
-        }
+    /// The snapshot request/reply round (with per-worker recovery, see
+    /// [`LinkSet::snapshot_shards`]) plus the merge fold; every failure is
+    /// attributed to the worker index it happened on.  Returns the merged
+    /// sketch *and* the per-worker shard bytes (the journals' checkpoint
+    /// material).
+    #[allow(clippy::type_complexity)]
+    fn snapshot_exchange(
+        &mut self,
+    ) -> Result<(Box<U::Shard>, Vec<Vec<u8>>), (usize, ClusterError)> {
+        let shards = self.links().snapshot_shards()?;
         let mut merged: Option<Box<U::Shard>> = None;
-        for index in 0..self.workers.len() {
-            let bytes = read_shard(self.workers[index].as_mut(), index).map_err(|e| (index, e))?;
-            let shard = U::shard_from_bytes(&self.spec, &bytes).map_err(|message| {
+        for (index, bytes) in shards.iter().enumerate() {
+            let shard = U::shard_from_bytes(&self.spec, bytes).map_err(|message| {
                 (
                     index,
                     ClusterError::Frame {
@@ -500,7 +897,10 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
                     .map_err(|e| (index, ClusterError::Sketch(e)))?,
             }
         }
-        Ok(merged.expect("cluster always has at least one worker"))
+        Ok((
+            merged.expect("cluster always has at least one worker"),
+            shards,
+        ))
     }
 
     /// Snapshots and reports the current estimate.
@@ -523,33 +923,32 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// workers are killed on the error path (no orphans).
     pub fn finish(mut self) -> Result<Box<U::Shard>, ClusterError> {
         self.flush();
-        if let Some((worker, fault)) = self.fault {
-            return Err(fault.to_error(worker));
+        if let Some((worker, fault)) = &self.fault {
+            return Err(fault.to_error(*worker));
         }
         // Fan the Finish requests out to every worker before collecting any
         // shard (as `snapshot` does), so the workers drain their links,
         // serialize and wind down concurrently: shutdown latency is the
-        // slowest worker's, not the sum.
-        for index in 0..self.workers.len() {
-            let conn = &mut self.workers[index];
-            conn.send(&Frame::Finish)
-                .map_err(|e| wire_fault(index, e))?;
-            // Half-closing the link is the belt to the Finish suspenders: a
-            // worker that somehow missed the frame still sees EOF and winds
-            // the session down.
-            conn.close_send();
+        // slowest worker's, not the sum.  `send_finish` half-closes each
+        // link — the belt to the Finish suspenders: a worker that somehow
+        // missed the frame still sees EOF and winds the session down.
+        // Both steps recover a faulted link once (reconnect, replay the
+        // journal, re-`Finish`) when a policy is configured.
+        let worker_count = self.workers.len();
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(worker_count);
+        {
+            let mut links = self.links();
+            for index in 0..worker_count {
+                links.send_finish(index)?;
+            }
+            for index in 0..worker_count {
+                shards.push(links.collect_final_shard(index)?);
+            }
         }
         let mut merged: Option<Box<U::Shard>> = None;
-        for index in 0..self.workers.len() {
-            let conn = &mut self.workers[index];
-            let bytes = read_shard(conn.as_mut(), index)?;
-            match conn.confirm_finished() {
-                Ok(true) => {}
-                Ok(false) => return Err(ClusterError::WorkerDied { worker: index }),
-                Err(e) => return Err(wire_fault(index, WireError::Io(e))),
-            }
+        for (index, bytes) in shards.iter().enumerate() {
             let shard =
-                U::shard_from_bytes(&self.spec, &bytes).map_err(|message| ClusterError::Frame {
+                U::shard_from_bytes(&self.spec, bytes).map_err(|message| ClusterError::Frame {
                     worker: index,
                     message,
                 })?;
@@ -562,33 +961,53 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     }
 }
 
+/// Opens (and greets) the link to worker `index`, retrying under the
+/// recovery policy — including registry re-resolution via
+/// [`Transport::reopen`] — when one is configured.
+fn open_link(
+    transport: &dyn Transport,
+    index: usize,
+    spec: &SketchSpec,
+    recovery: Option<RecoveryPolicy>,
+) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+    let hello = Frame::Hello(HelloConfig {
+        worker_index: index as u64,
+        spec: spec.clone(),
+    });
+    let open_once = |first: bool| -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        let mut conn = if first {
+            transport.open(index)?
+        } else {
+            transport.reopen(index)?
+        };
+        conn.send(&hello).map_err(|e| wire_fault(index, e))?;
+        Ok(conn)
+    };
+    let mut last = match open_once(true) {
+        Ok(conn) => return Ok(conn),
+        Err(e) => e,
+    };
+    let Some(policy) = recovery else {
+        return Err(last);
+    };
+    for attempt in 2..=policy.max_retries {
+        std::thread::sleep(policy.backoff * (attempt as u32 - 1));
+        match open_once(false) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => last = e,
+        }
+    }
+    Err(ClusterError::RecoveryExhausted {
+        worker: index,
+        attempts: policy.max_retries,
+        last: last.to_string(),
+    })
+}
+
 // Dropping a `ClusterAggregator` drops its worker links; each transport's
 // connection reaps its own resources (`PipeConnection` kills and waits on
 // the child, sockets just close), so an abandoned — or failed — aggregator
 // leaves no orphan processes behind.
-
-/// Best-effort batch hand-off: a failed link marks the worker faulted (dead
-/// or timed out), to be surfaced by the next report — mirroring the
-/// in-process engine's `poisoned` bookkeeping.
-fn send_batch<U: ClusterUpdate>(
-    workers: &mut [Box<dyn WorkerConnection>],
-    fault: &mut Option<(usize, WorkerFault)>,
-    worker: usize,
-    batch: Vec<U>,
-) {
-    // Once any link has faulted the run can only end in that error, so
-    // stop shipping batches: on TCP each further flush to a stalled peer
-    // would block for a full io_timeout, turning one bounded failure into
-    // a stall proportional to the remaining stream length.
-    if fault.is_some() {
-        return;
-    }
-    let frame = Frame::Batch(U::payload(batch));
-    if let Err(e) = workers[worker].send(&frame) {
-        let error = wire_fault(worker, e);
-        fault.get_or_insert((worker, WorkerFault::from_error(&error)));
-    }
-}
 
 /// Reads the `Shard` reply a `Snapshot`/`Finish` request promises.
 fn read_shard(conn: &mut dyn WorkerConnection, index: usize) -> Result<Vec<u8>, ClusterError> {
@@ -605,5 +1024,131 @@ fn read_shard(conn: &mut dyn WorkerConnection, index: usize) -> Result<Vec<u8>, 
         }),
         Ok(None) | Err(WireError::Truncated) => Err(ClusterError::WorkerDied { worker: index }),
         Err(e) => Err(wire_fault(index, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A connection that records every frame it is asked to send.
+    struct RecordingConnection {
+        frames: Arc<Mutex<Vec<Frame>>>,
+    }
+
+    impl WorkerConnection for RecordingConnection {
+        fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+            self.frames.lock().expect("frames lock").push(frame.clone());
+            Ok(())
+        }
+
+        fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+            Ok(None)
+        }
+
+        fn close_send(&mut self) {}
+
+        fn kill(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn confirm_finished(&mut self) -> std::io::Result<bool> {
+            Ok(true)
+        }
+    }
+
+    /// Pins the encoding law the frame chunker's arithmetic rests on: a
+    /// `Batch` frame's payload is exactly `BATCH_FRAME_OVERHEAD` bytes of
+    /// framing plus `WIRE_BYTES` per update, for both stream models.
+    #[test]
+    fn batch_frame_encoding_is_overhead_plus_fixed_width_updates() {
+        for n in [0usize, 1, 3, 100] {
+            let items = Frame::Batch(BatchPayload::Items(vec![7; n]));
+            assert_eq!(
+                serde::to_bytes(&items).len(),
+                BATCH_FRAME_OVERHEAD + n * <u64 as ClusterUpdate>::WIRE_BYTES,
+                "Items({n})"
+            );
+            let updates = Frame::Batch(BatchPayload::Updates(vec![(7, -7); n]));
+            assert_eq!(
+                serde::to_bytes(&updates).len(),
+                BATCH_FRAME_OVERHEAD + n * <(u64, i64) as ClusterUpdate>::WIRE_BYTES,
+                "Updates({n})"
+            );
+        }
+    }
+
+    /// The frame cap sits exactly at `MAX_FRAME_LEN`: a batch of `cap`
+    /// updates encodes to at most the limit, one more update crosses it —
+    /// the `MAX_FRAME_LEN ± 1` boundary, checked through the encoding law
+    /// pinned above (materializing a 256 MiB frame in a unit test would
+    /// prove nothing more).
+    #[test]
+    fn frame_chunk_cap_sits_exactly_at_max_frame_len() {
+        let f0_cap = max_updates_per_frame::<u64>();
+        assert!(BATCH_FRAME_OVERHEAD + f0_cap * 8 <= MAX_FRAME_LEN);
+        assert!(BATCH_FRAME_OVERHEAD + (f0_cap + 1) * 8 > MAX_FRAME_LEN);
+        let l0_cap = max_updates_per_frame::<(u64, i64)>();
+        assert!(BATCH_FRAME_OVERHEAD + l0_cap * 16 <= MAX_FRAME_LEN);
+        assert!(BATCH_FRAME_OVERHEAD + (l0_cap + 1) * 16 > MAX_FRAME_LEN);
+    }
+
+    /// Splitting behaviour at the cap: `cap` updates are one frame, `cap +
+    /// 1` are two (the second carrying the single overflow update), and the
+    /// concatenation preserves the update sequence exactly.
+    #[test]
+    fn oversized_batches_are_chunked_at_the_send_boundary() {
+        let frames = Arc::new(Mutex::new(Vec::new()));
+        let mut conn = RecordingConnection {
+            frames: Arc::clone(&frames),
+        };
+        let cap = 5usize; // small injected cap; the arithmetic test pins the real one
+        let batch: Vec<u64> = (0..cap as u64).collect();
+        send_update_batch_capped(&mut conn, 0, batch, cap).expect("send");
+        let batch: Vec<u64> = (0..cap as u64 + 1).collect();
+        send_update_batch_capped(&mut conn, 0, batch, cap).expect("send");
+        let frames = frames.lock().expect("frames lock");
+        let lens: Vec<usize> = frames
+            .iter()
+            .map(|f| match f {
+                Frame::Batch(payload) => payload.len(),
+                other => panic!("expected Batch, got {}", other.kind()),
+            })
+            .collect();
+        assert_eq!(lens, vec![cap, cap, 1]);
+        let mut replayed = Vec::new();
+        for frame in frames.iter().skip(1) {
+            let Frame::Batch(BatchPayload::Items(items)) = frame else {
+                panic!("expected Items");
+            };
+            replayed.extend_from_slice(items);
+        }
+        assert_eq!(replayed, (0..cap as u64 + 1).collect::<Vec<_>>());
+    }
+
+    /// The journal records batches up to its cap, discards itself on
+    /// overflow, and re-anchors (clearing the overflow) on a checkpoint.
+    #[test]
+    fn journal_caps_and_checkpoints() {
+        let mut journal: ShardJournal<u64> = ShardJournal::new();
+        journal.record(&[1, 2, 3], 5);
+        assert_eq!(journal.journaled, 3);
+        assert!(!journal.overflowed);
+        // 3 + 3 > 5: the journal overflows and frees its batches.
+        journal.record(&[4, 5, 6], 5);
+        assert!(journal.overflowed);
+        assert!(journal.batches.is_empty());
+        assert_eq!(journal.journaled, 0);
+        // Further batches are not accumulated while overflowed.
+        journal.record(&[7], 5);
+        assert!(journal.batches.is_empty());
+        // A checkpoint re-anchors and re-arms the journal.
+        journal.truncate_to_checkpoint(vec![0xAB]);
+        assert!(!journal.overflowed);
+        assert_eq!(journal.checkpoint.as_deref(), Some(&[0xAB][..]));
+        journal.record(&[8, 9], 5);
+        assert_eq!(journal.journaled, 2);
+        assert_eq!(journal.batches, vec![vec![8, 9]]);
     }
 }

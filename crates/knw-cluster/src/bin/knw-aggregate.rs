@@ -9,6 +9,7 @@
 //!               [--estimator NAME] [--updates COUNT] [--universe N]
 //!               [--epsilon E] [--seed S]
 //!               [--routing round-robin|hash-affine] [--precoalesce]
+//!               [--recover]
 //!               [--worker PATH]                       (pipe transport)
 //!               [--connect ADDR]... [--io-timeout S]  (tcp transport)
 //! ```
@@ -26,11 +27,14 @@
 //!   worker fails the run instead of hanging it.
 //!
 //! With `--mode l0` the stream is churn-heavy signed updates; otherwise a
-//! skewed insert-only stream.
+//! skewed insert-only stream.  `--recover` turns worker loss from a
+//! run-fatal error into a supervised reconnect-and-replay (default
+//! [`RecoveryPolicy`]): on either transport the lost shard is rebuilt on a
+//! fresh link from the aggregator's replay journal.
 
 use knw_cluster::{
-    sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterError, ClusterUpdate, SketchSpec,
-    TcpClusterConfig,
+    sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterError, ClusterUpdate,
+    RecoveryPolicy, SketchSpec, TcpClusterConfig,
 };
 use knw_engine::{EngineConfig, RoutingPolicy};
 use std::path::PathBuf;
@@ -55,6 +59,8 @@ struct Options {
     connect: Vec<String>,
     /// `None` until `--io-timeout`; `Some(0)` disables the timeout.
     io_timeout_secs: Option<u64>,
+    /// Reconnect-and-replay recovery for lost workers (`--recover`).
+    recover: bool,
 }
 
 impl Default for Options {
@@ -73,6 +79,7 @@ impl Default for Options {
             worker: None,
             connect: Vec::new(),
             io_timeout_secs: None,
+            recover: false,
         }
     }
 }
@@ -121,6 +128,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--precoalesce" => opts.precoalesce = true,
+            "--recover" => opts.recover = true,
             "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
             "--connect" => opts.connect.push(value("--connect")?),
             "--io-timeout" => {
@@ -133,11 +141,14 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}                    [--estimator NAME] [--updates COUNT] [--universe N]\n\
                      \u{20}                    [--epsilon E] [--seed S]\n\
                      \u{20}                    [--routing round-robin|hash-affine] [--precoalesce]\n\
+                     \u{20}                    [--recover]\n\
                      \u{20}                    [--worker PATH]                       (pipe transport)\n\
                      \u{20}                    [--connect ADDR]... [--io-timeout S]  (tcp transport)\n\
                      transports: pipe spawns N `knw-worker` children on stdin/stdout;\n\
                      \u{20}           tcp connects to running `knw-worker --listen ADDR` hosts,\n\
                      \u{20}           one --connect per worker.\n\
+                     --recover: reconnect-and-replay lost workers (bounded retries +\n\
+                     \u{20}          per-shard replay journal) instead of failing the run.\n\
                      F0 estimators: {}\nL0 estimators: {}",
                     knw_cluster::f0_estimator_names().join(", "),
                     knw_cluster::l0_estimator_names().join(", "),
@@ -193,6 +204,9 @@ impl TransportChoice {
                 // set_read_timeout and fail every connection).
                 config = config.with_io_timeout((secs > 0).then(|| Duration::from_secs(secs)));
             }
+            if opts.recover {
+                config = config.with_recovery(RecoveryPolicy::default());
+            }
             return Ok(TransportChoice::Tcp(config));
         }
         let worker = opts
@@ -206,9 +220,12 @@ impl TransportChoice {
                     "knw-worker binary not found; pass --worker PATH",
                 ),
             })?;
-        Ok(TransportChoice::Pipe(
-            ClusterConfig::new(workers, worker).with_engine(engine),
-        ))
+        let mut config = ClusterConfig::new(workers, worker).with_engine(engine);
+        if opts.recover {
+            // Pipe recovery re-spawns a fresh child and replays the journal.
+            config = config.with_recovery(RecoveryPolicy::default());
+        }
+        Ok(TransportChoice::Pipe(config))
     }
 
     fn workers(&self) -> usize {

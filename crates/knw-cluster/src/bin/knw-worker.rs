@@ -14,9 +14,15 @@
 //!   aggregation session per accepted connection, sequentially, forever —
 //!   or for `--sessions N` sessions (`--once` = `--sessions 1`).  A failed
 //!   session is reported to its aggregator and logged, and the loop keeps
-//!   serving; `--io-timeout SECS` bounds how long a session may stall on a
+//!   serving; transient `accept(2)` failures are retried with backoff;
+//!   `--io-timeout SECS` bounds how long a session may stall on a
 //!   half-open peer.  Aggregators reach listening workers with
 //!   `ClusterAggregator::connect_workers` / `knw-aggregate --transport tcp`.
+//!   With `--register ADDR` the worker additionally announces its bound
+//!   address to the worker registry at `ADDR`
+//!   (`knw_cluster::WorkerRegistry`), volunteering as a recovery spare: a
+//!   `--recover`ing aggregator that loses a worker re-resolves the lost
+//!   shard onto the next registered spare and replays its journal there.
 
 use knw_cluster::ServeOptions;
 use std::io::{stdin, stdout, BufReader, BufWriter, Write};
@@ -26,12 +32,14 @@ use std::time::Duration;
 
 struct Options {
     listen: Option<String>,
+    register: Option<String>,
     serve: ServeOptions,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         listen: None,
+        register: None,
         serve: ServeOptions::default(),
     };
     let mut serve_flag = None;
@@ -40,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
         match flag.as_str() {
             "--listen" => opts.listen = Some(value("--listen")?),
+            "--register" => opts.register = Some(value("--register")?),
             "--once" => {
                 serve_flag = Some("--once");
                 opts.serve.max_sessions = Some(1);
@@ -63,6 +72,9 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}        [--once | --sessions N]    stop after 1 / N sessions (default: forever)\n\
                      \u{20}        [--io-timeout SECS]        per-connection read/write timeout\n\
                      \u{20}                                   (default 30; 0 = none)\n\
+                     \u{20}        [--register ADDR]          announce the bound address to an\n\
+                     \u{20}                                   aggregator's worker registry (recovery\n\
+                     \u{20}                                   re-resolves lost workers onto this one)\n\
                      Prints `listening on <addr>` once bound; port 0 picks a free port."
                 );
                 std::process::exit(0);
@@ -76,16 +88,28 @@ fn parse_args() -> Result<Options, String> {
         if let Some(flag) = serve_flag {
             return Err(format!("{flag} is only meaningful with --listen ADDR"));
         }
+        if opts.register.is_some() {
+            return Err("--register is only meaningful with --listen ADDR".into());
+        }
     }
     Ok(opts)
 }
 
-fn listen(addr: &str, serve: &ServeOptions) -> std::io::Result<()> {
+fn listen(addr: &str, register: Option<&str>, serve: &ServeOptions) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
     // Announce the bound address (meaningful with port 0) so whoever
     // started us knows where to point the aggregator.
-    println!("listening on {}", listener.local_addr()?);
+    println!("listening on {bound}");
     stdout().flush()?;
+    // The --register handshake: announce the bound address to the
+    // aggregator side's WorkerRegistry, so a recovering aggregator can
+    // re-resolve a lost worker onto this one.  An unreachable registry is
+    // fatal — a spare that silently failed to register would never be
+    // found, which reads like a hang on the aggregator side.
+    if let Some(registry) = register {
+        knw_cluster::register_worker(registry, &bound.to_string())?;
+    }
     knw_cluster::serve(&listener, serve)
 }
 
@@ -98,7 +122,7 @@ fn main() -> ExitCode {
         }
     };
     if let Some(addr) = &opts.listen {
-        return match listen(addr, &opts.serve) {
+        return match listen(addr, opts.register.as_deref(), &opts.serve) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("knw-worker: listener on {addr} failed: {e}");

@@ -73,6 +73,31 @@ pub enum ClusterError {
         /// The worker's error message, verbatim.
         message: String,
     },
+    /// Reconnect-and-replay recovery gave up on a worker: every reconnect
+    /// attempt the [`RecoveryPolicy`](crate::RecoveryPolicy) allowed failed
+    /// (the static address stayed unreachable and no registered replacement
+    /// worked), so the shard's updates cannot be reconstructed anywhere and
+    /// no trustworthy merged estimate can be produced.
+    RecoveryExhausted {
+        /// Index of the unrecoverable worker.
+        worker: usize,
+        /// How many reconnect attempts were made before giving up.
+        attempts: usize,
+        /// A rendering of the last attempt's failure.
+        last: String,
+    },
+    /// A worker's replay journal overflowed its configured bound
+    /// ([`RecoveryPolicy::journal_cap`](crate::RecoveryPolicy)) before the
+    /// fault: the batches needed to rebuild the shard were discarded to
+    /// honour the memory bound, so the worker cannot be replayed.  Take
+    /// snapshots more often (each acknowledged snapshot truncates the
+    /// journal to a checkpoint) or raise the cap.
+    JournalOverflow {
+        /// Index of the worker whose journal overflowed.
+        worker: usize,
+        /// The configured per-shard journal bound, in updates.
+        cap: usize,
+    },
     /// The requested estimator name is not in the wire-format zoo.
     UnknownEstimator {
         /// The name that failed to resolve.
@@ -141,6 +166,25 @@ impl fmt::Display for ClusterError {
             ClusterError::WorkerReported { worker, message } => {
                 write!(f, "worker {worker} reported an error: {message}")
             }
+            ClusterError::RecoveryExhausted {
+                worker,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} could not be recovered after {attempts} \
+                     reconnect attempt(s); last failure: {last}"
+                )
+            }
+            ClusterError::JournalOverflow { worker, cap } => {
+                write!(
+                    f,
+                    "worker {worker}'s replay journal overflowed its \
+                     {cap}-update bound before the fault; the shard cannot \
+                     be replayed (snapshot more often, or raise the cap)"
+                )
+            }
             ClusterError::UnknownEstimator { name } => {
                 write!(
                     f,
@@ -200,6 +244,17 @@ mod tests {
         let stalled = ClusterError::Timeout { worker: 1 };
         assert!(stalled.to_string().contains("worker 1"));
         assert!(stalled.to_string().contains("timed out"));
+        let exhausted = ClusterError::RecoveryExhausted {
+            worker: 5,
+            attempts: 3,
+            last: "connection refused".into(),
+        };
+        assert!(exhausted.to_string().contains("worker 5"));
+        assert!(exhausted.to_string().contains("3 reconnect"));
+        assert!(exhausted.to_string().contains("connection refused"));
+        let overflow = ClusterError::JournalOverflow { worker: 2, cap: 64 };
+        assert!(overflow.to_string().contains("worker 2"));
+        assert!(overflow.to_string().contains("64-update"));
     }
 
     #[test]

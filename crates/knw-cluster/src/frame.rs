@@ -149,6 +149,16 @@ pub enum Frame {
     Shard(Vec<u8>),
     /// Worker → aggregator: a worker-side failure, in human-readable form.
     Err(String),
+    /// Aggregator → worker: restore a checkpointed shard (the serialized
+    /// bytes of a previously acknowledged snapshot).  Sent by the recovery
+    /// path right after `Hello`, before any `Batch`, so a reconnected
+    /// worker resumes from the checkpoint instead of replaying the whole
+    /// stream; a `Restore` after any `Batch` is a protocol violation.
+    Restore(Vec<u8>),
+    /// Worker → registry: a listening worker announcing the address it
+    /// serves on (the `knw-worker --register` handshake; see
+    /// [`WorkerRegistry`](crate::recovery::WorkerRegistry)).
+    Register(String),
 }
 
 impl Frame {
@@ -162,6 +172,8 @@ impl Frame {
             Frame::Finish => "Finish",
             Frame::Shard(_) => "Shard",
             Frame::Err(_) => "Err",
+            Frame::Restore(_) => "Restore",
+            Frame::Register(_) => "Register",
         }
     }
 }
@@ -319,6 +331,8 @@ mod tests {
             Frame::Finish,
             Frame::Shard(vec![0xDE, 0xAD, 0xBE, 0xEF]),
             Frame::Err("boom".into()),
+            Frame::Restore(vec![7, 7, 7]),
+            Frame::Register("10.0.0.9:7001".into()),
         ];
         for frame in &frames {
             assert_eq!(&round_trip(frame), frame, "{} deviated", frame.kind());
@@ -359,6 +373,33 @@ mod tests {
                 0, 0, 0, 0, // payload variant 0 = Items
                 1, 0, 0, 0, 0, 0, 0, 0, // vec length 1
                 5, 0, 0, 0, 0, 0, 0, 0, // the item
+            ]
+        );
+
+        // Restore(vec![9]): the recovery prologue, appended as variant 6 so
+        // every pre-recovery variant index above stays untouched.
+        let mut restore = Vec::new();
+        write_frame(&mut restore, &Frame::Restore(vec![9])).expect("write");
+        assert_eq!(
+            restore,
+            [
+                13, 0, 0, 0, // frame length: 4 (tag) + 8 (vec len) + 1
+                6, 0, 0, 0, // variant index 6 = Restore
+                1, 0, 0, 0, 0, 0, 0, 0, // vec length 1 (u64 LE)
+                9, // the byte
+            ]
+        );
+
+        // Register("a:1"): the worker-discovery announcement, variant 7.
+        let mut register = Vec::new();
+        write_frame(&mut register, &Frame::Register("a:1".into())).expect("write");
+        assert_eq!(
+            register,
+            [
+                15, 0, 0, 0, // frame length: 4 (tag) + 8 (string len) + 3
+                7, 0, 0, 0, // variant index 7 = Register
+                3, 0, 0, 0, 0, 0, 0, 0, // string length 3 (u64 LE)
+                b'a', b':', b'1', // the UTF-8 bytes
             ]
         );
     }

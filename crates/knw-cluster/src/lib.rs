@@ -73,7 +73,7 @@
 //! [`knw_core::coalesce`]) before the shard split, cutting wire traffic
 //! and restoring the coalescing window the split would otherwise dilute.
 //!
-//! # Failure model
+//! # Failure model & recovery
 //!
 //! A worker crash is detected at the link (broken write, EOF where a
 //! `Shard` was due, nonzero exit, reset connection) and surfaces as
@@ -88,6 +88,37 @@
 //! bounded interval; nothing hangs.  Malformed frames and worker-reported
 //! failures get their own typed variants; nothing in the protocol path
 //! panics on bad bytes.
+//!
+//! With a [`RecoveryPolicy`] configured
+//! ([`TcpClusterConfig::with_recovery`], [`ClusterConfig::with_recovery`],
+//! `knw-aggregate --recover`), those link faults stop being run-fatal.
+//! The aggregator keeps a bounded per-shard **replay journal** — the
+//! serialized checkpoint of the last acknowledged snapshot plus every
+//! batch routed to the shard since ([`RecoveryPolicy::journal_cap`] bounds
+//! it, in updates) — and on `WorkerDied` / `Timeout` / `ConnectFailed` it
+//! re-resolves the worker (the same address or a respawned child by
+//! default; a spare host announced through the [`WorkerRegistry`] /
+//! `knw-worker --register` handshake when the static address stays dead),
+//! opens a fresh link, restores the checkpoint (`Restore` frame), replays
+//! the journal, and resumes.  The replay is *exact*, not approximate:
+//! every session starts from fresh state and a shard is a pure fold of its
+//! batch stream, so `checkpoint ⊕ fold(journal)` reproduces the lost
+//! shard byte for byte — each journaled batch is applied exactly once to
+//! exactly one live session (a batch sent to a link that then faulted is
+//! never double-counted, because the dead session's state is discarded
+//! wholesale and rebuilt).  Reports wait for an in-flight recovery — a
+//! snapshot never merges a partial cluster — and each acknowledged
+//! snapshot truncates the journals to fresh checkpoints, so journal
+//! memory is bounded by snapshot cadence, not stream length.
+//!
+//! Recovery itself fails typed and bounded: when every reconnect attempt
+//! the policy allows ([`RecoveryPolicy::max_retries`], linear
+//! [`RecoveryPolicy::backoff`]) is gone, reporting refuses with
+//! [`ClusterError::RecoveryExhausted`]; when the journal had to be
+//! discarded to honour its bound before the fault, with
+//! [`ClusterError::JournalOverflow`].  Deterministic failures (protocol
+//! violations, codec rejections, merge incompatibilities) are never
+//! retried — a fresh worker fed the same journal would reproduce them.
 //!
 //! # Example
 //!
@@ -112,6 +143,7 @@
 pub mod aggregator;
 pub mod error;
 pub mod frame;
+pub mod recovery;
 pub mod spec;
 pub mod transport;
 pub mod worker;
@@ -125,6 +157,10 @@ pub use frame::{
     read_frame, write_frame, BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError,
     MAX_FRAME_LEN,
 };
+pub use recovery::{
+    register_worker, RecoveryPolicy, WorkerRegistry, DEFAULT_BACKOFF, DEFAULT_JOURNAL_CAP,
+    DEFAULT_MAX_RETRIES,
+};
 pub use spec::{
     build_f0, build_l0, f0_estimator_names, f0_shard_from_bytes, l0_estimator_names,
     l0_shard_from_bytes, WireF0Sketch, WireL0Sketch,
@@ -133,4 +169,4 @@ pub use transport::{
     spawn_listening_worker, ListeningWorkerFleet, PipeTransport, TcpClusterConfig, TcpTransport,
     Transport, WorkerConnection, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
 };
-pub use worker::{run_worker, serve, serve_connection, ServeOptions};
+pub use worker::{run_worker, serve, serve_connection, ServeOptions, DEFAULT_MAX_ACCEPT_RETRIES};

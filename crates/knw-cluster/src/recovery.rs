@@ -1,0 +1,332 @@
+//! Supervised worker membership: the recovery policy knobs and the
+//! worker-discovery registry behind reconnect-and-replay.
+//!
+//! The estimators merge **exactly** and every shard is a *pure fold* of the
+//! batch stream routed to it — so a lost worker's state is not lost at all:
+//! replaying the same batches, in the same order, through a fresh worker
+//! reproduces the shard byte for byte.  The aggregator keeps a bounded
+//! per-shard **replay journal** (see `aggregator.rs`) of exactly those
+//! batches; this module supplies the two remaining ingredients:
+//!
+//! * [`RecoveryPolicy`] — how hard to try (reconnect attempts, backoff) and
+//!   how much to remember (the journal bound);
+//! * [`WorkerRegistry`] — the `--register` handshake: spare workers
+//!   announce their listening addresses to the aggregator side, and the
+//!   TCP transport's re-resolution pops one when a dead worker's static
+//!   address stays unreachable.
+//!
+//! ```text
+//!   spare host$ knw-worker --listen 0.0.0.0:7001 --register agg:9000
+//!                      │
+//!                      │  Register{addr} frame, one TCP connection
+//!                      ▼
+//!   aggregator:  WorkerRegistry::bind("0.0.0.0:9000")  ──►  address pool
+//!                      ▲                                        │
+//!             recovery path pops the next address when a worker is gone
+//! ```
+
+use crate::frame::{read_frame, write_frame, Frame};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default number of reconnect attempts per worker fault.
+pub const DEFAULT_MAX_RETRIES: usize = 3;
+
+/// Default base backoff between reconnect attempts (attempt `k` waits
+/// `k × backoff`, so a flapping worker is probed quickly at first and ever
+/// more patiently after).
+pub const DEFAULT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Default per-shard replay-journal bound, in updates.  At 8–16 bytes per
+/// update this caps journal memory at 32–64 MiB per shard; every
+/// acknowledged snapshot truncates the journal back to a checkpoint.
+pub const DEFAULT_JOURNAL_CAP: usize = 1 << 22;
+
+/// Consecutive `accept(2)` failures the registry's collector thread
+/// absorbs before going inert (mirrors the worker serve loop's bound).
+const ACCEPT_RETRIES: usize = 8;
+
+/// How the aggregator recovers lost workers: reconnect-and-replay sizing.
+///
+/// Attached to a cluster configuration
+/// ([`TcpClusterConfig::with_recovery`](crate::TcpClusterConfig::with_recovery),
+/// [`ClusterConfig::with_recovery`](crate::ClusterConfig::with_recovery)),
+/// this turns a mid-stream `WorkerDied` / `Timeout` / `ConnectFailed` from
+/// a run-fatal error into a supervised reconnect: the transport re-opens
+/// the link (same address, a respawned child, or a freshly
+/// [registered](WorkerRegistry) replacement), the aggregator replays the
+/// shard's journal through it, and the run resumes — bit-identical,
+/// because the shard state is a pure fold of exactly those batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Reconnect attempts per fault before giving up with
+    /// [`RecoveryExhausted`](crate::ClusterError::RecoveryExhausted).
+    pub max_retries: usize,
+    /// Base backoff between attempts (attempt `k` sleeps `k × backoff`).
+    pub backoff: Duration,
+    /// Per-shard journal bound, in updates.  When a shard's journal would
+    /// exceed this, the journal is discarded (memory stays bounded) and a
+    /// later fault on that shard surfaces as
+    /// [`JournalOverflow`](crate::ClusterError::JournalOverflow) instead of
+    /// recovering.  Acknowledged snapshots truncate the journal to a
+    /// checkpoint, restarting the budget.
+    pub journal_cap: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: DEFAULT_MAX_RETRIES,
+            backoff: DEFAULT_BACKOFF,
+            journal_cap: DEFAULT_JOURNAL_CAP,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the number of reconnect attempts per fault (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries.max(1);
+        self
+    }
+
+    /// Sets the base backoff between reconnect attempts.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the per-shard journal bound, in updates (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_journal_cap(mut self, journal_cap: usize) -> Self {
+        self.journal_cap = journal_cap.max(1);
+        self
+    }
+}
+
+/// The aggregator-side half of the `--register` handshake: listens on a TCP
+/// port, collects the addresses announced by `knw-worker --listen …
+/// --register <this port>` processes ([`Frame::Register`]), and hands them
+/// out to the transport's recovery path
+/// ([`take_address`](Self::take_address)) when a worker's static address
+/// stays unreachable.
+///
+/// The accept loop runs on a background thread owned by this handle; a
+/// malformed announcement is logged and dropped without disturbing the
+/// pool.  Dropping the registry stops the thread.
+pub struct WorkerRegistry {
+    addr: SocketAddr,
+    pool: Arc<Mutex<VecDeque<String>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerRegistry {
+    /// Binds the registry listener (`"127.0.0.1:0"` picks a free port; see
+    /// [`local_addr`](Self::local_addr)) and starts accepting
+    /// announcements.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(Mutex::new(VecDeque::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let (pool, stop) = (Arc::clone(&pool), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                // Same transient-accept treatment as the worker serve loop:
+                // log-and-retry with growing backoff, give up (the registry
+                // goes inert; the pool keeps serving what it holds) only on
+                // persistent failure.  A spinning accept loop would burn the
+                // core precisely when a churning cluster needs it.
+                let mut consecutive_failures = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let (stream, peer) = match listener.accept() {
+                        Ok(accepted) => accepted,
+                        Err(e) => {
+                            consecutive_failures += 1;
+                            if consecutive_failures > ACCEPT_RETRIES {
+                                eprintln!("worker registry: accept failed persistently ({e}); no further announcements will be collected");
+                                return;
+                            }
+                            eprintln!("worker registry: accept failed ({e}); retry {consecutive_failures}/{ACCEPT_RETRIES}");
+                            std::thread::sleep(
+                                Duration::from_millis(20) * consecutive_failures as u32,
+                            );
+                            continue;
+                        }
+                    };
+                    consecutive_failures = 0;
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // One frame per announcement; a peer that stalls must
+                    // not wedge the registry.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    match read_frame(&mut BufReader::new(stream)) {
+                        Ok(Some(Frame::Register(worker_addr))) => {
+                            pool.lock()
+                                .expect("registry pool lock")
+                                .push_back(worker_addr);
+                        }
+                        Ok(None) => {}
+                        other => {
+                            eprintln!(
+                                "worker registry: ignoring malformed announcement \
+                                 from {peer}: {other:?}"
+                            );
+                        }
+                    }
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            pool,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the registry listens on — what workers pass to
+    /// `--register`.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Pops the next registered worker address (FIFO), if any.  Used by the
+    /// TCP transport's re-resolution; callers discard addresses that turn
+    /// out to be unreachable.
+    #[must_use]
+    pub fn take_address(&self) -> Option<String> {
+        self.pool.lock().expect("registry pool lock").pop_front()
+    }
+
+    /// Number of registered, not-yet-taken worker addresses.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.pool.lock().expect("registry pool lock").len()
+    }
+}
+
+impl fmt::Debug for WorkerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerRegistry")
+            .field("addr", &self.addr)
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+impl Drop for WorkerRegistry {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so the thread observes the stop flag.  A
+        // wildcard bind (0.0.0.0 / ::) is not connectable on every
+        // platform, so the wake-up dials the matching loopback instead.
+        let wake = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let woke = TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok();
+        if let Some(thread) = self.thread.take() {
+            if woke {
+                let _ = thread.join();
+            }
+            // If the wake-up connect failed the collector may still be
+            // blocked in accept(2); joining would deadlock the dropping
+            // thread, so the handle is released instead — the thread ends
+            // with the process.
+        }
+    }
+}
+
+/// The worker-side half of the `--register` handshake: announces
+/// `worker_addr` (the address the worker serves on) to the registry at
+/// `registry_addr` with a single [`Frame::Register`] over a short-lived
+/// connection.
+///
+/// # Errors
+///
+/// The connect or send failure — the caller (the `knw-worker` binary, a
+/// supervisor script) decides whether an unreachable registry is fatal.
+pub fn register_worker(registry_addr: &str, worker_addr: &str) -> std::io::Result<()> {
+    let stream = TcpStream::connect(registry_addr)?;
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &Frame::Register(worker_addr.to_string()))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_builders_clamp_degenerate_values() {
+        let policy = RecoveryPolicy::default()
+            .with_max_retries(0)
+            .with_journal_cap(0)
+            .with_backoff(Duration::from_millis(7));
+        assert_eq!(policy.max_retries, 1);
+        assert_eq!(policy.journal_cap, 1);
+        assert_eq!(policy.backoff, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn registered_addresses_come_back_in_fifo_order() {
+        let registry = WorkerRegistry::bind("127.0.0.1:0").expect("bind registry");
+        let addr = registry.local_addr().to_string();
+        register_worker(&addr, "10.0.0.1:7001").expect("announce 1");
+        register_worker(&addr, "10.0.0.2:7001").expect("announce 2");
+        // Announcements land asynchronously; wait briefly for both.
+        for _ in 0..200 {
+            if registry.available() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(registry.available(), 2);
+        assert_eq!(registry.take_address().as_deref(), Some("10.0.0.1:7001"));
+        assert_eq!(registry.take_address().as_deref(), Some("10.0.0.2:7001"));
+        assert_eq!(registry.take_address(), None);
+    }
+
+    #[test]
+    fn malformed_announcements_are_ignored() {
+        let registry = WorkerRegistry::bind("127.0.0.1:0").expect("bind registry");
+        let addr = registry.local_addr();
+        {
+            let mut garbage = TcpStream::connect(addr).expect("connect");
+            garbage
+                .write_all(&[5, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0])
+                .expect("write");
+        }
+        register_worker(&addr.to_string(), "good:1").expect("announce");
+        for _ in 0..200 {
+            if registry.available() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(registry.take_address().as_deref(), Some("good:1"));
+    }
+}

@@ -33,10 +33,13 @@
 
 use crate::error::ClusterError;
 use crate::frame::{read_frame, write_frame, Frame, WireError};
+use crate::recovery::{RecoveryPolicy, WorkerRegistry};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Default TCP connect timeout: long enough for a loaded host to accept,
@@ -108,6 +111,21 @@ pub trait Transport {
     /// [`ClusterError::Io`] if a child cannot be spawned,
     /// [`ClusterError::ConnectFailed`] if a socket cannot be connected.
     fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError>;
+
+    /// Re-opens the link to worker `index` after a fault, re-resolving the
+    /// worker if the transport supports it.  The default is plain
+    /// [`open`](Self::open) — re-spawn the child, re-dial the same address;
+    /// [`TcpTransport`] additionally falls back to the next
+    /// [registered](crate::WorkerRegistry) replacement address when the
+    /// static one stays unreachable (and remembers the substitution for
+    /// later faults).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`open`](Self::open), from the last address attempted.
+    fn reopen(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        self.open(index)
+    }
 }
 
 /// Spawns a `knw-worker --listen <addr>` child process and parses the
@@ -318,6 +336,14 @@ pub struct TcpClusterConfig {
     /// Per-link read/write timeout (`None` blocks forever — not
     /// recommended; the default keeps every failure mode bounded).
     pub io_timeout: Option<Duration>,
+    /// Reconnect-and-replay recovery for faulted workers (`None` — the
+    /// default — keeps the pre-recovery behaviour: the first
+    /// `WorkerDied`/`Timeout` fails the run).
+    pub recovery: Option<RecoveryPolicy>,
+    /// Worker-discovery registry the recovery path re-resolves lost
+    /// workers through (spare `knw-worker --register` hosts); `None` limits
+    /// recovery to reconnecting the static addresses.
+    pub registry: Option<Arc<WorkerRegistry>>,
 }
 
 impl TcpClusterConfig {
@@ -331,6 +357,8 @@ impl TcpClusterConfig {
             addrs,
             connect_timeout: DEFAULT_CONNECT_TIMEOUT,
             io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            recovery: None,
+            registry: None,
         }
     }
 
@@ -355,15 +383,40 @@ impl TcpClusterConfig {
         self.io_timeout = timeout;
         self
     }
+
+    /// Enables reconnect-and-replay recovery with the given policy.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Attaches a worker-discovery registry: the recovery path pops
+    /// registered replacement addresses when a worker's static address
+    /// stays unreachable.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<WorkerRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
 }
 
 /// The multi-host transport: connect to already-running workers
 /// (`knw-worker --listen <addr>`) over TCP.
-#[derive(Debug, Clone)]
+///
+/// Recovery re-resolution: [`reopen`](Transport::reopen) first re-dials the
+/// worker's current address; if that stays unreachable and a
+/// [`WorkerRegistry`] is attached, it pops registered replacement
+/// addresses until one connects, and remembers the substitution so later
+/// faults on the same worker dial the replacement directly.
+#[derive(Debug)]
 pub struct TcpTransport {
     addrs: Vec<String>,
     connect_timeout: Duration,
     io_timeout: Option<Duration>,
+    registry: Option<Arc<WorkerRegistry>>,
+    /// Re-resolved replacement addresses, by worker index.
+    overrides: Mutex<HashMap<usize, String>>,
 }
 
 impl TcpTransport {
@@ -374,13 +427,28 @@ impl TcpTransport {
             addrs: config.addrs.clone(),
             connect_timeout: config.connect_timeout,
             io_timeout: config.io_timeout,
+            registry: config.registry.clone(),
+            overrides: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The worker addresses, in shard order.
+    /// The statically configured worker addresses, in shard order.
     #[must_use]
     pub fn addrs(&self) -> &[String] {
         &self.addrs
+    }
+
+    /// The address worker `index` currently resolves to: its registered
+    /// replacement if recovery re-resolved it, the static address
+    /// otherwise.
+    #[must_use]
+    pub fn current_addr(&self, index: usize) -> String {
+        self.overrides
+            .lock()
+            .expect("transport overrides lock")
+            .get(&index)
+            .cloned()
+            .unwrap_or_else(|| self.addrs[index].clone())
     }
 
     /// Connects to the first reachable of `addr`'s resolved socket
@@ -404,9 +472,13 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
-        let addr = &self.addrs[index];
+impl TcpTransport {
+    /// Opens a configured link to `addr`, attributing failure to `index`.
+    fn open_addr(
+        &self,
+        index: usize,
+        addr: &str,
+    ) -> Result<Box<dyn WorkerConnection>, ClusterError> {
         let connect = || -> std::io::Result<TcpConnection> {
             let stream = Self::connect(addr, self.connect_timeout)?;
             // Frames are already batched; ship them as they flush.
@@ -424,10 +496,44 @@ impl Transport for TcpTransport {
             Ok(conn) => Ok(Box::new(conn)),
             Err(source) => Err(ClusterError::ConnectFailed {
                 worker: index,
-                addr: addr.clone(),
+                addr: addr.to_string(),
                 source,
             }),
         }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        let addr = self.current_addr(index);
+        self.open_addr(index, &addr)
+    }
+
+    fn reopen(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        // First choice: the address the worker last answered on (a
+        // supervisor may have restarted it in place).
+        let static_error = match self.open(index) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => e,
+        };
+        // Fallback: pop registered replacements until one connects.
+        // Unreachable pops are discarded — a stale announcement must not
+        // wedge re-resolution for every later fault.
+        if let Some(registry) = &self.registry {
+            while let Some(addr) = registry.take_address() {
+                match self.open_addr(index, &addr) {
+                    Ok(conn) => {
+                        self.overrides
+                            .lock()
+                            .expect("transport overrides lock")
+                            .insert(index, addr);
+                        return Ok(conn);
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        Err(static_error)
     }
 }
 

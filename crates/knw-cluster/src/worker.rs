@@ -9,7 +9,10 @@
 //! little state machine:
 //!
 //! ```text
-//! wait Hello ──► ingest loop:  Batch     → apply to the shard sketch
+//! wait Hello ──► ingest loop:  Restore   → adopt checkpointed shard bytes
+//!                                          (recovery replay prologue;
+//!                                          only before the first Batch)
+//!                              Batch     → apply to the shard sketch
 //!                              Snapshot  → reply Shard{bytes}, keep going
 //!                              Finish    → reply Shard{bytes}, exit Ok
 //!                              clean EOF → exit Ok (aggregator went away)
@@ -20,10 +23,13 @@
 //! (best effort) *and* returned to the caller, so the binary exits nonzero
 //! and process supervisors see the crash.
 
-use crate::frame::{read_frame, write_frame, BatchPayload, Frame, StreamMode, WireError};
-use crate::spec::{build_f0, build_l0, WireF0Sketch, WireL0Sketch};
+use crate::frame::{
+    read_frame, write_frame, BatchPayload, Frame, SketchSpec, StreamMode, WireError,
+};
+use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
+use crate::spec::{WireF0Sketch, WireL0Sketch};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
 /// The worker's shard sketch, in whichever stream model the spec named.
@@ -58,6 +64,23 @@ impl ShardState {
             ShardState::L0(sketch) => sketch.wire_bytes(),
         }
     }
+
+    /// Adopts a checkpointed shard (the recovery replay prologue): the
+    /// bytes are decoded against `spec` in this state's stream model and
+    /// *replace* the current sketch.
+    fn restore(&mut self, spec: &SketchSpec, bytes: &[u8]) -> Result<(), String> {
+        match self {
+            ShardState::F0(sketch) => {
+                *sketch = f0_shard_from_bytes(spec, bytes)
+                    .map_err(|e| format!("restore rejected: {e}"))?;
+            }
+            ShardState::L0(sketch) => {
+                *sketch = l0_shard_from_bytes(spec, bytes)
+                    .map_err(|e| format!("restore rejected: {e}"))?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Sends an `Err` frame best-effort (the pipe may already be gone) and
@@ -89,22 +112,39 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
         Ok(None) => return Ok(()),
         Err(e) => return report(output, format!("handshake failed: {e}")),
     };
-    let mut state = match hello.spec.mode {
-        StreamMode::F0 => match build_f0(&hello.spec) {
+    let spec = hello.spec;
+    let mut state = match spec.mode {
+        StreamMode::F0 => match build_f0(&spec) {
             Ok(sketch) => ShardState::F0(sketch),
             Err(e) => return report(output, e.to_string()),
         },
-        StreamMode::L0 => match build_l0(&hello.spec) {
+        StreamMode::L0 => match build_l0(&spec) {
             Ok(sketch) => ShardState::L0(sketch),
             Err(e) => return report(output, e.to_string()),
         },
     };
 
     // Ingest loop.
+    let mut ingested = false;
     loop {
         match read_frame(input) {
             Ok(Some(Frame::Batch(payload))) => {
+                ingested = true;
                 if let Err(message) = state.apply(&payload) {
+                    return report(output, message);
+                }
+            }
+            Ok(Some(Frame::Restore(bytes))) => {
+                // The recovery prologue: only valid on a fresh session —
+                // replacing state that already absorbed batches would
+                // silently drop them.
+                if ingested {
+                    return report(
+                        output,
+                        "protocol violation: Restore after a Batch".to_string(),
+                    );
+                }
+                if let Err(message) = state.restore(&spec, &bytes) {
                     return report(output, message);
                 }
             }
@@ -156,6 +196,13 @@ pub struct ServeOptions {
     /// `None` blocks forever — only for aggregators that legitimately go
     /// quiet for long stretches.
     pub io_timeout: Option<Duration>,
+    /// How many *consecutive* `accept(2)` failures the serve loop absorbs
+    /// (logged, with a short growing backoff) before concluding the
+    /// listener itself is broken and returning the error.  Transient
+    /// conditions — `ECONNABORTED` from a client that vanished in the
+    /// backlog, `EMFILE`/`ENFILE` pressure that clears when sessions close
+    /// — must not take a shared worker host down.
+    pub max_accept_retries: usize,
 }
 
 impl Default for ServeOptions {
@@ -163,9 +210,18 @@ impl Default for ServeOptions {
         Self {
             max_sessions: None,
             io_timeout: Some(crate::transport::DEFAULT_IO_TIMEOUT),
+            max_accept_retries: DEFAULT_MAX_ACCEPT_RETRIES,
         }
     }
 }
+
+/// Default bound on consecutive `accept(2)` failures
+/// ([`ServeOptions::max_accept_retries`]).
+pub const DEFAULT_MAX_ACCEPT_RETRIES: usize = 8;
+
+/// Base backoff after a failed `accept(2)` (the `k`-th consecutive failure
+/// sleeps `k ×` this), giving descriptor-pressure conditions room to clear.
+const ACCEPT_RETRY_BACKOFF: Duration = Duration::from_millis(20);
 
 impl ServeOptions {
     /// Limits the loop to `sessions` aggregation sessions.
@@ -211,16 +267,46 @@ pub fn serve_connection(stream: &TcpStream, io_timeout: Option<Duration>) -> Res
 /// A failed session does **not** stop the loop: the failure was already
 /// reported to that session's aggregator as an `Err` frame (best effort)
 /// and is logged to stderr here; a misbehaving client must not take a
-/// shared worker host down.  The loop ends after
+/// shared worker host down.  Neither does a transient `accept(2)` failure
+/// (`ECONNABORTED`, `EMFILE`, …): it is logged and retried with a short
+/// growing backoff, up to [`ServeOptions::max_accept_retries`]
+/// *consecutive* failures.  The loop ends after
 /// [`ServeOptions::max_sessions`] sessions, or never.
 ///
 /// # Errors
 ///
-/// Only `accept(2)` failures — the listener itself broke.
+/// A persistent `accept(2)` failure — `max_accept_retries + 1` consecutive
+/// accepts failed, so the listener itself is broken.
 pub fn serve(listener: &TcpListener, options: &ServeOptions) -> std::io::Result<()> {
+    serve_accepting(|| listener.accept(), options)
+}
+
+/// The accept-source-generic serve loop behind [`serve`]; split out so the
+/// accept-failure path is testable without provoking real `EMFILE`.
+fn serve_accepting(
+    mut accept: impl FnMut() -> std::io::Result<(TcpStream, SocketAddr)>,
+    options: &ServeOptions,
+) -> std::io::Result<()> {
     let mut served = 0usize;
+    let mut consecutive_failures = 0usize;
     while options.max_sessions.is_none_or(|max| served < max) {
-        let (stream, peer) = listener.accept()?;
+        let (stream, peer) = match accept() {
+            Ok(accepted) => accepted,
+            Err(e) => {
+                consecutive_failures += 1;
+                if consecutive_failures > options.max_accept_retries {
+                    return Err(e);
+                }
+                eprintln!(
+                    "knw-worker: accept failed ({e}); retry \
+                     {consecutive_failures}/{}",
+                    options.max_accept_retries
+                );
+                std::thread::sleep(ACCEPT_RETRY_BACKOFF * consecutive_failures as u32);
+                continue;
+            }
+        };
+        consecutive_failures = 0;
         if let Err(message) = serve_connection(&stream, options.io_timeout) {
             eprintln!("knw-worker: session with {peer} failed: {message}");
         }
@@ -321,6 +407,119 @@ mod tests {
         let (result, replies) = run(&wire);
         result.expect("quiet shutdown");
         assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn restore_then_replay_reproduces_the_checkpointed_fold() {
+        // Build the "checkpoint": a local sketch over the first half of a
+        // stream, serialized exactly as a Shard frame would carry it.
+        let spec = SketchSpec::f0("knw-f0", 0.1, 1 << 16, 5);
+        let mut checkpointed = build_f0(&spec).expect("builds");
+        checkpointed.insert_batch(&(0..400).collect::<Vec<_>>());
+        let checkpoint = checkpointed.wire_bytes();
+
+        // A recovered session: Hello, Restore{checkpoint}, the second half
+        // of the stream, Finish.
+        let wire = script(&[
+            hello(spec.clone()),
+            Frame::Restore(checkpoint),
+            Frame::Batch(BatchPayload::Items((400..900).collect())),
+            Frame::Finish,
+        ]);
+        let (result, replies) = run(&wire);
+        result.expect("clean recovered session");
+        let Frame::Shard(bytes) = &replies[0] else {
+            panic!("expected Shard, got {}", replies[0].kind());
+        };
+        let restored = crate::spec::f0_shard_from_bytes(&spec, bytes).expect("decodes");
+        let mut local = build_f0(&spec).expect("builds");
+        local.insert_batch(&(0..900).collect::<Vec<_>>());
+        assert_eq!(restored.estimate().to_bits(), local.estimate().to_bits());
+    }
+
+    #[test]
+    fn restore_after_a_batch_is_a_protocol_violation() {
+        let spec = SketchSpec::f0("knw-f0", 0.1, 1 << 16, 5);
+        let checkpoint = build_f0(&spec).expect("builds").wire_bytes();
+        let wire = script(&[
+            hello(spec),
+            Frame::Batch(BatchPayload::Items(vec![1, 2, 3])),
+            Frame::Restore(checkpoint),
+        ]);
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(
+            matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("Restore after a Batch"))
+        );
+    }
+
+    #[test]
+    fn corrupt_restore_bytes_are_reported_not_panicked() {
+        let wire = script(&[
+            hello(SketchSpec::l0("knw-l0", 0.2, 1 << 12, 9)),
+            Frame::Restore(vec![0xFF; 7]),
+        ]);
+        let (result, replies) = run(&wire);
+        assert!(result.is_err());
+        assert!(matches!(replies.as_slice(), [Frame::Err(m)] if m.contains("restore rejected")));
+    }
+
+    #[test]
+    fn serve_loop_survives_transient_accept_failures() {
+        use std::net::TcpListener;
+        // One injected ECONNABORTED (a backlog client that vanished), then
+        // real accepts: the loop must log-and-retry, and the later, real
+        // session must still complete.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+            let wire = script(&[
+                hello(SketchSpec::f0("exact", 0.1, 1 << 12, 3)),
+                Frame::Batch(BatchPayload::Items(vec![1, 2, 3])),
+                Frame::Finish,
+            ]);
+            writer.write_all(&wire).expect("write session");
+            writer.flush().expect("flush");
+            let mut reader = std::io::BufReader::new(stream);
+            read_frame(&mut reader).expect("reply").expect("one Shard")
+        });
+        let mut injected = false;
+        let options = ServeOptions::default().with_max_sessions(1);
+        serve_accepting(
+            || {
+                if !injected {
+                    injected = true;
+                    return Err(std::io::Error::from(std::io::ErrorKind::ConnectionAborted));
+                }
+                listener.accept()
+            },
+            &options,
+        )
+        .expect("the loop must survive a transient accept failure");
+        let reply = client.join().expect("client thread");
+        assert!(matches!(reply, Frame::Shard(_)), "got {}", reply.kind());
+    }
+
+    #[test]
+    fn persistent_accept_failures_end_the_loop_with_the_error() {
+        let options = ServeOptions {
+            max_sessions: None,
+            io_timeout: None,
+            max_accept_retries: 2,
+        };
+        let mut attempts = 0usize;
+        let result = serve_accepting(
+            || {
+                attempts += 1;
+                Err(std::io::Error::other("listener broke"))
+            },
+            &options,
+        );
+        assert!(result.is_err());
+        // max_accept_retries consecutive retries, then the final failure.
+        assert_eq!(attempts, 3);
     }
 
     #[test]

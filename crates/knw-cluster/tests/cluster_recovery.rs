@@ -1,0 +1,374 @@
+//! The reconnect-and-replay acceptance tests: killing a TCP worker
+//! mid-stream and recovering it — by re-dialing the same address, by
+//! re-resolving onto a `--register`ed spare host, or by re-spawning a pipe
+//! child — yields results **bit-identical** to the single-process run for
+//! every estimator in both the F0 and L0 zoos, under both routing
+//! policies; and when recovery *cannot* succeed, the failure is typed
+//! (`RecoveryExhausted`, `JournalOverflow`) and bounded — never a hang,
+//! never a partial merge.
+//!
+//! Runs in CI (`cargo test -p knw-cluster --test cluster_recovery`, plain
+//! and `--features serde`); needs only process spawning and loopback.
+
+use knw_cluster::{
+    build_f0, build_l0, f0_estimator_names, l0_estimator_names, spawn_listening_worker,
+    ClusterConfig, ClusterError, F0ClusterAggregator, L0ClusterAggregator, ListeningWorkerFleet,
+    RecoveryPolicy, SketchSpec, TcpClusterConfig, WorkerRegistry,
+};
+use knw_engine::{EngineConfig, RoutingPolicy};
+use proptest::prelude::*;
+use std::process::Child;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_knw-worker");
+const EPS: f64 = 0.1;
+const UNIVERSE: u64 = 1 << 16;
+const SEED: u64 = 4242;
+
+/// A spare worker process, reaped on drop (test panics must not leak
+/// forever-serving strays).
+struct Spare(Child);
+
+impl Drop for Spare {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a spare `--listen --register` worker and waits until its
+/// announcement landed in the registry.
+fn spawn_registered_spare(registry: &WorkerRegistry) -> Spare {
+    let registry_addr = registry.local_addr().to_string();
+    let before = registry.available();
+    let (child, _) = spawn_listening_worker(
+        WORKER_EXE.as_ref(),
+        "127.0.0.1:0",
+        &["--register", &registry_addr],
+    )
+    .expect("spawn spare worker");
+    for _ in 0..400 {
+        if registry.available() > before {
+            return Spare(child);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("spare worker never registered");
+}
+
+/// A fast-failing recovery policy for tests: retries stay bounded in
+/// wall-clock even when every attempt must time out.
+fn test_policy() -> RecoveryPolicy {
+    RecoveryPolicy::default()
+        .with_max_retries(4)
+        .with_backoff(Duration::from_millis(50))
+}
+
+fn tcp_config(
+    addrs: &[String],
+    routing: RoutingPolicy,
+    registry: Option<Arc<WorkerRegistry>>,
+) -> TcpClusterConfig {
+    let mut config = TcpClusterConfig::new(addrs.iter().cloned())
+        .with_engine(
+            EngineConfig::new(addrs.len())
+                .with_batch_size(512)
+                .with_routing(routing),
+        )
+        .with_recovery(test_policy());
+    if let Some(registry) = registry {
+        config = config.with_registry(registry);
+    }
+    config
+}
+
+/// A skewed insert-only stream.
+fn items(len: u64) -> Vec<u64> {
+    (0..len)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % UNIVERSE)
+        .collect()
+}
+
+/// A churn-heavy signed update stream (mixed signs, cancellations).
+fn updates(len: u64) -> Vec<(u64, i64)> {
+    (0..len)
+        .map(|i| {
+            let x = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (x % 4_096, (x % 9) as i64 - 4)
+        })
+        .collect()
+}
+
+/// Lets a killed worker's FIN/RST reach the aggregator's socket before the
+/// stream continues, so the fault is observed deterministically.
+fn let_fault_propagate() {
+    std::thread::sleep(Duration::from_millis(100));
+}
+
+/// Acceptance criterion, F0 half: for every estimator in the zoo and both
+/// routing policies, killing a TCP worker **process** mid-stream and
+/// recovering onto a freshly `--register`ed spare host leaves the final
+/// merged estimate bit-identical to the single-process run.
+#[test]
+fn killed_worker_recovery_is_bit_identical_for_every_f0_estimator() {
+    for routing in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::HashAffine { seed: 3 },
+    ] {
+        for &name in f0_estimator_names() {
+            let mut fleet = ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 3)
+                .expect("spawn fleet");
+            let registry = Arc::new(WorkerRegistry::bind("127.0.0.1:0").expect("bind registry"));
+            let _spare = spawn_registered_spare(&registry);
+
+            let spec = SketchSpec::f0(name, EPS, UNIVERSE, SEED);
+            let stream = items(12_000);
+            let mut cluster = F0ClusterAggregator::connect(
+                &tcp_config(fleet.addrs(), routing, Some(Arc::clone(&registry))),
+                &spec,
+            )
+            .expect("connect 3 workers");
+            let (first, rest) = stream.split_at(stream.len() / 2);
+            for chunk in first.chunks(1_111) {
+                cluster.ingest_batch(chunk);
+            }
+            fleet.kill(1).expect("kill worker process");
+            let_fault_propagate();
+            for chunk in rest.chunks(1_111) {
+                cluster.ingest_batch(chunk);
+            }
+            let merged = cluster.finish().expect("recovered run reports cleanly");
+
+            let mut single = build_f0(&spec).expect("zoo name");
+            single.insert_batch(&stream);
+            assert_eq!(
+                merged.estimate().to_bits(),
+                single.estimate().to_bits(),
+                "{name} deviates after kill-and-replay recovery ({routing:?})"
+            );
+        }
+    }
+}
+
+/// Acceptance criterion, L0 half: same property over signed turnstile
+/// streams for every estimator in the L0 zoo under both routing policies.
+#[test]
+fn killed_worker_recovery_is_bit_identical_for_every_l0_estimator() {
+    for routing in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::HashAffine { seed: 9 },
+    ] {
+        for &name in l0_estimator_names() {
+            let mut fleet = ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 3)
+                .expect("spawn fleet");
+            let registry = Arc::new(WorkerRegistry::bind("127.0.0.1:0").expect("bind registry"));
+            let _spare = spawn_registered_spare(&registry);
+
+            let spec = SketchSpec::l0(name, EPS, UNIVERSE, SEED);
+            let stream = updates(12_000);
+            let mut cluster = L0ClusterAggregator::connect(
+                &tcp_config(fleet.addrs(), routing, Some(Arc::clone(&registry))),
+                &spec,
+            )
+            .expect("connect 3 workers");
+            let (first, rest) = stream.split_at(stream.len() / 2);
+            for chunk in first.chunks(999) {
+                cluster.ingest_batch(chunk);
+            }
+            fleet.kill(0).expect("kill worker process");
+            let_fault_propagate();
+            for chunk in rest.chunks(999) {
+                cluster.ingest_batch(chunk);
+            }
+            let merged = cluster.finish().expect("recovered run reports cleanly");
+
+            let mut single = build_l0(&spec).expect("zoo name");
+            single.update_batch(&stream);
+            assert_eq!(
+                merged.estimate().to_bits(),
+                single.estimate().to_bits(),
+                "{name} deviates after kill-and-replay recovery ({routing:?})"
+            );
+        }
+    }
+}
+
+/// Snapshots double as journal checkpoints: after an acknowledged snapshot
+/// the journal holds only the batches since, and recovery of a later fault
+/// replays `Restore{checkpoint}` + the tail — exercised here with a journal
+/// cap too small to have held the whole stream, so only the checkpoint
+/// path can make recovery succeed.
+#[test]
+fn snapshot_checkpoint_keeps_recovery_exact_beyond_the_journal_cap() {
+    let fleet =
+        ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 2).expect("spawn fleet");
+    let spec = SketchSpec::l0("knw-l0", EPS, 1 << 12, 7);
+    let stream = updates(8_000);
+    let config = TcpClusterConfig::new(fleet.addrs().iter().cloned())
+        .with_engine(EngineConfig::new(2).with_batch_size(256))
+        .with_recovery(test_policy().with_journal_cap(3_000));
+    let mut cluster = L0ClusterAggregator::connect(&config, &spec).expect("connect");
+    let mut single = build_l0(&spec).expect("zoo name");
+
+    // First half: 4000 updates ≈ 2000 per shard — inside the cap.
+    let (first, rest) = stream.split_at(4_000);
+    cluster.ingest_batch(first);
+    single.update_batch(first);
+    // The acknowledged snapshot truncates both journals to checkpoints.
+    assert_eq!(
+        cluster.estimate().expect("snapshot").to_bits(),
+        single.estimate().to_bits()
+    );
+    // Second half, then sever worker 1's connection: recovery must restore
+    // the checkpoint and replay only the post-snapshot tail.
+    cluster.ingest_batch(&rest[..2_000]);
+    single.update_batch(&rest[..2_000]);
+    cluster.kill_worker(1).expect("sever connection");
+    let_fault_propagate();
+    cluster.ingest_batch(&rest[2_000..]);
+    single.update_batch(&rest[2_000..]);
+    let merged = cluster.finish().expect("checkpointed recovery");
+    assert_eq!(merged.estimate().to_bits(), single.estimate().to_bits());
+}
+
+/// A journal that had to be discarded for its bound refuses recovery with
+/// the typed `JournalOverflow` naming the worker and the cap — never a
+/// silent partial merge.
+#[test]
+fn journal_overflow_is_a_typed_refusal() {
+    let fleet =
+        ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 2).expect("spawn fleet");
+    let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
+    let config = TcpClusterConfig::new(fleet.addrs().iter().cloned())
+        .with_engine(EngineConfig::new(2).with_batch_size(64))
+        .with_recovery(test_policy().with_journal_cap(100));
+    let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect");
+    // Far beyond the cap, with no snapshot to truncate: journals overflow.
+    cluster.ingest_batch(&items(4_000));
+    cluster.kill_worker(0).expect("sever connection");
+    let_fault_propagate();
+    cluster.ingest_batch(&items(4_000));
+    match cluster.finish() {
+        Err(ClusterError::JournalOverflow { worker: 0, cap }) => assert_eq!(cap, 100),
+        Err(other) => panic!("expected JournalOverflow, got {other:?}"),
+        Ok(_) => panic!("an unreplayable shard must not report"),
+    }
+}
+
+/// When the worker process is gone, nothing re-listens on its address and
+/// no spare is registered, recovery exhausts its bounded retries and
+/// surfaces the typed `RecoveryExhausted` — promptly, and stickily (a
+/// retried report refuses with the same error instead of hanging or
+/// merging a partial cluster).
+#[test]
+fn exhausted_recovery_is_typed_bounded_and_sticky() {
+    let mut fleet =
+        ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 2).expect("spawn fleet");
+    let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
+    let config = tcp_config(fleet.addrs(), RoutingPolicy::RoundRobin, None);
+    let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect");
+    cluster.ingest_batch(&items(3_000));
+    fleet.kill(1).expect("kill worker process");
+    let_fault_propagate();
+    let started = Instant::now();
+    cluster.ingest_batch(&items(3_000));
+    match cluster.snapshot().map(|_| "a shard") {
+        Err(ClusterError::RecoveryExhausted {
+            worker: 1,
+            attempts,
+            ..
+        }) => assert_eq!(attempts, 4),
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "exhausted recovery took {:?} to surface",
+        started.elapsed()
+    );
+    // Sticky: the aggregator stays refused, with the same typed error.
+    match cluster.snapshot().map(|_| "a shard") {
+        Err(ClusterError::RecoveryExhausted { worker: 1, .. }) => {}
+        other => panic!("expected a sticky RecoveryExhausted, got {other:?}"),
+    }
+}
+
+/// The pipe transport recovers by re-*spawning* a child process and
+/// replaying the journal into it — same contract, no sockets involved.
+#[test]
+fn pipe_transport_recovers_by_respawning_the_child() {
+    let config = ClusterConfig::new(3, WORKER_EXE)
+        .with_engine(EngineConfig::new(3).with_batch_size(512))
+        .with_recovery(test_policy());
+    let spec = SketchSpec::l0("knw-l0", EPS, 1 << 12, 11);
+    let stream = updates(9_000);
+    let mut cluster = L0ClusterAggregator::spawn(&config, &spec).expect("spawn");
+    let (first, rest) = stream.split_at(stream.len() / 2);
+    cluster.ingest_batch(first);
+    cluster.kill_worker(2).expect("kill child process");
+    cluster.ingest_batch(rest);
+    let merged = cluster.finish().expect("respawned recovery");
+    let mut single = build_l0(&spec).expect("zoo name");
+    single.update_batch(&stream);
+    assert_eq!(merged.estimate().to_bits(), single.estimate().to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Recovery edge ordering, property-based: a random fault schedule —
+    /// sever worker `w`'s link after chunk `k`, keep streaming, snapshot at
+    /// chunk `s` (possibly *while* the journal is still pending replay,
+    /// possibly before the kill) — must leave **every** snapshot and the
+    /// final report bit-identical to the single-process prefix folds.
+    /// Reports wait for the in-flight recovery; a partial merge is never
+    /// produced.
+    #[test]
+    fn fault_schedules_report_exact_prefixes(
+        kill_chunk in 0usize..10,
+        worker in 0usize..3,
+        snap_chunk in 0usize..10,
+        routing_seed in 0u64..4,
+    ) {
+        let routing = if routing_seed.is_multiple_of(2) {
+            RoutingPolicy::RoundRobin
+        } else {
+            RoutingPolicy::HashAffine { seed: routing_seed }
+        };
+        let fleet = ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 3)
+            .expect("spawn fleet");
+        let spec = SketchSpec::l0("knw-l0", EPS, 1 << 12, 13);
+        let stream = updates(5_000);
+        let mut cluster = L0ClusterAggregator::connect(
+            &tcp_config(fleet.addrs(), routing, None),
+            &spec,
+        )
+        .expect("connect 3 workers");
+        let mut single = build_l0(&spec).expect("zoo name");
+
+        for (chunk_index, chunk) in stream.chunks(500).enumerate() {
+            cluster.ingest_batch(chunk);
+            single.update_batch(chunk);
+            if chunk_index == kill_chunk {
+                cluster.kill_worker(worker).expect("sever link");
+                let_fault_propagate();
+            }
+            if chunk_index == snap_chunk {
+                // The snapshot may land mid-replay: it must wait for the
+                // recovery and report the exact prefix, never a partial
+                // cluster.
+                let snapshot = cluster.estimate().expect("snapshot during fault schedule");
+                prop_assert_eq!(
+                    snapshot.to_bits(),
+                    single.estimate().to_bits(),
+                    "snapshot diverged (kill at {}, snap at {}, worker {})",
+                    kill_chunk,
+                    snap_chunk,
+                    worker
+                );
+            }
+        }
+        let merged = cluster.finish().expect("clean recovered finish");
+        prop_assert_eq!(merged.estimate().to_bits(), single.estimate().to_bits());
+    }
+}

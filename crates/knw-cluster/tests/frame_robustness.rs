@@ -38,7 +38,7 @@ impl Read for CountingReader<'_> {
 /// Builds one frame of every protocol shape from drawn parameters.
 fn arbitrary_frame(kind: u64, a: u64, payload: &[u8]) -> Frame {
     let names = knw_cluster::f0_estimator_names();
-    match kind % 6 {
+    match kind % 8 {
         0 => Frame::Hello(HelloConfig {
             worker_index: a,
             spec: SketchSpec::f0(names[(a % names.len() as u64) as usize], 0.1, 1 << 16, a),
@@ -55,7 +55,9 @@ fn arbitrary_frame(kind: u64, a: u64, payload: &[u8]) -> Frame {
         2 => Frame::Snapshot,
         3 => Frame::Finish,
         4 => Frame::Shard(payload.to_vec()),
-        _ => Frame::Err(String::from_utf8_lossy(payload).into_owned()),
+        5 => Frame::Err(String::from_utf8_lossy(payload).into_owned()),
+        6 => Frame::Restore(payload.to_vec()),
+        _ => Frame::Register(String::from_utf8_lossy(payload).into_owned()),
     }
 }
 
@@ -97,7 +99,7 @@ proptest! {
     /// exactly the frame's bytes — nothing of whatever follows on the wire.
     #[test]
     fn valid_frames_round_trip_and_consume_exactly_their_bytes(
-        kind in 0u64..6,
+        kind in 0u64..8,
         a in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 0..48),
         trailing in prop::collection::vec(any::<u8>(), 0..16),
@@ -117,7 +119,7 @@ proptest! {
     /// frame.
     #[test]
     fn truncation_anywhere_is_a_typed_error(
-        kind in 0u64..6,
+        kind in 0u64..8,
         a in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 0..48),
         cut_seed in any::<u64>(),
@@ -135,7 +137,7 @@ proptest! {
     /// but well-formed) frame.
     #[test]
     fn bit_flips_never_panic_and_never_overread(
-        kind in 0u64..6,
+        kind in 0u64..8,
         a in any::<u64>(),
         payload in prop::collection::vec(any::<u8>(), 0..48),
         flip_seed in any::<u64>(),
@@ -188,7 +190,7 @@ proptest! {
     /// Corrupting the frame's variant tag to anything outside the enum is
     /// a typed codec rejection.
     #[test]
-    fn unknown_variant_tags_are_codec_errors(tag in 6u32..u32::MAX) {
+    fn unknown_variant_tags_are_codec_errors(tag in 8u32..u32::MAX) {
         let mut wire = encode(&Frame::Finish);
         wire[4..8].copy_from_slice(&tag.to_le_bytes());
         match decode_checked(&wire) {

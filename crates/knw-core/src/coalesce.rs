@@ -212,6 +212,48 @@ mod tests {
         assert!(calls >= 2);
     }
 
+    /// Regression for the release-build wrap hazard: an adversarial stream
+    /// of extreme deltas (`i64::MAX`/`i64::MIN` runs, interleaved across
+    /// many items and across window boundaries) must coalesce to exactly
+    /// the per-item `i128` truth — the checked accumulation flushes and
+    /// restarts slots instead of wrapping, in debug *and* release.
+    #[test]
+    fn extreme_deltas_near_i64_max_never_wrap() {
+        let mut updates: Vec<(u64, i64)> = Vec::new();
+        // Long alternating runs per item so sums repeatedly graze both
+        // extremes, spread over several items to force probing, plus
+        // filler to push the runs across a COALESCE_WINDOW boundary.
+        for round in 0..3 {
+            for item in 0..5u64 {
+                updates.push((item, i64::MAX));
+                updates.push((item, i64::MAX));
+                updates.push((item, i64::MIN));
+                updates.push((item, if round == 1 { i64::MIN } else { 1 }));
+            }
+            updates.extend((0..COALESCE_WINDOW as u64).map(|i| (1_000 + i, 1i64)));
+        }
+        let mut reference: HashMap<u64, i128> = HashMap::new();
+        for &(item, delta) in &updates {
+            *reference.entry(item).or_insert(0) += i128::from(delta);
+        }
+        reference.retain(|_, v| *v != 0);
+        let mut coalesced: HashMap<u64, i128> = HashMap::new();
+        for_each_coalesced(&updates, |item, delta| {
+            *coalesced.entry(item).or_insert(0) += i128::from(delta);
+        });
+        coalesced.retain(|_, v| *v != 0);
+        assert_eq!(coalesced, reference);
+        // The materialized form carries the same per-item truth (an item
+        // whose slot flushed may legitimately appear more than once).
+        let mut materialized: HashMap<u64, i128> = HashMap::new();
+        for (item, delta) in coalesce_updates(&updates) {
+            assert_ne!(delta, 0, "materialized zero-delta update");
+            *materialized.entry(item).or_insert(0) += i128::from(delta);
+        }
+        materialized.retain(|_, v| *v != 0);
+        assert_eq!(materialized, reference);
+    }
+
     #[test]
     fn coalesce_updates_materializes_the_callback_sequence() {
         // Per-item sums in first-occurrence order; cancelled items dropped.

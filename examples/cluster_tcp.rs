@@ -12,8 +12,13 @@
 //! hostA$ knw-worker --listen 0.0.0.0:7001     # prints `listening on …`
 //! hostB$ knw-worker --listen 0.0.0.0:7001
 //! hostC$ knw-aggregate --transport tcp --connect hostA:7001 \
-//!                      --connect hostB:7001 --estimator knw-f0
+//!                      --connect hostB:7001 --estimator knw-f0 --recover
 //! ```
+//!
+//! The run also demonstrates reconnect-and-replay recovery: one host's
+//! link is severed at the stream's midpoint, and the aggregator rebuilds
+//! the lost shard on a fresh session from its replay journal — the final
+//! estimate is still bit-identical.
 //!
 //! Run this example with:
 //! ```text
@@ -21,7 +26,8 @@
 //! ```
 
 use knw::cluster::{
-    build_f0, serve, F0ClusterAggregator, ServeOptions, SketchSpec, TcpClusterConfig,
+    build_f0, serve, F0ClusterAggregator, RecoveryPolicy, ServeOptions, SketchSpec,
+    TcpClusterConfig,
 };
 use knw::engine::{EngineConfig, RoutingPolicy};
 use std::net::TcpListener;
@@ -29,6 +35,9 @@ use std::net::TcpListener;
 fn main() {
     let workers = 4usize;
     let spec = SketchSpec::f0("knw-f0", 0.05, 1 << 20, 42);
+    // The host that will "fail": its first session is severed mid-stream,
+    // and reconnect-and-replay recovery rebuilds the shard in its second.
+    let failing_host = 1usize;
 
     // A skewed insert-only stream: a small hot set over a large tail.
     let items: Vec<u64> = (0..400_000u64)
@@ -50,9 +59,10 @@ fn main() {
     );
 
     // Bring up one "host" per worker: a listening socket served by the
-    // same loop `knw-worker --listen` runs.  `--once` semantics
-    // (max_sessions = 1) make each host wind down after its session, so
-    // the example exits cleanly.
+    // same loop `knw-worker --listen` runs.  Bounded session counts
+    // (`--sessions` semantics) make each host wind down after its work,
+    // so the example exits cleanly: the failing host serves two sessions
+    // (the severed one plus the recovery reconnect), the rest serve one.
     let mut addrs = Vec::with_capacity(workers);
     let mut hosts = Vec::with_capacity(workers);
     for index in 0..workers {
@@ -60,27 +70,47 @@ fn main() {
         let addr = listener.local_addr().expect("bound address").to_string();
         println!("worker host {index}: listening on {addr}");
         addrs.push(addr);
+        let sessions = if index == failing_host { 2 } else { 1 };
         hosts.push(std::thread::spawn(move || {
-            serve(&listener, &ServeOptions::default().with_max_sessions(1)).expect("serve loop");
+            serve(
+                &listener,
+                &ServeOptions::default().with_max_sessions(sessions),
+            )
+            .expect("serve loop");
         }));
     }
 
     // The aggregator fans out over TCP: hash-affine routing, one shard per
-    // connected host, every frame on a real socket.
-    let config = TcpClusterConfig::new(addrs).with_engine(
-        EngineConfig::new(workers).with_routing(RoutingPolicy::HashAffine { seed: 0 }),
-    );
+    // connected host, every frame on a real socket — and a recovery
+    // policy, so losing a worker mid-stream reconnects and replays the
+    // shard's journal instead of failing the run.
+    let config = TcpClusterConfig::new(addrs)
+        .with_engine(EngineConfig::new(workers).with_routing(RoutingPolicy::HashAffine { seed: 0 }))
+        .with_recovery(RecoveryPolicy::default());
     let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect worker hosts");
-    for chunk in items.chunks(8_192) {
+    let (first, rest) = items.split_at(items.len() / 2);
+    for chunk in first.chunks(8_192) {
         cluster.ingest_batch(chunk);
     }
-    let merged = cluster.finish().expect("clean multi-host run");
+    // Disaster strikes host 1 at the midpoint: its link is severed (the
+    // session dies exactly as if the host had crashed).  The next batch
+    // routed to it triggers reconnect-and-replay — the host's fresh
+    // session receives the full journal and catches up exactly.
+    println!("\nsevering worker host {failing_host} mid-stream … recovery will replay its journal");
+    cluster
+        .kill_worker(failing_host)
+        .expect("sever worker link");
+    for chunk in rest.chunks(8_192) {
+        cluster.ingest_batch(chunk);
+    }
+    let merged = cluster.finish().expect("recovered multi-host run");
     for host in hosts {
         host.join().expect("worker host thread");
     }
 
     // The ground truth of exact mergeability: a single sketch over the
-    // whole stream answers the same, bit for bit.
+    // whole stream answers the same, bit for bit — even though one shard
+    // was rebuilt from scratch by journal replay mid-run.
     let mut single = build_f0(&spec).expect("zoo name");
     single.insert_batch(&items);
     println!("\nmerged-over-tcp estimate : {}", merged.estimate());
@@ -88,7 +118,7 @@ fn main() {
     assert_eq!(
         merged.estimate().to_bits(),
         single.estimate().to_bits(),
-        "socket merge must be bit-identical"
+        "socket merge (with one recovered worker) must be bit-identical"
     );
-    println!("bit-identical            : true");
+    println!("bit-identical            : true (one worker lost and replayed)");
 }
