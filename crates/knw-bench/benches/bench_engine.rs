@@ -43,12 +43,30 @@ const STREAM_LEN: usize = 10_000_000;
 /// `BENCH_engine.json` by the final group.
 static RESULTS: Mutex<Vec<(&'static str, f64, f64)>> = Mutex::new(Vec::new());
 
-/// Times one full ingestion run, prints the human-readable line, and
-/// records `(key, ns/op, Melem/s)` for the JSON report.
+/// Rounds per headline measurement; the fastest round is reported.  The
+/// minimum is the standard robust statistic for throughput benches — every
+/// run carries nonnegative noise (scheduler preemption, cache pollution from
+/// the neighbouring measurements), so the fastest observation is the closest
+/// to the machine's true cost, and it keeps the committed
+/// `BENCH_engine.json` stable enough for CI to diff across PRs.
+const ROUNDS: usize = 3;
+
+/// Times one full ingestion run (best of [`ROUNDS`]), prints the
+/// human-readable line, and records `(key, ns/op, Melem/s)` for the JSON
+/// report.  Each invocation of `f` builds its own sketch/engine/cluster, so
+/// repeating it measures the same cold-start-to-estimate path every round.
 fn time_run(key: &'static str, label: &str, ops: usize, f: &mut dyn FnMut() -> f64) -> Duration {
-    let start = Instant::now();
-    let estimate = f();
-    let elapsed = start.elapsed();
+    let mut elapsed = Duration::MAX;
+    let mut estimate = 0.0;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let round_estimate = f();
+        let round = start.elapsed();
+        if round < elapsed {
+            elapsed = round;
+            estimate = round_estimate;
+        }
+    }
     let throughput = ops as f64 / elapsed.as_secs_f64() / 1e6;
     let ns_per_op = elapsed.as_nanos() as f64 / ops as f64;
     println!("{label:<44} {elapsed:>10.2?}  {throughput:>9.2} Melem/s  (estimate {estimate:.0})");

@@ -46,6 +46,7 @@ use crate::transport::{
 use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator, SketchError};
 use knw_engine::{EngineConfig, Routable, ShardBatcher};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// An update type the cluster can stream: ties the routing-stage contract
 /// ([`Routable`]) to the wire format (payload framing, shard construction,
@@ -62,6 +63,16 @@ pub trait ClusterUpdate: Routable {
     /// `(u64, i64)` update).  Drives the outgoing frame chunking that keeps
     /// every `Batch` frame below [`MAX_FRAME_LEN`].
     const WIRE_BYTES: usize;
+
+    /// The codec's `BatchPayload` variant tag for this update type (0 for
+    /// `Items`, 1 for `Updates`) — what [`encode_batch_frame`] writes where
+    /// the derived serializer would write the enum discriminant.
+    const WIRE_TAG: u32;
+
+    /// Appends this update's fixed-width wire encoding — exactly
+    /// [`WIRE_BYTES`](Self::WIRE_BYTES) little-endian bytes, matching the
+    /// derived serializer — to `out`.
+    fn write_wire(&self, out: &mut Vec<u8>);
 
     /// The stream model tag sent in the `Hello` frame.
     fn mode() -> StreamMode;
@@ -104,6 +115,12 @@ impl ClusterUpdate for u64 {
 
     const WIRE_BYTES: usize = 8;
 
+    const WIRE_TAG: u32 = 0;
+
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
     fn mode() -> StreamMode {
         StreamMode::F0
     }
@@ -137,6 +154,13 @@ impl ClusterUpdate for (u64, i64) {
     type Shard = dyn WireL0Sketch;
 
     const WIRE_BYTES: usize = 16;
+
+    const WIRE_TAG: u32 = 1;
+
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+        out.extend_from_slice(&self.1.to_le_bytes());
+    }
 
     fn mode() -> StreamMode {
         StreamMode::L0
@@ -320,37 +344,62 @@ fn max_updates_per_frame<U: ClusterUpdate>() -> usize {
     (MAX_FRAME_LEN - BATCH_FRAME_OVERHEAD) / U::WIRE_BYTES
 }
 
-/// Ships one routed batch as one or more `Batch` frames, each holding at
-/// most `cap` updates (callers pass [`max_updates_per_frame`]; tests pass
-/// small caps to exercise the splitting).  A batch that fits in one frame
-/// — every routed batch does, `batch_size` sits orders of magnitude below
-/// the cap — is *moved* into the frame: the chunking guard costs the hot
-/// ingestion path no copy.
-fn send_update_batch_capped<U: ClusterUpdate>(
-    conn: &mut dyn WorkerConnection,
-    worker: usize,
-    batch: Vec<U>,
-    cap: usize,
-) -> Result<(), ClusterError> {
-    if batch.len() <= cap.max(1) {
-        return conn
-            .send(&Frame::Batch(U::payload(batch)))
-            .map_err(|e| wire_fault(worker, e));
+/// Encodes one `Batch` frame for `updates` into `buf` (cleared first),
+/// length prefix included — byte-identical to
+/// `write_frame(buf, &Frame::Batch(U::payload(updates.to_vec())))`, pinned
+/// by test.  Writing the fixed-width layout directly means the hot dispatch
+/// path never materializes an owning `Frame` or a payload `Vec`: one reused
+/// buffer carries every outgoing batch.
+fn encode_batch_frame<U: ClusterUpdate>(buf: &mut Vec<u8>, updates: &[U]) {
+    buf.clear();
+    let payload_len = BATCH_FRAME_OVERHEAD + updates.len() * U::WIRE_BYTES;
+    buf.reserve(4 + payload_len);
+    buf.extend_from_slice(
+        &u32::try_from(payload_len)
+            .expect("chunked below MAX_FRAME_LEN")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(&1u32.to_le_bytes()); // Frame::Batch
+    buf.extend_from_slice(&U::WIRE_TAG.to_le_bytes());
+    buf.extend_from_slice(&(updates.len() as u64).to_le_bytes());
+    for update in updates {
+        update.write_wire(buf);
     }
-    for chunk in batch.chunks(cap.max(1)) {
-        conn.send(&Frame::Batch(U::payload(chunk.to_vec())))
-            .map_err(|e| wire_fault(worker, e))?;
-    }
-    Ok(())
 }
 
-/// [`send_update_batch_capped`] at the wire-format frame cap.
-fn send_update_batch<U: ClusterUpdate>(
+/// Ships one routed batch as one or more encoded `Batch` frames, each
+/// holding at most `cap` updates (callers pass [`max_updates_per_frame`];
+/// tests pass small caps to exercise the splitting).  Each chunk is encoded
+/// once into the reused `buf` and sent raw; with a journal attached, the
+/// encoded bytes are journaled (as shared `Arc<[u8]>` frames) *before* the
+/// send, and every chunk of the batch is journaled even after a failed send
+/// — a successful recovery's replay delivers the whole batch, so nothing
+/// here needs re-sending.
+fn send_encoded_batch_capped<U: ClusterUpdate>(
     conn: &mut dyn WorkerConnection,
     worker: usize,
-    batch: Vec<U>,
+    batch: &[U],
+    cap: usize,
+    buf: &mut Vec<u8>,
+    journal: Option<(&mut ShardJournal, usize)>,
 ) -> Result<(), ClusterError> {
-    send_update_batch_capped(conn, worker, batch, max_updates_per_frame::<U>())
+    let cap = cap.max(1);
+    let Some((journal, journal_cap)) = journal else {
+        for chunk in batch.chunks(cap) {
+            encode_batch_frame(buf, chunk);
+            conn.send_raw(buf).map_err(|e| wire_fault(worker, e))?;
+        }
+        return Ok(());
+    };
+    let mut result = Ok(());
+    for chunk in batch.chunks(cap) {
+        encode_batch_frame(buf, chunk);
+        journal.record(Arc::from(buf.as_slice()), chunk.len(), journal_cap);
+        if result.is_ok() {
+            result = conn.send_raw(buf).map_err(|e| wire_fault(worker, e));
+        }
+    }
+    result
 }
 
 /// One shard's replay journal: everything needed to rebuild the shard's
@@ -358,12 +407,18 @@ fn send_update_batch<U: ClusterUpdate>(
 /// acknowledged snapshot (if any) plus every batch routed to the shard
 /// since.  Sound because shard state is a pure fold of its batch stream:
 /// `checkpoint ⊕ fold(batches)` *is* the state, byte for byte.
-struct ShardJournal<U> {
+///
+/// The journal stores *encoded* `Batch` frames (prefix included, shared
+/// with the send path via `Arc`), not update values: replay is a straight
+/// `send_raw` of bytes already proven well-formed, with no re-encoding —
+/// and one journal type serves both stream models.
+struct ShardJournal {
     /// Serialized shard bytes of the last acknowledged snapshot.
     checkpoint: Option<Vec<u8>>,
-    /// Batches dispatched since the checkpoint, in dispatch order.
-    batches: Vec<Vec<U>>,
-    /// Total updates across `batches`.
+    /// Encoded frames dispatched since the checkpoint, in dispatch order,
+    /// each with the number of updates it carries (the cap accounting).
+    frames: Vec<(Arc<[u8]>, usize)>,
+    /// Total updates across `frames`.
     journaled: usize,
     /// The journal exceeded its bound and was discarded; the shard can no
     /// longer be replayed (until the next acknowledged snapshot re-anchors
@@ -371,31 +426,31 @@ struct ShardJournal<U> {
     overflowed: bool,
 }
 
-impl<U: Copy> ShardJournal<U> {
+impl ShardJournal {
     fn new() -> Self {
         Self {
             checkpoint: None,
-            batches: Vec::new(),
+            frames: Vec::new(),
             journaled: 0,
             overflowed: false,
         }
     }
 
-    /// Records one dispatched batch, honouring the journal bound: a batch
-    /// that would push the journal past `cap` discards the journal instead
-    /// (memory stays bounded; a later fault is a typed
-    /// [`ClusterError::JournalOverflow`]).
-    fn record(&mut self, batch: &[U], cap: usize) {
+    /// Records one dispatched frame of `updates` updates, honouring the
+    /// journal bound: a frame that would push the journal past `cap`
+    /// discards the journal instead (memory stays bounded; a later fault is
+    /// a typed [`ClusterError::JournalOverflow`]).
+    fn record(&mut self, frame: Arc<[u8]>, updates: usize, cap: usize) {
         if self.overflowed {
             return;
         }
-        if self.journaled + batch.len() > cap {
+        if self.journaled + updates > cap {
             self.overflowed = true;
-            self.batches = Vec::new();
+            self.frames = Vec::new();
             self.journaled = 0;
         } else {
-            self.journaled += batch.len();
-            self.batches.push(batch.to_vec());
+            self.journaled += updates;
+            self.frames.push((frame, updates));
         }
     }
 
@@ -404,7 +459,7 @@ impl<U: Copy> ShardJournal<U> {
     /// mark) is cleared.
     fn truncate_to_checkpoint(&mut self, bytes: Vec<u8>) {
         self.checkpoint = Some(bytes);
-        self.batches.clear();
+        self.frames.clear();
         self.journaled = 0;
         self.overflowed = false;
     }
@@ -417,10 +472,15 @@ impl<U: Copy> ShardJournal<U> {
 struct LinkSet<'a, U: ClusterUpdate> {
     workers: &'a mut Vec<Box<dyn WorkerConnection>>,
     fault: &'a mut Option<(usize, WorkerFault)>,
-    journals: &'a mut Vec<ShardJournal<U>>,
+    journals: &'a mut Vec<ShardJournal>,
     transport: &'a dyn Transport,
     recovery: Option<RecoveryPolicy>,
     spec: &'a SketchSpec,
+    /// The aggregator's reused frame-encoding buffer (see
+    /// [`encode_batch_frame`]); one allocation amortized over every
+    /// dispatched batch.
+    send_buf: &'a mut Vec<u8>,
+    _update: std::marker::PhantomData<U>,
 }
 
 impl<U: ClusterUpdate> LinkSet<'_, U> {
@@ -436,10 +496,24 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
         if self.fault.is_some() {
             return;
         }
-        if let Some(policy) = self.recovery {
-            self.journals[worker].record(&batch, policy.journal_cap);
+        // An empty batch carries no updates: spend neither a frame nor
+        // journal space on it.
+        if batch.is_empty() {
+            return;
         }
-        if let Err(error) = send_update_batch(self.workers[worker].as_mut(), worker, batch) {
+        let journal = match self.recovery {
+            Some(policy) => Some((&mut self.journals[worker], policy.journal_cap)),
+            None => None,
+        };
+        let result = send_encoded_batch_capped(
+            self.workers[worker].as_mut(),
+            worker,
+            &batch,
+            max_updates_per_frame::<U>(),
+            self.send_buf,
+            journal,
+        );
+        if let Err(error) = result {
             // The failed batch is already in the journal, so a successful
             // recovery's replay delivers it — nothing to re-send here.
             if let Err(error) = self.try_recover(worker, error) {
@@ -509,10 +583,10 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
             conn.send(&Frame::Restore(bytes.clone()))
                 .map_err(|e| wire_fault(worker, e))?;
         }
-        for batch in &journal.batches {
-            // The journal keeps its copy (the replay may run again on a
-            // later fault); the clone is confined to the cold path.
-            send_update_batch(conn.as_mut(), worker, batch.clone())?;
+        for (frame, _) in &journal.frames {
+            // The journal holds ready-to-send encoded frames; replay is a
+            // straight byte copy onto the fresh link, no re-encoding.
+            conn.send_raw(frame).map_err(|e| wire_fault(worker, e))?;
         }
         Ok(conn)
     }
@@ -630,9 +704,12 @@ pub struct ClusterAggregator<U: ClusterUpdate> {
     /// worker fault (the pre-recovery contract).
     recovery: Option<RecoveryPolicy>,
     /// One replay journal per shard (empty when recovery is off).
-    journals: Vec<ShardJournal<U>>,
+    journals: Vec<ShardJournal>,
     /// First worker whose link failed terminally mid-stream, and how.
     fault: Option<(usize, WorkerFault)>,
+    /// Reused frame-encoding buffer for the dispatch path (see
+    /// [`encode_batch_frame`]).
+    send_buf: Vec<u8>,
 }
 
 /// The insert-only (F0) front of [`ClusterAggregator`].
@@ -736,6 +813,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
             recovery,
             journals,
             fault: None,
+            send_buf: Vec::new(),
         })
     }
 
@@ -752,6 +830,8 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
                 transport: self.transport.as_ref(),
                 recovery: self.recovery,
                 spec: &self.spec,
+                send_buf: &mut self.send_buf,
+                _update: std::marker::PhantomData,
             },
         )
     }
@@ -1094,20 +1174,56 @@ mod tests {
         assert!(BATCH_FRAME_OVERHEAD + (l0_cap + 1) * 16 > MAX_FRAME_LEN);
     }
 
+    /// The hand-rolled encoder produces, byte for byte, what the codec's
+    /// `write_frame` produces for the same batch — the law that lets the
+    /// dispatch path skip `Frame` construction entirely, for both stream
+    /// models, including the empty batch and sign-extreme values.
+    #[test]
+    fn encoded_batch_frames_are_byte_identical_to_the_codec() {
+        use crate::frame::write_frame;
+        let mut buf = Vec::new();
+        for n in [0usize, 1, 3, 100] {
+            let items: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .chain((n > 0).then_some(u64::MAX))
+                .collect();
+            encode_batch_frame(&mut buf, &items);
+            let mut reference = Vec::new();
+            write_frame(&mut reference, &Frame::Batch(BatchPayload::Items(items))).expect("write");
+            assert_eq!(buf, reference, "Items({n})");
+
+            let updates: Vec<(u64, i64)> = (0..n as u64)
+                .map(|i| (i, -(i as i64) - 1))
+                .chain((n > 0).then_some((u64::MAX, i64::MIN)))
+                .collect();
+            encode_batch_frame(&mut buf, &updates);
+            let mut reference = Vec::new();
+            write_frame(
+                &mut reference,
+                &Frame::Batch(BatchPayload::Updates(updates)),
+            )
+            .expect("write");
+            assert_eq!(buf, reference, "Updates({n})");
+        }
+    }
+
     /// Splitting behaviour at the cap: `cap` updates are one frame, `cap +
     /// 1` are two (the second carrying the single overflow update), and the
-    /// concatenation preserves the update sequence exactly.
+    /// concatenation preserves the update sequence exactly.  The recording
+    /// double observes *decoded* frames through `send_raw`'s default
+    /// decode-and-delegate, so this also exercises that round trip.
     #[test]
     fn oversized_batches_are_chunked_at_the_send_boundary() {
         let frames = Arc::new(Mutex::new(Vec::new()));
         let mut conn = RecordingConnection {
             frames: Arc::clone(&frames),
         };
+        let mut buf = Vec::new();
         let cap = 5usize; // small injected cap; the arithmetic test pins the real one
         let batch: Vec<u64> = (0..cap as u64).collect();
-        send_update_batch_capped(&mut conn, 0, batch, cap).expect("send");
+        send_encoded_batch_capped(&mut conn, 0, &batch, cap, &mut buf, None).expect("send");
         let batch: Vec<u64> = (0..cap as u64 + 1).collect();
-        send_update_batch_capped(&mut conn, 0, batch, cap).expect("send");
+        send_encoded_batch_capped(&mut conn, 0, &batch, cap, &mut buf, None).expect("send");
         let frames = frames.lock().expect("frames lock");
         let lens: Vec<usize> = frames
             .iter()
@@ -1127,28 +1243,74 @@ mod tests {
         assert_eq!(replayed, (0..cap as u64 + 1).collect::<Vec<_>>());
     }
 
-    /// The journal records batches up to its cap, discards itself on
+    /// An empty routed batch must not reach the wire (or the journal): no
+    /// frame is emitted for it, while a following non-empty batch flows
+    /// normally.
+    #[test]
+    fn empty_batches_emit_no_frame_and_journal_nothing() {
+        let frames = Arc::new(Mutex::new(Vec::new()));
+        let mut workers: Vec<Box<dyn WorkerConnection>> = vec![Box::new(RecordingConnection {
+            frames: Arc::clone(&frames),
+        })];
+        let mut fault = None;
+        let mut journals = vec![ShardJournal::new()];
+        let mut send_buf = Vec::new();
+        let transport = PipeTransport::new("unused");
+        let spec = SketchSpec::f0("knw-f0", 0.25, 1 << 20, 7);
+        let mut links: LinkSet<'_, u64> = LinkSet {
+            workers: &mut workers,
+            fault: &mut fault,
+            journals: &mut journals,
+            transport: &transport,
+            recovery: Some(RecoveryPolicy::default()),
+            spec: &spec,
+            send_buf: &mut send_buf,
+            _update: std::marker::PhantomData,
+        };
+        links.dispatch(0, Vec::new());
+        links.dispatch(0, vec![42]);
+        let frames = frames.lock().expect("frames lock");
+        assert_eq!(frames.len(), 1, "only the non-empty batch is framed");
+        assert_eq!(
+            *frames.first().expect("one frame"),
+            Frame::Batch(BatchPayload::Items(vec![42]))
+        );
+        assert_eq!(journals[0].frames.len(), 1, "empty batch journals nothing");
+        assert_eq!(journals[0].journaled, 1);
+    }
+
+    /// The journal records frames up to its update cap, discards itself on
     /// overflow, and re-anchors (clearing the overflow) on a checkpoint.
     #[test]
     fn journal_caps_and_checkpoints() {
-        let mut journal: ShardJournal<u64> = ShardJournal::new();
-        journal.record(&[1, 2, 3], 5);
+        let frame_of = |items: &[u64]| -> Arc<[u8]> {
+            let mut buf = Vec::new();
+            encode_batch_frame(&mut buf, items);
+            buf.into()
+        };
+        let mut journal = ShardJournal::new();
+        journal.record(frame_of(&[1, 2, 3]), 3, 5);
         assert_eq!(journal.journaled, 3);
         assert!(!journal.overflowed);
-        // 3 + 3 > 5: the journal overflows and frees its batches.
-        journal.record(&[4, 5, 6], 5);
+        // 3 + 3 > 5: the journal overflows and frees its frames.
+        journal.record(frame_of(&[4, 5, 6]), 3, 5);
         assert!(journal.overflowed);
-        assert!(journal.batches.is_empty());
+        assert!(journal.frames.is_empty());
         assert_eq!(journal.journaled, 0);
-        // Further batches are not accumulated while overflowed.
-        journal.record(&[7], 5);
-        assert!(journal.batches.is_empty());
+        // Further frames are not accumulated while overflowed.
+        journal.record(frame_of(&[7]), 1, 5);
+        assert!(journal.frames.is_empty());
         // A checkpoint re-anchors and re-arms the journal.
         journal.truncate_to_checkpoint(vec![0xAB]);
         assert!(!journal.overflowed);
         assert_eq!(journal.checkpoint.as_deref(), Some(&[0xAB][..]));
-        journal.record(&[8, 9], 5);
+        journal.record(frame_of(&[8, 9]), 2, 5);
         assert_eq!(journal.journaled, 2);
-        assert_eq!(journal.batches, vec![vec![8, 9]]);
+        assert_eq!(journal.frames.len(), 1);
+        assert_eq!(
+            journal.frames[0].0.as_ref(),
+            frame_of(&[8, 9]).as_ref(),
+            "the journal holds the encoded frame bytes"
+        );
     }
 }

@@ -278,6 +278,123 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
         .map_err(|e| WireError::Codec(e.to_string()))
 }
 
+/// Reusable scratch for the allocation-free frame reader
+/// ([`read_frame_into`]): the payload byte buffer plus decoded-batch
+/// vectors, all retained (and regrown at most once) across reads.  One
+/// `FrameBuf` per connection; the borrowed [`FrameView`] a read returns is
+/// invalidated by the next read (the borrow checker enforces this).
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    payload: Vec<u8>,
+    items: Vec<u64>,
+    updates: Vec<(u64, i64)>,
+}
+
+impl FrameBuf {
+    /// Creates an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One decoded frame from [`read_frame_into`]; batch contents borrow the
+/// [`FrameBuf`] scratch instead of allocating per frame.
+#[derive(Debug, PartialEq)]
+pub enum FrameView<'a> {
+    /// A `Batch(Items(…))` frame, decoded into the scratch.
+    Items(&'a [u64]),
+    /// A `Batch(Updates(…))` frame, decoded into the scratch.
+    Updates(&'a [(u64, i64)]),
+    /// Any other frame, decoded through the owning codec path (control
+    /// frames are rare and small; only batches are worth borrowing).
+    Owned(Frame),
+}
+
+/// Reads one length-prefixed frame without per-frame allocation.
+///
+/// Behaves exactly like [`read_frame`] — same clean-EOF contract, same
+/// typed errors for the same malformed inputs — but `Batch` payloads are
+/// decoded into `buf`'s retained vectors and returned as borrowed
+/// [`FrameView::Items`] / [`FrameView::Updates`] slices; every other frame
+/// comes back as [`FrameView::Owned`].  The hot ingest loop of a worker is
+/// a long run of `Batch` frames, so after warmup this path performs no
+/// allocation at all.
+///
+/// A batch whose bytes deviate in any way from the strict encoding
+/// (length prefix not exactly covering the declared element count) falls
+/// back to the owning codec so error text stays identical to
+/// [`read_frame`].
+///
+/// # Errors
+///
+/// Exactly those of [`read_frame`].
+pub fn read_frame_into<'a>(
+    reader: &mut impl Read,
+    buf: &'a mut FrameBuf,
+) -> Result<Option<FrameView<'a>>, WireError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(reader, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Partial => return Err(WireError::Truncated),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized {
+            declared: len as u64,
+        });
+    }
+    buf.payload.clear();
+    buf.payload.resize(len, 0);
+    match read_exact_or_eof(reader, &mut buf.payload)? {
+        ReadOutcome::Full => {}
+        _ => return Err(WireError::Truncated),
+    }
+    // Fast path: a strictly well-formed `Batch` frame.  Layout (all LE):
+    // [0..4) Frame variant 1 = Batch, [4..8) payload variant (0 = Items,
+    // 1 = Updates), [8..16) element count u64, then count × stride bytes.
+    if len >= 16 && buf.payload[..4] == [1, 0, 0, 0] {
+        let tag = u32::from_le_bytes(buf.payload[4..8].try_into().expect("4 bytes"));
+        let count_bytes: [u8; 8] = buf.payload[8..16].try_into().expect("8 bytes");
+        let count = u64::from_le_bytes(count_bytes) as usize;
+        let stride: usize = match tag {
+            0 => 8,
+            1 => 16,
+            _ => 0,
+        };
+        let strict_len = count
+            .checked_mul(stride)
+            .and_then(|body| body.checked_add(16));
+        if stride != 0 && strict_len == Some(len) {
+            let body = &buf.payload[16..];
+            match tag {
+                0 => {
+                    buf.items.clear();
+                    buf.items.extend(
+                        body.chunks_exact(8)
+                            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+                    );
+                    return Ok(Some(FrameView::Items(&buf.items)));
+                }
+                _ => {
+                    buf.updates.clear();
+                    buf.updates.extend(body.chunks_exact(16).map(|c| {
+                        (
+                            u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                            i64::from_le_bytes(c[8..].try_into().expect("8 bytes")),
+                        )
+                    }));
+                    return Ok(Some(FrameView::Updates(&buf.updates)));
+                }
+            }
+        }
+    }
+    serde::from_bytes::<Frame>(&buf.payload)
+        .map(|frame| Some(FrameView::Owned(frame)))
+        .map_err(|e| WireError::Codec(e.to_string()))
+}
+
 enum ReadOutcome {
     Full,
     CleanEof,
@@ -457,5 +574,79 @@ mod tests {
         let wire = [5u8, 0, 0, 0, 3, 0, 0, 0, 9];
         let mut reader = wire.as_slice();
         assert!(matches!(read_frame(&mut reader), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn borrowed_reader_agrees_with_owning_reader_on_every_frame_kind() {
+        let frames = [
+            Frame::Hello(HelloConfig {
+                worker_index: 1,
+                spec: SketchSpec::f0("knw-f0", 0.1, 1 << 20, 42),
+            }),
+            Frame::Batch(BatchPayload::Items(vec![])),
+            Frame::Batch(BatchPayload::Items(vec![1, 2, u64::MAX])),
+            Frame::Batch(BatchPayload::Updates(vec![(7, -2), (9, i64::MIN)])),
+            Frame::Snapshot,
+            Frame::Finish,
+            Frame::Shard(vec![0xAB; 100]),
+            Frame::Err("boom".into()),
+            Frame::Restore(vec![1, 2, 3]),
+            Frame::Register("h:1".into()),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).expect("write");
+        }
+        // One scratch across the whole stream, as the worker loop uses it.
+        let mut buf = FrameBuf::new();
+        let mut reader = wire.as_slice();
+        for frame in &frames {
+            let view = read_frame_into(&mut reader, &mut buf)
+                .expect("read")
+                .expect("a frame");
+            match (frame, view) {
+                (Frame::Batch(BatchPayload::Items(v)), FrameView::Items(s)) => {
+                    assert_eq!(v.as_slice(), s);
+                }
+                (Frame::Batch(BatchPayload::Updates(v)), FrameView::Updates(s)) => {
+                    assert_eq!(v.as_slice(), s);
+                }
+                (expected, FrameView::Owned(got)) => assert_eq!(expected, &got),
+                (expected, got) => panic!("{} decoded as {got:?}", expected.kind()),
+            }
+        }
+        assert!(read_frame_into(&mut reader, &mut buf)
+            .expect("clean eof")
+            .is_none());
+    }
+
+    #[test]
+    fn borrowed_reader_reports_the_same_errors_as_the_owning_reader() {
+        // Malformed batch: length prefix covers one byte more than the
+        // declared element count — the fast path must decline and the
+        // fallback must produce the owning reader's codec error.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Batch(BatchPayload::Items(vec![5]))).expect("write");
+        wire.push(0); // payload grows by one byte…
+        wire[0] += 1; // …and the prefix covers it
+        let owning_err = read_frame(&mut wire.as_slice()).expect_err("owning rejects");
+        let mut buf = FrameBuf::new();
+        let borrowed_err =
+            read_frame_into(&mut wire.as_slice(), &mut buf).expect_err("borrowed rejects");
+        assert_eq!(owning_err.to_string(), borrowed_err.to_string());
+
+        // Truncation and oversized prefixes behave identically too.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, &Frame::Batch(BatchPayload::Items(vec![5]))).expect("write");
+        truncated.pop();
+        assert!(matches!(
+            read_frame_into(&mut truncated.as_slice(), &mut buf),
+            Err(WireError::Truncated)
+        ));
+        let oversized = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame_into(&mut oversized.as_slice(), &mut buf),
+            Err(WireError::Oversized { .. })
+        ));
     }
 }

@@ -73,6 +73,33 @@
 //! [`knw_core::coalesce`]) before the shard split, cutting wire traffic
 //! and restoring the coalescing window the split would otherwise dilute.
 //!
+//! # The zero-copy wire path
+//!
+//! `Batch` frames dominate the wire traffic, and both ends handle them
+//! without per-frame allocation:
+//!
+//! * **Sending** ([`aggregator`]): each routed batch is encoded once into
+//!   a buffer the aggregator reuses across every send (the fixed-width
+//!   layout is written directly; no owning [`Frame`] or payload `Vec` is
+//!   built) and handed to the link as raw bytes
+//!   ([`WorkerConnection::send_raw`]).  With recovery enabled, the replay
+//!   journal shares the *encoded* frame bytes as `Arc<[u8]>` — replay
+//!   re-sends them verbatim, with no re-encoding.
+//! * **Receiving** ([`worker`]): the ingest loop decodes frames with
+//!   [`read_frame_into`] into a per-connection [`FrameBuf`], yielding a
+//!   [`FrameView`] whose batch contents *borrow* the scratch buffer.
+//!
+//! The ownership rules of the borrowed decode: a [`FrameView`] borrows its
+//! [`FrameBuf`] until dropped, so each view must be fully consumed (the
+//! batch applied to the shard sketch) before the next
+//! [`read_frame_into`] call reuses the scratch — the borrow checker
+//! enforces exactly this.  A caller that needs a frame to outlive the next
+//! read must copy the borrowed slice out (or use the owning
+//! [`read_frame`], which allocates per frame).  Non-batch frames are rare
+//! control traffic and arrive as [`FrameView::Owned`]; strictness is
+//! unchanged — bytes a borrowing decode rejects are rejected with the
+//! same error the owning decode reports.
+//!
 //! # Failure model & recovery
 //!
 //! A worker crash is detected at the link (broken write, EOF where a
@@ -154,8 +181,8 @@ pub use aggregator::{
 };
 pub use error::ClusterError;
 pub use frame::{
-    read_frame, write_frame, BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError,
-    MAX_FRAME_LEN,
+    read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf, FrameView,
+    HelloConfig, SketchSpec, StreamMode, WireError, MAX_FRAME_LEN,
 };
 pub use recovery::{
     register_worker, RecoveryPolicy, WorkerRegistry, DEFAULT_BACKOFF, DEFAULT_JOURNAL_CAP,

@@ -65,6 +65,26 @@ pub trait WorkerConnection: Send {
     /// The wire-level failure; the caller attributes it to a worker index.
     fn send(&mut self, frame: &Frame) -> Result<(), WireError>;
 
+    /// Writes one *pre-encoded* frame — length prefix included, exactly as
+    /// [`write_frame`] would lay it out — and flushes it.  This is the
+    /// aggregator's zero-copy dispatch path: the hot loop encodes each
+    /// `Batch` frame once into a reused buffer and hands the bytes straight
+    /// to the link, so neither an owning `Frame` nor a fresh payload `Vec`
+    /// exists per send.  The default implementation decodes the bytes and
+    /// delegates to [`send`](Self::send), so connection doubles that only
+    /// observe decoded frames keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The wire-level failure; the caller attributes it to a worker index.
+    fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut reader = bytes;
+        match read_frame(&mut reader)? {
+            Some(frame) => self.send(&frame),
+            None => Ok(()),
+        }
+    }
+
     /// Reads the worker's next frame (`Ok(None)` on clean end of stream).
     ///
     /// # Errors
@@ -284,6 +304,15 @@ impl WorkerConnection for PipeConnection {
             return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
         };
         write_frame(stdin, frame)?;
+        stdin.flush()?;
+        Ok(())
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let Some(stdin) = self.stdin.as_mut() else {
+            return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
+        };
+        stdin.write_all(bytes)?;
         stdin.flush()?;
         Ok(())
     }
@@ -550,6 +579,15 @@ impl WorkerConnection for TcpConnection {
             return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
         }
         write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if !self.write_open {
+            return Err(WireError::Io(std::io::ErrorKind::BrokenPipe.into()));
+        }
+        self.writer.write_all(bytes)?;
         self.writer.flush()?;
         Ok(())
     }

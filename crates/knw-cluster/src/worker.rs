@@ -24,7 +24,8 @@
 //! and process supervisors see the crash.
 
 use crate::frame::{
-    read_frame, write_frame, BatchPayload, Frame, SketchSpec, StreamMode, WireError,
+    read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf, FrameView, SketchSpec,
+    StreamMode, WireError,
 };
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
@@ -40,20 +41,32 @@ enum ShardState {
 
 impl ShardState {
     fn apply(&mut self, payload: &BatchPayload) -> Result<(), String> {
-        match (self, payload) {
-            (ShardState::F0(sketch), BatchPayload::Items(items)) => {
+        match payload {
+            BatchPayload::Items(items) => self.apply_items(items),
+            BatchPayload::Updates(updates) => self.apply_updates(updates),
+        }
+    }
+
+    fn apply_items(&mut self, items: &[u64]) -> Result<(), String> {
+        match self {
+            ShardState::F0(sketch) => {
                 sketch.insert_batch(items);
                 Ok(())
             }
-            (ShardState::L0(sketch), BatchPayload::Updates(updates)) => {
+            ShardState::L0(_) => {
+                Err("stream-model mismatch: insert-only batch sent to an L0 worker".into())
+            }
+        }
+    }
+
+    fn apply_updates(&mut self, updates: &[(u64, i64)]) -> Result<(), String> {
+        match self {
+            ShardState::L0(sketch) => {
                 sketch.update_batch(updates);
                 Ok(())
             }
-            (ShardState::F0(_), BatchPayload::Updates(_)) => {
+            ShardState::F0(_) => {
                 Err("stream-model mismatch: turnstile batch sent to an F0 worker".into())
-            }
-            (ShardState::L0(_), BatchPayload::Items(_)) => {
-                Err("stream-model mismatch: insert-only batch sent to an L0 worker".into())
             }
         }
     }
@@ -124,17 +137,33 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
         },
     };
 
-    // Ingest loop.
+    // Ingest loop.  Batches — the hot path — are decoded through the
+    // borrowed reader into one retained scratch, so a long stream performs
+    // no per-frame allocation on the worker side; control frames arrive as
+    // owned values exactly as before.
+    let mut buf = FrameBuf::new();
     let mut ingested = false;
     loop {
-        match read_frame(input) {
-            Ok(Some(Frame::Batch(payload))) => {
+        match read_frame_into(input, &mut buf) {
+            Ok(Some(FrameView::Items(items))) => {
+                ingested = true;
+                if let Err(message) = state.apply_items(items) {
+                    return report(output, message);
+                }
+            }
+            Ok(Some(FrameView::Updates(updates))) => {
+                ingested = true;
+                if let Err(message) = state.apply_updates(updates) {
+                    return report(output, message);
+                }
+            }
+            Ok(Some(FrameView::Owned(Frame::Batch(payload)))) => {
                 ingested = true;
                 if let Err(message) = state.apply(&payload) {
                     return report(output, message);
                 }
             }
-            Ok(Some(Frame::Restore(bytes))) => {
+            Ok(Some(FrameView::Owned(Frame::Restore(bytes)))) => {
                 // The recovery prologue: only valid on a fresh session —
                 // replacing state that already absorbed batches would
                 // silently drop them.
@@ -148,16 +177,16 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
                     return report(output, message);
                 }
             }
-            Ok(Some(Frame::Snapshot)) => {
+            Ok(Some(FrameView::Owned(Frame::Snapshot))) => {
                 if let Err(e) = send_shard(output, &state) {
                     return Err(format!("failed to send snapshot shard: {e}"));
                 }
             }
-            Ok(Some(Frame::Finish)) => {
+            Ok(Some(FrameView::Owned(Frame::Finish))) => {
                 return send_shard(output, &state)
                     .map_err(|e| format!("failed to send final shard: {e}"));
             }
-            Ok(Some(other)) => {
+            Ok(Some(FrameView::Owned(other))) => {
                 return report(
                     output,
                     format!(

@@ -56,9 +56,10 @@ use crate::small_f0::{SmallF0Estimate, SmallF0Estimator};
 use knw_hash::bits::{ceil_log2, lsb_with_cap};
 use knw_hash::kwise::independence_for;
 use knw_hash::pairwise::PairwiseHash;
+use knw_hash::prime_field::Mersenne61;
 use knw_hash::rng::{Rng64, SplitMix64};
 use knw_hash::uniform::BucketHash;
-use knw_hash::SpaceUsage;
+use knw_hash::{SpaceUsage, LANES};
 use knw_vla::{SpaceUsage as VlaSpaceUsage, Vla};
 
 /// The paper's subsampling divisor: `b = max(0, est − log(K/32))`.
@@ -326,10 +327,95 @@ impl KnwF0Sketch {
     /// (inside [`react_to_rough`](Self::react_to_rough)) and once at batch
     /// end observes the same maxima, leaving the sticky
     /// [`failed`](Self::failed) flag in the same state.
+    ///
+    /// Items are consumed in eight-lane blocks ([`LANES`]): all
+    /// state-independent hashing — the main level hash `h1` and every rough
+    /// sub-estimator level hash — runs through the batched kernels
+    /// (`hash_batch`), and only the per-item reactions (counter writes,
+    /// bucket hashes of surviving items, rebases) stay scalar.  Under the
+    /// `simd` cargo feature the batched kernels are the unrolled eight-lane
+    /// versions; either way the kernels are bit-identical to per-key hashing
+    /// (the knw-hash contract), levels are pure functions of the item, and
+    /// each item's filter still reads the *current* base — which may move
+    /// mid-block via `react_to_rough` — so the resulting sketch state is
+    /// bit-identical to the per-item path in both configurations.
     pub fn insert_batch(&mut self, items: &[u64]) {
         self.updates += items.len() as u64;
         let small_active = !self.small.large_certified();
-        for &item in items {
+        // Loop-invariant level-filter parameters, held in locals so the hot
+        // loop touches no heap state: the (copyable) level hashes and the
+        // pruning-threshold filter masks, refreshed whenever a survivor may
+        // have moved them.
+        let h1 = self.h1;
+        let main_mask = h1.range() - 1;
+        let mut rough_params = self.rough.level_filter_params();
+        let mut chunks = items.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            let lanes: &[u64; LANES] = chunk.try_into().expect("chunk has LANES items");
+            // All four level hashes (main `h1` plus three rough subs) share
+            // one field normalization of the keys — `hash(x)` reduces its
+            // input before the multiply-add, so pre-reducing is identical.
+            let reduced = Mersenne61::reduce_batch(lanes);
+
+            // Survivor filter: a lane below every rough pruning threshold
+            // *and* below the main base can touch no counter, so the whole
+            // per-lane reaction is skipped.  Deciding with thresholds that
+            // may lag the live state is exact because both only grow
+            // (`min_stored` per sub-estimator since counters never shrink,
+            // and `base` via the monotone `est` in `react_to_rough`): a
+            // lane dead under a stale threshold is dead under the current
+            // one too.  In steady state `base ≈ log F0 − log(K/32)` kills
+            // all eight lanes of almost every chunk, which is what makes
+            // batched ingestion cheaper than the per-item pruned path
+            // rather than merely equal to it.
+            // `lsb ≥ t ⟺ x mod 2^t = 0`, so each threshold comparison is an
+            // AND against a precomputed filter mask and a zero test — no
+            // level extraction in the filter at all.
+            // The fused zero-mask keeps each hash value in a register
+            // instead of materializing four `[u64; LANES]` arrays.
+            let mut live = 0u32;
+            for (sub_h1, filter) in &rough_params {
+                live |= sub_h1.hash_zero_mask_prereduced(&reduced, *filter);
+            }
+            let base_filter = main_mask & ((1u64 << self.base) - 1);
+            live |= h1.hash_zero_mask_prereduced(&reduced, base_filter);
+            if live == 0 && !small_active {
+                continue;
+            }
+
+            // Survivors take the per-item pruned path verbatim (its level
+            // hashes recompute what the filter already proved interesting —
+            // a vanishing fraction of items), so the state transition is the
+            // per-item one by construction.
+            for (lane, &item) in chunk.iter().enumerate() {
+                if !small_active && live & (1 << lane) == 0 {
+                    continue;
+                }
+                let rough_changed = self.rough.insert_tracked_pruned(item);
+                if rough_changed {
+                    self.rough_cached = self.rough.estimate();
+                }
+                if small_active {
+                    self.small.insert(item);
+                }
+
+                let level = i64::from(lsb_with_cap(self.h1.hash(item), self.log_n));
+                self.apply_main_level(item, level);
+
+                // React *after* the write, as the per-item path does, so the
+                // pre-rebase guard check inside `react_to_rough` observes this
+                // item's write at the old base.  Reacting only on rough
+                // changes is equivalent to reacting every item: between
+                // changes the reaction recomputes the same `est` and leaves
+                // the base untouched.
+                if rough_changed {
+                    self.react_to_rough();
+                }
+            }
+            // Counters may have grown; pick up the new thresholds.
+            rough_params = self.rough.level_filter_params();
+        }
+        for &item in chunks.remainder() {
             let rough_changed = self.rough.insert_tracked_pruned(item);
             if rough_changed {
                 self.rough_cached = self.rough.estimate();
@@ -337,35 +423,36 @@ impl KnwF0Sketch {
             if small_active {
                 self.small.insert(item);
             }
-
             let level = i64::from(lsb_with_cap(self.h1.hash(item), self.log_n));
-            let offset = level - i64::from(self.base);
-            if offset >= 0 {
-                let bucket = self.h3.hash(self.h2.hash(item)) as usize;
-                let current = self.counters.read(bucket) as i64 - 1;
-                let new = current.max(offset);
-                if new != current {
-                    self.a_bits =
-                        self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
-                    if current < 0 && new >= 0 {
-                        self.occupied += 1;
-                    }
-                    self.counters.write(bucket, (new + 1) as u64);
-                }
-            }
-
-            // React *after* the write, as the per-item path does, so the
-            // pre-rebase guard check inside `react_to_rough` observes this
-            // item's write at the old base.  Reacting only on rough changes
-            // is equivalent to reacting every item: between changes the
-            // reaction recomputes the same `est` and leaves the base
-            // untouched.
+            self.apply_main_level(item, level);
             if rough_changed {
                 self.react_to_rough();
             }
         }
         if self.a_bits > 3 * self.k {
             self.failed = true;
+        }
+    }
+
+    /// The main-sketch half of one item's update given its precomputed level:
+    /// the base filter, and for survivors the bucket hashes and counter
+    /// write.  The FAIL guard is the caller's responsibility (per-write for
+    /// [`insert`](Self::insert), pre-rebase/batch-end for
+    /// [`insert_batch`](Self::insert_batch)).
+    #[inline]
+    fn apply_main_level(&mut self, item: u64, level: i64) {
+        let offset = level - i64::from(self.base);
+        if offset >= 0 {
+            let bucket = self.h3.hash(self.h2.hash(item)) as usize;
+            let current = self.counters.read(bucket) as i64 - 1;
+            let new = current.max(offset);
+            if new != current {
+                self.a_bits = self.a_bits + Self::counter_cost(new) - Self::counter_cost(current);
+                if current < 0 && new >= 0 {
+                    self.occupied += 1;
+                }
+                self.counters.write(bucket, (new + 1) as u64);
+            }
         }
     }
 

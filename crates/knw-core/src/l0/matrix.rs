@@ -24,7 +24,7 @@ use knw_hash::prime_field::DynField;
 use knw_hash::primes::random_prime_in_range;
 use knw_hash::rng::{Rng64, SplitMix64};
 use knw_hash::uniform::{BucketHash, HashStrategy};
-use knw_hash::SpaceUsage;
+use knw_hash::{SpaceUsage, LANES};
 
 /// The Lemma 6 counter matrix plus the hash functions that address it.
 #[derive(Debug, Clone)]
@@ -124,7 +124,41 @@ impl L0Matrix {
         let row = lsb_with_cap(self.h1.hash(item), self.log_n) as usize;
         let compressed = self.h2.hash(item);
         let col = self.h3.hash(compressed) as usize;
-        let salt = self.salts[self.h4.hash(compressed) as usize];
+        let salt_idx = self.h4.hash(compressed) as usize;
+        self.apply_cell(row, col, salt_idx, delta);
+    }
+
+    /// Applies a batch of updates.  All four addressing hashes (`h1`, `h2`,
+    /// `h3`, `h4`) are pure functions of the item, so eight-lane blocks are
+    /// pre-hashed through the batched kernels (unrolled under the `simd`
+    /// cargo feature, bit-identical either way) and the field arithmetic on
+    /// the addressed cells is applied per lane in order — bit-identical to
+    /// per-item [`update`](Self::update) calls.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        let mut chunks = updates.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            let mut lanes = [0u64; LANES];
+            for (lane, &(item, _)) in lanes.iter_mut().zip(chunk) {
+                *lane = item;
+            }
+            let rows = self.h1.hash_batch(&lanes);
+            let compressed = self.h2.hash_batch(&lanes);
+            let cols = self.h3.hash_batch(&compressed);
+            let salt_idxs = self.h4.hash_batch(&compressed);
+            for (lane, &(_, delta)) in chunk.iter().enumerate() {
+                let row = lsb_with_cap(rows[lane], self.log_n) as usize;
+                self.apply_cell(row, cols[lane] as usize, salt_idxs[lane] as usize, delta);
+            }
+        }
+        for &(item, delta) in chunks.remainder() {
+            self.update(item, delta);
+        }
+    }
+
+    /// The state-mutating half of one update, given the addressed cell.
+    #[inline]
+    fn apply_cell(&mut self, row: usize, col: usize, salt_idx: usize, delta: i64) {
+        let salt = self.salts[salt_idx];
         let contribution = self.field.mul(self.field.reduce_i64(delta), salt);
         let idx = row * self.k as usize + col;
         let old = self.counters[idx];

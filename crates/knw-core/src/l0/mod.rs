@@ -86,7 +86,35 @@ impl MidRangeRow {
     fn update(&mut self, item: u64, delta: i64) {
         let compressed = self.h2.hash(item);
         let col = self.h3.hash(compressed) as usize;
-        let salt = self.salts[self.h4.hash(compressed) as usize];
+        let salt_idx = self.h4.hash(compressed) as usize;
+        self.apply_col(col, salt_idx, delta);
+    }
+
+    /// Batched [`update`](Self::update): the addressing hashes are pure, so
+    /// eight-lane blocks go through the batched kernels (bit-identical to
+    /// per-key hashing) and the field arithmetic is applied per lane in order.
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        let mut chunks = updates.chunks_exact(knw_hash::LANES);
+        for chunk in chunks.by_ref() {
+            let mut lanes = [0u64; knw_hash::LANES];
+            for (lane, &(item, _)) in lanes.iter_mut().zip(chunk) {
+                *lane = item;
+            }
+            let compressed = self.h2.hash_batch(&lanes);
+            let cols = self.h3.hash_batch(&compressed);
+            let salt_idxs = self.h4.hash_batch(&compressed);
+            for (lane, &(_, delta)) in chunk.iter().enumerate() {
+                self.apply_col(cols[lane] as usize, salt_idxs[lane] as usize, delta);
+            }
+        }
+        for &(item, delta) in chunks.remainder() {
+            self.update(item, delta);
+        }
+    }
+
+    #[inline]
+    fn apply_col(&mut self, col: usize, salt_idx: usize, delta: i64) {
+        let salt = self.salts[salt_idx];
         let contribution = self.field.mul(self.field.reduce_i64(delta), salt);
         let old = self.counters[col];
         let new = self.field.add(old, contribution);
@@ -217,6 +245,14 @@ impl KnwL0Sketch {
     /// The update counter counts nonzero-delta *input* updates, exactly as
     /// the per-item path does, regardless of how many component passes the
     /// coalescing saves.
+    ///
+    /// The coalesced sequence is materialized once and fed to each component
+    /// separately: the counter matrix and the mid-range row consume it
+    /// through their eight-lane batched paths (unrolled hash kernels under
+    /// the `simd` cargo feature, bit-identical either way), while the rough
+    /// oracle and the exact structure take it per item.  The four components
+    /// share no state, so per-component passes over the same sequence leave
+    /// the sketch bit-identical to the interleaved per-item run.
     pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
         if updates.len() < crate::coalesce::COALESCE_MIN_BATCH {
             for &(item, delta) in updates {
@@ -229,7 +265,13 @@ impl KnwL0Sketch {
             return;
         }
         self.updates += updates.iter().filter(|&&(_, delta)| delta != 0).count() as u64;
-        crate::coalesce::for_each_coalesced(updates, |item, delta| self.apply(item, delta));
+        let coalesced = crate::coalesce::coalesce_updates(updates);
+        self.matrix.update_batch(&coalesced);
+        self.mid.update_batch(&coalesced);
+        for &(item, delta) in &coalesced {
+            self.rough.update(item, delta);
+            self.exact.update(item, delta);
+        }
     }
 
     #[inline]

@@ -260,6 +260,38 @@ impl RoughEstimator {
         changed
     }
 
+    /// Snapshot of each sub-estimator's level-filter parameters: its
+    /// (copyable) level hash, and the *filter mask* derived from its current
+    /// pruning threshold — `universe_mask & (2^min_stored − 1)`.
+    ///
+    /// An item's level clears the threshold iff the low `min_stored` bits of
+    /// its range-reduced hash are all zero (`lsb ≥ t ⟺ x mod 2^t = 0`), so
+    /// the batch path tests a whole lane with one AND-and-compare instead of
+    /// extracting the level.  The test is exact for `min_stored ≤ log n`;
+    /// for the boundary `min_stored = log n + 1` (every counter at its
+    /// maximum) a masked-to-zero hash is a false *positive* — harmless,
+    /// because flagged lanes re-run the exact per-item pruned path.
+    ///
+    /// The batch ingestion path keeps this snapshot in locals so its hot
+    /// loop never touches the `subs` heap allocation: an item rejected by a
+    /// *stale* threshold can be skipped outright, because thresholds only
+    /// grow (counters never shrink) — the item would be pruned by
+    /// [`insert_tracked_pruned`](Self::insert_tracked_pruned) under any
+    /// later state too, making the skip bit-identical.  Callers refresh the
+    /// snapshot after any un-pruned insert.
+    #[inline]
+    pub(crate) fn level_filter_params(&self) -> [(PairwiseHash, u64); COPIES] {
+        core::array::from_fn(|i| {
+            let sub = &self.subs[i];
+            let universe_mask = sub.h1.range() - 1;
+            let threshold_mask = match 1u64.checked_shl(sub.min_stored.min(64) as u32) {
+                Some(bit) => bit - 1,
+                None => u64::MAX,
+            };
+            (sub.h1, universe_mask & threshold_mask)
+        })
+    }
+
     /// The current rough estimate `F̃0(t)` — the median of the three
     /// sub-estimates.  Returns 0 while no sub-estimator has reached its
     /// occupancy threshold (i.e. while `F0(t)` is far below `K_RE`).

@@ -315,6 +315,34 @@ mod tests {
         assert_eq!(total, items.len());
     }
 
+    /// Flush never dispatches an empty batch, under either policy: an
+    /// untouched batcher dispatches nothing, and a hash-affine batcher
+    /// whose stream hit only some shards dispatches only those — the
+    /// downstream contract (e.g. the cluster dispatch path) that every
+    /// batch handed to it carries at least one update.
+    #[test]
+    fn flush_emits_no_empty_batches() {
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::HashAffine { seed: 0 },
+        ] {
+            let mut untouched = ShardBatcher::new(policy, 4, 10);
+            let dispatched = collect_dispatches(&mut untouched, |b, sink| {
+                b.flush(&mut |s, batch| sink(s, batch));
+            });
+            assert!(dispatched.is_empty(), "{policy:?}: nothing pending");
+        }
+        // One item lands on exactly one of many hash-affine shards; the
+        // other shards' buffers are empty and must stay silent.
+        let mut sparse = ShardBatcher::new(RoutingPolicy::HashAffine { seed: 0 }, 16, 10);
+        let dispatched = collect_dispatches(&mut sparse, |b, sink| {
+            b.push(42, &mut |s, batch| sink(s, batch));
+            b.flush(&mut |s, batch| sink(s, batch));
+        });
+        assert_eq!(dispatched.len(), 1);
+        assert!(dispatched.iter().all(|(_, batch)| !batch.is_empty()));
+    }
+
     #[test]
     fn degenerate_sizes_are_clamped_not_hung() {
         // batch_size 0 / shards 0 must clamp to 1 rather than loop forever

@@ -46,6 +46,34 @@ pub fn lsb_with_cap(x: u64, cap: u32) -> u32 {
     }
 }
 
+/// `lsb_with_cap(x & mask, cap)` for a contiguous low-bit mask
+/// (`mask = 2^r − 1` with `r ≤ cap < 64`), fused into a single
+/// `trailing_zeros`: presetting bit `cap` supplies both the zero-input
+/// default and the cap, since every bit surviving the mask sits strictly
+/// below it.  This is the level extraction of the F0 hot loop — the hash's
+/// power-of-two range reduction and the capped `lsb` in three ALU ops.
+///
+/// ```
+/// use knw_hash::bits::{lsb_masked_capped, lsb_with_cap};
+/// let mask = (1u64 << 20) - 1;
+/// for x in [0u64, 1, 6, 1 << 19, 1 << 20, u64::MAX] {
+///     assert_eq!(lsb_masked_capped(x, mask, 20), lsb_with_cap(x & mask, 20));
+/// }
+/// ```
+#[inline]
+#[must_use]
+pub fn lsb_masked_capped(x: u64, mask: u64, cap: u32) -> u32 {
+    debug_assert!(
+        mask.wrapping_add(1).is_power_of_two(),
+        "mask must be a contiguous run of low bits"
+    );
+    debug_assert!(
+        cap < 64 && u64::from(cap) >= u64::from(64 - mask.leading_zeros()),
+        "cap must cover the mask width"
+    );
+    ((x & mask) | (1u64 << cap)).trailing_zeros()
+}
+
 /// 0-based index of the most significant set bit, or `None` for zero.
 ///
 /// ```

@@ -16,7 +16,7 @@
 
 use crate::prime_field::Mersenne61;
 use crate::rng::Rng64;
-use crate::SpaceUsage;
+use crate::{SpaceUsage, LANES};
 
 /// A hash function drawn from an exactly `k`-wise independent family.
 ///
@@ -94,6 +94,58 @@ impl KWiseHash {
     #[must_use]
     pub fn hash_full(&self, x: u64) -> u64 {
         Mersenne61::poly_eval(&self.coeffs, x)
+    }
+
+    /// Evaluates [`hash_full`](Self::hash_full) on eight keys at once,
+    /// bit-identical to eight per-key calls (see the crate docs on the
+    /// `simd` feature contract).
+    #[inline]
+    #[must_use]
+    pub fn hash_full_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        #[cfg(feature = "simd")]
+        {
+            // Horner's rule with the loops interchanged: each coefficient is
+            // loaded once and applied to all eight lanes, whose multiply-add
+            // chains are independent and pipeline across lanes.
+            let mut xr = [0u64; LANES];
+            for (r, &x) in xr.iter_mut().zip(xs) {
+                *r = Mersenne61::reduce(x);
+            }
+            let mut acc = [0u64; LANES];
+            for &c in self.coeffs.iter().rev() {
+                for (a, &x) in acc.iter_mut().zip(&xr) {
+                    *a = Mersenne61::add(Mersenne61::mul(*a, x), c);
+                }
+            }
+            acc
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let mut out = [0u64; LANES];
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.hash_full(x);
+            }
+            out
+        }
+    }
+
+    /// Evaluates [`hash`](Self::hash) on eight keys at once, bit-identical to
+    /// eight per-key calls.
+    #[inline]
+    #[must_use]
+    pub fn hash_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        let mut out = self.hash_full_batch(xs);
+        if self.range_is_pow2 {
+            let mask = self.range - 1;
+            for o in &mut out {
+                *o &= mask;
+            }
+        } else {
+            for o in &mut out {
+                *o %= self.range;
+            }
+        }
+        out
     }
 }
 

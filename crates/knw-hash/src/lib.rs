@@ -28,6 +28,39 @@
 //! no heap allocation on the hashing hot path, and reports its own space usage
 //! in bits via [`SpaceUsage`], so that the bench harness can account for hash
 //! function storage exactly as the paper does.
+//!
+//! # Batched kernels and the `simd` feature
+//!
+//! Every hash family exposes, next to its per-key `hash`/`hash_full`, an
+//! eight-lane batched form (`hash_batch`/`hash_full_batch`) operating on
+//! `[u64; `[`LANES`]`]` blocks.  The batched APIs exist in **every** build, so
+//! call sites are feature-independent; the `simd` cargo feature only selects
+//! the kernel behind them:
+//!
+//! * **scalar fallback (default, normative)** — a plain loop over the
+//!   per-key `hash`.  This is the reference semantics; the per-key functions
+//!   are what the paper's analysis speaks about.
+//! * **`simd`** — manually unrolled eight-lane kernels: field reductions and
+//!   range masks run as lane-parallel passes the compiler can vectorize, the
+//!   `u128` Mersenne products run as eight independent dependency chains the
+//!   CPU pipelines, and the tabulation families do gather-style lookups (all
+//!   lanes per table, one table at a time).  No target-specific intrinsics
+//!   are used, so the feature is portable.
+//!
+//! The contract is **bit-identity, not estimate-identity**: for every family,
+//! every key block and every draw of the function, `hash_batch(xs)[i] ==
+//! hash(xs[i])` (and likewise for `hash_full_batch`) in both configurations.
+//! The `batch_identity` property tests pin this, and CI runs them with the
+//! feature off and on; any sketch built on the batched kernels therefore
+//! produces bit-identical state under either configuration.
+
+/// Number of keys a batched hash call (`hash_batch` / `hash_full_batch`)
+/// processes at once.
+///
+/// Eight 64-bit lanes: wide enough to saturate the multiplier pipeline (and
+/// two AVX2 registers worth of the lane-parallel passes) without spilling the
+/// accumulator arrays out of registers.
+pub const LANES: usize = 8;
 
 pub mod bits;
 pub mod kwise;

@@ -45,17 +45,25 @@ impl Mersenne61 {
         }
     }
 
-    /// Reduces a 128-bit product into `[0, p)`.
+    /// Reduces a 128-bit product of two field elements into `[0, p)`.
+    ///
+    /// Requires `x < 2^122` (any product of two values below `2^61`
+    /// qualifies), which lets the fold work directly on the multiplier's
+    /// two output registers: `2^64 ≡ 2^3 (mod p)`, so
+    /// `x = hi·2^64 + lo ≡ 8·hi + lo`, with `8·hi < 2^61` by the
+    /// precondition.  Splitting at bit 64 instead of bit 61 avoids the
+    /// expensive cross-register 128-bit shifts on the hash hot path; the
+    /// canonical residue is unique, so the result is bit-identical to any
+    /// other correct reduction.
     #[inline]
     #[must_use]
     pub fn reduce128(x: u128) -> u64 {
-        // Split into three 61-bit limbs; the top limb of a product of two
-        // 61-bit values is at most 61 bits as well, so two folding rounds
-        // suffice.
-        let lo = (x as u64) & Self::P;
-        let mid = ((x >> 61) as u64) & Self::P;
-        let hi = (x >> 122) as u64;
-        Self::reduce(Self::reduce(lo + mid) + hi)
+        debug_assert!(x >> 122 == 0, "x must be a product of two 61-bit values");
+        let lo = x as u64;
+        let hi = (x >> 64) as u64;
+        // Each term is below 2^61, so the sum stays below 2^62: one final
+        // shift-and-add fold plus a conditional subtraction canonicalizes.
+        Self::reduce((hi << 3) + (lo & Self::P) + (lo >> 61))
     }
 
     /// Modular addition.
@@ -89,6 +97,46 @@ impl Mersenne61 {
     pub fn mul(a: u64, b: u64) -> u64 {
         debug_assert!(a < Self::P && b < Self::P);
         Self::reduce128((a as u128) * (b as u128))
+    }
+
+    /// Fused `(a·x + b) mod p` for canonical `a`, `x`, `b` — the pairwise
+    /// hash evaluation, folded in one pass.
+    ///
+    /// Merging the addend into the product fold saves a separate
+    /// conditional-subtraction round over `add(mul(a, x), b)`; every term of
+    /// the fold is below `2^61`, so the sum stays below `2^63` and a single
+    /// [`reduce`](Self::reduce) canonicalizes.  The canonical residue is
+    /// unique, so the result is bit-identical to the unfused form.
+    #[inline]
+    #[must_use]
+    pub fn mul_add(a: u64, x: u64, b: u64) -> u64 {
+        debug_assert!(a < Self::P && x < Self::P && b < Self::P);
+        let wide = (a as u128) * (x as u128);
+        let lo = wide as u64;
+        let hi = (wide >> 64) as u64;
+        Self::reduce((hi << 3) + (lo & Self::P) + (lo >> 61) + b)
+    }
+
+    /// Reduces a whole eight-lane block into `[0, p)` — the input
+    /// normalization shared by every batched hash kernel, exposed so a
+    /// caller evaluating several hash functions on the *same* keys (the F0
+    /// ingestion path: the main level hash plus three rough sub-estimator
+    /// hashes) pays it once instead of per function.
+    #[inline]
+    #[must_use]
+    pub fn reduce_batch(xs: &[u64; crate::LANES]) -> [u64; crate::LANES] {
+        // Keys drawn from a universe below `p` (every sketch configuration
+        // with `n ≤ 2^60`) are already canonical; the OR bounds each lane
+        // from above bitwise, so one compare proves all eight.
+        let upper = xs.iter().fold(0u64, |acc, &x| acc | x);
+        if upper < Self::P {
+            return *xs;
+        }
+        let mut out = [0u64; crate::LANES];
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = Self::reduce(x);
+        }
+        out
     }
 
     /// Modular exponentiation by squaring.

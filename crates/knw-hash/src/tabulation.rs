@@ -20,7 +20,7 @@
 //! path instead.
 
 use crate::rng::Rng64;
-use crate::SpaceUsage;
+use crate::{SpaceUsage, LANES};
 
 /// Number of 8-bit characters in a 64-bit key.
 const CHARS: usize = 8;
@@ -82,6 +82,44 @@ impl SimpleTabulation {
     #[must_use]
     pub fn hash(&self, x: u64) -> u64 {
         reduce(self.hash_full(x), self.range, self.range_is_pow2)
+    }
+
+    /// Evaluates [`hash_full`](Self::hash_full) on eight keys at once,
+    /// bit-identical to eight per-key calls (see the crate docs on the
+    /// `simd` feature contract).
+    #[inline]
+    #[must_use]
+    pub fn hash_full_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        #[cfg(feature = "simd")]
+        {
+            // Gather-style loop interchange: one character position (i.e. one
+            // 2 KiB table) at a time, eight independent lookups per table, so
+            // the loads overlap instead of serializing per key.
+            let mut acc = [0u64; LANES];
+            for (c, table) in self.tables.iter().enumerate() {
+                let shift = 8 * c;
+                for (a, &x) in acc.iter_mut().zip(xs) {
+                    *a ^= table[((x >> shift) & 0xFF) as usize];
+                }
+            }
+            acc
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let mut out = [0u64; LANES];
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.hash_full(x);
+            }
+            out
+        }
+    }
+
+    /// Evaluates [`hash`](Self::hash) on eight keys at once, bit-identical to
+    /// eight per-key calls.
+    #[inline]
+    #[must_use]
+    pub fn hash_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        reduce_batch(self.hash_full_batch(xs), self.range, self.range_is_pow2)
     }
 }
 
@@ -160,6 +198,52 @@ impl TwistedTabulation {
     pub fn hash(&self, x: u64) -> u64 {
         reduce(self.hash_full(x), self.range, self.range_is_pow2)
     }
+
+    /// Evaluates [`hash_full`](Self::hash_full) on eight keys at once,
+    /// bit-identical to eight per-key calls (see the crate docs on the
+    /// `simd` feature contract).
+    #[inline]
+    #[must_use]
+    pub fn hash_full_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        #[cfg(feature = "simd")]
+        {
+            // The twist lookups first (one gather over the twist table), then
+            // the head tables one character position at a time, eight lookups
+            // per table, as in the simple-tabulation kernel.
+            let mask = (1u64 << (8 * (CHARS - 1))) - 1;
+            let mut twisted = [0u64; LANES];
+            let mut acc = [0u64; LANES];
+            for ((t, a), &x) in twisted.iter_mut().zip(&mut acc).zip(xs) {
+                let top = ((x >> (8 * (CHARS - 1))) & 0xFF) as usize;
+                let (tw, h_top) = self.twist[top];
+                *t = x ^ (tw & mask);
+                *a = h_top;
+            }
+            for (c, table) in self.head.iter().enumerate() {
+                let shift = 8 * c;
+                for (a, &t) in acc.iter_mut().zip(&twisted) {
+                    *a ^= table[((t >> shift) & 0xFF) as usize];
+                }
+            }
+            acc
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            let mut out = [0u64; LANES];
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.hash_full(x);
+            }
+            out
+        }
+    }
+
+    /// Evaluates [`hash`](Self::hash) on eight keys at once, bit-identical to
+    /// eight per-key calls.
+    #[inline]
+    #[must_use]
+    pub fn hash_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        reduce_batch(self.hash_full_batch(xs), self.range, self.range_is_pow2)
+    }
 }
 
 impl SpaceUsage for TwistedTabulation {
@@ -177,6 +261,21 @@ fn reduce(word: u64, range: u64, pow2: bool) -> u64 {
         // non-power-of-two ranges better than a plain modulo of the low bits.
         ((word as u128 * range as u128) >> 64) as u64
     }
+}
+
+#[inline]
+fn reduce_batch(mut words: [u64; LANES], range: u64, pow2: bool) -> [u64; LANES] {
+    if pow2 {
+        let mask = range - 1;
+        for w in &mut words {
+            *w &= mask;
+        }
+    } else {
+        for w in &mut words {
+            *w = ((*w as u128 * range as u128) >> 64) as u64;
+        }
+    }
+    words
 }
 
 #[cfg(test)]

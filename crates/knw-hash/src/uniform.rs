@@ -17,7 +17,7 @@
 use crate::kwise::KWiseHash;
 use crate::rng::Rng64;
 use crate::tabulation::TwistedTabulation;
-use crate::SpaceUsage;
+use crate::{SpaceUsage, LANES};
 
 /// Which construction backs the high-independence bucket hash `h3`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +74,17 @@ impl BucketHash {
         match self {
             BucketHash::Poly(h) => h.hash(x),
             BucketHash::Tab(h) => h.hash(x),
+        }
+    }
+
+    /// Evaluates [`hash`](Self::hash) on eight keys at once, bit-identical to
+    /// eight per-key calls (see the crate docs on the `simd` feature contract).
+    #[inline]
+    #[must_use]
+    pub fn hash_batch(&self, xs: &[u64; LANES]) -> [u64; LANES] {
+        match self {
+            BucketHash::Poly(h) => h.hash_batch(xs),
+            BucketHash::Tab(h) => h.hash_batch(xs),
         }
     }
 
