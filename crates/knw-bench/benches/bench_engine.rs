@@ -18,7 +18,10 @@
 //!   ns/op land side by side in the JSON (skipped with a note if the
 //!   worker binary has not been built); plus the recovery path (journaling
 //!   on, one mid-stream kill + reconnect-and-replay) next to the
-//!   fault-free TCP run.
+//!   fault-free TCP run;
+//! * serve front end (Linux): the same 10M items split across 1,000
+//!   concurrent client sessions, multiplexed by one nonblocking
+//!   `serve_sessions` epoll loop over a 4-worker pipe fleet.
 //!
 //! Every headline number is also appended to `BENCH_engine.json` at the
 //! workspace root (ns/op and Melem/s per labelled path), so the perf
@@ -441,6 +444,68 @@ fn cluster_summary(_c: &mut Criterion) {
     // `fleet` reaps the listening workers here (and on any panic above).
 }
 
+/// The session front end under load: 1,000 concurrent client sessions —
+/// the 10M-item stream split evenly across them — multiplexed by one
+/// nonblocking `serve_sessions` loop over a 4-worker pipe fleet, driven
+/// by the single-threaded `drive_sessions` client event loop on
+/// localhost.  Measures the whole round trip (connect, `Hello`, batched
+/// `Batch` frames, `Finish`, per-session `Shard` replies, final merge),
+/// so the ns/op lands next to the plain 4-worker cluster runs and the
+/// session-multiplexing overhead stays visible across PRs.  Linux-only
+/// (the loop is built on epoll); skipped with a note elsewhere.
+fn serve_summary(_c: &mut Criterion) {
+    #[cfg(target_os = "linux")]
+    {
+        use knw_cluster::{drive_sessions, serve_sessions, SessionServeOptions};
+        use std::net::TcpListener;
+
+        println!("\n== 10M-item serve front end (1k sessions, 4 workers) ==");
+        let Some(worker) = knw_cluster::sibling_worker_exe() else {
+            println!("knw-worker binary not found next to this bench; skipping serve numbers");
+            return;
+        };
+        const SESSIONS: usize = 1_000;
+        let items = stream();
+        let per_session = items.len() / SESSIONS;
+        let streams: Vec<Vec<u64>> = items.chunks(per_session).map(<[u64]>::to_vec).collect();
+        drop(items);
+        let f0 = sketch_config();
+        let spec = SketchSpec::f0("knw-f0", f0.epsilon, f0.universe, f0.seed);
+        let config = ClusterConfig::new(4, &worker).with_engine(EngineConfig::new(4));
+
+        time_run(
+            "f0_serve_1k_sessions",
+            "1k-session serve loop, 4-worker pipe fleet",
+            STREAM_LEN,
+            &mut || {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind serve front");
+                let addr = listener.local_addr().expect("bound address").to_string();
+                let serve_spec = spec.clone();
+                let server_config = config.clone();
+                let server = std::thread::spawn(move || {
+                    let mut aggregator = F0ClusterAggregator::spawn(&server_config, &serve_spec)
+                        .expect("spawn fleet");
+                    let options = SessionServeOptions::default().with_max_sessions(SESSIONS);
+                    serve_sessions(&listener, &mut aggregator, &options).expect("serve loop");
+                    aggregator.finish().expect("merge the fleet").estimate()
+                });
+                drive_sessions(
+                    &addr,
+                    &spec,
+                    black_box(&streams),
+                    4_096,
+                    None,
+                    Duration::from_secs(600),
+                )
+                .expect("drive sessions");
+                server.join().expect("server thread")
+            },
+        );
+    }
+    #[cfg(not(target_os = "linux"))]
+    println!("\nthe session serve loop is Linux-only (epoll); skipping serve numbers");
+}
+
 /// Flushes the accumulated headline numbers to `BENCH_engine.json` at the
 /// workspace root: one `{name, ns_per_op, melem_per_s}` record per labelled
 /// ingestion path, so CI and future PRs can diff the perf trajectory
@@ -475,6 +540,7 @@ criterion_group!(
     speedup_summary,
     l0_speedup_summary,
     cluster_summary,
+    serve_summary,
     emit_bench_json
 );
 criterion_main!(benches);

@@ -36,7 +36,9 @@
 
 use crate::error::ClusterError;
 use crate::frame::MAX_FRAME_LEN;
-use crate::frame::{BatchPayload, Frame, HelloConfig, SketchSpec, StreamMode, WireError};
+use crate::frame::{
+    BatchPayload, Frame, FrameView, HelloConfig, SketchSpec, StreamMode, WireError,
+};
 use crate::recovery::RecoveryPolicy;
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
@@ -108,6 +110,17 @@ pub trait ClusterUpdate: Routable {
 
     /// The shard's current estimate.
     fn estimate(shard: &Self::Shard) -> f64;
+
+    /// Serializes a (merged) shard back to the bytes a `Frame::Shard`
+    /// reply carries — the serve loop's answer to session `Snapshot` /
+    /// `Finish` requests.
+    fn shard_bytes(shard: &Self::Shard) -> Vec<u8>;
+
+    /// Borrows this stream model's updates out of a decoded frame view
+    /// (`None` if the view is not a batch of this model) — how the serve
+    /// loop feeds session batches into the typed aggregator without
+    /// copying.
+    fn batch_view<'a>(view: &'a FrameView<'_>) -> Option<&'a [Self]>;
 }
 
 impl ClusterUpdate for u64 {
@@ -147,6 +160,18 @@ impl ClusterUpdate for u64 {
 
     fn estimate(shard: &Self::Shard) -> f64 {
         shard.estimate()
+    }
+
+    fn shard_bytes(shard: &Self::Shard) -> Vec<u8> {
+        shard.wire_bytes()
+    }
+
+    fn batch_view<'a>(view: &'a FrameView<'_>) -> Option<&'a [u64]> {
+        match view {
+            FrameView::Items(items) => Some(items),
+            FrameView::Owned(Frame::Batch(BatchPayload::Items(items))) => Some(items),
+            _ => None,
+        }
     }
 }
 
@@ -188,6 +213,18 @@ impl ClusterUpdate for (u64, i64) {
 
     fn estimate(shard: &Self::Shard) -> f64 {
         shard.estimate()
+    }
+
+    fn shard_bytes(shard: &Self::Shard) -> Vec<u8> {
+        shard.wire_bytes()
+    }
+
+    fn batch_view<'a>(view: &'a FrameView<'_>) -> Option<&'a [(u64, i64)]> {
+        match view {
+            FrameView::Updates(updates) => Some(updates),
+            FrameView::Owned(Frame::Batch(BatchPayload::Updates(updates))) => Some(updates),
+            _ => None,
+        }
     }
 }
 
@@ -264,6 +301,11 @@ enum WorkerFault {
     /// unknown — batches may be lost, reply frames may still be queued —
     /// so later reports refuse instead of silently under-merging.
     Desynced,
+    /// The link's read timed out mid-frame: the byte stream is
+    /// desynchronized but — unlike [`WorkerFault::Desynced`] — the cause
+    /// is a link stall, not a deterministic failure, so recovery may
+    /// re-dial and replay.
+    LinkDesynced,
     /// Reconnect-and-replay recovery ran out of attempts.
     RecoveryExhausted {
         /// Attempts made before giving up.
@@ -288,6 +330,7 @@ impl WorkerFault {
                 expected: "Shard",
                 got: "a link desynchronized by an earlier failure".to_string(),
             },
+            WorkerFault::LinkDesynced => ClusterError::Desynced { worker },
             WorkerFault::RecoveryExhausted { attempts, last } => ClusterError::RecoveryExhausted {
                 worker,
                 attempts: *attempts,
@@ -305,6 +348,7 @@ impl WorkerFault {
         match error {
             ClusterError::WorkerDied { .. } => WorkerFault::Died,
             ClusterError::Timeout { .. } => WorkerFault::TimedOut,
+            ClusterError::Desynced { .. } => WorkerFault::LinkDesynced,
             ClusterError::RecoveryExhausted { attempts, last, .. } => {
                 WorkerFault::RecoveryExhausted {
                     attempts: *attempts,
@@ -318,15 +362,19 @@ impl WorkerFault {
 }
 
 /// Whether an error is a *link* fault (the worker or its connection is
-/// gone or stalled) — the class reconnect-and-replay can repair.  Protocol
-/// violations, codec rejections and merge incompatibilities are
-/// deterministic: a fresh worker fed the same journal reproduces them, so
-/// recovery refuses to retry those.
+/// gone, stalled, or desynchronized by a mid-frame stall) — the class
+/// reconnect-and-replay can repair.  Protocol violations, codec rejections
+/// and merge incompatibilities are deterministic: a fresh worker fed the
+/// same journal reproduces them, so recovery refuses to retry those.  A
+/// desynced link qualifies because recovery never *resumes* the old
+/// connection: it re-dials and replays the journal on a fresh one, which
+/// is sound whether or not the old stream position was lost.
 fn is_link_fault(error: &ClusterError) -> bool {
     matches!(
         error,
         ClusterError::WorkerDied { .. }
             | ClusterError::Timeout { .. }
+            | ClusterError::Desynced { .. }
             | ClusterError::ConnectFailed { .. }
             | ClusterError::Io { .. }
     )
@@ -666,7 +714,11 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
 
 /// Maps a wire-level failure on worker `index`'s link to the aggregation
 /// error it means: broken links are dead workers, expired deadlines are
-/// stalled workers, everything else keeps its I/O or codec identity.
+/// stalled workers — but a deadline that expired *mid-frame* is a
+/// desynchronized link ([`ClusterError::Desynced`]), never a plain
+/// [`ClusterError::Timeout`]: part of a frame was already consumed, so
+/// resuming reads in place would misparse leftover bytes as a fresh length
+/// prefix.  Everything else keeps its I/O or codec identity.
 fn wire_fault(index: usize, error: WireError) -> ClusterError {
     use std::io::ErrorKind;
     match error {
@@ -677,6 +729,7 @@ fn wire_fault(index: usize, error: WireError) -> ClusterError {
             ErrorKind::TimedOut | ErrorKind::WouldBlock => ClusterError::Timeout { worker: index },
             _ => ClusterError::io(index, e),
         },
+        WireError::TimedOutMidFrame => ClusterError::Desynced { worker: index },
         e => ClusterError::Frame {
             worker: index,
             message: e.to_string(),

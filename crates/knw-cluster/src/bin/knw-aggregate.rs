@@ -12,6 +12,7 @@
 //!               [--recover]
 //!               [--worker PATH]                       (pipe transport)
 //!               [--connect ADDR]... [--io-timeout S]  (tcp transport)
+//!               [--serve ADDR [--sessions N]]         (serve mode, Linux)
 //! ```
 //!
 //! Two transports:
@@ -25,6 +26,14 @@
 //!   `knw-worker --listen host:port`).  The worker count is the address
 //!   count; `--io-timeout SECS` bounds every read/write so a stalled
 //!   worker fails the run instead of hanging it.
+//!
+//! With `--serve ADDR` (Linux) the binary stops generating its own
+//! workload and becomes **estimation-as-a-service**: it binds `ADDR`,
+//! prints a `serving on <addr>` banner, and multiplexes concurrent client
+//! sessions (the frame protocol: `Hello`, `Batch`…, `Snapshot`/`Finish`)
+//! over the shared worker fleet with one nonblocking event loop — no
+//! thread per session.  `--sessions N` stops after N completed sessions
+//! and prints the merged estimate plus the serve statistics.
 //!
 //! With `--mode l0` the stream is churn-heavy signed updates; otherwise a
 //! skewed insert-only stream.  `--recover` turns worker loss from a
@@ -61,6 +70,11 @@ struct Options {
     io_timeout_secs: Option<u64>,
     /// Reconnect-and-replay recovery for lost workers (`--recover`).
     recover: bool,
+    /// Serve mode: bind this address and multiplex client sessions over
+    /// the worker fleet instead of generating a synthetic workload.
+    serve: Option<String>,
+    /// Serve mode: stop after this many completed sessions.
+    sessions: Option<usize>,
 }
 
 impl Default for Options {
@@ -80,6 +94,8 @@ impl Default for Options {
             connect: Vec::new(),
             io_timeout_secs: None,
             recover: false,
+            serve: None,
+            sessions: None,
         }
     }
 }
@@ -131,6 +147,10 @@ fn parse_args() -> Result<Options, String> {
             "--recover" => opts.recover = true,
             "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
             "--connect" => opts.connect.push(value("--connect")?),
+            "--serve" => opts.serve = Some(value("--serve")?),
+            "--sessions" => {
+                opts.sessions = Some(value("--sessions")?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--io-timeout" => {
                 opts.io_timeout_secs =
                     Some(value("--io-timeout")?.parse().map_err(|e| format!("{e}"))?);
@@ -144,11 +164,16 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}                    [--recover]\n\
                      \u{20}                    [--worker PATH]                       (pipe transport)\n\
                      \u{20}                    [--connect ADDR]... [--io-timeout S]  (tcp transport)\n\
+                     \u{20}                    [--serve ADDR [--sessions N]]         (serve mode, Linux)\n\
                      transports: pipe spawns N `knw-worker` children on stdin/stdout;\n\
                      \u{20}           tcp connects to running `knw-worker --listen ADDR` hosts,\n\
                      \u{20}           one --connect per worker.\n\
                      --recover: reconnect-and-replay lost workers (bounded retries +\n\
                      \u{20}          per-shard replay journal) instead of failing the run.\n\
+                     --serve ADDR: estimation-as-a-service — bind ADDR, print a\n\
+                     \u{20}          `serving on <addr>` banner, and multiplex concurrent\n\
+                     \u{20}          client sessions over the worker fleet (one nonblocking\n\
+                     \u{20}          event loop, no thread per session; Linux only).\n\
                      F0 estimators: {}\nL0 estimators: {}",
                     knw_cluster::f0_estimator_names().join(", "),
                     knw_cluster::l0_estimator_names().join(", "),
@@ -180,6 +205,9 @@ fn parse_args() -> Result<Options, String> {
         if opts.io_timeout_secs.is_some() {
             return Err("--io-timeout is only meaningful with --transport tcp".into());
         }
+    }
+    if opts.sessions.is_some() && opts.serve.is_none() {
+        return Err("--sessions is only meaningful with --serve ADDR".into());
     }
     Ok(opts)
 }
@@ -282,8 +310,79 @@ fn l0_stream(len: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
         .collect()
 }
 
-fn run(opts: &Options) -> Result<(), ClusterError> {
+/// Serve mode: bind `addr`, multiplex client sessions over the worker
+/// fleet with the nonblocking event loop, and (once `--sessions N`
+/// completes) print the merged estimate and serve statistics.
+#[cfg(target_os = "linux")]
+fn run_serve(opts: &Options, addr: &str, estimator: &str) -> Result<(), ClusterError> {
+    use knw_cluster::{serve_sessions, SessionServeOptions};
+    use std::net::TcpListener;
+
     let choice = TransportChoice::from_options(opts)?;
+    let listener = TcpListener::bind(addr).map_err(|source| ClusterError::Io {
+        worker: None,
+        source,
+    })?;
+    let bound = listener.local_addr().map_err(|source| ClusterError::Io {
+        worker: None,
+        source,
+    })?;
+
+    let mut serve_opts = SessionServeOptions::default();
+    if let Some(n) = opts.sessions {
+        serve_opts = serve_opts.with_max_sessions(n);
+    }
+
+    println!(
+        "serving on {bound} ({} workers via {}, `{estimator}`) …",
+        choice.workers(),
+        choice.describe(),
+    );
+
+    let (stats, estimate) = if opts.mode == "l0" {
+        let spec = SketchSpec::l0(estimator, opts.epsilon, opts.universe, opts.seed);
+        let mut aggregator = choice.aggregator::<(u64, i64)>(&spec)?;
+        let stats = serve_sessions(&listener, &mut aggregator, &serve_opts)?;
+        let merged = aggregator.finish()?;
+        (
+            stats,
+            <(u64, i64) as ClusterUpdate>::estimate(merged.as_ref()),
+        )
+    } else {
+        let spec = SketchSpec::f0(estimator, opts.epsilon, opts.universe, opts.seed);
+        let mut aggregator = choice.aggregator::<u64>(&spec)?;
+        let stats = serve_sessions(&listener, &mut aggregator, &serve_opts)?;
+        let merged = aggregator.finish()?;
+        (stats, <u64 as ClusterUpdate>::estimate(merged.as_ref()))
+    };
+
+    println!(
+        "sessions served    : {} ({} errored, {} refused; peak {} concurrent)",
+        stats.sessions_served,
+        stats.sessions_errored,
+        stats.sessions_refused,
+        stats.peak_concurrent,
+    );
+    println!(
+        "ingested           : {} updates in {} batches; {} snapshots served",
+        stats.updates_ingested, stats.batches_ingested, stats.snapshots_served,
+    );
+    println!("merged estimate    : {estimate}");
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_serve(_opts: &Options, _addr: &str, _estimator: &str) -> Result<(), ClusterError> {
+    Err(ClusterError::Io {
+        worker: None,
+        source: std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "--serve needs the epoll readiness loop and is Linux-only",
+        ),
+    })
+}
+
+fn run(opts: &Options) -> Result<(), ClusterError> {
     let estimator = opts.estimator.clone().unwrap_or_else(|| {
         if opts.mode == "l0" {
             "knw-l0"
@@ -292,6 +391,12 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
         }
         .to_string()
     });
+
+    if let Some(addr) = &opts.serve {
+        return run_serve(opts, addr, &estimator);
+    }
+
+    let choice = TransportChoice::from_options(opts)?;
 
     println!(
         "aggregating over {} workers via {} ({:?} routing{}) for `{estimator}` over {} updates …",

@@ -55,6 +55,17 @@ pub enum ClusterError {
         /// Index of the stalled worker.
         worker: usize,
     },
+    /// A worker link's read timed out *inside* a frame: part of the length
+    /// prefix or payload was already consumed when the deadline fired, so
+    /// the byte stream is desynchronized — resuming reads on the same
+    /// connection would misparse leftover frame bytes as a fresh length
+    /// prefix.  Unlike [`ClusterError::Timeout`] (a between-frames stall,
+    /// recoverable in place), this link is only recoverable by re-dialing
+    /// and replaying the journal on a fresh connection.
+    Desynced {
+        /// Index of the worker whose stream desynchronized.
+        worker: usize,
+    },
     /// A worker answered with a frame the protocol does not allow in the
     /// current state (e.g. a `Batch` where a `Shard` was expected).
     Protocol {
@@ -153,6 +164,14 @@ impl fmt::Display for ClusterError {
                      answered; its shard cannot be trusted"
                 )
             }
+            ClusterError::Desynced { worker } => {
+                write!(
+                    f,
+                    "worker {worker}'s link timed out mid-frame and is \
+                     desynchronized; it cannot be resumed in place, only \
+                     re-dialed and replayed"
+                )
+            }
             ClusterError::Protocol {
                 worker,
                 expected,
@@ -244,6 +263,9 @@ mod tests {
         let stalled = ClusterError::Timeout { worker: 1 };
         assert!(stalled.to_string().contains("worker 1"));
         assert!(stalled.to_string().contains("timed out"));
+        let desynced = ClusterError::Desynced { worker: 6 };
+        assert!(desynced.to_string().contains("worker 6"));
+        assert!(desynced.to_string().contains("mid-frame"));
         let exhausted = ClusterError::RecoveryExhausted {
             worker: 5,
             attempts: 3,

@@ -193,6 +193,13 @@ pub enum WireError {
     },
     /// The payload bytes were rejected by the codec.
     Codec(String),
+    /// A read timeout fired *inside* a frame — after part of the length
+    /// prefix or payload was already consumed.  Unlike a timeout between
+    /// frames (plain [`WireError::Io`] with `TimedOut`/`WouldBlock`), the
+    /// stream is now desynchronized: resuming reads on it would misparse
+    /// leftover frame bytes as a fresh length prefix.  Recovery must
+    /// re-dial, never retry in place.
+    TimedOutMidFrame,
 }
 
 impl fmt::Display for WireError {
@@ -207,6 +214,9 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::Codec(msg) => write!(f, "frame payload rejected: {msg}"),
+            WireError::TimedOutMidFrame => {
+                write!(f, "read timed out mid-frame; the stream is desynchronized")
+            }
         }
     }
 }
@@ -257,7 +267,7 @@ pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), WireErr
 /// if the payload does not decode, [`WireError::Io`] on transport failure.
 pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
     let mut prefix = [0u8; 4];
-    match read_exact_or_eof(reader, &mut prefix)? {
+    match read_exact_or_eof(reader, &mut prefix, false)? {
         ReadOutcome::CleanEof => return Ok(None),
         ReadOutcome::Partial => return Err(WireError::Truncated),
         ReadOutcome::Full => {}
@@ -269,13 +279,26 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
         });
     }
     let mut payload = vec![0u8; len];
-    match read_exact_or_eof(reader, &mut payload)? {
+    match read_exact_or_eof(reader, &mut payload, true)? {
         ReadOutcome::Full => {}
         _ => return Err(WireError::Truncated),
     }
     serde::from_bytes::<Frame>(&payload)
         .map(Some)
         .map_err(|e| WireError::Codec(e.to_string()))
+}
+
+/// Encodes one frame to its on-the-wire bytes (length prefix + payload),
+/// exactly as [`write_frame`] would emit them.  The serve loop uses this to
+/// build queued response bytes without holding a writer.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the encoded frame exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, frame)?;
+    Ok(wire)
 }
 
 /// Reusable scratch for the allocation-free frame reader
@@ -334,7 +357,7 @@ pub fn read_frame_into<'a>(
     buf: &'a mut FrameBuf,
 ) -> Result<Option<FrameView<'a>>, WireError> {
     let mut prefix = [0u8; 4];
-    match read_exact_or_eof(reader, &mut prefix)? {
+    match read_exact_or_eof(reader, &mut prefix, false)? {
         ReadOutcome::CleanEof => return Ok(None),
         ReadOutcome::Partial => return Err(WireError::Truncated),
         ReadOutcome::Full => {}
@@ -347,16 +370,33 @@ pub fn read_frame_into<'a>(
     }
     buf.payload.clear();
     buf.payload.resize(len, 0);
-    match read_exact_or_eof(reader, &mut buf.payload)? {
+    match read_exact_or_eof(reader, &mut buf.payload, true)? {
         ReadOutcome::Full => {}
         _ => return Err(WireError::Truncated),
     }
-    // Fast path: a strictly well-formed `Batch` frame.  Layout (all LE):
-    // [0..4) Frame variant 1 = Batch, [4..8) payload variant (0 = Items,
-    // 1 = Updates), [8..16) element count u64, then count × stride bytes.
-    if len >= 16 && buf.payload[..4] == [1, 0, 0, 0] {
-        let tag = u32::from_le_bytes(buf.payload[4..8].try_into().expect("4 bytes"));
-        let count_bytes: [u8; 8] = buf.payload[8..16].try_into().expect("8 bytes");
+    decode_payload(&buf.payload, &mut buf.items, &mut buf.updates).map(Some)
+}
+
+/// Decodes one complete frame payload, borrowing `Batch` contents into the
+/// caller's retained scratch vectors.  This is the single decode shared by
+/// the blocking reader ([`read_frame_into`]) and the incremental
+/// [`FrameDecoder`], so the two paths cannot drift in layout or error text.
+///
+/// Fast path: a strictly well-formed `Batch` frame.  Layout (all LE):
+/// `[0..4)` Frame variant 1 = Batch, `[4..8)` payload variant (0 = Items,
+/// 1 = Updates), `[8..16)` element count u64, then count × stride bytes.
+/// A batch whose bytes deviate in any way (length not exactly covering the
+/// declared element count) falls back to the owning codec so error text
+/// stays identical to [`read_frame`].
+fn decode_payload<'a>(
+    payload: &[u8],
+    items: &'a mut Vec<u64>,
+    updates: &'a mut Vec<(u64, i64)>,
+) -> Result<FrameView<'a>, WireError> {
+    let len = payload.len();
+    if len >= 16 && payload[..4] == [1, 0, 0, 0] {
+        let tag = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+        let count_bytes: [u8; 8] = payload[8..16].try_into().expect("8 bytes");
         let count = u64::from_le_bytes(count_bytes) as usize;
         let stride: usize = match tag {
             0 => 8,
@@ -367,32 +407,152 @@ pub fn read_frame_into<'a>(
             .checked_mul(stride)
             .and_then(|body| body.checked_add(16));
         if stride != 0 && strict_len == Some(len) {
-            let body = &buf.payload[16..];
+            let body = &payload[16..];
             match tag {
                 0 => {
-                    buf.items.clear();
-                    buf.items.extend(
+                    items.clear();
+                    items.extend(
                         body.chunks_exact(8)
                             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
                     );
-                    return Ok(Some(FrameView::Items(&buf.items)));
+                    return Ok(FrameView::Items(items));
                 }
                 _ => {
-                    buf.updates.clear();
-                    buf.updates.extend(body.chunks_exact(16).map(|c| {
+                    updates.clear();
+                    updates.extend(body.chunks_exact(16).map(|c| {
                         (
                             u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
                             i64::from_le_bytes(c[8..].try_into().expect("8 bytes")),
                         )
                     }));
-                    return Ok(Some(FrameView::Updates(&buf.updates)));
+                    return Ok(FrameView::Updates(updates));
                 }
             }
         }
     }
-    serde::from_bytes::<Frame>(&buf.payload)
-        .map(|frame| Some(FrameView::Owned(frame)))
+    serde::from_bytes::<Frame>(payload)
+        .map(FrameView::Owned)
         .map_err(|e| WireError::Codec(e.to_string()))
+}
+
+/// Incremental, resumable frame decoding for nonblocking readers.
+///
+/// The blocking readers above assume they may park inside a frame until the
+/// rest arrives.  A readiness-driven serve loop cannot: a socket read
+/// returns whatever bytes exist — possibly half a length prefix — and the
+/// loop must move on to other sessions.  `FrameDecoder` owns that partial
+/// state: [`push`](Self::push) whatever arrived, then drain complete frames
+/// with [`next_view`](Self::next_view) (`Ok(None)` = need more bytes).
+///
+/// The decoder enforces the same [`MAX_FRAME_LEN`] bound and produces the
+/// same typed errors as [`read_frame`] on the same byte streams (pinned by
+/// the byte-at-a-time property test), and
+/// [`mid_frame`](Self::mid_frame) reports whether buffered bytes stop
+/// inside a frame — the fact the desync-vs-timeout fault taxonomy is built
+/// on.  Memory stays bounded: consumed bytes are compacted away, and a
+/// frame can demand at most `4 + MAX_FRAME_LEN` buffered bytes.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Accumulated wire bytes; `[consumed..]` is not yet handed out.
+    buf: Vec<u8>,
+    /// Front bytes already returned as complete frames.
+    consumed: usize,
+    items: Vec<u64>,
+    updates: Vec<(u64, i64)>,
+}
+
+/// Compact once the dead front exceeds this many bytes (and dominates the
+/// buffer), so a long-lived session cannot grow its buffer unboundedly.
+const DECODER_COMPACT_THRESHOLD: usize = 64 << 10;
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the buffered bytes end *inside* a frame (a partial length
+    /// prefix or a partial payload).  A read timeout observed in this state
+    /// means the stream is desynchronized — see
+    /// [`WireError::TimedOutMidFrame`].
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+
+    /// Bytes currently buffered and not yet decoded.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Decodes the next complete frame, borrowing `Batch` contents from the
+    /// decoder's scratch (the returned view is invalidated by the next
+    /// call).  Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] on an absurd length prefix,
+    /// [`WireError::Codec`] if a complete payload does not decode.  Errors
+    /// are sticky in practice: the caller must drop the stream, since the
+    /// byte position is no longer trustworthy.
+    pub fn next_view(&mut self) -> Result<Option<FrameView<'_>>, WireError> {
+        self.compact();
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized {
+                declared: len as u64,
+            });
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let start = self.consumed + 4;
+        self.consumed = start + len;
+        decode_payload(
+            &self.buf[start..start + len],
+            &mut self.items,
+            &mut self.updates,
+        )
+        .map(Some)
+    }
+
+    /// Owning convenience over [`next_view`](Self::next_view): the next
+    /// complete frame as a [`Frame`], or `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`next_view`](Self::next_view).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        Ok(self.next_view()?.map(|view| match view {
+            FrameView::Items(items) => Frame::Batch(BatchPayload::Items(items.to_vec())),
+            FrameView::Updates(updates) => Frame::Batch(BatchPayload::Updates(updates.to_vec())),
+            FrameView::Owned(frame) => frame,
+        }))
+    }
+
+    /// Drops fully consumed front bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > DECODER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
 }
 
 enum ReadOutcome {
@@ -402,8 +562,15 @@ enum ReadOutcome {
 }
 
 /// `read_exact`, but distinguishing "no bytes at all" (clean EOF between
-/// frames) from "some bytes then EOF" (peer died mid-frame).
-fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+/// frames) from "some bytes then EOF" (peer died mid-frame), and — when
+/// `frame_started` or once any byte of `buf` landed — classifying a read
+/// timeout as the desyncing [`WireError::TimedOutMidFrame`] instead of a
+/// recoverable-in-place [`WireError::Io`] timeout.
+fn read_exact_or_eof(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    frame_started: bool,
+) -> Result<ReadOutcome, WireError> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
@@ -416,6 +583,12 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutco
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock)
+                    && (frame_started || filled > 0) =>
+            {
+                return Err(WireError::TimedOutMidFrame);
+            }
             Err(e) => return Err(WireError::Io(e)),
         }
     }
@@ -648,5 +821,165 @@ mod tests {
             read_frame_into(&mut oversized.as_slice(), &mut buf),
             Err(WireError::Oversized { .. })
         ));
+    }
+
+    /// Every frame kind of the protocol, encoded back to back.
+    fn frame_zoo() -> Vec<Frame> {
+        vec![
+            Frame::Hello(HelloConfig {
+                worker_index: 2,
+                spec: SketchSpec::l0("knw-l0", 0.2, 1 << 12, 9),
+            }),
+            Frame::Batch(BatchPayload::Items(vec![])),
+            Frame::Batch(BatchPayload::Items(vec![1, 2, u64::MAX])),
+            Frame::Batch(BatchPayload::Updates(vec![(7, -2), (9, i64::MIN)])),
+            Frame::Snapshot,
+            Frame::Finish,
+            Frame::Shard(vec![0xAB; 64]),
+            Frame::Err("boom".into()),
+            Frame::Restore(vec![1, 2, 3]),
+            Frame::Register("h:1".into()),
+        ]
+    }
+
+    #[test]
+    fn decoder_fed_byte_at_a_time_yields_every_frame() {
+        let frames = frame_zoo();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).expect("write");
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &byte in &wire {
+            decoder.push(std::slice::from_ref(&byte));
+            while let Some(frame) = decoder.next_frame().expect("decode") {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(!decoder.mid_frame(), "all bytes consumed");
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_mid_frame_tracks_partial_prefixes_and_payloads() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Finish).expect("write");
+        let mut decoder = FrameDecoder::new();
+        assert!(!decoder.mid_frame(), "empty decoder is between frames");
+        for cut in 1..wire.len() {
+            decoder.push(&wire[cut - 1..cut]);
+            assert!(decoder.next_frame().expect("partial").is_none());
+            assert!(decoder.mid_frame(), "{cut} bytes in is mid-frame");
+        }
+        decoder.push(&wire[wire.len() - 1..]);
+        assert_eq!(decoder.next_frame().expect("decode"), Some(Frame::Finish));
+        assert!(!decoder.mid_frame(), "back between frames");
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_corrupt_frames_like_read_frame() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Finish).expect("write");
+        wire[4] = 0xFF; // smash the Frame variant index
+        let owning = read_frame(&mut wire.as_slice()).expect_err("owning rejects");
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        let incremental = decoder.next_frame().expect_err("decoder rejects");
+        assert_eq!(owning.to_string(), incremental.to_string());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Batch(BatchPayload::Items(vec![7; 512]))).expect("write");
+        let mut decoder = FrameDecoder::new();
+        // Far more traffic than the compaction threshold: buffered() staying
+        // at zero between frames proves consumed bytes are dropped, not
+        // accumulated for the connection's lifetime.
+        for _ in 0..64 {
+            decoder.push(&wire);
+            match decoder.next_view().expect("decode").expect("one frame") {
+                FrameView::Items(items) => assert_eq!(items.len(), 512),
+                other => panic!("expected Items, got {other:?}"),
+            }
+            assert_eq!(decoder.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        for frame in frame_zoo() {
+            let mut written = Vec::new();
+            write_frame(&mut written, &frame).expect("write");
+            assert_eq!(encode_frame(&frame).expect("encode"), written);
+        }
+    }
+
+    /// A reader that yields a fixed prefix of bytes, then fails every
+    /// subsequent read with a timeout — the socket shape of a peer stalling
+    /// under `SO_RCVTIMEO`.
+    struct StallingReader {
+        bytes: Vec<u8>,
+        at: usize,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.at == self.bytes.len() {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = out.len().min(self.bytes.len() - self.at);
+            out[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_between_frames_stays_a_recoverable_io_error() {
+        let mut reader = StallingReader {
+            bytes: Vec::new(),
+            at: 0,
+        };
+        match read_frame(&mut reader) {
+            Err(WireError::Io(e)) => assert_eq!(e.kind(), ErrorKind::WouldBlock),
+            other => panic!("expected a plain Io timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_typed_desync_at_every_cut() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Batch(BatchPayload::Items(vec![5, 6]))).expect("write");
+        // Stall after every strict prefix — inside the length prefix and
+        // inside the payload alike: the stream position is lost either way.
+        for cut in 1..wire.len() {
+            let mut reader = StallingReader {
+                bytes: wire[..cut].to_vec(),
+                at: 0,
+            };
+            match read_frame(&mut reader) {
+                Err(WireError::TimedOutMidFrame) => {}
+                other => panic!("cut {cut}: expected TimedOutMidFrame, got {other:?}"),
+            }
+            let mut reader = StallingReader {
+                bytes: wire[..cut].to_vec(),
+                at: 0,
+            };
+            let mut buf = FrameBuf::new();
+            match read_frame_into(&mut reader, &mut buf) {
+                Err(WireError::TimedOutMidFrame) => {}
+                other => panic!("cut {cut} (borrowed): expected TimedOutMidFrame, got {other:?}"),
+            }
+        }
     }
 }

@@ -100,6 +100,53 @@
 //! unchanged — bytes a borrowing decode rejects are rejected with the
 //! same error the owning decode reports.
 //!
+//! # Sessions & the serve loop
+//!
+//! The blocking topologies above put the aggregator at one end of the
+//! wire.  The [`session`] module (Linux) turns it around into
+//! **estimation-as-a-service**: `knw-aggregate --serve <addr>` runs a
+//! single-threaded nonblocking readiness loop ([`serve_sessions`], built
+//! on the [`poll`] epoll wrapper — the offline-shim discipline again, no
+//! external event library) that multiplexes hundreds-to-thousands of
+//! concurrent *client* sessions over one shared worker fleet.  Each
+//! session is a state machine, never a thread:
+//!
+//! ```text
+//!            Hello{spec}          Batch*                Snapshot
+//!  accept ──► Greeting ─────────► Streaming ──────────► Snapshotting ─┐
+//!                │ bad spec /         │  ▲     Shard{bytes} queued    │
+//!                │ wrong frame        │  └──────────────◄─────────────┘
+//!                ▼                    │ Finish
+//!             Errored ◄── decode ─────┼──────► Snapshotting{finish}
+//!            (Err frame    error      │                 │ Shard{bytes}
+//!             queued)                 ▼                 ▼
+//!                                 (clean EOF)        Finished
+//! ```
+//!
+//! Inbound bytes feed a per-session resumable [`FrameDecoder`] — the
+//! loop reads whatever the socket has, and partial frames simply wait in
+//! the decoder until the rest arrives (no blocking read ever holds the
+//! loop hostage).  Decoded batches route into the shared `ShardBatcher`
+//! exactly as the blocking aggregator's own ingest does; since every
+//! sketch merges exactly and is order/partition independent, arbitrary
+//! session interleavings stay bit-identical to a single-process run over
+//! the union of the streams.  `Snapshot`/`Finish` requests arriving in
+//! the same tick coalesce into **one** point-in-time merge (pending
+//! batcher contents included), whose encoded `Shard` reply is shared.
+//!
+//! Backpressure is per session and byte-bounded: replies go into a
+//! bounded write queue, and a session whose queue exceeds
+//! [`SessionServeOptions::max_write_queue`] stops being *read* until it
+//! drains below half — a slow reader throttles only itself.  The fault
+//! taxonomy mirrors the wire layer's timeout/desync split: a session
+//! idle *between* frames is a plain idle timeout, while one that stalls
+//! *mid-frame* (decoder holding a partial frame) is desynchronized and
+//! its `Err` frame says so; on the aggregator→worker side the same split
+//! is [`ClusterError::Timeout`] (recoverable in place) versus
+//! [`ClusterError::Desynced`] (recoverable only by re-dial + journal
+//! replay).  Fleet-side failures poison the aggregator under the same
+//! rules as the blocking path and abort the serve loop typed.
+//!
 //! # Failure model & recovery
 //!
 //! A worker crash is detected at the link (broken write, EOF where a
@@ -170,7 +217,11 @@
 pub mod aggregator;
 pub mod error;
 pub mod frame;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod recovery;
+#[cfg(target_os = "linux")]
+pub mod session;
 pub mod spec;
 pub mod transport;
 pub mod worker;
@@ -181,19 +232,23 @@ pub use aggregator::{
 };
 pub use error::ClusterError;
 pub use frame::{
-    read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf, FrameView,
-    HelloConfig, SketchSpec, StreamMode, WireError, MAX_FRAME_LEN,
+    encode_frame, read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf,
+    FrameDecoder, FrameView, HelloConfig, SketchSpec, StreamMode, WireError, MAX_FRAME_LEN,
 };
+#[cfg(target_os = "linux")]
+pub use poll::{Event, Interest, Poller};
 pub use recovery::{
     register_worker, RecoveryPolicy, WorkerRegistry, DEFAULT_BACKOFF, DEFAULT_JOURNAL_CAP,
     DEFAULT_MAX_RETRIES,
 };
+#[cfg(target_os = "linux")]
+pub use session::{drive_sessions, serve_sessions, DriveStats, ServeStats, SessionServeOptions};
 pub use spec::{
     build_f0, build_l0, f0_estimator_names, f0_shard_from_bytes, l0_estimator_names,
     l0_shard_from_bytes, WireF0Sketch, WireL0Sketch,
 };
 pub use transport::{
     spawn_listening_worker, ListeningWorkerFleet, PipeTransport, TcpClusterConfig, TcpTransport,
-    Transport, WorkerConnection, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
+    Transport, WorkerConnection, BANNER_DEADLINE, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
 };
 pub use worker::{run_worker, serve, serve_connection, ServeOptions, DEFAULT_MAX_ACCEPT_RETRIES};

@@ -122,7 +122,7 @@ pub trait WorkerConnection: Send {
 /// index.  The aggregator is written against this trait, so the pipe,
 /// socket and any future transport share every line of routing, merging
 /// and supervision code.
-pub trait Transport {
+pub trait Transport: Send {
     /// Opens the link to worker `index` (spawns the child, or connects the
     /// socket).
     ///
@@ -156,10 +156,22 @@ pub trait Transport {
 /// child's stderr is inherited, so the serve loop's session-failure
 /// diagnostics stay observable.
 ///
+/// How long [`spawn_listening_worker`] waits for the `listening on`
+/// banner before declaring the child stuck, killing it, and returning a
+/// typed error.  Generous — a healthy worker prints within milliseconds;
+/// the bound only exists so a wedged child (or one handed an address it
+/// can never bind) cannot hang its supervisor forever.
+pub const BANNER_DEADLINE: Duration = Duration::from_secs(10);
+
 /// # Errors
 ///
-/// Spawn or banner-read failures, or a child that printed something other
-/// than the banner (killed and reaped before returning).
+/// Spawn failures; a child that exited without printing the banner (e.g.
+/// handed an un-bindable address — reaped, with its exit status in the
+/// message); a child that printed nothing within [`BANNER_DEADLINE`]
+/// (killed and reaped, `ErrorKind::TimedOut`); or a child that printed
+/// something other than the banner (killed and reaped,
+/// `ErrorKind::InvalidData`).  The wait is bounded in every path — a
+/// silent child can never hang its supervisor on the banner read.
 pub fn spawn_listening_worker(
     worker_exe: &Path,
     addr: &str,
@@ -173,8 +185,48 @@ pub fn spawn_listening_worker(
         .stdout(Stdio::piped())
         .spawn()?;
     let stdout = child.stdout.take().expect("stdout was piped");
-    let mut banner = String::new();
-    BufReader::new(stdout).read_line(&mut banner)?;
+    // The banner read happens on a helper thread so the wait can be
+    // bounded: a blocking read_line on the pipe itself has no deadline,
+    // and a child that neither prints nor exits would hang the caller
+    // forever.  (If the deadline fires, the detached thread unblocks as
+    // soon as the killed child's pipe closes, then exits.)
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut banner = String::new();
+        let result = BufReader::new(stdout)
+            .read_line(&mut banner)
+            .map(|_| banner);
+        let _ = tx.send(result);
+    });
+    let banner = match rx.recv_timeout(BANNER_DEADLINE) {
+        Ok(Ok(banner)) => banner,
+        Ok(Err(e)) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!(
+                    "worker printed no banner within {BANNER_DEADLINE:?}; \
+                     killed and reaped"
+                ),
+            ));
+        }
+    };
+    if banner.is_empty() {
+        // EOF before any banner: the child exited (or closed stdout)
+        // without ever serving — an un-bindable address, a bad flag, an
+        // early crash.  Reap it and surface the exit status.
+        let status = child.wait()?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("worker exited before printing its banner ({status})"),
+        ));
+    }
     let Some(bound) = banner.trim().strip_prefix("listening on ") else {
         let _ = child.kill();
         let _ = child.wait();
@@ -502,6 +554,36 @@ impl TcpTransport {
 }
 
 impl TcpTransport {
+    /// Liveness-probes a registered spare before recovery adopts it: a
+    /// bare TCP connect is not evidence of a serving worker (the kernel
+    /// completes handshakes into a dead or wedged process's listen
+    /// backlog), so the probe opens a throwaway connection, greets it
+    /// with a frame, and requires **any** framed reply within the I/O
+    /// timeout — a live `knw-worker` serve loop answers even this
+    /// out-of-order greeting with a typed `Err` frame before closing the
+    /// session, while a dead one yields EOF and a wedged one times out.
+    /// The probed session is separate from (and closed before) the
+    /// connection recovery actually adopts.
+    fn probe_spare(&self, addr: &str) -> bool {
+        let Ok(stream) = Self::connect(addr, self.connect_timeout) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        let deadline = Some(self.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT));
+        if stream.set_read_timeout(deadline).is_err() || stream.set_write_timeout(deadline).is_err()
+        {
+            return false;
+        }
+        let mut writer = stream;
+        let Ok(reader) = writer.try_clone() else {
+            return false;
+        };
+        if write_frame(&mut writer, &Frame::Snapshot).is_err() || writer.flush().is_err() {
+            return false;
+        }
+        matches!(read_frame(&mut BufReader::new(reader)), Ok(Some(_)))
+    }
+
     /// Opens a configured link to `addr`, attributing failure to `index`.
     fn open_addr(
         &self,
@@ -545,11 +627,16 @@ impl Transport for TcpTransport {
             Ok(conn) => return Ok(conn),
             Err(e) => e,
         };
-        // Fallback: pop registered replacements until one connects.
-        // Unreachable pops are discarded — a stale announcement must not
-        // wedge re-resolution for every later fault.
+        // Fallback: pop registered replacements until one *answers a
+        // liveness probe* and connects.  Unreachable or unresponsive pops
+        // are discarded — a stale announcement, or a spare whose listen
+        // backlog still accepts for a dead serve loop, must not burn a
+        // bounded recovery attempt on a doomed replay.
         if let Some(registry) = &self.registry {
             while let Some(addr) = registry.take_address() {
+                if !self.probe_spare(&addr) {
+                    continue;
+                }
                 match self.open_addr(index, &addr) {
                     Ok(conn) => {
                         self.overrides

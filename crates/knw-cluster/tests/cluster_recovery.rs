@@ -372,3 +372,76 @@ proptest! {
         prop_assert_eq!(merged.estimate().to_bits(), single.estimate().to_bits());
     }
 }
+
+/// The spare-pool liveness probe: `take_address` order is FIFO, so
+/// without a probe, recovery would adopt the *first* registered spare
+/// even when it is dead — and a dead spare is not always a refused
+/// connect (a kernel listen backlog happily completes handshakes for a
+/// process that will never serve).  With the pool deliberately fronted
+/// by a backlog-only fake and a killed spare, a **single** recovery
+/// attempt must skip both and land on the live spare — bit-identically.
+#[test]
+fn recovery_probes_spares_and_lands_on_the_live_one() {
+    use knw_cluster::register_worker;
+    let mut fleet =
+        ListeningWorkerFleet::spawn(WORKER_EXE.as_ref(), "127.0.0.1:0", 2).expect("spawn fleet");
+    let registry = Arc::new(WorkerRegistry::bind("127.0.0.1:0").expect("bind registry"));
+    let registry_addr = registry.local_addr().to_string();
+
+    // Spare 1 (popped first): a listen backlog with no serve loop behind
+    // it — connects succeed, the probe's greeting goes unanswered.
+    let backlog_only = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake spare");
+    let fake_addr = backlog_only.local_addr().expect("addr").to_string();
+    register_worker(&registry_addr, &fake_addr).expect("register fake spare");
+    // The announcement is processed by the registry's accept thread;
+    // wait for it so the fake is guaranteed to be popped first.
+    for _ in 0..400 {
+        if registry.available() >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(registry.available(), 1, "fake spare queued first");
+    // Spare 2: a real worker, registered and then killed — its connect is
+    // refused outright.
+    let killed = spawn_registered_spare(&registry);
+    drop(killed);
+    // Spare 3: the live one recovery must land on.
+    let _live = spawn_registered_spare(&registry);
+    assert_eq!(registry.available(), 3, "all three spares queued");
+
+    let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
+    let stream = items(12_000);
+    // max_retries = 1: the single allowed attempt must already skip the
+    // dead spares via the probe — burning the attempt on the backlog-only
+    // fake (a replay whose reply never comes) would exhaust recovery.
+    let config = TcpClusterConfig::new(fleet.addrs().iter().cloned())
+        .with_engine(EngineConfig::new(fleet.addrs().len()).with_batch_size(512))
+        .with_recovery(
+            RecoveryPolicy::default()
+                .with_max_retries(1)
+                .with_backoff(Duration::from_millis(50)),
+        )
+        .with_registry(Arc::clone(&registry))
+        .with_io_timeout(Some(Duration::from_millis(400)));
+    let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect 2 workers");
+
+    let (first, rest) = stream.split_at(stream.len() / 2);
+    for chunk in first.chunks(1_111) {
+        cluster.ingest_batch(chunk);
+    }
+    fleet.kill(0).expect("kill worker process");
+    let_fault_propagate();
+    for chunk in rest.chunks(1_111) {
+        cluster.ingest_batch(chunk);
+    }
+    let merged = cluster.finish().expect("recovery lands on the live spare");
+
+    let mut single = build_f0(&spec).expect("zoo name");
+    single.insert_batch(&stream);
+    assert_eq!(
+        merged.estimate().to_bits(),
+        single.estimate().to_bits(),
+        "recovered run must stay bit-identical"
+    );
+}

@@ -264,6 +264,79 @@ fn stalled_peer_times_out_with_a_typed_error() {
     );
 }
 
+/// A worker handed an address it can never bind exits before printing
+/// its `listening on` banner.  The spawn helper must surface that as a
+/// prompt typed error (with the child reaped and its exit status in the
+/// message) — not block forever on the banner read.
+#[test]
+fn worker_that_exits_before_its_banner_is_a_typed_spawn_error() {
+    use knw_cluster::spawn_listening_worker;
+    // TEST-NET-3 (RFC 5737): never assigned to a local interface, so the
+    // child's bind fails immediately and it exits without a banner.
+    let started = Instant::now();
+    let err = spawn_listening_worker(WORKER_EXE.as_ref(), "203.0.113.7:9", &[])
+        .expect_err("an un-bindable address must fail the spawn");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    assert!(
+        err.to_string()
+            .contains("exited before printing its banner"),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "banner failure took {:?} to surface",
+        started.elapsed()
+    );
+}
+
+/// The desync half of the timeout taxonomy: a peer that answers with
+/// *half a frame* and then stalls leaves the link desynchronized — part
+/// of the reply was already consumed when the read deadline fired, so
+/// resuming reads in place would misparse leftover bytes as a fresh
+/// length prefix.  That must surface as the typed `Desynced` (a link
+/// fault recovery may re-dial and replay), never as the in-place
+/// recoverable `Timeout` and never as a silent misparse.
+#[test]
+fn mid_frame_stall_is_a_typed_desync_not_a_timeout() {
+    use knw_cluster::{read_frame, write_frame, Frame};
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    // The desyncing "worker": protocol-fluent until the report, then
+    // sends half a Shard reply and stalls inside the frame.
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = stream.try_clone().expect("clone");
+        let mut writer = stream;
+        while let Ok(Some(frame)) = read_frame(&mut reader) {
+            if matches!(frame, Frame::Finish | Frame::Snapshot) {
+                let mut reply = Vec::new();
+                write_frame(&mut reply, &Frame::Shard(vec![0xAB; 512])).expect("encode");
+                writer
+                    .write_all(&reply[..reply.len() / 2])
+                    .expect("send half the reply");
+                writer.flush().expect("flush");
+                std::thread::sleep(Duration::from_secs(30));
+            }
+        }
+    });
+
+    let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
+    let config = TcpClusterConfig::new([addr]).with_io_timeout(Some(Duration::from_millis(300)));
+    let mut cluster = F0ClusterAggregator::connect(&config, &spec).expect("connect");
+    cluster.ingest_batch(&items(1_000));
+    let started = Instant::now();
+    match cluster.finish() {
+        Err(ClusterError::Desynced { worker }) => assert_eq!(worker, 0),
+        Err(other) => panic!("expected Desynced, got {other:?}"),
+        Ok(_) => panic!("a desynced link must not produce a report"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "mid-frame stall took {:?} to surface",
+        started.elapsed()
+    );
+}
+
 /// A failed snapshot poisons the aggregator: the conversation may have
 /// reply frames still queued on some links, so a retried report must
 /// refuse with a typed error instead of silently merging stale shards.

@@ -199,3 +199,59 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The resumable decoder agrees with the blocking decoder on every
+    /// frame shape, under the most adversarial delivery the wire can
+    /// produce: one byte at a time.  A sequence of valid frames fed to a
+    /// [`FrameDecoder`](knw_cluster::FrameDecoder) byte-by-byte yields
+    /// exactly the frames `read_frame` yields from the same bytes, in
+    /// order, with the decoder mid-frame at every strictly interior cut
+    /// and empty at every frame boundary.
+    #[test]
+    fn byte_at_a_time_decoding_equals_read_frame(
+        shapes in prop::collection::vec((0u64..8, any::<u64>()), 1..6),
+        payload in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let frames: Vec<Frame> = shapes
+            .iter()
+            .map(|&(kind, a)| arbitrary_frame(kind, a, &payload))
+            .collect();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&encode(frame));
+        }
+
+        // The blocking reference: read_frame over the concatenated bytes.
+        let mut reader = CountingReader::new(&wire);
+        let mut reference = Vec::new();
+        while let Some(frame) = read_frame(&mut reader).expect("valid stream") {
+            reference.push(frame);
+            if reader.pos == wire.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(&reference, &frames);
+
+        // The resumable decoder, fed one byte at a time.
+        let mut decoder = knw_cluster::FrameDecoder::new();
+        let mut streamed = Vec::new();
+        for (i, &byte) in wire.iter().enumerate() {
+            decoder.push(std::slice::from_ref(&byte));
+            while let Some(frame) = decoder.next_frame().expect("valid byte") {
+                streamed.push(frame);
+            }
+            let boundary = streamed.iter().map(|f| encode(f).len()).sum::<usize>() == i + 1;
+            prop_assert_eq!(
+                decoder.mid_frame(),
+                !boundary,
+                "mid_frame wrong after byte {}",
+                i
+            );
+        }
+        prop_assert_eq!(streamed, frames);
+        prop_assert!(!decoder.mid_frame(), "decoder must end empty");
+    }
+}
