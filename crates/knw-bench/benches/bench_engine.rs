@@ -189,6 +189,29 @@ fn speedup_summary(_c: &mut Criterion) {
             sketch.estimate_f0()
         },
     );
+    // The observability acceptance check: the same 64Ki-chunk loop with
+    // the per-chunk counter work the engine's shard instrumentation adds
+    // (one batch inc + one update add per hand-off) — it must stay within
+    // 5% of the uninstrumented run above, proving the hot-path counters
+    // are cheap enough to leave always-on.
+    time_run(
+        "f0_insert_batch_instrumented",
+        "sequential, insert_batch + hot-path counters",
+        ops,
+        &mut || {
+            let registry = knw_metrics::MetricsRegistry::new();
+            let batches = registry.counter("bench_shard_batches_total", &[("shard", "0")]);
+            let updates = registry.counter("bench_shard_updates_total", &[("shard", "0")]);
+            let mut sketch = KnwF0Sketch::new(config);
+            for chunk in items.chunks(65_536) {
+                sketch.insert_batch(black_box(chunk));
+                batches.inc();
+                updates.add(chunk.len() as u64);
+            }
+            black_box(registry.render().len());
+            sketch.estimate_f0()
+        },
+    );
     let engine_batched = time_run(
         "f0_engine_4shard",
         "4-shard engine, batched hand-off",

@@ -37,7 +37,7 @@
 use crate::error::ClusterError;
 use crate::frame::MAX_FRAME_LEN;
 use crate::frame::{
-    BatchPayload, Frame, FrameView, HelloConfig, SketchSpec, StreamMode, WireError,
+    BatchPayload, Frame, FrameView, HelloConfig, SketchSpec, StreamMode, WireError, WorkerStats,
 };
 use crate::recovery::RecoveryPolicy;
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
@@ -46,7 +46,8 @@ use crate::transport::{
     PipeTransport, TcpClusterConfig, TcpTransport, Transport, WorkerConnection,
 };
 use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator, SketchError};
-use knw_engine::{EngineConfig, Routable, ShardBatcher};
+use knw_engine::{BatcherMetrics, EngineConfig, Routable, ShardBatcher};
+use knw_metrics::{knw_log, Counter, Histogram};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -513,6 +514,97 @@ impl ShardJournal {
     }
 }
 
+/// The aggregator's link instrumentation: per-worker send / fault /
+/// recovery counters, the snapshot-latency histogram, and the fold of
+/// worker-reported [`WorkerStats`] into the fleet-wide `knw_fleet_*`
+/// families.  All handles are resolved against the process-wide registry
+/// at construction, so the dispatch hot path touches nothing but
+/// pre-registered atomics.
+struct AggregatorMetrics {
+    /// `Batch` frames shipped per worker (after chunking).
+    sends: Vec<Arc<Counter>>,
+    /// Encoded bytes shipped per worker, length prefixes included.
+    send_bytes: Vec<Arc<Counter>>,
+    /// Link faults observed per worker (before any recovery attempt).
+    faults: Vec<Arc<Counter>>,
+    /// Successful reconnect-and-replay recoveries per worker.
+    recoveries: Vec<Arc<Counter>>,
+    /// Journal frames replayed onto fresh links per worker.
+    replayed_frames: Vec<Arc<Counter>>,
+    /// Updates removed by pre-coalescing before routing.
+    coalesced: Arc<Counter>,
+    /// End-to-end latency of the snapshot exchange, in nanoseconds.
+    snapshot_latency: Arc<Histogram>,
+}
+
+impl AggregatorMetrics {
+    fn register(workers: usize) -> Self {
+        let registry = knw_metrics::global();
+        let per_worker = |name: &str| -> Vec<Arc<Counter>> {
+            (0..workers)
+                .map(|worker| {
+                    let label = worker.to_string();
+                    registry.counter(name, &[("worker", &label)])
+                })
+                .collect()
+        };
+        Self {
+            sends: per_worker("knw_cluster_worker_sends_total"),
+            send_bytes: per_worker("knw_cluster_worker_send_bytes_total"),
+            faults: per_worker("knw_cluster_worker_faults_total"),
+            recoveries: per_worker("knw_cluster_worker_recoveries_total"),
+            replayed_frames: per_worker("knw_cluster_worker_replayed_frames_total"),
+            coalesced: registry.counter("knw_cluster_coalesced_updates_total", &[]),
+            snapshot_latency: registry.histogram("knw_cluster_snapshot_latency_ns", &[]),
+        }
+    }
+
+    /// Records one dispatched batch: `frames` encoded `Batch` frames
+    /// totalling `bytes` on the wire.  Arithmetic, not measurement — the
+    /// encoding law is fixed-width (pinned by test), so the counts are
+    /// computed from the batch length without touching the send buffer.
+    fn on_send(&self, worker: usize, frames: u64, bytes: u64) {
+        if let Some(counter) = self.sends.get(worker) {
+            counter.add(frames);
+        }
+        if let Some(counter) = self.send_bytes.get(worker) {
+            counter.add(bytes);
+        }
+    }
+
+    fn on_fault(&self, worker: usize) {
+        if let Some(counter) = self.faults.get(worker) {
+            counter.inc();
+        }
+    }
+
+    fn on_recovery(&self, worker: usize, replayed: u64) {
+        if let Some(counter) = self.recoveries.get(worker) {
+            counter.inc();
+        }
+        if let Some(counter) = self.replayed_frames.get(worker) {
+            counter.add(replayed);
+        }
+    }
+
+    /// Folds one worker's session counters (shipped back as
+    /// [`Frame::Stats`] ahead of its final shard) into the fleet-wide
+    /// `knw_fleet_*` families, labelled by worker index.
+    fn record_worker_stats(&self, worker: usize, stats: WorkerStats) {
+        let registry = knw_metrics::global();
+        let label = worker.to_string();
+        let pairs = [
+            ("knw_fleet_frames_received_total", stats.frames_received),
+            ("knw_fleet_batches_ingested_total", stats.batches_ingested),
+            ("knw_fleet_updates_ingested_total", stats.updates_ingested),
+            ("knw_fleet_snapshots_served_total", stats.snapshots_served),
+        ];
+        for (name, value) in pairs {
+            registry.counter(name, &[("worker", &label)]).add(value);
+        }
+    }
+}
+
 /// The aggregator's mutable link state, split off from the batcher so the
 /// routing callbacks can dispatch, journal and recover while the batcher
 /// is borrowed: connections, sticky-fault bookkeeping, journals, and the
@@ -528,6 +620,7 @@ struct LinkSet<'a, U: ClusterUpdate> {
     /// [`encode_batch_frame`]); one allocation amortized over every
     /// dispatched batch.
     send_buf: &'a mut Vec<u8>,
+    metrics: &'a AggregatorMetrics,
     _update: std::marker::PhantomData<U>,
 }
 
@@ -553,13 +646,23 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
             Some(policy) => Some((&mut self.journals[worker], policy.journal_cap)),
             None => None,
         };
+        let cap = max_updates_per_frame::<U>();
         let result = send_encoded_batch_capped(
             self.workers[worker].as_mut(),
             worker,
             &batch,
-            max_updates_per_frame::<U>(),
+            cap,
             self.send_buf,
             journal,
+        );
+        // Frame and byte counts follow from the fixed-width encoding law:
+        // `chunks` frames, each 4 prefix + `BATCH_FRAME_OVERHEAD` framing
+        // bytes, plus `WIRE_BYTES` per update.
+        let chunks = batch.len().div_ceil(cap) as u64;
+        self.metrics.on_send(
+            worker,
+            chunks,
+            chunks * (4 + BATCH_FRAME_OVERHEAD) as u64 + (batch.len() * U::WIRE_BYTES) as u64,
         );
         if let Err(error) = result {
             // The failed batch is already in the journal, so a successful
@@ -577,6 +680,7 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
     /// link fault; [`ClusterError::JournalOverflow`] /
     /// [`ClusterError::RecoveryExhausted`] otherwise).
     fn try_recover(&mut self, worker: usize, error: ClusterError) -> Result<(), ClusterError> {
+        self.metrics.on_fault(worker);
         let Some(policy) = self.recovery else {
             return Err(error);
         };
@@ -589,6 +693,14 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
                 cap: policy.journal_cap,
             });
         }
+        knw_log!(
+            WARN,
+            "knw-aggregate",
+            "worker link faulted; attempting recovery",
+            worker = worker,
+            error = error,
+            max_retries = policy.max_retries,
+        );
         let mut last = error;
         for attempt in 1..=policy.max_retries {
             if attempt > 1 {
@@ -599,6 +711,16 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
             match self.reconnect_and_replay(worker) {
                 Ok(conn) => {
                     self.workers[worker] = conn;
+                    let replayed = self.journals[worker].frames.len() as u64;
+                    self.metrics.on_recovery(worker, replayed);
+                    knw_log!(
+                        INFO,
+                        "knw-aggregate",
+                        "worker link recovered",
+                        worker = worker,
+                        attempt = attempt,
+                        replayed_frames = replayed,
+                    );
                     return Ok(());
                 }
                 Err(e) => last = e,
@@ -703,7 +825,10 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
     }
 
     fn final_shard_once(&mut self, worker: usize) -> Result<Vec<u8>, ClusterError> {
-        let bytes = read_shard(self.workers[worker].as_mut(), worker)?;
+        let (stats, bytes) = read_final_shard(self.workers[worker].as_mut(), worker)?;
+        if let Some(stats) = stats {
+            self.metrics.record_worker_stats(worker, stats);
+        }
         match self.workers[worker].confirm_finished() {
             Ok(true) => Ok(bytes),
             Ok(false) => Err(ClusterError::WorkerDied { worker }),
@@ -763,6 +888,8 @@ pub struct ClusterAggregator<U: ClusterUpdate> {
     /// Reused frame-encoding buffer for the dispatch path (see
     /// [`encode_batch_frame`]).
     send_buf: Vec<u8>,
+    /// Pre-registered handles into the process-wide metrics registry.
+    metrics: AggregatorMetrics,
 }
 
 /// The insert-only (F0) front of [`ClusterAggregator`].
@@ -860,13 +987,19 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
             spec,
             transport,
             workers,
-            batcher: ShardBatcher::new(engine.routing, engine.shards, engine.batch_size),
+            batcher: ShardBatcher::new(engine.routing, engine.shards, engine.batch_size)
+                .with_metrics(BatcherMetrics::register(
+                    knw_metrics::global(),
+                    "knw_cluster",
+                    engine.shards,
+                )),
             precoalesce: engine.precoalesce && U::coalescible(),
             updates: 0,
             recovery,
             journals,
             fault: None,
             send_buf: Vec::new(),
+            metrics: AggregatorMetrics::register(engine.shards),
         })
     }
 
@@ -884,6 +1017,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
                 recovery: self.recovery,
                 spec: &self.spec,
                 send_buf: &mut self.send_buf,
+                metrics: &self.metrics,
                 _update: std::marker::PhantomData,
             },
         )
@@ -926,14 +1060,20 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// state for every linear sketch.
     pub fn ingest_batch(&mut self, updates: &[U]) {
         self.updates += updates.len() as u64;
-        let precoalesce = self.precoalesce;
-        let (batcher, mut links) = self.batcher_and_links();
-        let mut dispatch = |worker: usize, batch: Vec<U>| links.dispatch(worker, batch);
-        if precoalesce {
+        if self.precoalesce {
             let coalesced = U::coalesce_batch(updates);
-            batcher.extend_from_slice(&coalesced, &mut dispatch);
+            self.metrics
+                .coalesced
+                .add((updates.len() - coalesced.len()) as u64);
+            let (batcher, mut links) = self.batcher_and_links();
+            batcher.extend_from_slice(&coalesced, &mut |worker, batch| {
+                links.dispatch(worker, batch);
+            });
         } else {
-            batcher.extend_from_slice(updates, &mut dispatch);
+            let (batcher, mut links) = self.batcher_and_links();
+            batcher.extend_from_slice(updates, &mut |worker, batch| {
+                links.dispatch(worker, batch);
+            });
         }
     }
 
@@ -984,7 +1124,11 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
         // so it poisons the aggregator: later reports refuse instead of
         // silently merging stale shards.  (Recoverable link faults were
         // already retried under the policy inside the exchange.)
+        let started = std::time::Instant::now();
         let result = self.snapshot_exchange();
+        self.metrics
+            .snapshot_latency
+            .record_duration(started.elapsed());
         if let Err((index, error)) = &result {
             self.fault
                 .get_or_insert((*index, WorkerFault::from_error(error)));
@@ -1141,6 +1285,32 @@ fn open_link(
 // connection reaps its own resources (`PipeConnection` kills and waits on
 // the child, sockets just close), so an abandoned — or failed — aggregator
 // leaves no orphan processes behind.
+
+/// Reads the final-shard reply a `Finish` request promises: the shard
+/// bytes, preceded by the worker's session counters ([`Frame::Stats`])
+/// when the worker reports them.  The stats frame is optional on the read
+/// side so sessions that end before `Finish` handling (or older workers)
+/// still hand their shard over.
+fn read_final_shard(
+    conn: &mut dyn WorkerConnection,
+    index: usize,
+) -> Result<(Option<WorkerStats>, Vec<u8>), ClusterError> {
+    match conn.recv() {
+        Ok(Some(Frame::Stats(stats))) => read_shard(conn, index).map(|bytes| (Some(stats), bytes)),
+        Ok(Some(Frame::Shard(bytes))) => Ok((None, bytes)),
+        Ok(Some(Frame::Err(message))) => Err(ClusterError::WorkerReported {
+            worker: index,
+            message,
+        }),
+        Ok(Some(other)) => Err(ClusterError::Protocol {
+            worker: index,
+            expected: "Shard",
+            got: other.kind().to_string(),
+        }),
+        Ok(None) | Err(WireError::Truncated) => Err(ClusterError::WorkerDied { worker: index }),
+        Err(e) => Err(wire_fault(index, e)),
+    }
+}
 
 /// Reads the `Shard` reply a `Snapshot`/`Finish` request promises.
 fn read_shard(conn: &mut dyn WorkerConnection, index: usize) -> Result<Vec<u8>, ClusterError> {
@@ -1310,6 +1480,7 @@ mod tests {
         let mut send_buf = Vec::new();
         let transport = PipeTransport::new("unused");
         let spec = SketchSpec::f0("knw-f0", 0.25, 1 << 20, 7);
+        let metrics = AggregatorMetrics::register(1);
         let mut links: LinkSet<'_, u64> = LinkSet {
             workers: &mut workers,
             fault: &mut fault,
@@ -1318,6 +1489,7 @@ mod tests {
             recovery: Some(RecoveryPolicy::default()),
             spec: &spec,
             send_buf: &mut send_buf,
+            metrics: &metrics,
             _update: std::marker::PhantomData,
         };
         links.dispatch(0, Vec::new());

@@ -13,6 +13,7 @@
 //!               [--worker PATH]                       (pipe transport)
 //!               [--connect ADDR]... [--io-timeout S]  (tcp transport)
 //!               [--serve ADDR [--sessions N]]         (serve mode, Linux)
+//!               [--metrics ADDR]                      (scrape endpoint)
 //! ```
 //!
 //! Two transports:
@@ -35,6 +36,12 @@
 //! thread per session.  `--sessions N` stops after N completed sessions
 //! and prints the merged estimate plus the serve statistics.
 //!
+//! `--metrics ADDR` exposes the process-wide metrics registry as a
+//! Prometheus-text-format scrape endpoint for the duration of the run: in
+//! serve mode the listener is multiplexed on the same nonblocking event
+//! loop as the sessions; in the generate modes a background
+//! [`MetricsServer`](knw_cluster::MetricsServer) thread answers scrapes.
+//!
 //! With `--mode l0` the stream is churn-heavy signed updates; otherwise a
 //! skewed insert-only stream.  `--recover` turns worker loss from a
 //! run-fatal error into a supervised reconnect-and-replay (default
@@ -43,9 +50,10 @@
 
 use knw_cluster::{
     sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterError, ClusterUpdate,
-    RecoveryPolicy, SketchSpec, TcpClusterConfig,
+    MetricsServer, RecoveryPolicy, SketchSpec, TcpClusterConfig,
 };
 use knw_engine::{EngineConfig, RoutingPolicy};
+use knw_metrics::knw_log;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -75,6 +83,8 @@ struct Options {
     serve: Option<String>,
     /// Serve mode: stop after this many completed sessions.
     sessions: Option<usize>,
+    /// Bind this address as a Prometheus-text scrape endpoint for the run.
+    metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -96,6 +106,7 @@ impl Default for Options {
             recover: false,
             serve: None,
             sessions: None,
+            metrics: None,
         }
     }
 }
@@ -148,6 +159,7 @@ fn parse_args() -> Result<Options, String> {
             "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
             "--connect" => opts.connect.push(value("--connect")?),
             "--serve" => opts.serve = Some(value("--serve")?),
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
             "--sessions" => {
                 opts.sessions = Some(value("--sessions")?.parse().map_err(|e| format!("{e}"))?);
             }
@@ -165,6 +177,7 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}                    [--worker PATH]                       (pipe transport)\n\
                      \u{20}                    [--connect ADDR]... [--io-timeout S]  (tcp transport)\n\
                      \u{20}                    [--serve ADDR [--sessions N]]         (serve mode, Linux)\n\
+                     \u{20}                    [--metrics ADDR]                      (scrape endpoint)\n\
                      transports: pipe spawns N `knw-worker` children on stdin/stdout;\n\
                      \u{20}           tcp connects to running `knw-worker --listen ADDR` hosts,\n\
                      \u{20}           one --connect per worker.\n\
@@ -174,6 +187,9 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}          `serving on <addr>` banner, and multiplex concurrent\n\
                      \u{20}          client sessions over the worker fleet (one nonblocking\n\
                      \u{20}          event loop, no thread per session; Linux only).\n\
+                     --metrics ADDR: serve Prometheus-text scrapes of the process\n\
+                     \u{20}          metrics registry for the duration of the run (port 0\n\
+                     \u{20}          picks a free port; prints `metrics on <addr>`).\n\
                      F0 estimators: {}\nL0 estimators: {}",
                     knw_cluster::f0_estimator_names().join(", "),
                     knw_cluster::l0_estimator_names().join(", "),
@@ -332,6 +348,20 @@ fn run_serve(opts: &Options, addr: &str, estimator: &str) -> Result<(), ClusterE
     if let Some(n) = opts.sessions {
         serve_opts = serve_opts.with_max_sessions(n);
     }
+    // The scrape listener rides the same epoll loop as the sessions — no
+    // extra thread; see `SessionServeOptions::with_metrics_listener`.
+    if let Some(metrics_addr) = &opts.metrics {
+        let scrape = TcpListener::bind(metrics_addr).map_err(|source| ClusterError::Io {
+            worker: None,
+            source,
+        })?;
+        let scrape_bound = scrape.local_addr().map_err(|source| ClusterError::Io {
+            worker: None,
+            source,
+        })?;
+        serve_opts = serve_opts.with_metrics_listener(std::sync::Arc::new(scrape));
+        println!("metrics on {scrape_bound}");
+    }
 
     println!(
         "serving on {bound} ({} workers via {}, `{estimator}`) …",
@@ -396,6 +426,18 @@ fn run(opts: &Options) -> Result<(), ClusterError> {
         return run_serve(opts, addr, &estimator);
     }
 
+    // The generate modes are blocking, so the scrape endpoint is a
+    // background thread; held until the run finishes, then dropped.
+    let mut _metrics_server = None;
+    if let Some(metrics_addr) = &opts.metrics {
+        let server = MetricsServer::bind(metrics_addr).map_err(|source| ClusterError::Io {
+            worker: None,
+            source,
+        })?;
+        println!("metrics on {}", server.local_addr());
+        _metrics_server = Some(server);
+    }
+
     let choice = TransportChoice::from_options(opts)?;
 
     println!(
@@ -454,14 +496,14 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(message) => {
-            eprintln!("knw-aggregate: {message}");
+            knw_log!(ERROR, "knw-aggregate", "invalid arguments", error = message);
             return ExitCode::FAILURE;
         }
     };
     match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("knw-aggregate: {e}");
+            knw_log!(ERROR, "knw-aggregate", "run failed", error = e);
             ExitCode::FAILURE
         }
     }

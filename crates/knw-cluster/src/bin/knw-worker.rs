@@ -25,6 +25,7 @@
 //!   shard onto the next registered spare and replays its journal there.
 
 use knw_cluster::ServeOptions;
+use knw_metrics::knw_log;
 use std::io::{stdin, stdout, BufReader, BufWriter, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -117,7 +118,7 @@ fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(message) => {
-            eprintln!("knw-worker: {message}");
+            knw_log!(ERROR, "knw-worker", "invalid arguments", error = message);
             return ExitCode::FAILURE;
         }
     };
@@ -125,7 +126,13 @@ fn main() -> ExitCode {
         return match listen(addr, opts.register.as_deref(), &opts.serve) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("knw-worker: listener on {addr} failed: {e}");
+                knw_log!(
+                    ERROR,
+                    "knw-worker",
+                    "listener failed",
+                    addr = addr,
+                    error = e
+                );
                 ExitCode::FAILURE
             }
         };
@@ -135,7 +142,7 @@ fn main() -> ExitCode {
     match knw_cluster::run_worker(&mut input, &mut output) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("knw-worker: {message}");
+            knw_log!(ERROR, "knw-worker", "session failed", error = message);
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,211 @@
+//! Plain-text metrics exposition: minimal HTTP/1.0-style plumbing around
+//! [`MetricsRegistry::render`](knw_metrics::MetricsRegistry::render), shared
+//! by the two scrape surfaces:
+//!
+//! * the nonblocking `--serve` path registers a scrape listener on the
+//!   session epoll loop (see [`session`](crate::session)) and uses
+//!   [`http_response`] / [`request_complete`] to answer each scrape
+//!   without ever blocking the loop;
+//! * the blocking pipe/TCP aggregation modes (`knw-aggregate --metrics
+//!   <addr>` without `--serve`) run a [`MetricsServer`] — a background
+//!   accept thread, one scrape per short-lived connection, patterned after
+//!   the [`WorkerRegistry`](crate::WorkerRegistry) collector.
+//!
+//! The "HTTP" here is deliberately tiny (the offline-shim discipline: no
+//! hyper, no HTTP crate): read until the header terminator, ignore the
+//! request line entirely, answer `200 OK` with the registry rendered in
+//! Prometheus text format 0.0.4, close.  Every scraper — `curl`,
+//! Prometheus, a test harness — speaks this much.
+
+use knw_metrics::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The exposition content type (Prometheus text format 0.0.4).
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Caps how many request bytes a scrape connection may send before the
+/// header terminator; a peer streaming garbage is cut off, not buffered.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Wraps an exposition body in a complete `HTTP/1.1 200 OK` response
+/// (content type, length, `Connection: close`), ready to write verbatim.
+#[must_use]
+pub fn http_response(body: &str) -> Vec<u8> {
+    let mut response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    response.extend_from_slice(body.as_bytes());
+    response
+}
+
+/// Whether `buf` holds a complete scrape request: everything up to the
+/// header terminator (`\r\n\r\n`, or a bare `\n\n` from hand-typed
+/// clients).  The request contents are never interpreted — any complete
+/// request is answered with the full exposition.
+#[must_use]
+pub fn request_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Renders `registry` and wraps it for the wire — the one-call scrape
+/// answer both serving paths share.
+#[must_use]
+pub fn scrape_response(registry: &MetricsRegistry) -> Vec<u8> {
+    http_response(&registry.render())
+}
+
+/// A standalone scrape listener for the *blocking* aggregation modes: a
+/// background accept thread answering one scrape per connection from the
+/// process-wide registry.  (The nonblocking `--serve` path multiplexes
+/// scrapes on its epoll loop instead; see
+/// [`SessionServeOptions::with_metrics_listener`](crate::SessionServeOptions::with_metrics_listener).)
+///
+/// Dropping the server stops the thread (same wake-by-connect pattern as
+/// the [`WorkerRegistry`](crate::WorkerRegistry) collector).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (`"127.0.0.1:0"` picks a free port; see
+    /// [`local_addr`](Self::local_addr)) and starts answering scrapes of
+    /// the process-wide registry.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((stream, _peer)) = listener.accept() else {
+                        // Transient accept pressure just skips a scrape;
+                        // the next scraper retries.  No backoff loop — a
+                        // metrics endpoint is never load-bearing.
+                        continue;
+                    };
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let _ = serve_one_scrape(stream, knw_metrics::global());
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the server listens on — what a scraper dials.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so the thread observes the stop flag (a
+        // wildcard bind is not connectable everywhere; dial loopback).
+        let wake = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let woke = TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok();
+        if let Some(thread) = self.thread.take() {
+            if woke {
+                let _ = thread.join();
+            }
+            // Otherwise the thread may still sit in accept(2); it ends with
+            // the process rather than deadlocking the dropping thread.
+        }
+    }
+}
+
+/// Answers one blocking scrape: read to the header terminator (bounded in
+/// bytes and time), write the full exposition, close.
+fn serve_one_scrape(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !request_complete(&request) && request.len() < MAX_REQUEST_BYTES {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&chunk[..n]);
+    }
+    stream.write_all(&scrape_response(registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_carry_the_exposition_headers_and_exact_length() {
+        let body = "knw_test_total 1\n";
+        let response = http_response(body);
+        let text = String::from_utf8(response).expect("ASCII response");
+        let (head, tail) = text.split_once("\r\n\r\n").expect("header terminator");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert!(head.contains("Connection: close"));
+        assert_eq!(tail, body);
+    }
+
+    #[test]
+    fn request_completion_waits_for_the_header_terminator() {
+        assert!(!request_complete(b""));
+        assert!(!request_complete(b"GET /metrics HTTP/1.1\r\nHost: x\r\n"));
+        assert!(request_complete(
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+        ));
+        assert!(request_complete(b"GET /metrics\n\n"), "bare-LF clients");
+    }
+
+    #[test]
+    fn a_real_scraper_gets_the_registry_over_tcp() {
+        // The server scrapes the process-wide registry; plant a marker
+        // counter so the assertion is independent of whatever other tests
+        // registered.
+        knw_metrics::global()
+            .counter("knw_expo_selftest_total", &[])
+            .add(3);
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("# TYPE knw_expo_selftest_total counter"));
+        assert!(response.contains("knw_expo_selftest_total 3"));
+    }
+}

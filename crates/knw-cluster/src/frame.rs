@@ -159,6 +159,11 @@ pub enum Frame {
     /// serves on (the `knw-worker --register` handshake; see
     /// [`WorkerRegistry`](crate::recovery::WorkerRegistry)).
     Register(String),
+    /// Worker → aggregator: the worker-side ingest counters for the
+    /// session, sent immediately before the final [`Frame::Shard`] reply
+    /// to [`Frame::Finish`] so the aggregator can fold per-worker health
+    /// into its fleet-wide metrics.
+    Stats(WorkerStats),
 }
 
 impl Frame {
@@ -174,8 +179,25 @@ impl Frame {
             Frame::Err(_) => "Err",
             Frame::Restore(_) => "Restore",
             Frame::Register(_) => "Register",
+            Frame::Stats(_) => "Stats",
         }
     }
+}
+
+/// A worker session's ingest counters, exported over the wire in a
+/// [`Frame::Stats`] frame.  All fields count the session (one aggregator
+/// link), not the process: a recovered-and-replayed worker reports the
+/// replayed session's totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct WorkerStats {
+    /// Frames of any kind received on the session.
+    pub frames_received: u64,
+    /// `Batch` frames ingested.
+    pub batches_ingested: u64,
+    /// Stream updates ingested across those batches.
+    pub updates_ingested: u64,
+    /// `Shard` replies served to midstream `Snapshot` requests.
+    pub snapshots_served: u64,
 }
 
 /// Frame-level transport / codec failures.
@@ -623,6 +645,12 @@ mod tests {
             Frame::Err("boom".into()),
             Frame::Restore(vec![7, 7, 7]),
             Frame::Register("10.0.0.9:7001".into()),
+            Frame::Stats(WorkerStats {
+                frames_received: 100,
+                batches_ingested: 42,
+                updates_ingested: 171_000,
+                snapshots_served: 3,
+            }),
         ];
         for frame in &frames {
             assert_eq!(&round_trip(frame), frame, "{} deviated", frame.kind());
@@ -690,6 +718,32 @@ mod tests {
                 7, 0, 0, 0, // variant index 7 = Register
                 3, 0, 0, 0, 0, 0, 0, 0, // string length 3 (u64 LE)
                 b'a', b':', b'1', // the UTF-8 bytes
+            ]
+        );
+
+        // Stats: the worker-side ingest counters, appended as variant 8 so
+        // every earlier variant index stays untouched; four u64 fields in
+        // declaration order.
+        let mut stats = Vec::new();
+        write_frame(
+            &mut stats,
+            &Frame::Stats(WorkerStats {
+                frames_received: 9,
+                batches_ingested: 2,
+                updates_ingested: 300,
+                snapshots_served: 1,
+            }),
+        )
+        .expect("write");
+        assert_eq!(
+            stats,
+            [
+                36, 0, 0, 0, // frame length: 4 (tag) + 4 × 8 (the counters)
+                8, 0, 0, 0, // variant index 8 = Stats
+                9, 0, 0, 0, 0, 0, 0, 0, // frames_received
+                2, 0, 0, 0, 0, 0, 0, 0, // batches_ingested
+                44, 1, 0, 0, 0, 0, 0, 0, // updates_ingested = 300
+                1, 0, 0, 0, 0, 0, 0, 0, // snapshots_served
             ]
         );
     }
@@ -765,6 +819,12 @@ mod tests {
             Frame::Err("boom".into()),
             Frame::Restore(vec![1, 2, 3]),
             Frame::Register("h:1".into()),
+            Frame::Stats(WorkerStats {
+                frames_received: 4,
+                batches_ingested: 2,
+                updates_ingested: 8_192,
+                snapshots_served: 0,
+            }),
         ];
         let mut wire = Vec::new();
         for frame in &frames {
@@ -839,6 +899,12 @@ mod tests {
             Frame::Err("boom".into()),
             Frame::Restore(vec![1, 2, 3]),
             Frame::Register("h:1".into()),
+            Frame::Stats(WorkerStats {
+                frames_received: 7,
+                batches_ingested: 3,
+                updates_ingested: 12_288,
+                snapshots_served: 1,
+            }),
         ]
     }
 

@@ -57,6 +57,7 @@
 //! | `Finish` | aggregator → worker | finalize: send the shard and exit cleanly |
 //! | `Shard{bytes}` | worker → aggregator | the serialized shard sketch (the workspace serde codec) |
 //! | `Err{message}` | worker → aggregator | worker-side failure, before the worker exits nonzero |
+//! | `Stats{counters}` | worker → aggregator | session ingest counters ([`WorkerStats`](frame::WorkerStats)), sent once before the final `Finish` shard |
 //!
 //! Routing reuses [`knw_engine::ShardBatcher`] — the *same* code that
 //! routes the in-process `ShardedEngine`/`ShardRouter` — so in-process and
@@ -194,6 +195,40 @@
 //! violations, codec rejections, merge incompatibilities) are never
 //! retried — a fresh worker fed the same journal would reproduce them.
 //!
+//! # Observability
+//!
+//! Every layer feeds the process-wide
+//! [`knw_metrics`] registry (lock-free atomic counters/gauges and
+//! log-linear histograms — cheap enough to leave on in the hot paths),
+//! and structured leveled logging (`knw_log!`, `KNW_LOG` env filter)
+//! replaces ad-hoc stderr prints throughout:
+//!
+//! * **engine routing** — per-shard `knw_engine_shard_{batches,updates}_total`
+//!   from the in-process [`ShardedEngine`](knw_engine::ShardedEngine), and
+//!   `knw_cluster_shard_*` for batches the aggregator routes to workers;
+//! * **aggregator** — per-worker `knw_cluster_worker_{sends,send_bytes,
+//!   faults,recoveries,replayed_frames}_total`, turnstile
+//!   `knw_cluster_coalesced_updates_total`, and the
+//!   `knw_cluster_snapshot_latency_ns` histogram around every merged
+//!   snapshot/finish exchange;
+//! * **workers** — each worker counts its own session ingest
+//!   ([`WorkerStats`](frame::WorkerStats)) and ships it to the aggregator
+//!   in a `Stats` frame just before its final `Finish` shard, where it
+//!   lands as per-worker `knw_fleet_*_total` counters — fleet-wide health
+//!   without a scrape endpoint per worker (listening workers also mirror
+//!   the counters into their own registry as `knw_worker_*_total`);
+//! * **serve loop** — `knw_serve_*` session/ingest counters and
+//!   active/peak/write-queue gauges behind the [`ServeStats`] snapshot.
+//!
+//! The registry is scraped live in Prometheus text format 0.0.4 (see
+//! [`expo`]): `knw-aggregate --metrics <addr>` answers scrapes from the
+//! serve loop itself (one more epoll token, no thread) in `--serve` mode,
+//! or from a background [`MetricsServer`] thread in the blocking modes.
+//! Log lines are `key=value` structured records on stderr; values are
+//! escaped/quoted before interpolation, so peer-supplied bytes (a garbage
+//! client's frame, a failed session's message) cannot forge fields or
+//! split lines.
+//!
 //! # Example
 //!
 //! The `knw-aggregate` binary is the demo front end (`knw-aggregate
@@ -216,6 +251,7 @@
 
 pub mod aggregator;
 pub mod error;
+pub mod expo;
 pub mod frame;
 #[cfg(target_os = "linux")]
 pub mod poll;
@@ -231,9 +267,11 @@ pub use aggregator::{
     L0ClusterAggregator,
 };
 pub use error::ClusterError;
+pub use expo::MetricsServer;
 pub use frame::{
     encode_frame, read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf,
-    FrameDecoder, FrameView, HelloConfig, SketchSpec, StreamMode, WireError, MAX_FRAME_LEN,
+    FrameDecoder, FrameView, HelloConfig, SketchSpec, StreamMode, WireError, WorkerStats,
+    MAX_FRAME_LEN,
 };
 #[cfg(target_os = "linux")]
 pub use poll::{Event, Interest, Poller};

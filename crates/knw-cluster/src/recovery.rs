@@ -26,6 +26,7 @@
 //! ```
 
 use crate::frame::{read_frame, write_frame, Frame};
+use knw_metrics::knw_log;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -157,10 +158,24 @@ impl WorkerRegistry {
                         Err(e) => {
                             consecutive_failures += 1;
                             if consecutive_failures > ACCEPT_RETRIES {
-                                eprintln!("worker registry: accept failed persistently ({e}); no further announcements will be collected");
+                                knw_log!(
+                                    WARN,
+                                    "worker-registry",
+                                    "accept failed persistently; no further announcements \
+                                     will be collected",
+                                    error = e,
+                                    retries = consecutive_failures,
+                                );
                                 return;
                             }
-                            eprintln!("worker registry: accept failed ({e}); retry {consecutive_failures}/{ACCEPT_RETRIES}");
+                            knw_log!(
+                                WARN,
+                                "worker-registry",
+                                "accept failed; retrying",
+                                error = e,
+                                retry = consecutive_failures,
+                                max_retries = ACCEPT_RETRIES,
+                            );
                             std::thread::sleep(
                                 Duration::from_millis(20) * consecutive_failures as u32,
                             );
@@ -176,15 +191,27 @@ impl WorkerRegistry {
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
                     match read_frame(&mut BufReader::new(stream)) {
                         Ok(Some(Frame::Register(worker_addr))) => {
+                            knw_metrics::global()
+                                .counter("knw_registry_announcements_total", &[])
+                                .inc();
                             pool.lock()
                                 .expect("registry pool lock")
                                 .push_back(worker_addr);
                         }
                         Ok(None) => {}
                         other => {
-                            eprintln!(
-                                "worker registry: ignoring malformed announcement \
-                                 from {peer}: {other:?}"
+                            // `other` can carry raw peer-supplied bytes; the
+                            // structured logger escapes the value so a
+                            // hostile announcer cannot forge log records.
+                            knw_metrics::global()
+                                .counter("knw_registry_malformed_announcements_total", &[])
+                                .inc();
+                            knw_log!(
+                                WARN,
+                                "worker-registry",
+                                "ignoring malformed announcement",
+                                peer = peer,
+                                frame = format_args!("{other:?}"),
                             );
                         }
                     }

@@ -31,16 +31,24 @@
 
 use crate::aggregator::{ClusterAggregator, ClusterUpdate};
 use crate::error::ClusterError;
+use crate::expo::{request_complete, scrape_response, MAX_REQUEST_BYTES};
 use crate::frame::{encode_frame, Frame, FrameDecoder, FrameView, HelloConfig, SketchSpec};
 use crate::poll::{Interest, Poller};
+use knw_metrics::{Counter, Gauge, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The listener's token; session tokens start above it.
 const LISTENER_TOKEN: u64 = 0;
+
+/// The metrics listener's token; scrape-connection tokens count *down*
+/// from just below it, so they can never collide with session tokens
+/// (which count up from `LISTENER_TOKEN + 1`).
+const METRICS_LISTENER_TOKEN: u64 = u64::MAX;
 
 /// One poll tick: the upper bound on how long the loop sleeps when no
 /// readiness arrives (idle deadlines are checked once per tick).
@@ -49,6 +57,10 @@ const TICK: Duration = Duration::from_millis(200);
 /// Consecutive accept failures tolerated before the loop gives up —
 /// mirrors the sequential serve loop's bounded accept retries.
 const MAX_ACCEPT_FAILURES: usize = 64;
+
+/// How long a scrape connection may take end to end before it is reaped;
+/// a stalled scraper must not hold descriptors on a serving loop.
+const SCRAPE_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Knobs of [`serve_sessions`].
 #[derive(Debug, Clone)]
@@ -64,6 +76,11 @@ pub struct SessionServeOptions {
     pub max_write_queue: usize,
     /// Per-session idle deadline (`None`: never time a session out).
     pub idle_timeout: Option<Duration>,
+    /// A listener serving live Prometheus-text scrapes of the process-wide
+    /// metrics registry, multiplexed on the same epoll loop as the
+    /// sessions (no scrape thread; a scrape can never block a session,
+    /// and vice versa).  `None` disables the endpoint.
+    pub metrics_listener: Option<Arc<TcpListener>>,
 }
 
 impl Default for SessionServeOptions {
@@ -73,6 +90,7 @@ impl Default for SessionServeOptions {
             max_concurrent: 4096,
             max_write_queue: 1 << 20,
             idle_timeout: Some(Duration::from_secs(30)),
+            metrics_listener: None,
         }
     }
 }
@@ -105,6 +123,14 @@ impl SessionServeOptions {
         self.idle_timeout = timeout;
         self
     }
+
+    /// Registers `listener` as a live `/metrics` scrape endpoint on the
+    /// serve loop (Prometheus text format; see [`crate::expo`]).
+    #[must_use]
+    pub fn with_metrics_listener(mut self, listener: Arc<TcpListener>) -> Self {
+        self.metrics_listener = Some(listener);
+        self
+    }
 }
 
 /// What a [`serve_sessions`] run did — the soak tests' bounded-memory
@@ -130,6 +156,115 @@ pub struct ServeStats {
     pub batches_ingested: u64,
     /// Stream updates routed into the shared aggregator.
     pub updates_ingested: u64,
+}
+
+/// The serve loop's registry mirror: every [`ServeStats`] movement also
+/// lands in these pre-registered process-wide handles (`knw_serve_*`), so
+/// a live scrape sees the same numbers the run's final `ServeStats`
+/// snapshot reports.  `ServeStats` itself stays a plain snapshot view —
+/// the registry is the live surface, the struct the API-stable one.
+struct ServeMetrics {
+    sessions_served: Arc<Counter>,
+    sessions_errored: Arc<Counter>,
+    sessions_refused: Arc<Counter>,
+    /// Currently admitted sessions.
+    active_sessions: Arc<Gauge>,
+    /// High-water admitted sessions (monotone via `set_max`).
+    peak_concurrent: Arc<Gauge>,
+    /// Total bytes currently queued across all write queues.
+    write_queue_bytes: Arc<Gauge>,
+    /// High-water single-session write queue (monotone via `set_max`).
+    write_queue_peak_bytes: Arc<Gauge>,
+    snapshots_served: Arc<Counter>,
+    batches_ingested: Arc<Counter>,
+    updates_ingested: Arc<Counter>,
+    /// Completed `/metrics` scrapes answered by this loop.
+    scrapes: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            sessions_served: registry.counter("knw_serve_sessions_served_total", &[]),
+            sessions_errored: registry.counter("knw_serve_sessions_errored_total", &[]),
+            sessions_refused: registry.counter("knw_serve_sessions_refused_total", &[]),
+            active_sessions: registry.gauge("knw_serve_active_sessions", &[]),
+            peak_concurrent: registry.gauge("knw_serve_peak_concurrent_sessions", &[]),
+            write_queue_bytes: registry.gauge("knw_serve_write_queue_bytes", &[]),
+            write_queue_peak_bytes: registry.gauge("knw_serve_write_queue_peak_bytes", &[]),
+            snapshots_served: registry.counter("knw_serve_snapshots_served_total", &[]),
+            batches_ingested: registry.counter("knw_serve_batches_ingested_total", &[]),
+            updates_ingested: registry.counter("knw_serve_updates_ingested_total", &[]),
+            scrapes: registry.counter("knw_serve_scrapes_total", &[]),
+        }
+    }
+}
+
+/// One in-flight `/metrics` scrape on the serve loop: buffer the request
+/// until its header terminator, render the registry once, drain the
+/// response, close.  Never blocks — both phases run only on readiness.
+struct ScrapeConn {
+    stream: TcpStream,
+    request: Vec<u8>,
+    response: Vec<u8>,
+    /// Bytes of `response` already written.
+    head: usize,
+    opened: Instant,
+}
+
+impl ScrapeConn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            request: Vec::new(),
+            response: Vec::new(),
+            head: 0,
+            opened: Instant::now(),
+        }
+    }
+
+    /// Advances the scrape as far as the socket allows.  Returns `true`
+    /// when the connection is finished (answered or failed) and should be
+    /// reaped; `Some(true)` in `answered` distinguishes a completed scrape
+    /// from an aborted one.
+    fn drive(&mut self, answered: &mut bool) -> bool {
+        if self.response.is_empty() {
+            let mut chunk = [0u8; 1024];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    // EOF before a complete request: nothing to answer.
+                    Ok(0) => return true,
+                    Ok(n) => {
+                        self.request.extend_from_slice(&chunk[..n]);
+                        if request_complete(&self.request) {
+                            break;
+                        }
+                        if self.request.len() > MAX_REQUEST_BYTES {
+                            return true;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return true,
+                }
+            }
+            if !request_complete(&self.request) {
+                return false;
+            }
+            self.response = scrape_response(knw_metrics::global());
+        }
+        while self.head < self.response.len() {
+            match self.stream.write(&self.response[self.head..]) {
+                Ok(0) => return true,
+                Ok(n) => self.head += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+        *answered = true;
+        true
+    }
 }
 
 /// Where a session is in its lifecycle.
@@ -289,11 +424,14 @@ pub fn serve_sessions<U: ClusterUpdate>(
         options,
         poller: Poller::new().map_err(io_error)?,
         sessions: HashMap::new(),
+        scrapes: HashMap::new(),
         next_token: LISTENER_TOKEN + 1,
+        next_scrape_token: METRICS_LISTENER_TOKEN - 1,
         completed: 0,
         accept_failures: 0,
         waiters: Vec::new(),
         stats: ServeStats::default(),
+        metrics: ServeMetrics::register(knw_metrics::global()),
         read_buf: vec![0u8; 64 << 10],
     }
     .run()
@@ -312,12 +450,17 @@ struct ServeLoop<'a, U: ClusterUpdate> {
     options: &'a SessionServeOptions,
     poller: Poller,
     sessions: HashMap<u64, Session>,
+    /// In-flight `/metrics` scrapes (tokens descend from
+    /// `METRICS_LISTENER_TOKEN - 1`).
+    scrapes: HashMap<u64, ScrapeConn>,
     next_token: u64,
+    next_scrape_token: u64,
     completed: usize,
     accept_failures: usize,
     /// Sessions whose `Snapshot` / `Finish` awaits this tick's merge.
     waiters: Vec<u64>,
     stats: ServeStats,
+    metrics: ServeMetrics,
     read_buf: Vec<u8>,
 }
 
@@ -331,6 +474,16 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                 Interest::READABLE,
             )
             .map_err(io_error)?;
+        if let Some(metrics_listener) = &self.options.metrics_listener {
+            metrics_listener.set_nonblocking(true).map_err(io_error)?;
+            self.poller
+                .register(
+                    metrics_listener.as_raw_fd(),
+                    METRICS_LISTENER_TOKEN,
+                    Interest::READABLE,
+                )
+                .map_err(io_error)?;
+        }
         let mut events = Vec::new();
         loop {
             self.poller
@@ -339,6 +492,14 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
             for event in &events {
                 if event.token == LISTENER_TOKEN {
                     self.accept_ready()?;
+                    continue;
+                }
+                if event.token == METRICS_LISTENER_TOKEN {
+                    self.accept_scrapes();
+                    continue;
+                }
+                if self.scrapes.contains_key(&event.token) {
+                    self.drive_scrape(event.token);
                     continue;
                 }
                 let Some(session) = self.sessions.get_mut(&event.token) else {
@@ -355,6 +516,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                         &mut self.read_buf,
                         &mut self.stats,
                         &mut self.waiters,
+                        &self.metrics,
                     );
                 }
             }
@@ -385,11 +547,13 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                     self.accept_failures = 0;
                     if self.sessions.len() >= self.options.max_concurrent {
                         self.stats.sessions_refused += 1;
+                        self.metrics.sessions_refused.inc();
                         drop(stream);
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {
                         self.stats.sessions_refused += 1;
+                        self.metrics.sessions_refused.inc();
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
@@ -401,11 +565,16 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                         .is_err()
                     {
                         self.stats.sessions_refused += 1;
+                        self.metrics.sessions_refused.inc();
                         continue;
                     }
                     self.sessions.insert(token, Session::new(stream));
                     self.stats.peak_concurrent =
                         self.stats.peak_concurrent.max(self.sessions.len());
+                    self.metrics.active_sessions.set(self.sessions.len() as u64);
+                    self.metrics
+                        .peak_concurrent
+                        .set_max(self.sessions.len() as u64);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -423,9 +592,64 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
         }
     }
 
+    /// Accepts every pending scrape connection on the metrics listener.
+    /// A scrape endpoint is never load-bearing: any failure here just
+    /// skips a scrape, it cannot end the serve loop.
+    fn accept_scrapes(&mut self) {
+        let Some(listener) = self.options.metrics_listener.clone() else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_scrape_token;
+                    self.next_scrape_token -= 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.scrapes.insert(token, ScrapeConn::new(stream));
+                    // A complete request may already be buffered in the
+                    // kernel; drive it now rather than waiting a tick.
+                    self.drive_scrape(token);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Advances one scrape connection and reaps it when finished.
+    fn drive_scrape(&mut self, token: u64) {
+        let Some(conn) = self.scrapes.get_mut(&token) else {
+            return;
+        };
+        let mut answered = false;
+        if conn.drive(&mut answered) {
+            let conn = self.scrapes.remove(&token).expect("scrape exists");
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            if answered {
+                self.metrics.scrapes.inc();
+            }
+        } else if !conn.response.is_empty() {
+            // Mid-response with a full socket buffer: wait for writability.
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, Interest::WRITABLE);
+        }
+    }
+
     /// Reads whatever arrived on a session and processes its complete
     /// frames (stopping at a `Snapshot`/`Finish`, which parks the session
     /// until the tick's shared merge).
+    #[allow(clippy::too_many_arguments)]
     fn read_ready(
         session: &mut Session,
         token: u64,
@@ -433,6 +657,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
         read_buf: &mut [u8],
         stats: &mut ServeStats,
         waiters: &mut Vec<u64>,
+        metrics: &ServeMetrics,
     ) {
         loop {
             if session.paused || session.terminal() || session.read_closed {
@@ -446,7 +671,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                 Ok(n) => {
                     session.last_activity = Instant::now();
                     session.decoder.push(&read_buf[..n]);
-                    Self::drain_frames(session, token, aggregator, stats, waiters);
+                    Self::drain_frames(session, token, aggregator, stats, waiters, metrics);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -472,6 +697,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
         aggregator: &mut ClusterAggregator<U>,
         stats: &mut ServeStats,
         waiters: &mut Vec<u64>,
+        metrics: &ServeMetrics,
     ) {
         while matches!(
             session.state,
@@ -512,6 +738,8 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                 aggregator.ingest_batch(batch);
                 stats.batches_ingested += 1;
                 stats.updates_ingested += batch.len() as u64;
+                metrics.batches_ingested.inc();
+                metrics.updates_ingested.add(batch.len() as u64);
                 continue;
             }
             match view {
@@ -564,6 +792,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
             };
             session.enqueue(reply.clone(), &mut self.stats.peak_write_queue_bytes);
             self.stats.snapshots_served += 1;
+            self.metrics.snapshots_served.inc();
             session.flush_writes();
             session.state = if finish {
                 SessionState::Finished
@@ -580,6 +809,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                     self.aggregator,
                     &mut self.stats,
                     &mut self.waiters,
+                    &self.metrics,
                 );
             }
         }
@@ -590,8 +820,22 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
     /// interest reconciliation, and reaping of closeable sessions.
     fn maintain(&mut self) -> Result<(), ClusterError> {
         let now = Instant::now();
+        // Reap scrape connections that blew their deadline — a stalled
+        // scraper must not hold descriptors forever on a serving loop.
+        let expired: Vec<u64> = self
+            .scrapes
+            .iter()
+            .filter(|(_, conn)| now.duration_since(conn.opened) > SCRAPE_DEADLINE)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            let conn = self.scrapes.remove(&token).expect("expired scrape exists");
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        let mut queued_total = 0u64;
         let mut reap = Vec::new();
         for (&token, session) in &mut self.sessions {
+            queued_total += session.queued_bytes as u64;
             // Backpressure: pause reading over the bound, resume below
             // half of it.
             if session.queued_bytes > self.options.max_write_queue {
@@ -638,11 +882,18 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
             let _ = self.poller.deregister(session.stream.as_raw_fd());
             if session.state == SessionState::Errored {
                 self.stats.sessions_errored += 1;
+                self.metrics.sessions_errored.inc();
             } else {
                 self.stats.sessions_served += 1;
+                self.metrics.sessions_served.inc();
             }
             self.completed += 1;
         }
+        self.metrics.active_sessions.set(self.sessions.len() as u64);
+        self.metrics.write_queue_bytes.set(queued_total);
+        self.metrics
+            .write_queue_peak_bytes
+            .set_max(self.stats.peak_write_queue_bytes as u64);
         Ok(())
     }
 }
@@ -665,6 +916,13 @@ pub struct DriveStats {
     pub shard_replies: usize,
     /// Total bytes written to the server.
     pub bytes_sent: u64,
+    /// Frames encoded and queued toward the server across all sessions
+    /// (`Hello`, `Batch`, `Snapshot`, `Finish`).
+    pub frames_sent: u64,
+    /// Largest encoded chunk any session ever held pending on its socket,
+    /// in bytes — the drain-side mirror of the server's
+    /// [`ServeStats::peak_write_queue_bytes`].
+    pub peak_queued_bytes: usize,
 }
 
 /// Client state for one in-flight driven session.
@@ -708,6 +966,7 @@ pub fn drive_sessions<U: ClusterUpdate>(
 ) -> Result<DriveStats, ClusterError> {
     let batch = batch.max(1);
     let started = Instant::now();
+    let mut stats = DriveStats::default();
     let mut poller = Poller::new().map_err(io_error)?;
     let mut clients: HashMap<u64, ClientSession<'_, U>> = HashMap::new();
     for (index, updates) in streams.iter().enumerate() {
@@ -723,6 +982,8 @@ pub fn drive_sessions<U: ClusterUpdate>(
             spec: spec.clone(),
         }))
         .map_err(|e| io_error(std::io::Error::new(ErrorKind::InvalidData, e.to_string())))?;
+        stats.frames_sent += 1;
+        stats.peak_queued_bytes = stats.peak_queued_bytes.max(hello.len());
         let token = index as u64;
         poller
             .register(stream.as_raw_fd(), token, Interest::BOTH)
@@ -746,7 +1007,6 @@ pub fn drive_sessions<U: ClusterUpdate>(
         );
     }
 
-    let mut stats = DriveStats::default();
     let mut events = Vec::new();
     let mut read_buf = vec![0u8; 64 << 10];
     while !clients.is_empty() {
@@ -815,6 +1075,7 @@ fn client_write<U: ClusterUpdate>(
                 client.out = encode_frame(&Frame::Batch(U::payload(chunk))).map_err(|e| {
                     io_error(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
                 })?;
+                stats.frames_sent += 1;
                 client.batches_since_snapshot += 1;
                 if snapshot_every.is_some_and(|every| client.batches_since_snapshot >= every) {
                     client.batches_since_snapshot = 0;
@@ -822,13 +1083,16 @@ fn client_write<U: ClusterUpdate>(
                     let mut snapshot = encode_frame(&Frame::Snapshot).expect("tiny frame");
                     snapshot.extend_from_slice(&client.out);
                     std::mem::swap(&mut client.out, &mut snapshot);
+                    stats.frames_sent += 1;
                 }
             } else if !client.sent_finish {
                 client.out = encode_frame(&Frame::Finish).expect("tiny frame");
                 client.sent_finish = true;
+                stats.frames_sent += 1;
             } else {
                 return Ok(());
             }
+            stats.peak_queued_bytes = stats.peak_queued_bytes.max(client.out.len());
         }
         match client.stream.write(&client.out[client.out_head..]) {
             Ok(0) => {

@@ -25,10 +25,11 @@
 
 use crate::frame::{
     read_frame, read_frame_into, write_frame, BatchPayload, Frame, FrameBuf, FrameView, SketchSpec,
-    StreamMode, WireError,
+    StreamMode, WireError, WorkerStats,
 };
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
+use knw_metrics::knw_log;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
@@ -106,12 +107,45 @@ fn report(output: &mut impl Write, message: String) -> Result<(), String> {
 
 /// Runs the worker protocol loop to completion over the given transport.
 ///
+/// The session's ingest counters are reported back to the aggregator as a
+/// [`Frame::Stats`] immediately before the final shard, and mirrored into
+/// the process-wide metrics registry (`knw_worker_*` counters) on every
+/// exit path, so a long-lived `--listen` worker accumulates fleet-visible
+/// totals across sessions.
+///
 /// # Errors
 ///
 /// Returns the failure message (already sent to the aggregator as an `Err`
 /// frame where the transport still worked): transport/codec failures,
 /// protocol violations, unknown estimator names, stream-model mismatches.
 pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), String> {
+    let mut stats = WorkerStats::default();
+    let result = run_session(input, output, &mut stats);
+    mirror_stats(&stats);
+    result
+}
+
+/// Adds a finished session's counters to the process-wide registry.  The
+/// hot path only touches plain `u64` locals; this one batch of atomic adds
+/// per session is the entire registry cost of the ingest loop.
+fn mirror_stats(stats: &WorkerStats) {
+    let registry = knw_metrics::global();
+    let pairs = [
+        ("knw_worker_frames_received_total", stats.frames_received),
+        ("knw_worker_batches_ingested_total", stats.batches_ingested),
+        ("knw_worker_updates_ingested_total", stats.updates_ingested),
+        ("knw_worker_snapshots_served_total", stats.snapshots_served),
+    ];
+    for (name, value) in pairs {
+        registry.counter(name, &[]).add(value);
+    }
+}
+
+fn run_session(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    stats: &mut WorkerStats,
+) -> Result<(), String> {
     // Handshake.
     let hello = match read_frame(input) {
         Ok(Some(Frame::Hello(hello))) => hello,
@@ -144,26 +178,45 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
     let mut buf = FrameBuf::new();
     let mut ingested = false;
     loop {
-        match read_frame_into(input, &mut buf) {
-            Ok(Some(FrameView::Items(items))) => {
+        let view = match read_frame_into(input, &mut buf) {
+            Ok(Some(view)) => view,
+            // Clean EOF without Finish: the aggregator was dropped without
+            // reporting; mirror the in-process engine (workers shut down
+            // quietly when the router goes away).
+            Ok(None) => return Ok(()),
+            Err(WireError::Io(e)) => return Err(format!("transport failed: {e}")),
+            Err(e) => return report(output, format!("bad frame: {e}")),
+        };
+        stats.frames_received += 1;
+        match view {
+            FrameView::Items(items) => {
                 ingested = true;
+                stats.batches_ingested += 1;
+                stats.updates_ingested += items.len() as u64;
                 if let Err(message) = state.apply_items(items) {
                     return report(output, message);
                 }
             }
-            Ok(Some(FrameView::Updates(updates))) => {
+            FrameView::Updates(updates) => {
                 ingested = true;
+                stats.batches_ingested += 1;
+                stats.updates_ingested += updates.len() as u64;
                 if let Err(message) = state.apply_updates(updates) {
                     return report(output, message);
                 }
             }
-            Ok(Some(FrameView::Owned(Frame::Batch(payload)))) => {
+            FrameView::Owned(Frame::Batch(payload)) => {
                 ingested = true;
+                stats.batches_ingested += 1;
+                stats.updates_ingested += match &payload {
+                    BatchPayload::Items(items) => items.len() as u64,
+                    BatchPayload::Updates(updates) => updates.len() as u64,
+                };
                 if let Err(message) = state.apply(&payload) {
                     return report(output, message);
                 }
             }
-            Ok(Some(FrameView::Owned(Frame::Restore(bytes)))) => {
+            FrameView::Owned(Frame::Restore(bytes)) => {
                 // The recovery prologue: only valid on a fresh session —
                 // replacing state that already absorbed batches would
                 // silently drop them.
@@ -177,16 +230,23 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
                     return report(output, message);
                 }
             }
-            Ok(Some(FrameView::Owned(Frame::Snapshot))) => {
+            FrameView::Owned(Frame::Snapshot) => {
+                stats.snapshots_served += 1;
                 if let Err(e) = send_shard(output, &state) {
                     return Err(format!("failed to send snapshot shard: {e}"));
                 }
             }
-            Ok(Some(FrameView::Owned(Frame::Finish))) => {
+            FrameView::Owned(Frame::Finish) => {
+                // The session's counters ride back to the aggregator just
+                // ahead of the final shard, so fleet-wide health rolls up
+                // without a second round trip.
+                if let Err(e) = write_frame(output, &Frame::Stats(*stats)) {
+                    return Err(format!("failed to send session stats: {e}"));
+                }
                 return send_shard(output, &state)
                     .map_err(|e| format!("failed to send final shard: {e}"));
             }
-            Ok(Some(FrameView::Owned(other))) => {
+            FrameView::Owned(other) => {
                 return report(
                     output,
                     format!(
@@ -195,12 +255,6 @@ pub fn run_worker(input: &mut impl Read, output: &mut impl Write) -> Result<(), 
                     ),
                 );
             }
-            // Clean EOF without Finish: the aggregator was dropped without
-            // reporting; mirror the in-process engine (workers shut down
-            // quietly when the router goes away).
-            Ok(None) => return Ok(()),
-            Err(WireError::Io(e)) => return Err(format!("transport failed: {e}")),
-            Err(e) => return report(output, format!("bad frame: {e}")),
         }
     }
 }
@@ -316,6 +370,10 @@ fn serve_accepting(
     mut accept: impl FnMut() -> std::io::Result<(TcpStream, SocketAddr)>,
     options: &ServeOptions,
 ) -> std::io::Result<()> {
+    let registry = knw_metrics::global();
+    let sessions = registry.counter("knw_worker_sessions_total", &[]);
+    let failed = registry.counter("knw_worker_sessions_failed_total", &[]);
+    let accept_retries = registry.counter("knw_worker_accept_retries_total", &[]);
     let mut served = 0usize;
     let mut consecutive_failures = 0usize;
     while options.max_sessions.is_none_or(|max| served < max) {
@@ -323,13 +381,17 @@ fn serve_accepting(
             Ok(accepted) => accepted,
             Err(e) => {
                 consecutive_failures += 1;
+                accept_retries.inc();
                 if consecutive_failures > options.max_accept_retries {
                     return Err(e);
                 }
-                eprintln!(
-                    "knw-worker: accept failed ({e}); retry \
-                     {consecutive_failures}/{}",
-                    options.max_accept_retries
+                knw_log!(
+                    WARN,
+                    "knw-worker",
+                    "accept failed; retrying",
+                    error = e,
+                    retry = consecutive_failures,
+                    max_retries = options.max_accept_retries,
                 );
                 std::thread::sleep(ACCEPT_RETRY_BACKOFF * consecutive_failures as u32);
                 continue;
@@ -337,8 +399,19 @@ fn serve_accepting(
         };
         consecutive_failures = 0;
         if let Err(message) = serve_connection(&stream, options.io_timeout) {
-            eprintln!("knw-worker: session with {peer} failed: {message}");
+            // `message` can embed raw peer-supplied bytes (codec errors
+            // quote the offending frame); the structured logger escapes the
+            // value so a hostile client cannot forge log records.
+            failed.inc();
+            knw_log!(
+                WARN,
+                "knw-worker",
+                "session failed",
+                peer = peer,
+                error = message,
+            );
         }
+        sessions.inc();
         served += 1;
     }
     Ok(())
@@ -389,10 +462,26 @@ mod tests {
         ]);
         let (result, replies) = run(&wire);
         result.expect("clean run");
-        assert_eq!(replies.len(), 2, "one snapshot + one final shard");
+        assert_eq!(
+            replies.len(),
+            3,
+            "one snapshot + the session stats + one final shard"
+        );
+        // The session counters ride just ahead of the final shard: two
+        // batches of 500 + 400 updates, one snapshot served, and four
+        // frames total after the handshake.
+        assert_eq!(
+            replies[1],
+            Frame::Stats(WorkerStats {
+                frames_received: 4,
+                batches_ingested: 2,
+                updates_ingested: 900,
+                snapshots_served: 1,
+            })
+        );
         // The final shard must decode to the sketch a local run produces.
-        let Frame::Shard(bytes) = &replies[1] else {
-            panic!("expected Shard, got {}", replies[1].kind());
+        let Frame::Shard(bytes) = &replies[2] else {
+            panic!("expected Shard, got {}", replies[2].kind());
         };
         let wired = crate::spec::f0_shard_from_bytes(&spec, bytes).expect("decodes");
         let mut local = build_f0(&spec).expect("builds");
@@ -457,8 +546,8 @@ mod tests {
         ]);
         let (result, replies) = run(&wire);
         result.expect("clean recovered session");
-        let Frame::Shard(bytes) = &replies[0] else {
-            panic!("expected Shard, got {}", replies[0].kind());
+        let Frame::Shard(bytes) = &replies[1] else {
+            panic!("expected Shard, got {}", replies[1].kind());
         };
         let restored = crate::spec::f0_shard_from_bytes(&spec, bytes).expect("decodes");
         let mut local = build_f0(&spec).expect("builds");
@@ -512,6 +601,8 @@ mod tests {
             writer.write_all(&wire).expect("write session");
             writer.flush().expect("flush");
             let mut reader = std::io::BufReader::new(stream);
+            let stats = read_frame(&mut reader).expect("reply").expect("the stats");
+            assert!(matches!(stats, Frame::Stats(_)), "got {}", stats.kind());
             read_frame(&mut reader).expect("reply").expect("one Shard")
         });
         let mut injected = false;

@@ -17,9 +17,10 @@ use knw_cluster::{
 };
 use knw_cluster::{drive_sessions, ClusterAggregator};
 use knw_engine::EngineConfig;
-use std::io::Write;
-use std::net::{TcpListener, TcpStream};
-use std::time::Duration;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const WORKER_EXE: &str = env!("CARGO_BIN_EXE_knw-worker");
 const EPS: f64 = 0.1;
@@ -92,16 +93,80 @@ where
     (stats, drive, merged_bytes)
 }
 
+/// One scrape of a metrics endpoint: connect, send a minimal GET, return
+/// the exposition body (headers stripped).  `None` on any failure — the
+/// caller retries; a scrape is never load-bearing.
+fn scrape(addr: &SocketAddr) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n")
+        .ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (_, body) = response.split_once("\r\n\r\n")?;
+    Some(body.to_string())
+}
+
+/// The value of an unlabelled counter in a Prometheus-text exposition.
+fn counter_value(body: &str, family: &str) -> u64 {
+    body.lines()
+        .find_map(|line| {
+            line.strip_prefix(family)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|value| value.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The sum of a labelled counter family (e.g. per-shard counters) in a
+/// Prometheus-text exposition.
+fn labelled_counter_sum(body: &str, family: &str) -> u64 {
+    body.lines()
+        .filter(|line| line.starts_with(family) && line[family.len()..].starts_with('{'))
+        .filter_map(|line| {
+            line.rsplit_once(' ')
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        })
+        .sum()
+}
+
 /// Tentpole soak, F0 half: 1 000 concurrent sessions over one shared
 /// fleet, one serve thread, one drive thread — bounded queues, every
 /// session served, and the aggregate bit-identical to a single-process
-/// fold of the union stream.
+/// fold of the union stream.  A scraper thread hits the `--metrics`-style
+/// exposition listener (multiplexed on the same epoll loop) **while the
+/// soak runs**, proving the endpoint answers under full session load.
 #[test]
 fn a_thousand_concurrent_f0_sessions_aggregate_bit_identically() {
     const SESSIONS: usize = 1_000;
     let stream = items(1_000_000);
     let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
-    let options = SessionServeOptions::default().with_max_write_queue(1 << 16);
+    let metrics_listener = TcpListener::bind("127.0.0.1:0").expect("bind metrics listener");
+    let metrics_addr = metrics_listener.local_addr().expect("metrics addr");
+    let options = SessionServeOptions::default()
+        .with_max_write_queue(1 << 16)
+        .with_metrics_listener(Arc::new(metrics_listener));
+    // Scrape until the serve loop reports live traffic (the global
+    // registry is process-wide and other tests also feed it, so the
+    // assertions are non-zero floors, not exact counts).
+    let scraper = std::thread::spawn(move || {
+        let deadline = Instant::now() + DEADLINE;
+        let mut last = None;
+        while Instant::now() < deadline {
+            if let Some(body) = scrape(&metrics_addr) {
+                let live = counter_value(&body, "knw_serve_sessions_served_total") > 0
+                    && counter_value(&body, "knw_serve_batches_ingested_total") > 0
+                    && labelled_counter_sum(&body, "knw_cluster_shard_batches_total") > 0;
+                last = Some(body);
+                if live {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        last
+    });
     let (stats, drive, merged_bytes) = serve_and_drive(
         &spec,
         split(&stream, SESSIONS),
@@ -111,11 +176,39 @@ fn a_thousand_concurrent_f0_sessions_aggregate_bit_identically() {
         options.clone(),
     );
 
+    let body = scraper
+        .join()
+        .expect("scraper thread")
+        .expect("the metrics endpoint answered mid-soak");
+    assert!(
+        body.contains("# TYPE knw_serve_sessions_served_total counter"),
+        "exposition carries typed serve counters: {body}"
+    );
+    assert!(
+        counter_value(&body, "knw_serve_sessions_served_total") > 0,
+        "mid-soak scrape saw served sessions: {body}"
+    );
+    assert!(
+        counter_value(&body, "knw_serve_batches_ingested_total") > 0,
+        "mid-soak scrape saw ingested batches: {body}"
+    );
+    assert!(
+        labelled_counter_sum(&body, "knw_cluster_shard_batches_total") > 0,
+        "mid-soak scrape saw per-shard dispatch counters: {body}"
+    );
+
     assert_eq!(stats.sessions_served, SESSIONS, "{stats:?}");
     assert_eq!(stats.sessions_errored, 0, "{stats:?}");
     assert_eq!(stats.updates_ingested, stream.len() as u64);
     assert_eq!(drive.sessions, SESSIONS);
     assert_eq!(drive.shard_replies, SESSIONS, "one Finish shard each");
+    // Drive-side accounting: one Hello and one Finish per session plus
+    // every Batch frame, and a non-trivial peak client write queue.
+    assert!(
+        drive.frames_sent >= (2 * SESSIONS + stream.len() / 512) as u64,
+        "hello + finish + batch frames all counted: {drive:?}"
+    );
+    assert!(drive.peak_queued_bytes > 0, "{drive:?}");
     assert!(
         stats.peak_concurrent > 1,
         "sessions must overlap, not serialize: {stats:?}"

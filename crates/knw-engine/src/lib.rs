@@ -111,7 +111,7 @@ pub mod routing;
 mod sharded;
 
 pub use router::ShardRouter;
-pub use routing::{Routable, RoutingPolicy, ShardBatcher};
+pub use routing::{BatcherMetrics, Routable, RoutingPolicy, ShardBatcher};
 pub use sharded::{ShardedEngine, ShardedF0Engine, ShardedL0Engine};
 
 use knw_core::{

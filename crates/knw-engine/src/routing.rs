@@ -29,6 +29,8 @@
 //! [`ShardRouter`]: crate::ShardRouter
 
 use knw_hash::rng::shard_for_key;
+use knw_metrics::{Counter, MetricsRegistry};
+use std::sync::Arc;
 
 /// Which shard-assignment discipline a router uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +100,45 @@ impl Routable for (u64, i64) {
     }
 }
 
+/// Per-shard dispatch counters a [`ShardBatcher`] publishes into a
+/// [`MetricsRegistry`]: one batches counter and one updates counter per
+/// shard, labeled `{shard="i"}` under `<prefix>_shard_batches_total` /
+/// `<prefix>_shard_updates_total`.  The counters are `Arc` handles, so
+/// recording a dispatch is two relaxed atomic adds per *batch* — amortized
+/// to nothing over the thousands of updates a batch carries.
+#[derive(Debug, Clone)]
+pub struct BatcherMetrics {
+    batches: Vec<Arc<Counter>>,
+    updates: Vec<Arc<Counter>>,
+}
+
+impl BatcherMetrics {
+    /// Registers the per-shard counters for `num_shards` shards under
+    /// `prefix` in `registry` (idempotent — engines sharing a prefix share
+    /// the counters).
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, prefix: &str, num_shards: usize) -> Self {
+        let batches_name = format!("{prefix}_shard_batches_total");
+        let updates_name = format!("{prefix}_shard_updates_total");
+        let mut batches = Vec::with_capacity(num_shards);
+        let mut updates = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let label = shard.to_string();
+            batches.push(registry.counter(&batches_name, &[("shard", &label)]));
+            updates.push(registry.counter(&updates_name, &[("shard", &label)]));
+        }
+        Self { batches, updates }
+    }
+
+    /// Records one dispatched batch of `len` updates to `shard`.
+    fn on_dispatch(&self, shard: usize, len: usize) {
+        if let (Some(batches), Some(updates)) = (self.batches.get(shard), self.updates.get(shard)) {
+            batches.inc();
+            updates.add(len as u64);
+        }
+    }
+}
+
 /// Policy-specific buffering state.
 #[derive(Debug, Clone)]
 enum Buffers<U> {
@@ -120,6 +161,8 @@ pub struct ShardBatcher<U> {
     buffers: Buffers<U>,
     batch_size: usize,
     num_shards: usize,
+    /// Optional per-shard dispatch counters (see [`BatcherMetrics`]).
+    metrics: Option<BatcherMetrics>,
 }
 
 impl<U: Routable> ShardBatcher<U> {
@@ -145,7 +188,17 @@ impl<U: Routable> ShardBatcher<U> {
             buffers,
             batch_size,
             num_shards,
+            metrics: None,
         }
+    }
+
+    /// Attaches per-shard dispatch counters; every dispatched batch (from
+    /// [`push`](Self::push), [`extend_from_slice`](Self::extend_from_slice)
+    /// or [`flush`](Self::flush)) is counted against its shard.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: BatcherMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Buffers one update, dispatching if its batch filled up.
@@ -158,6 +211,9 @@ impl<U: Routable> ShardBatcher<U> {
                     let batch = std::mem::replace(buffer, Vec::with_capacity(batch_size));
                     let shard = *next_shard;
                     *next_shard = (*next_shard + 1) % self.num_shards;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.on_dispatch(shard, batch.len());
+                    }
                     dispatch(shard, batch);
                 }
             }
@@ -166,10 +222,11 @@ impl<U: Routable> ShardBatcher<U> {
                 let buffer = &mut buffers[shard];
                 buffer.push(update);
                 if buffer.len() >= batch_size {
-                    dispatch(
-                        shard,
-                        std::mem::replace(buffer, Vec::with_capacity(batch_size)),
-                    );
+                    let batch = std::mem::replace(buffer, Vec::with_capacity(batch_size));
+                    if let Some(metrics) = &self.metrics {
+                        metrics.on_dispatch(shard, batch.len());
+                    }
+                    dispatch(shard, batch);
                 }
             }
         }
@@ -191,6 +248,9 @@ impl<U: Routable> ShardBatcher<U> {
                         let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
                         let shard = *next_shard;
                         *next_shard = (*next_shard + 1) % self.num_shards;
+                        if let Some(metrics) = &self.metrics {
+                            metrics.on_dispatch(shard, batch.len());
+                        }
                         dispatch(shard, batch);
                     }
                 }
@@ -215,15 +275,19 @@ impl<U: Routable> ShardBatcher<U> {
                 let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
                 let shard = *next_shard;
                 *next_shard = (*next_shard + 1) % self.num_shards;
+                if let Some(metrics) = &self.metrics {
+                    metrics.on_dispatch(shard, batch.len());
+                }
                 dispatch(shard, batch);
             }
             Buffers::HashAffine { buffers, .. } => {
                 for (shard, buffer) in buffers.iter_mut().enumerate() {
                     if !buffer.is_empty() {
-                        dispatch(
-                            shard,
-                            std::mem::replace(buffer, Vec::with_capacity(self.batch_size)),
-                        );
+                        let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
+                        if let Some(metrics) = &self.metrics {
+                            metrics.on_dispatch(shard, batch.len());
+                        }
+                        dispatch(shard, batch);
                     }
                 }
             }
@@ -405,6 +469,39 @@ mod tests {
         b.extend_from_slice(&items, &mut |s, batch| out_b.push((s, batch)));
         b.flush(&mut |s, batch| out_b.push((s, batch)));
         assert_eq!(out_a, out_b);
+    }
+
+    /// Attached batcher metrics see every dispatch — from push, extend
+    /// and flush alike — attributed to the right shard, under both
+    /// policies.  A local registry keeps the assertions race-free.
+    #[test]
+    fn batcher_metrics_count_every_dispatch_per_shard() {
+        let registry = MetricsRegistry::new();
+        let mut batcher = ShardBatcher::new(RoutingPolicy::RoundRobin, 2, 10)
+            .with_metrics(BatcherMetrics::register(&registry, "test_rr", 2));
+        let items: Vec<u64> = (0..25).collect();
+        let mut sink = |_s: usize, _b: Vec<u64>| {};
+        batcher.extend_from_slice(&items[..13], &mut sink);
+        for &i in &items[13..] {
+            batcher.push(i, &mut sink);
+        }
+        batcher.flush(&mut sink);
+        // 25 updates in batches of 10: shard 0 gets batches 0 and 2 (10 +
+        // 5-update flush remainder), shard 1 gets batch 1.
+        let count = |name: &str, shard: &str| registry.counter(name, &[("shard", shard)]).get();
+        assert_eq!(count("test_rr_shard_batches_total", "0"), 2);
+        assert_eq!(count("test_rr_shard_batches_total", "1"), 1);
+        assert_eq!(count("test_rr_shard_updates_total", "0"), 15);
+        assert_eq!(count("test_rr_shard_updates_total", "1"), 10);
+
+        let mut affine = ShardBatcher::new(RoutingPolicy::HashAffine { seed: 0 }, 4, 8)
+            .with_metrics(BatcherMetrics::register(&registry, "test_ha", 4));
+        affine.extend_from_slice(&items, &mut sink);
+        affine.flush(&mut sink);
+        let total_updates: u64 = (0..4)
+            .map(|s| count("test_ha_shard_updates_total", &s.to_string()))
+            .sum();
+        assert_eq!(total_updates, 25, "every update is attributed to a shard");
     }
 
     #[test]

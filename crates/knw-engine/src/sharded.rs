@@ -1,9 +1,11 @@
 //! The threaded sharded ingestion engine, generic over the update type.
 
-use crate::routing::{Routable, ShardBatcher};
+use crate::routing::{BatcherMetrics, Routable, ShardBatcher};
 use crate::{merge_shards, EngineConfig, ShardSketch};
 use knw_core::SketchError;
+use knw_metrics::Counter;
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Messages on the router → shard channels.  Channel order is FIFO, so a
@@ -52,6 +54,9 @@ where
     /// Index of the first shard observed dead (its channel disconnected),
     /// i.e. its worker panicked.
     poisoned: Option<usize>,
+    /// Updates removed by router-side pre-coalescing
+    /// (`knw_engine_coalesced_updates_total` in the global registry).
+    coalesced: Arc<Counter>,
 }
 
 /// The insert-only (F0) front of [`ShardedEngine`]: items are `u64` stream
@@ -102,12 +107,19 @@ where
                 Worker { tx, handle }
             })
             .collect();
+        let registry = knw_metrics::global();
         Self {
             workers,
-            batcher: ShardBatcher::new(config.routing, config.shards, config.batch_size),
+            batcher: ShardBatcher::new(config.routing, config.shards, config.batch_size)
+                .with_metrics(BatcherMetrics::register(
+                    registry,
+                    "knw_engine",
+                    config.shards,
+                )),
             precoalesce: config.precoalesce && U::coalescible(),
             updates: 0,
             poisoned: None,
+            coalesced: registry.counter("knw_engine_coalesced_updates_total", &[]),
         }
     }
 
@@ -135,6 +147,7 @@ where
         };
         if self.precoalesce {
             let coalesced = U::coalesce_batch(updates);
+            self.coalesced.add((updates.len() - coalesced.len()) as u64);
             self.batcher.extend_from_slice(&coalesced, &mut dispatch);
         } else {
             self.batcher.extend_from_slice(updates, &mut dispatch);

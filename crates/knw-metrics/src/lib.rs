@@ -1,0 +1,44 @@
+//! Zero-dependency observability for the KNW workspace: a process-wide
+//! [`MetricsRegistry`] of lock-free atomic [`Counter`]s / [`Gauge`]s and
+//! log-linear [`Histogram`]s, Prometheus-text rendering of the whole
+//! registry ([`MetricsRegistry::render`]), and a leveled structured
+//! logger ([`knw_log!`], filtered by the `KNW_LOG` environment variable).
+//!
+//! The workspace builds in offline environments with no crates.io access,
+//! so `prometheus`/`tracing` cannot be dependencies; the same discipline
+//! that gives `dev-shims` its hand-rolled `serde` gives this crate its
+//! hand-rolled instruments.  Everything here is `std`-only.
+//!
+//! # Design constraints
+//!
+//! * **Hot-path cheap.** Recording is relaxed atomic arithmetic on
+//!   pre-registered `Arc` handles; the registry's lock is touched only at
+//!   registration and render time.  Instrumented ingestion paths measure
+//!   within noise of uninstrumented ones (pinned by the
+//!   `f0_insert_batch_instrumented` bench record).
+//! * **Exact merging.** [`Histogram::merge_from`] is bucket-wise exact,
+//!   mirroring the workspace's sketch-merge discipline.
+//! * **Injection-proof logging.** Every logged value is escaped before it
+//!   reaches the line, so peer-supplied bytes cannot forge records (see
+//!   [`log`]).
+//!
+//! # Example
+//!
+//! ```
+//! use knw_metrics::{global, knw_log};
+//!
+//! let served = global().counter("doc_sessions_served_total", &[("mode", "f0")]);
+//! served.inc();
+//! let latency = global().histogram("doc_snapshot_latency_ns", &[]);
+//! latency.record(1_250);
+//! assert!(global().render().contains("doc_sessions_served_total{mode=\"f0\"} 1"));
+//! knw_log!(INFO, "example", "snapshot served", latency_ns = 1_250u64);
+//! ```
+
+pub mod histogram;
+pub mod log;
+pub mod registry;
+
+pub use histogram::Histogram;
+pub use log::{log_enabled, Level};
+pub use registry::{global, Counter, Gauge, MetricsRegistry};

@@ -1,0 +1,259 @@
+//! A leveled, structured, dependency-free logger: `key=value` lines on
+//! stderr, filtered by the `KNW_LOG` environment variable, emitted through
+//! the [`knw_log!`](crate::knw_log) macro.
+//!
+//! Every value is escaped before it reaches the line ([`escape_value`]):
+//! newlines, carriage returns and other control characters are rendered
+//! as escape sequences and any value containing them (or spaces, quotes,
+//! `=`) is double-quoted.  That property is load-bearing, not cosmetic —
+//! several call sites interpolate *peer-supplied* bytes (error messages
+//! echoing wire content, registry announcements), and without escaping a
+//! malicious client could inject `\n` to forge whole log records.
+//!
+//! `KNW_LOG` accepts `off`, `error`, `warn` (the default), `info`,
+//! `debug` or `trace`; the filter is parsed once per process.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Log severity; the declaration order makes `Error` the lowest (most
+/// severe) so `level <= filter` is the enabled test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process (or a whole run) failed.
+    Error,
+    /// Something went wrong but the process carries on.
+    Warn,
+    /// Lifecycle landmarks (listeners bound, sessions served).
+    Info,
+    /// Per-operation detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    /// Uppercase aliases, so `knw_log!(WARN, ...)` resolves through
+    /// `$crate::Level::$level` without the macro touching variant casing.
+    pub const ERROR: Level = Level::Error;
+    /// See [`Level::ERROR`].
+    pub const WARN: Level = Level::Warn;
+    /// See [`Level::ERROR`].
+    pub const INFO: Level = Level::Info;
+    /// See [`Level::ERROR`].
+    pub const DEBUG: Level = Level::Debug;
+    /// See [`Level::ERROR`].
+    pub const TRACE: Level = Level::Trace;
+
+    /// The level's lowercase wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `KNW_LOG` value: a level name, or `off`/`none` for total
+    /// silence (`Ok(None)`).  Unrecognized values keep the default.
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide filter, parsed from `KNW_LOG` on first use.
+/// `None` means logging is off entirely.
+fn filter() -> Option<Level> {
+    static FILTER: OnceLock<Option<Level>> = OnceLock::new();
+    *FILTER.get_or_init(|| {
+        std::env::var("KNW_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Some(Level::Warn))
+    })
+}
+
+/// Whether a record at `level` would be emitted — the macro's cheap
+/// pre-check, public so callers can skip expensive field computation.
+#[must_use]
+pub fn log_enabled(level: Level) -> bool {
+    filter().is_some_and(|max| level <= max)
+}
+
+/// Escapes one field value for the `key=value` line format: backslashes,
+/// quotes and control characters become escape sequences, and any value
+/// needing them (or containing spaces / `=`, or empty) is double-quoted.
+/// The output of this function can never span lines or mimic a field
+/// boundary — the anti-forgery property the module docs promise.
+#[must_use]
+pub fn escape_value(value: &str) -> String {
+    let needs_quotes = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c.is_control() || matches!(c, '"' | '\\' | '='));
+    if !needs_quotes {
+        return value.to_string();
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{{{:x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one record as a single line (no trailing newline):
+/// `level=<level> target=<target> msg=<message> key=value ...`, with
+/// every value escaped.  Pure, so tests can pin the format.
+#[must_use]
+pub fn format_line(
+    level: Level,
+    target: &str,
+    message: &str,
+    fields: &[(&str, &dyn Display)],
+) -> String {
+    let mut line = String::with_capacity(64 + message.len());
+    let _ = write!(
+        line,
+        "level={} target={} msg={}",
+        level.as_str(),
+        escape_value(target),
+        escape_value(message)
+    );
+    for (key, value) in fields {
+        let _ = write!(line, " {key}={}", escape_value(&value.to_string()));
+    }
+    line
+}
+
+/// Formats and writes one record to stderr as a single `write_all` (so
+/// concurrent emitters interleave at line granularity, not mid-line).
+/// Called by the [`knw_log!`](crate::knw_log) macro after its level
+/// check; callers normally never invoke this directly.
+pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, &dyn Display)]) {
+    let mut line = format_line(level, target, message, fields);
+    line.push('\n');
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(line.as_bytes());
+}
+
+/// Emits a leveled, structured log record:
+///
+/// ```
+/// use knw_metrics::knw_log;
+/// let peer = "127.0.0.1:9";
+/// knw_log!(WARN, "knw-worker", "session failed", peer = peer, retries = 3);
+/// ```
+///
+/// The first argument is a level name (`ERROR`, `WARN`, `INFO`, `DEBUG`,
+/// `TRACE`), the second the component name, the third the message; any
+/// further `key = value` pairs become structured fields (values need only
+/// implement `Display`).  Records above the `KNW_LOG` filter (default
+/// `warn`) cost one branch; field values are never formatted for them.
+#[macro_export]
+macro_rules! knw_log {
+    ($level:ident, $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $crate::Level::$level;
+        if $crate::log_enabled(level) {
+            $crate::log::emit(
+                level,
+                $target,
+                &::std::string::ToString::to_string(&$msg),
+                &[$((
+                    ::std::stringify!($key),
+                    &$value as &dyn ::std::fmt::Display,
+                )),*],
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_from_error_to_trace() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::WARN, Level::Warn);
+        assert_eq!(Level::parse("TRACE"), Some(Some(Level::Trace)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("verbose"), None, "unknown keeps the default");
+    }
+
+    /// Clean values pass through bare; anything that could break the
+    /// line format is quoted and escaped.
+    #[test]
+    fn values_with_structure_are_quoted_and_escaped() {
+        assert_eq!(escape_value("simple"), "simple");
+        assert_eq!(escape_value("127.0.0.1:4242"), "127.0.0.1:4242");
+        assert_eq!(escape_value(""), "\"\"");
+        assert_eq!(escape_value("two words"), "\"two words\"");
+        assert_eq!(escape_value("k=v"), "\"k=v\"");
+        assert_eq!(escape_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(escape_value("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_value("\u{7}"), "\"\\u{7}\"");
+    }
+
+    /// The anti-forgery property: a peer-supplied value full of newlines
+    /// and fake fields renders as one inert quoted token — the output
+    /// contains no literal newline and no injectable field boundary.
+    #[test]
+    fn peer_supplied_bytes_cannot_forge_records() {
+        let hostile = "ok\nlevel=error target=forged msg=pwned\r\n";
+        let line = format_line(
+            Level::Warn,
+            "knw-worker",
+            "session failed",
+            &[("error", &hostile)],
+        );
+        assert!(!line.contains('\n'), "no literal newline survives");
+        assert!(!line.contains('\r'));
+        assert_eq!(
+            line,
+            "level=warn target=knw-worker msg=\"session failed\" \
+             error=\"ok\\nlevel=error target=forged msg=pwned\\r\\n\""
+        );
+    }
+
+    #[test]
+    fn format_line_pins_the_key_value_shape() {
+        let line = format_line(
+            Level::Info,
+            "knw-aggregate",
+            "serving",
+            &[("addr", &"127.0.0.1:7070"), ("sessions", &1024u64)],
+        );
+        assert_eq!(
+            line,
+            "level=info target=knw-aggregate msg=serving addr=127.0.0.1:7070 sessions=1024"
+        );
+    }
+}

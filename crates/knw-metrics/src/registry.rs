@@ -1,0 +1,330 @@
+//! The process-wide metric registry: named, labeled counters, gauges and
+//! histograms, registered once (idempotently) and handed out as `Arc`s so
+//! the hot paths touch nothing but their own atomics — the registry lock
+//! is taken only at registration and render time.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone event counter (relaxed atomic adds).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depths, active-session
+/// counts), with a `set_max` high-water-mark helper.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `value` if it is larger (high-water marks).
+    pub fn set_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating at zero under races).
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The three metric kinds a registry slot can hold.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// A metric's identity: name plus its label pairs, sorted so the same
+/// labels in any order hit the same slot (and renders deterministically).
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+/// A registry of named metrics.  One process-wide instance lives behind
+/// [`global()`]; unit tests build local ones so their assertions cannot
+/// race other tests' increments.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<Key, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-fetches) the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// If the slot is already registered as a different metric kind — a
+    /// naming bug at the call site, caught loudly at registration time.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let slot = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match slot {
+            Metric::Counter(counter) => Arc::clone(counter),
+            other => panic!("{name} is registered as a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// As [`counter`](Self::counter), on a metric-kind mismatch.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let slot = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match slot {
+            Metric::Gauge(gauge) => Arc::clone(gauge),
+            other => panic!("{name} is registered as a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) the histogram `name{labels}` (rendered
+    /// as a Prometheus summary: quantiles plus `_sum`/`_count`).
+    ///
+    /// # Panics
+    ///
+    /// As [`counter`](Self::counter), on a metric-kind mismatch.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let slot = metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match slot {
+            Metric::Histogram(histogram) => Arc::clone(histogram),
+            other => panic!(
+                "{name} is registered as a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4): one `# TYPE` line per metric family, then
+    /// one sample line per label set, in deterministic sorted order.
+    /// Histograms render as summaries — `quantile`-labeled samples plus
+    /// `_sum` and `_count`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics lock");
+        let mut out = String::new();
+        let mut last_family = "";
+        for ((name, labels), metric) in metrics.iter() {
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            }
+            match metric {
+                Metric::Counter(counter) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(labels), counter.get());
+                }
+                Metric::Gauge(gauge) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(labels), gauge.get());
+                }
+                Metric::Histogram(histogram) => {
+                    for q in ["0.5", "0.9", "0.99"] {
+                        let mut with_q = labels.clone();
+                        with_q.push(("quantile".to_string(), q.to_string()));
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            name,
+                            render_labels(&with_q),
+                            histogram.quantile(q.parse().expect("literal quantile"))
+                        );
+                    }
+                    let rendered = render_labels(labels);
+                    let _ = writeln!(out, "{name}_sum{rendered} {}", histogram.sum());
+                    let _ = writeln!(out, "{name}_count{rendered} {}", histogram.count());
+                }
+            }
+            last_family = name;
+        }
+        out
+    }
+}
+
+/// Renders a label set as `{k="v",...}` (empty string for no labels),
+/// escaping backslashes, quotes and newlines in values per the format.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// The process-wide registry every subsystem instruments into.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registration is idempotent: the same (name, labels) — in any label
+    /// order — returns the same underlying metric.
+    #[test]
+    fn registration_is_idempotent_and_label_order_blind() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("reqs_total", &[("kind", "f0"), ("shard", "0")]);
+        let b = registry.counter("reqs_total", &[("shard", "0"), ("kind", "f0")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same atomic");
+        let g = registry.gauge("depth", &[]);
+        g.set(7);
+        g.set_max(5);
+        assert_eq!(g.get(), 7, "set_max never lowers");
+        g.sub(9);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics_at_registration() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("mixed", &[]);
+        let _ = registry.gauge("mixed", &[]);
+    }
+
+    /// Pins the Prometheus text exposition format: TYPE lines, sorted
+    /// families, label rendering, and the summary form of histograms.
+    #[test]
+    fn render_golden_text() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("knw_sessions_total", &[("state", "served")])
+            .add(5);
+        registry
+            .counter("knw_sessions_total", &[("state", "refused")])
+            .inc();
+        registry.gauge("knw_active_sessions", &[]).set(2);
+        let h = registry.histogram("knw_snapshot_latency_ns", &[]);
+        for v in [10u64, 11, 12, 13] {
+            h.record(v);
+        }
+        assert_eq!(
+            registry.render(),
+            "# TYPE knw_active_sessions gauge\n\
+             knw_active_sessions 2\n\
+             # TYPE knw_sessions_total counter\n\
+             knw_sessions_total{state=\"refused\"} 1\n\
+             knw_sessions_total{state=\"served\"} 5\n\
+             # TYPE knw_snapshot_latency_ns summary\n\
+             knw_snapshot_latency_ns{quantile=\"0.5\"} 11\n\
+             knw_snapshot_latency_ns{quantile=\"0.9\"} 13\n\
+             knw_snapshot_latency_ns{quantile=\"0.99\"} 13\n\
+             knw_snapshot_latency_ns_sum 46\n\
+             knw_snapshot_latency_ns_count 4\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_the_exposition() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("odd_total", &[("peer", "a\"b\\c\nd")])
+            .inc();
+        assert_eq!(
+            registry.render(),
+            "# TYPE odd_total counter\nodd_total{peer=\"a\\\"b\\\\c\\nd\"} 1\n"
+        );
+    }
+}

@@ -8,5 +8,8 @@ pub use knw_cluster as cluster;
 pub use knw_core as core;
 pub use knw_engine as engine;
 pub use knw_hash as hash;
+/// Observability: the process-wide metrics registry, Prometheus-text
+/// exposition, and the `knw_log!` structured logger.
+pub use knw_metrics as metrics;
 pub use knw_stream as stream;
 pub use knw_vla as vla;
