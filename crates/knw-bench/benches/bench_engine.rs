@@ -21,7 +21,10 @@
 //!   fault-free TCP run;
 //! * serve front end (Linux): the same 10M items split across 1,000
 //!   concurrent client sessions, multiplexed by one nonblocking
-//!   `serve_sessions` epoll loop over a 4-worker pipe fleet.
+//!   `serve_sessions` epoll loop over a 4-worker pipe fleet;
+//! * keyed store: 4M updates over 1M per-key sketches through the
+//!   budgeted `SketchStore`, plus a tight-budget eviction-churn run where
+//!   most touches cycle entries through the serialized cold tier.
 //!
 //! Every headline number is also appended to `BENCH_engine.json` at the
 //! workspace root (ns/op and Melem/s per labelled path), so the perf
@@ -529,6 +532,82 @@ fn serve_summary(_c: &mut Criterion) {
     println!("\nthe session serve loop is Linux-only (epoll); skipping serve numbers");
 }
 
+/// The keyed store paths: per-key sketches behind one memory budget.
+///
+/// * `f0_store_1m_keys`: 4M keyed updates spread over 1M distinct keys
+///   through `ingest_batch` (sorted grouping, one entry touch per key per
+///   batch) under the default 64 MiB budget — the "millions of tiny
+///   sketches" sizing claim as a throughput number;
+/// * `f0_store_eviction_churn`: 2M updates revisiting 200K keys under a
+///   4 MiB budget, so a large fraction of touches reload a spilled entry
+///   and re-evict it — the worst-case cold-tier serde cycle cost.
+fn store_summary(_c: &mut Criterion) {
+    use knw_store::{F0SketchStore, StoreConfig};
+
+    println!("\n== keyed store ingestion (per-key F0 sketches) ==");
+    let mut state = 0x517C_C1B7_2722_0A95_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    const STORE_OPS: usize = 4_000_000;
+    const STORE_KEYS: u64 = 1_000_000;
+    let keyed: Vec<(u64, u64)> = (0..STORE_OPS)
+        .map(|_| {
+            let key = next() % STORE_KEYS;
+            (key, key.wrapping_mul(10_000) + next() % 32)
+        })
+        .collect();
+    let store_config = StoreConfig::new(F0Config::new(0.25, 1 << 40))
+        .with_promote_threshold(64)
+        .with_seed(7);
+    time_run(
+        "f0_store_1m_keys",
+        "1M-key store, batched keyed ingest",
+        STORE_OPS,
+        &mut || {
+            let mut store = F0SketchStore::<u64>::new(store_config);
+            for chunk in keyed.chunks(1 << 16) {
+                store.ingest_batch(black_box(chunk));
+            }
+            // 4M uniform draws cover ~98% of the 1M keyspace.
+            assert!(store.len() > 900_000);
+            store.estimate_total()
+        },
+    );
+    drop(keyed);
+
+    const CHURN_OPS: usize = 2_000_000;
+    const CHURN_KEYS: u64 = 200_000;
+    let churn: Vec<(u64, u64)> = (0..CHURN_OPS)
+        .map(|_| {
+            let key = next() % CHURN_KEYS;
+            (key, key.wrapping_mul(10_000) + next() % 16)
+        })
+        .collect();
+    let churn_config = StoreConfig::new(F0Config::new(0.25, 1 << 40))
+        .with_promote_threshold(64)
+        .with_budget_bytes(4 << 20)
+        .with_seed(7);
+    time_run(
+        "f0_store_eviction_churn",
+        "200K-key store, 4 MiB budget churn",
+        CHURN_OPS,
+        &mut || {
+            let mut store = F0SketchStore::<u64>::new(churn_config);
+            for chunk in churn.chunks(1 << 16) {
+                store.ingest_batch(black_box(chunk));
+            }
+            let stats = store.stats();
+            assert!(stats.evictions > 0 && stats.reloads > 0);
+            store.estimate_total()
+        },
+    );
+}
+
 /// Flushes the accumulated headline numbers to `BENCH_engine.json` at the
 /// workspace root: one `{name, ns_per_op, melem_per_s}` record per labelled
 /// ingestion path, so CI and future PRs can diff the perf trajectory
@@ -564,6 +643,7 @@ criterion_group!(
     l0_speedup_summary,
     cluster_summary,
     serve_summary,
+    store_summary,
     emit_bench_json
 );
 criterion_main!(benches);

@@ -50,9 +50,12 @@ const LISTENER_TOKEN: u64 = 0;
 /// (which count up from `LISTENER_TOKEN + 1`).
 const METRICS_LISTENER_TOKEN: u64 = u64::MAX;
 
-/// One poll tick: the upper bound on how long the loop sleeps when no
-/// readiness arrives (idle deadlines are checked once per tick).
-const TICK: Duration = Duration::from_millis(200);
+/// Fallback poll tick: the upper bound on how long the loop sleeps when no
+/// readiness arrives *and no deadline is pending*.  When sessions or scrape
+/// connections carry deadlines, the wait is clamped to the nearest one
+/// ([`ServeLoop::next_wakeup`]), so this bound only governs bookkeeping
+/// latency on a fully idle loop — it can be long without delaying reaping.
+const TICK: Duration = Duration::from_secs(2);
 
 /// Consecutive accept failures tolerated before the loop gives up —
 /// mirrors the sequential serve loop's bounded accept retries.
@@ -486,8 +489,15 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
         }
         let mut events = Vec::new();
         loop {
+            // Sleep until readiness, the nearest session/scrape deadline,
+            // or the fallback tick — whichever comes first.  Without the
+            // deadline clamp, an idle session on an otherwise-quiet server
+            // would outlive its `idle_timeout` by up to a whole tick
+            // (deadlines are only *checked* in `maintain`, which only runs
+            // when the wait returns).
+            let timeout = self.next_wakeup().map_or(TICK, |until| until.min(TICK));
             self.poller
-                .wait(&mut events, Some(TICK))
+                .wait(&mut events, Some(timeout))
                 .map_err(io_error)?;
             for event in &events {
                 if event.token == LISTENER_TOKEN {
@@ -814,6 +824,29 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
             }
         }
         Ok(())
+    }
+
+    /// Time until the nearest pending deadline — a session's idle cutoff
+    /// (`last_activity + idle_timeout`) or a scrape connection's
+    /// end-to-end deadline (`opened + SCRAPE_DEADLINE`) — or `None` when
+    /// nothing carries a deadline.
+    ///
+    /// One extra millisecond is added past the deadline: the epoll timeout
+    /// truncates to milliseconds and `maintain` reaps on *strictly
+    /// exceeding* the deadline, so waking exactly on it would find nothing
+    /// to reap and go around again.
+    fn next_wakeup(&self) -> Option<Duration> {
+        let idle_deadlines = self.options.idle_timeout.into_iter().flat_map(|idle| {
+            self.sessions
+                .values()
+                .map(move |session| session.last_activity + idle)
+        });
+        let scrape_deadlines = self
+            .scrapes
+            .values()
+            .map(|conn| conn.opened + SCRAPE_DEADLINE);
+        let nearest = idle_deadlines.chain(scrape_deadlines).min()?;
+        Some(nearest.saturating_duration_since(Instant::now()) + Duration::from_millis(1))
     }
 
     /// Per-tick housekeeping: backpressure transitions, idle deadlines,

@@ -471,3 +471,59 @@ fn between_frames_idle_is_a_plain_timeout_not_a_desync() {
     let stats = server.join().expect("server thread");
     assert_eq!(stats.sessions_errored, 1, "{stats:?}");
 }
+
+/// Regression: on an otherwise-quiet server the poll wait is clamped to the
+/// nearest session deadline, so an idle session is reaped promptly after
+/// `idle_timeout` — not a whole fallback tick (2 s) later.  Idle deadlines
+/// are only *checked* when the wait returns; before the clamp, nothing woke
+/// the loop on a quiet server until the tick expired.
+#[test]
+fn idle_sessions_are_reaped_promptly_on_a_quiet_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let spec = SketchSpec::f0("knw-f0", EPS, UNIVERSE, SEED);
+    let mut aggregator = F0ClusterAggregator::spawn(&config(2), &spec).expect("spawn fleet");
+    let options = SessionServeOptions::default()
+        .with_max_sessions(1)
+        .with_idle_timeout(Some(Duration::from_millis(300)));
+    let server = std::thread::spawn(move || {
+        serve_sessions(&listener, &mut aggregator, &options).expect("serve")
+    });
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    let mut hello = Vec::new();
+    write_frame(
+        &mut hello,
+        &Frame::Hello(knw_cluster::HelloConfig {
+            worker_index: 0,
+            spec: spec.clone(),
+        }),
+    )
+    .expect("encode hello");
+    client.write_all(&hello).expect("send hello");
+    client.flush().expect("flush");
+    // Quiet from here on: no more frames, no other sessions, no readiness.
+    let idle_since = Instant::now();
+
+    let reply = read_frame(&mut client)
+        .expect("typed Err frame")
+        .expect("a frame, not EOF");
+    let elapsed = idle_since.elapsed();
+    match reply {
+        Frame::Err(message) => {
+            assert!(message.contains("idle timeout"), "got: {message}");
+        }
+        other => panic!("expected Err frame, got {}", other.kind()),
+    }
+    assert!(
+        elapsed >= Duration::from_millis(250),
+        "reaped before the idle deadline: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(1_400),
+        "idle reap waited for the fallback tick, not the deadline: {elapsed:?}"
+    );
+    drop(client);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.sessions_errored, 1, "{stats:?}");
+}

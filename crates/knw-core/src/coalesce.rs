@@ -129,6 +129,87 @@ pub fn coalesce_updates(updates: &[(u64, i64)]) -> Vec<(u64, i64)> {
     out
 }
 
+/// One keyed slot: the `(key, item)` pair and its accumulated delta.
+#[derive(Clone, Copy)]
+struct KeyedSlot {
+    key: u64,
+    item: u64,
+    sum: i64,
+}
+
+/// Coalesces a batch of keyed turnstile updates `(key, item, delta)`: one
+/// triple per distinct `(key, item)` pair of each [`COALESCE_WINDOW`]-sized
+/// window, in first-occurrence order, with the pair's deltas summed.
+///
+/// Unlike [`coalesce_updates`], pairs whose deltas cancel to zero (and
+/// incoming zero-delta updates) are **retained**, with a summed delta of
+/// zero.  A keyed sketch store's promotion trigger counts the *touched-item
+/// set* of a key — every item the key's stream ever updated, nets of zero
+/// included — so dropping a cancelled pair here would erase it from that
+/// set and make promotion depend on whether a batch happened to pass
+/// through this function.  (Per-item `delta == 0` sketch updates are no-ops
+/// in every linear structure, so the retained zeros cost the downstream
+/// consumer one branch, not component work.)
+#[must_use]
+pub fn coalesce_keyed_updates(updates: &[(u64, u64, i64)]) -> Vec<(u64, u64, i64)> {
+    let window = updates.len().min(COALESCE_WINDOW);
+    let capacity = (window * 2).next_power_of_two().max(64);
+    let mask = capacity - 1;
+    let mut slots = vec![
+        KeyedSlot {
+            key: 0,
+            item: 0,
+            sum: 0
+        };
+        capacity
+    ];
+    let mut used = vec![0u64; capacity / 64];
+    let mut order: Vec<u32> = Vec::with_capacity(window);
+    let mut out = Vec::with_capacity(window);
+
+    for chunk in updates.chunks(COALESCE_WINDOW) {
+        for &(key, item, delta) in chunk {
+            let mut slot = (mix64(key ^ mix64(item)) as usize) & mask;
+            loop {
+                let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+                if used[word] & bit == 0 {
+                    used[word] |= bit;
+                    slots[slot] = KeyedSlot {
+                        key,
+                        item,
+                        sum: delta,
+                    };
+                    order.push(slot as u32);
+                    break;
+                }
+                if slots[slot].key == key && slots[slot].item == item {
+                    match slots[slot].sum.checked_add(delta) {
+                        Some(sum) => slots[slot].sum = sum,
+                        None => {
+                            // Overflow: flush the accumulated part now and
+                            // restart the slot from this delta (exact by
+                            // linearity, and the pair stays in the output
+                            // either way).
+                            out.push((key, item, slots[slot].sum));
+                            slots[slot].sum = delta;
+                        }
+                    }
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        for &slot in &order {
+            let slot = slot as usize;
+            used[slot / 64] &= !(1u64 << (slot % 64));
+            let KeyedSlot { key, item, sum } = slots[slot];
+            out.push((key, item, sum));
+        }
+        order.clear();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +351,60 @@ mod tests {
         // (item, delta) pairs must still match the reference.
         let updates: Vec<(u64, i64)> = (0..10_000u64).map(|i| (i, 1i64)).collect();
         assert_eq!(coalesce_to_map(&updates), reference_map(&updates));
+    }
+
+    #[test]
+    fn keyed_coalescing_sums_per_pair_in_first_occurrence_order() {
+        let updates = [
+            (1u64, 10u64, 3i64),
+            (2, 10, -1),
+            (1, 10, 4),
+            (1, 20, 2),
+            (2, 10, 5),
+        ];
+        assert_eq!(
+            coalesce_keyed_updates(&updates),
+            vec![(1, 10, 7), (2, 10, 4), (1, 20, 2)]
+        );
+    }
+
+    #[test]
+    fn keyed_coalescing_retains_cancelled_and_zero_delta_pairs() {
+        // A cancelled pair and an explicit zero-delta update both stay in
+        // the output (summed to zero): the touched-item set of a key is
+        // promotion state for the keyed sketch store.
+        let updates = [(9u64, 5u64, 7i64), (9, 5, -7), (8, 6, 0)];
+        assert_eq!(coalesce_keyed_updates(&updates), vec![(9, 5, 0), (8, 6, 0)]);
+        assert!(coalesce_keyed_updates(&[]).is_empty());
+    }
+
+    #[test]
+    fn keyed_coalescing_matches_reference_across_window_boundaries() {
+        let mut state = 0xBEEF_CAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<(u64, u64, i64)> = (0..2 * COALESCE_WINDOW + 123)
+            .map(|_| (next() % 31, next() % 97, (next() % 9) as i64 - 4))
+            .collect();
+        let mut reference: HashMap<(u64, u64), i64> = HashMap::new();
+        let mut touched_ref: std::collections::HashSet<(u64, u64)> =
+            std::collections::HashSet::new();
+        for &(key, item, delta) in &updates {
+            *reference.entry((key, item)).or_insert(0) += delta;
+            touched_ref.insert((key, item));
+        }
+        let mut coalesced: HashMap<(u64, u64), i64> = HashMap::new();
+        let mut touched: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for (key, item, delta) in coalesce_keyed_updates(&updates) {
+            *coalesced.entry((key, item)).or_insert(0) += delta;
+            touched.insert((key, item));
+        }
+        assert_eq!(coalesced, reference);
+        // The touched-pair set survives coalescing exactly.
+        assert_eq!(touched, touched_ref);
     }
 }

@@ -42,7 +42,7 @@ pub mod rough;
 pub mod small_f0;
 
 pub use amplify::MedianAmplified;
-pub use coalesce::{coalesce_updates, for_each_coalesced};
+pub use coalesce::{coalesce_keyed_updates, coalesce_updates, for_each_coalesced};
 pub use config::{F0Config, L0Config};
 pub use error::SketchError;
 pub use estimator::{

@@ -152,6 +152,37 @@ impl SmallF0Estimator {
     }
 
     /// Merges another small-F0 estimator built with the same `K` and seed.
+    ///
+    /// # Order-independence contract
+    ///
+    /// For estimators over any partition of a stream into segments, every
+    /// *consulted* field of the merged result is independent of the segment
+    /// order and of where merges interleave with inserts — it is a pure
+    /// function of the union's distinct-item set:
+    ///
+    /// * `exact_overflowed` is `true` iff the union holds more than
+    ///   [`EXACT_CAPACITY`] distinct items. Inserts overflow exactly when
+    ///   the 101st distinct item arrives; the merge propagates either
+    ///   side's flag and re-derives overflow from the union size otherwise,
+    ///   so every history agrees. The flag is **sticky** in both paths
+    ///   (nothing ever clears it).
+    /// * While not overflowed, `exact` is the *sorted union set itself* —
+    ///   identical across histories. Once overflowed, the buffer's content
+    ///   is an order-dependent ≤ 100-item subset, but it is dead state:
+    ///   [`exact_count`](Self::exact_count) returns `None` forever, so no
+    ///   estimate and no caller can observe the divergence. (It is
+    ///   deliberately *excluded* from the contract.)
+    /// * `bits` / `occupied` are a monotone OR-union of per-item bits —
+    ///   order-independent by commutativity and idempotence.
+    ///
+    /// Therefore [`estimate`](Self::estimate) and
+    /// [`large_certified`](Self::large_certified) — both functions of
+    /// `exact_overflowed`, `exact.len()` (only consulted pre-overflow) and
+    /// `occupied` — are order-independent, and `large_certified` stickiness
+    /// cannot diverge between "merged then inserted" and "inserted then
+    /// merged" histories. The keyed sketch store's promotion determinism
+    /// rests on this contract; the `order_independence` proptests below
+    /// pin it across the Exact/Approx/Large transitions.
     pub(crate) fn merge_from_unchecked(&mut self, other: &Self) {
         assert_eq!(self.k_prime, other.k_prime);
         // Union of exact sets; overflow if combined size exceeds capacity or
@@ -326,5 +357,115 @@ mod tests {
         let bits = s.space_bits();
         assert!(bits >= 2 * 4096);
         assert!(bits < 2 * 4096 + 20_000, "space {bits} unexpectedly large");
+    }
+
+    /// Field-by-field equality of every *consulted* field (the
+    /// order-independence contract on `merge_from_unchecked`): overflow
+    /// flag, exact set while not overflowed, the full occupancy array, and
+    /// both derived answers. The post-overflow `exact` content is dead
+    /// state and deliberately not compared.
+    fn consulted_state_eq(a: &SmallF0Estimator, b: &SmallF0Estimator) -> bool {
+        a.exact_overflowed == b.exact_overflowed
+            && (a.exact_overflowed || a.exact == b.exact)
+            && a.occupied == b.occupied
+            && (0..a.k_prime).all(|idx| a.bits.get_bit(idx) == b.bits.get_bit(idx))
+            && a.large_certified() == b.large_certified()
+            && a.estimate() == b.estimate()
+    }
+
+    /// Deterministic boundary check: a merge landing the union *exactly at*
+    /// [`EXACT_CAPACITY`] stays exact, and the next merged item (not
+    /// insert) crosses into overflow — matching the single-stream history
+    /// in every consulted field.
+    #[test]
+    fn merge_crossing_exact_capacity_matches_single_stream() {
+        let k = 4096u64;
+        let (mut a, mut b, mut union) = (fresh(k, 10), fresh(k, 10), fresh(k, 10));
+        for i in 0..60u64 {
+            a.insert(i);
+            union.insert(i);
+        }
+        for i in 40..(EXACT_CAPACITY as u64) {
+            b.insert(i);
+            union.insert(i);
+        }
+        a.merge_from_unchecked(&b);
+        assert_eq!(a.exact_count(), Some(EXACT_CAPACITY as u64));
+        assert!(consulted_state_eq(&a, &union));
+        // The 101st distinct item arrives via a merge: overflow happens at
+        // the merge boundary itself.
+        let mut c = fresh(k, 10);
+        c.insert(7_777);
+        union.insert(7_777);
+        a.merge_from_unchecked(&c);
+        assert_eq!(a.exact_count(), None);
+        assert_eq!(union.exact_count(), None);
+        assert!(consulted_state_eq(&a, &union));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Any 4-way split of any stream, merged in any lane order, matches
+        /// the single-stream estimator in every consulted field — across
+        /// all three regimes (K = 256 puts Exact/Approx/Large transitions
+        /// well inside the generated cardinalities).
+        #[test]
+        fn merge_is_order_independent_across_stream_splits(
+            items in proptest::prop::collection::vec(0u64..400, 0..300),
+            lanes in proptest::prop::collection::vec(0usize..4, 300..301),
+        ) {
+            let k = 256u64;
+            let mut union = fresh(k, 7);
+            let mut parts: Vec<SmallF0Estimator> = (0..4).map(|_| fresh(k, 7)).collect();
+            for (idx, &item) in items.iter().enumerate() {
+                union.insert(item);
+                parts[lanes[idx] % 4].insert(item);
+            }
+            let mut forward = fresh(k, 7);
+            for part in &parts {
+                forward.merge_from_unchecked(part);
+            }
+            let mut reverse = fresh(k, 7);
+            for part in parts.iter().rev() {
+                reverse.merge_from_unchecked(part);
+            }
+            proptest::prop_assert!(consulted_state_eq(&forward, &union), "forward merge diverged");
+            proptest::prop_assert!(consulted_state_eq(&reverse, &union), "reverse merge diverged");
+        }
+
+        /// `large_certified` is sticky through merges and inserts alike, and
+        /// "inserted then merged" equals "merged then inserted" — the two
+        /// histories the keyed store's promotion path can produce.
+        #[test]
+        fn large_certified_stickiness_cannot_diverge(
+            first in proptest::prop::collection::vec(0u64..300, 0..250),
+            second in proptest::prop::collection::vec(0u64..300, 0..250),
+        ) {
+            let k = 256u64;
+            let mut b = fresh(k, 9);
+            for &item in &second {
+                b.insert(item);
+            }
+            // Inserted then merged.
+            let mut a = fresh(k, 9);
+            for &item in &first {
+                a.insert(item);
+            }
+            let certified_before = a.large_certified();
+            a.merge_from_unchecked(&b);
+            proptest::prop_assert!(!certified_before || a.large_certified(), "merge cleared LARGE");
+            // Merged then inserted, watching stickiness at every step.
+            let mut m = fresh(k, 9);
+            m.merge_from_unchecked(&b);
+            let mut certified = m.large_certified();
+            for &item in &first {
+                m.insert(item);
+                let now = m.large_certified();
+                proptest::prop_assert!(!certified || now, "insert cleared LARGE");
+                certified = now;
+            }
+            proptest::prop_assert!(consulted_state_eq(&a, &m), "histories diverged");
+        }
     }
 }

@@ -51,10 +51,12 @@ pub enum RoutingPolicy {
 /// routing keys on, and the (optional) pre-coalescing transform applied
 /// before hand-off.
 ///
-/// Implemented for the two stream models of the workspace — `u64` (insert
+/// Implemented for the stream models of the workspace — `u64` (insert
 /// only, the item is its own key, coalescing is the identity) and
 /// `(u64, i64)` (turnstile, keyed by the item, coalescing sums deltas per
-/// item via [`knw_core::coalesce`]).
+/// item via [`knw_core::coalesce`]) — and for their *keyed-store* versions
+/// `(key, item)` / `(key, item, delta)`, which route on the store key so a
+/// shard owns every update of its keys.
 pub trait Routable: Copy + Send + 'static {
     /// The item identifier all occurrences of which must co-locate under
     /// hash-affine routing.
@@ -93,6 +95,36 @@ impl Routable for (u64, i64) {
 
     fn coalesce_batch(updates: &[Self]) -> Vec<Self> {
         knw_core::coalesce::coalesce_updates(updates)
+    }
+
+    fn coalescible() -> bool {
+        true
+    }
+}
+
+/// Keyed F0 update `(key, item)` for per-key sketch stores: all of a key's
+/// items co-locate, so each store shard owns its keys outright.
+impl Routable for (u64, u64) {
+    #[inline]
+    fn routing_key(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Keyed turnstile update `(key, item, delta)` for per-key sketch stores.
+///
+/// Pre-coalescing sums deltas per `(key, item)` pair but — unlike the
+/// unkeyed turnstile path — retains pairs whose deltas cancel: the store's
+/// promotion trigger counts a key's touched-item set, zero nets included
+/// (see [`knw_core::coalesce::coalesce_keyed_updates`]).
+impl Routable for (u64, u64, i64) {
+    #[inline]
+    fn routing_key(&self) -> u64 {
+        self.0
+    }
+
+    fn coalesce_batch(updates: &[Self]) -> Vec<Self> {
+        knw_core::coalesce::coalesce_keyed_updates(updates)
     }
 
     fn coalescible() -> bool {
@@ -514,5 +546,18 @@ mod tests {
         let coalesced = <(u64, i64)>::coalesce_batch(&[(1, 2), (1, 3), (2, 1), (2, -1)]);
         assert_eq!(coalesced, vec![(1, 5)]);
         assert_eq!(u64::coalesce_batch(&[5, 5, 6]), vec![5, 5, 6]);
+    }
+
+    #[test]
+    fn keyed_store_updates_route_on_the_store_key() {
+        // Keyed F0 and turnstile updates co-locate by store key, not item.
+        assert_eq!((9u64, 1234u64).routing_key(), 9);
+        assert_eq!((9u64, 1234u64, -2i64).routing_key(), 9);
+        assert!(!<(u64, u64)>::coalescible());
+        assert!(<(u64, u64, i64)>::coalescible());
+        // Keyed turnstile coalescing sums per (key, item) pair but keeps
+        // cancelled pairs (the store's touched-set promotion trigger).
+        let coalesced = <(u64, u64, i64)>::coalesce_batch(&[(1, 7, 2), (1, 7, -2), (2, 7, 3)]);
+        assert_eq!(coalesced, vec![(1, 7, 0), (2, 7, 3)]);
     }
 }

@@ -1,0 +1,777 @@
+//! The budgeted keyed sketch store.
+//!
+//! See the crate docs for the promotion/merge contract and the budget and
+//! eviction semantics.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use knw_core::{MergeableEstimator, SketchError, SpaceUsage};
+use knw_hash::rng::mix64;
+use knw_metrics::{Counter, Gauge, MetricsRegistry};
+
+use crate::family::SketchFamily;
+use crate::key::StoreKey;
+
+/// Magic bytes opening the store wire format (`to_wire_bytes`).
+pub const STORE_WIRE_MAGIC: [u8; 8] = *b"KNWSTOR1";
+
+/// Salt folded into the per-key sketch seed derivation.
+const ENTRY_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Default promotion threshold: a sparse entry holding this many items is
+/// still far cheaper than a full sketch, so promotion only pays past it.
+pub const DEFAULT_PROMOTE_THRESHOLD: usize = 64;
+
+/// Default memory budget for the resident tier (64 MiB).
+pub const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+/// Derives the hash seed for one key's promoted sketch.
+///
+/// A pure function of `(store seed, route_key)`: two shards of a keyed
+/// stream promote the same key into hash-compatible, mergeable sketches
+/// without coordination.
+fn entry_seed(store_seed: u64, route_key: u64) -> u64 {
+    mix64(mix64(route_key ^ ENTRY_SEED_SALT) ^ store_seed)
+}
+
+/// Configuration of a [`SketchStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig<C> {
+    /// Configuration template for promoted sketches (seed replaced per key).
+    pub sketch: C,
+    /// A sparse entry promotes when its item set *exceeds* this many items.
+    pub promote_threshold: usize,
+    /// Resident-tier memory budget in bytes; crossing it evicts cold keys.
+    pub budget_bytes: usize,
+    /// Store seed, folded into every per-key sketch seed.
+    pub seed: u64,
+}
+
+impl<C> StoreConfig<C> {
+    /// Creates a store configuration with default threshold, budget and seed.
+    #[must_use]
+    pub fn new(sketch: C) -> Self {
+        Self {
+            sketch,
+            promote_threshold: DEFAULT_PROMOTE_THRESHOLD,
+            budget_bytes: DEFAULT_BUDGET_BYTES,
+            seed: 0,
+        }
+    }
+
+    /// Sets the sparse-to-promoted threshold (number of per-key items).
+    #[must_use]
+    pub fn with_promote_threshold(mut self, threshold: usize) -> Self {
+        self.promote_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the resident-tier memory budget in bytes.
+    #[must_use]
+    pub fn with_budget_bytes(mut self, budget: usize) -> Self {
+        self.budget_bytes = budget;
+        self
+    }
+
+    /// Sets the store seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Lifetime counters of one store (also exported via [`StoreMetrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Sparse entries promoted to full sketches.
+    pub promotions: u64,
+    /// Resident entries spilled to the cold tier.
+    pub evictions: u64,
+    /// Cold entries reloaded into the resident tier.
+    pub reloads: u64,
+    /// Highest resident-tier footprint observed (bytes, before eviction).
+    pub budget_high_water: usize,
+}
+
+/// Per-store gauges and counters registered in a
+/// [`MetricsRegistry`], all labeled `store="<label>"`.
+#[derive(Clone)]
+pub struct StoreMetrics {
+    resident_keys: Arc<Gauge>,
+    cold_keys: Arc<Gauge>,
+    resident_bytes: Arc<Gauge>,
+    cold_tier_bytes: Arc<Gauge>,
+    budget_high_water_bytes: Arc<Gauge>,
+    promotions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    reloads: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    /// Registers the store metric family under the given `store` label.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, store: &str) -> Self {
+        let labels = &[("store", store)][..];
+        Self {
+            resident_keys: registry.gauge("knw_store_resident_keys", labels),
+            cold_keys: registry.gauge("knw_store_cold_keys", labels),
+            resident_bytes: registry.gauge("knw_store_resident_bytes", labels),
+            cold_tier_bytes: registry.gauge("knw_store_cold_tier_bytes", labels),
+            budget_high_water_bytes: registry.gauge("knw_store_budget_high_water_bytes", labels),
+            promotions: registry.counter("knw_store_promotions_total", labels),
+            evictions: registry.counter("knw_store_evictions_total", labels),
+            reloads: registry.counter("knw_store_reloads_total", labels),
+        }
+    }
+}
+
+/// A resident (hot-tier) entry with its accounting and clock state.
+#[derive(Debug, Clone)]
+struct Resident<E> {
+    entry: E,
+    /// Accounted footprint (entry bytes + fixed per-key overhead).
+    bytes: usize,
+    /// Clock reference bit: set on touch, cleared on a clock pass.
+    referenced: bool,
+}
+
+/// Millions of tiny per-key KNW sketches behind one memory budget.
+///
+/// Each key's entry starts sparse/exact and lazily promotes to a full
+/// [`KnwF0Sketch`](knw_core::KnwF0Sketch) /
+/// [`KnwL0Sketch`](knw_core::KnwL0Sketch) past
+/// [`promote_threshold`](StoreConfig::promote_threshold); cold keys are
+/// evicted (clock second-chance) to a serialized cold tier and reloaded on
+/// the next touch, exactly. See the crate docs for the full contract.
+pub struct SketchStore<K: StoreKey, F: SketchFamily> {
+    config: StoreConfig<F::SketchConfig>,
+    /// Hot tier. A `BTreeMap` (not a hash map) so every walk is in one
+    /// deterministic global key order.
+    resident: BTreeMap<K, Resident<F::Entry>>,
+    /// Cold tier: spilled entry bytes, reloadable exactly.
+    cold: BTreeMap<K, Vec<u8>>,
+    /// Clock ring over resident keys (front = next eviction candidate).
+    clock: VecDeque<K>,
+    resident_bytes: usize,
+    cold_bytes: usize,
+    stats: StoreStats,
+    metrics: Option<StoreMetrics>,
+    _family: PhantomData<fn() -> F>,
+}
+
+impl<K: StoreKey, F: SketchFamily> Clone for SketchStore<K, F> {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            resident: self.resident.clone(),
+            cold: self.cold.clone(),
+            clock: self.clock.clone(),
+            resident_bytes: self.resident_bytes,
+            cold_bytes: self.cold_bytes,
+            stats: self.stats,
+            metrics: self.metrics.clone(),
+            _family: PhantomData,
+        }
+    }
+}
+
+impl<K: StoreKey, F: SketchFamily> std::fmt::Debug for SketchStore<K, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchStore")
+            .field("family", &F::NAME)
+            .field("resident_keys", &self.resident.len())
+            .field("cold_keys", &self.cold.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .field("cold_bytes", &self.cold_bytes)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: StoreKey, F: SketchFamily> SketchStore<K, F> {
+    /// Fixed accounted overhead per resident key (map node + clock slot).
+    const KEY_OVERHEAD: usize = std::mem::size_of::<K>() + 48;
+
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: StoreConfig<F::SketchConfig>) -> Self {
+        Self {
+            config,
+            resident: BTreeMap::new(),
+            cold: BTreeMap::new(),
+            clock: VecDeque::new(),
+            resident_bytes: 0,
+            cold_bytes: 0,
+            stats: StoreStats::default(),
+            metrics: None,
+            _family: PhantomData,
+        }
+    }
+
+    /// Attaches per-store metrics, published on every mutation.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, label: &str) -> Self {
+        self.metrics = Some(StoreMetrics::register(registry, label));
+        self
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig<F::SketchConfig> {
+        &self.config
+    }
+
+    /// Lifetime promotion/eviction/reload counters and budget high-water.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Total number of tracked keys (resident + cold).
+    pub fn len(&self) -> usize {
+        self.resident.len() + self.cold.len()
+    }
+
+    /// Whether the store tracks no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty() && self.cold.is_empty()
+    }
+
+    /// Number of keys in the resident (hot) tier.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of keys spilled to the cold tier.
+    pub fn cold_len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Accounted resident-tier footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Serialized cold-tier footprint in bytes.
+    pub fn cold_bytes(&self) -> usize {
+        self.cold_bytes
+    }
+
+    /// Applies one update to one key.
+    pub fn update(&mut self, key: K, update: F::Update) {
+        self.apply_run(key, &[update]);
+        self.finish_mutation();
+    }
+
+    /// Batch ingest: groups `batch` by key **before** touching any sketch,
+    /// then applies each key's updates in their original relative order.
+    ///
+    /// Grouping is the same coalescing trick the engines use, one level up:
+    /// one resident-tier lookup (and at most one cold-tier reload) per
+    /// distinct key in the batch instead of per update.
+    pub fn ingest_batch(&mut self, batch: &[(K, F::Update)]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Sort indices by (key, position): groups duplicates while keeping
+        // each key's updates in arrival order (not that entry state depends
+        // on it — see the promotion contract — but determinism is free).
+        let mut order: Vec<u32> = (0..batch.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            batch[a as usize]
+                .0
+                .cmp(&batch[b as usize].0)
+                .then(a.cmp(&b))
+        });
+        let mut run: Vec<F::Update> = Vec::new();
+        let mut start = 0;
+        while start < order.len() {
+            let key = &batch[order[start] as usize].0;
+            let mut end = start;
+            run.clear();
+            while end < order.len() && batch[order[end] as usize].0 == *key {
+                run.push(batch[order[end] as usize].1);
+                end += 1;
+            }
+            self.apply_run(key.clone(), &run);
+            start = end;
+        }
+        self.finish_mutation();
+    }
+
+    /// The current estimate for `key`: exact while sparse, the KNW estimate
+    /// once promoted; `None` for never-seen keys.
+    ///
+    /// Cold keys are decoded transiently — a read does not touch residency
+    /// or the clock.
+    pub fn estimate(&self, key: &K) -> Option<f64> {
+        if let Some(resident) = self.resident.get(key) {
+            return Some(F::estimate(&resident.entry));
+        }
+        self.cold.get(key).map(|bytes| {
+            let entry = F::unspill(bytes).expect("cold-tier bytes are store-written");
+            F::estimate(&entry)
+        })
+    }
+
+    /// Visits every key's estimate in global key order (resident and cold
+    /// tiers interleaved into one sorted walk).
+    pub fn for_each_estimate(&self, mut visit: impl FnMut(&K, f64)) {
+        let mut resident = self.resident.iter().peekable();
+        let mut cold = self.cold.iter().peekable();
+        loop {
+            // The tiers are disjoint, so plain `<` picks a unique side.
+            let take_resident = match (resident.peek(), cold.peek()) {
+                (Some((rk, _)), Some((ck, _))) => rk < ck,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_resident {
+                let (key, entry) = resident.next().expect("peeked");
+                visit(key, F::estimate(&entry.entry));
+            } else {
+                let (key, bytes) = cold.next().expect("peeked");
+                let entry = F::unspill(bytes).expect("cold-tier bytes are store-written");
+                visit(key, F::estimate(&entry));
+            }
+        }
+    }
+
+    /// Sum of all per-key estimates, accumulated in global key order (so
+    /// the `f64` sum is deterministic for a given key→estimate mapping).
+    pub fn estimate_total(&self) -> f64 {
+        let mut total = 0.0;
+        self.for_each_estimate(|_, estimate| total += estimate);
+        total
+    }
+
+    /// Applies a run of updates for one key against its resident entry.
+    ///
+    /// Callers follow up with [`finish_mutation`](Self::finish_mutation)
+    /// once per externally-visible mutation.
+    fn apply_run(&mut self, key: K, updates: &[F::Update]) {
+        let sketch_config = self.config.sketch;
+        let threshold = self.config.promote_threshold;
+        let seed = entry_seed(self.config.seed, key.route_key());
+        self.ensure_resident(&key);
+        let resident = self
+            .resident
+            .get_mut(&key)
+            .expect("ensure_resident left the key resident");
+        resident.referenced = true;
+        let was_promoted = F::is_promoted(&resident.entry);
+        for &update in updates {
+            F::apply(&mut resident.entry, update, &sketch_config, seed, threshold);
+        }
+        let promoted_now = !was_promoted && F::is_promoted(&resident.entry);
+        let new_bytes = F::entry_bytes(&resident.entry) + Self::KEY_OVERHEAD;
+        self.resident_bytes = self.resident_bytes - resident.bytes + new_bytes;
+        resident.bytes = new_bytes;
+        if promoted_now {
+            self.stats.promotions += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.promotions.inc();
+            }
+        }
+    }
+
+    /// Merges one foreign entry (same key, different stream segment) into
+    /// this store, promoting at the merge boundary when the union crosses
+    /// the threshold.
+    fn merge_entry(&mut self, key: K, other: &F::Entry) -> Result<(), SketchError> {
+        let sketch_config = self.config.sketch;
+        let threshold = self.config.promote_threshold;
+        let seed = entry_seed(self.config.seed, key.route_key());
+        self.ensure_resident(&key);
+        let resident = self
+            .resident
+            .get_mut(&key)
+            .expect("ensure_resident left the key resident");
+        resident.referenced = true;
+        let was_promoted = F::is_promoted(&resident.entry);
+        F::merge(&mut resident.entry, other, &sketch_config, seed, threshold)?;
+        let promoted_now = !was_promoted && F::is_promoted(&resident.entry);
+        let new_bytes = F::entry_bytes(&resident.entry) + Self::KEY_OVERHEAD;
+        self.resident_bytes = self.resident_bytes - resident.bytes + new_bytes;
+        resident.bytes = new_bytes;
+        if promoted_now {
+            self.stats.promotions += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.promotions.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes `key` resident: reloads it from the cold tier if spilled,
+    /// otherwise starts a fresh sparse entry.
+    fn ensure_resident(&mut self, key: &K) {
+        if self.resident.contains_key(key) {
+            return;
+        }
+        let entry = if let Some(bytes) = self.cold.remove(key) {
+            self.cold_bytes -= bytes.len();
+            self.stats.reloads += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.reloads.inc();
+            }
+            F::unspill(&bytes).expect("cold-tier bytes are store-written")
+        } else {
+            F::empty_entry()
+        };
+        let bytes = F::entry_bytes(&entry) + Self::KEY_OVERHEAD;
+        self.resident_bytes += bytes;
+        self.clock.push_back(key.clone());
+        self.resident.insert(
+            key.clone(),
+            Resident {
+                entry,
+                bytes,
+                referenced: true,
+            },
+        );
+    }
+
+    /// Budget bookkeeping after a mutation: record the high-water mark
+    /// (pre-eviction), evict down to budget, publish gauges.
+    fn finish_mutation(&mut self) {
+        if self.resident_bytes > self.stats.budget_high_water {
+            self.stats.budget_high_water = self.resident_bytes;
+        }
+        while self.resident_bytes > self.config.budget_bytes && self.resident.len() > 1 {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        self.publish_gauges();
+    }
+
+    /// Clock second-chance eviction of one resident entry to the cold tier.
+    ///
+    /// Returns `false` when no candidate exists. Eviction is exact: the
+    /// spilled bytes decode back to the identical entry, so evict → reload
+    /// → continue produces the same estimates as never evicting.
+    fn evict_one(&mut self) -> bool {
+        // Every resident key holds exactly one ring slot; referenced slots
+        // are given a second chance (cleared + requeued), so the scan
+        // terminates within two passes.
+        for _ in 0..self.clock.len().saturating_mul(2).saturating_add(1) {
+            let Some(key) = self.clock.pop_front() else {
+                return false;
+            };
+            let Some(resident) = self.resident.get_mut(&key) else {
+                // Defensive: a slot whose key is no longer resident.
+                continue;
+            };
+            if resident.referenced {
+                resident.referenced = false;
+                self.clock.push_back(key);
+                continue;
+            }
+            let resident = self
+                .resident
+                .remove(&key)
+                .expect("checked resident just above");
+            self.resident_bytes -= resident.bytes;
+            let bytes = F::spill(&resident.entry);
+            self.cold_bytes += bytes.len();
+            self.cold.insert(key, bytes);
+            self.stats.evictions += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.evictions.inc();
+            }
+            return true;
+        }
+        false
+    }
+
+    fn publish_gauges(&self) {
+        if let Some(metrics) = &self.metrics {
+            metrics.resident_keys.set(self.resident.len() as u64);
+            metrics.cold_keys.set(self.cold.len() as u64);
+            metrics.resident_bytes.set(self.resident_bytes as u64);
+            metrics.cold_tier_bytes.set(self.cold_bytes as u64);
+            metrics
+                .budget_high_water_bytes
+                .set_max(self.stats.budget_high_water as u64);
+        }
+    }
+
+    // -- wire format --------------------------------------------------------
+
+    /// Serializes the whole store (both tiers) into one wire/snapshot blob.
+    ///
+    /// Layout: magic, family tag, store seed, promotion threshold, sketch
+    /// configuration, key count, then per key in global sorted order the
+    /// serialized key and its length-prefixed entry bytes (the same bytes
+    /// the cold tier holds).
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.resident_bytes + self.cold_bytes);
+        out.extend_from_slice(&STORE_WIRE_MAGIC);
+        out.push(F::WIRE_TAG);
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        out.extend_from_slice(&(self.config.promote_threshold as u64).to_le_bytes());
+        self.config.sketch.serialize(&mut out);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        let mut resident = self.resident.iter().peekable();
+        let mut cold = self.cold.iter().peekable();
+        loop {
+            let take_resident = match (resident.peek(), cold.peek()) {
+                (Some((rk, _)), Some((ck, _))) => rk < ck,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_resident {
+                let (key, entry) = resident.next().expect("peeked");
+                key.serialize(&mut out);
+                let bytes = F::spill(&entry.entry);
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(&bytes);
+            } else {
+                let (key, bytes) = cold.next().expect("peeked");
+                key.serialize(&mut out);
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Merges a [`to_wire_bytes`](Self::to_wire_bytes) blob from a peer
+    /// store of the same family and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleConfig`] when the magic, family
+    /// tag, sketch configuration or promotion threshold differ,
+    /// [`SketchError::SeedMismatch`] on a store-seed mismatch, and decode
+    /// errors on malformed bytes. On error the store may hold a prefix of
+    /// the peer's keys already merged.
+    pub fn merge_wire_bytes(&mut self, bytes: &[u8]) -> Result<(), SketchError> {
+        let mut input = bytes;
+        let magic: [u8; 8] = take_array(&mut input)?;
+        if magic != STORE_WIRE_MAGIC {
+            return Err(SketchError::config_mismatch(
+                "store_magic",
+                STORE_WIRE_MAGIC,
+                magic,
+            ));
+        }
+        let tag: [u8; 1] = take_array(&mut input)?;
+        if tag[0] != F::WIRE_TAG {
+            return Err(SketchError::config_mismatch(
+                "store_family",
+                F::WIRE_TAG,
+                tag[0],
+            ));
+        }
+        let seed = u64::from_le_bytes(take_array(&mut input)?);
+        if seed != self.config.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        let threshold = u64::from_le_bytes(take_array(&mut input)?);
+        if threshold != self.config.promote_threshold as u64 {
+            return Err(SketchError::config_mismatch(
+                "promote_threshold",
+                self.config.promote_threshold,
+                threshold,
+            ));
+        }
+        let sketch_config = F::SketchConfig::deserialize(&mut input)
+            .map_err(|e| SketchError::config_mismatch("sketch_config", F::NAME, format!("{e}")))?;
+        if sketch_config != self.config.sketch {
+            return Err(SketchError::config_mismatch(
+                "sketch_config",
+                self.config.sketch,
+                sketch_config,
+            ));
+        }
+        let count = u64::from_le_bytes(take_array(&mut input)?);
+        for _ in 0..count {
+            let key = K::deserialize(&mut input)
+                .map_err(|e| SketchError::config_mismatch("store_key", F::NAME, format!("{e}")))?;
+            let len = u64::from_le_bytes(take_array(&mut input)?) as usize;
+            if input.len() < len {
+                return Err(SketchError::config_mismatch(
+                    "entry_bytes",
+                    len,
+                    input.len(),
+                ));
+            }
+            let (entry_bytes, rest) = input.split_at(len);
+            input = rest;
+            let entry = F::unspill(entry_bytes)?;
+            self.merge_entry(key, &entry)?;
+        }
+        if !input.is_empty() {
+            return Err(SketchError::config_mismatch(
+                "trailing_bytes",
+                0usize,
+                input.len(),
+            ));
+        }
+        self.finish_mutation();
+        Ok(())
+    }
+
+    /// Reconstructs a store from a [`to_wire_bytes`](Self::to_wire_bytes)
+    /// blob, with a locally-chosen memory budget (the budget is residency
+    /// policy, not state, and deliberately does not travel).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`merge_wire_bytes`](Self::merge_wire_bytes).
+    pub fn from_wire_bytes(bytes: &[u8], budget_bytes: usize) -> Result<Self, SketchError> {
+        let mut input = bytes;
+        let magic: [u8; 8] = take_array(&mut input)?;
+        if magic != STORE_WIRE_MAGIC {
+            return Err(SketchError::config_mismatch(
+                "store_magic",
+                STORE_WIRE_MAGIC,
+                magic,
+            ));
+        }
+        let tag: [u8; 1] = take_array(&mut input)?;
+        if tag[0] != F::WIRE_TAG {
+            return Err(SketchError::config_mismatch(
+                "store_family",
+                F::WIRE_TAG,
+                tag[0],
+            ));
+        }
+        let seed = u64::from_le_bytes(take_array(&mut input)?);
+        let threshold = u64::from_le_bytes(take_array(&mut input)?) as usize;
+        let sketch_config = F::SketchConfig::deserialize(&mut input)
+            .map_err(|e| SketchError::config_mismatch("sketch_config", F::NAME, format!("{e}")))?;
+        let config = StoreConfig::new(sketch_config)
+            .with_promote_threshold(threshold)
+            .with_budget_bytes(budget_bytes)
+            .with_seed(seed);
+        let mut store = Self::new(config);
+        store.merge_wire_bytes(bytes)?;
+        Ok(store)
+    }
+}
+
+/// Pops a fixed-size array from the front of `input`.
+fn take_array<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], SketchError> {
+    if input.len() < N {
+        return Err(SketchError::config_mismatch(
+            "truncated_store_bytes",
+            N,
+            input.len(),
+        ));
+    }
+    let (head, rest) = input.split_at(N);
+    *input = rest;
+    Ok(head.try_into().expect("split_at(N) yields N bytes"))
+}
+
+impl<K: StoreKey, F: SketchFamily> MergeableEstimator for SketchStore<K, F> {
+    type MergeError = SketchError;
+
+    /// Merges a peer store (same family, configuration and seed) key by key.
+    ///
+    /// Per-key merges promote at the boundary exactly as single-stream
+    /// ingestion would (see the crate docs), so an N-way shard partition of
+    /// a keyed stream merges back bit-identical in every per-key estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleConfig`] /
+    /// [`SketchError::SeedMismatch`] on configuration divergence; on a
+    /// per-key error the store may hold a prefix of `other`'s keys merged.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if other.config.sketch != self.config.sketch {
+            return Err(SketchError::config_mismatch(
+                "sketch_config",
+                self.config.sketch,
+                other.config.sketch,
+            ));
+        }
+        if other.config.seed != self.config.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        if other.config.promote_threshold != self.config.promote_threshold {
+            return Err(SketchError::config_mismatch(
+                "promote_threshold",
+                self.config.promote_threshold,
+                other.config.promote_threshold,
+            ));
+        }
+        for (key, resident) in &other.resident {
+            self.merge_entry(key.clone(), &resident.entry)?;
+        }
+        for (key, bytes) in &other.cold {
+            let entry = F::unspill(bytes)?;
+            self.merge_entry(key.clone(), &entry)?;
+        }
+        self.finish_mutation();
+        Ok(())
+    }
+}
+
+impl<K: StoreKey, F: SketchFamily> SpaceUsage for SketchStore<K, F> {
+    /// Accounted footprint of both tiers, in bits.
+    fn space_bits(&self) -> u64 {
+        (self.resident_bytes as u64 + self.cold_bytes as u64) * 8
+    }
+}
+
+/// Object-safe store merge: the erased counterpart of
+/// [`MergeableEstimator`] for keyed stores, mirroring
+/// [`DynMergeableCardinalityEstimator`](knw_core::DynMergeableCardinalityEstimator)
+/// so heterogeneous shard sets can hold `Box<dyn DynMergeableStore>`.
+pub trait DynMergeableStore: Send {
+    /// The receiver as [`Any`], enabling the downcast in
+    /// [`merge_dyn`](Self::merge_dyn).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Store family + key type name for type-mismatch diagnostics.
+    fn store_type(&self) -> &'static str;
+
+    /// Type-erased merge: downcasts `other` to `Self` and delegates to
+    /// [`MergeableEstimator::merge_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::TypeMismatch`] when `other` is a store over a
+    /// different family or key type, or the underlying merge error when
+    /// configurations or seeds differ.
+    fn merge_dyn(&mut self, other: &dyn DynMergeableStore) -> Result<(), SketchError>;
+
+    /// Sum of all per-key estimates (see
+    /// [`SketchStore::estimate_total`]).
+    fn estimate_total_dyn(&self) -> f64;
+}
+
+impl<K: StoreKey, F: SketchFamily> DynMergeableStore for SketchStore<K, F> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn store_type(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+
+    fn merge_dyn(&mut self, other: &dyn DynMergeableStore) -> Result<(), SketchError> {
+        match other.as_any().downcast_ref::<Self>() {
+            Some(concrete) => self.merge_from(concrete),
+            None => Err(SketchError::TypeMismatch {
+                expected: self.store_type(),
+                found: other.store_type(),
+            }),
+        }
+    }
+
+    fn estimate_total_dyn(&self) -> f64 {
+        self.estimate_total()
+    }
+}

@@ -1,42 +1,73 @@
-//! Network monitoring: tracking distinct source addresses on a link and
-//! flagging anomalies (worm spread / DDoS), the Section 1 motivating
-//! application of the paper (Estan et al.'s Code Red measurement).
+//! Network monitoring: the Section 1 motivating application of the paper
+//! (Estan et al.'s Code Red measurement), upgraded from one global counter
+//! to a *keyed* monitor.
 //!
-//! A router cannot afford a hash table of every source IP it has seen; the
-//! KNW sketch tracks the distinct-source count in a few kilobits and can be
-//! read at every packet.  This example runs the production-shaped pipeline:
-//! packets are batched and sharded across worker threads by the
-//! [`knw::engine::ShardedF0Engine`], and each phase boundary reads a merged
-//! snapshot — which, because KNW merges are exact, is the *same* estimate a
-//! single sequential sketch would have produced.
+//! The original version of this example funneled every packet into a single
+//! global distinct-source sketch. That catches a worm outbreak or a DDoS
+//! flood (the global source count explodes), but it is structurally blind
+//! to a **port scan**: one host probing tens of thousands of ports adds
+//! exactly one distinct source, so the global estimate never moves.
+//!
+//! The fix is per-key fan-out tracking: a [`knw::store::SketchStore`] keyed
+//! by source address, counting *distinct destination endpoints per source*.
+//! Sparse sources (virtually all of them) are tracked exactly in a few
+//! bytes; only genuinely chatty sources promote to full KNW sketches, and a
+//! small memory budget evicts cold sources to a serialized tier without
+//! losing a single count. A scanner then sticks out as one key whose
+//! fan-out estimate is orders of magnitude above the rest — while a
+//! spoofed-source flood, which the *global* monitor flags, shows per-source
+//! fan-out of exactly 1.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example network_monitoring
 //! ```
 
+use std::collections::{HashMap, HashSet};
+
 use knw::core::{F0Config, KnwF0Sketch, SpaceUsage};
 use knw::engine::{EngineConfig, ShardedF0Engine};
+use knw::store::{F0SketchStore, StoreConfig};
 use knw::stream::{NetworkTraceGenerator, TrafficProfile};
 
-fn main() {
-    let universe = 1u64 << 32; // IPv4 source space
-    let config = F0Config::new(0.05, universe).with_seed(2024);
-    let shards = 4;
-    let mut engine = ShardedF0Engine::new(
-        EngineConfig::new(shards).with_batch_size(4096),
-        move |_shard| KnwF0Sketch::new(config),
-    );
-    let mut trace = NetworkTraceGenerator::new(TrafficProfile::Background, 4_000, 7);
+/// A source whose distinct-endpoint fan-out exceeds this is flagged.
+const FANOUT_ALARM: f64 = 1_000.0;
 
+fn main() {
+    // Global monitor: distinct sources on the link (the paper's original
+    // application), sharded across worker threads.
+    let universe = 1u64 << 32; // IPv4 source space
+    let global_config = F0Config::new(0.05, universe).with_seed(2024);
+    let mut global =
+        ShardedF0Engine::new(EngineConfig::new(4).with_batch_size(4096), move |_shard| {
+            KnwF0Sketch::new(global_config)
+        });
+
+    // Keyed monitor: distinct destination endpoints *per source*. Endpoint
+    // keys are destination<<16|port, so the item universe is 2^48. The
+    // budget is deliberately tiny relative to the source population: cold
+    // sources spill to the serialized tier and reload exactly.
+    // Benign sources fan out to at most a few hundred endpoints, so with a
+    // threshold of 512 they all stay in the exact sparse tier; only the
+    // scanner promotes to a real sketch.
+    let store_config = StoreConfig::new(F0Config::new(0.1, 1u64 << 48))
+        .with_promote_threshold(512)
+        .with_budget_bytes(256 << 10)
+        .with_seed(2024);
+    let mut per_source = F0SketchStore::<u64>::new(store_config);
+
+    // Ground truth for the exactness claims below.
+    let mut baseline: HashMap<u64, HashSet<u64>> = HashMap::new();
+
+    let mut trace = NetworkTraceGenerator::new(TrafficProfile::Background, 4_000, 7);
     let phases = [
-        (TrafficProfile::Background, 150_000usize, "benign traffic"),
+        (TrafficProfile::Background, 120_000usize, "benign traffic"),
         (
-            TrafficProfile::WormSpread,
-            120_000,
-            "worm outbreak (Code-Red-style source spread)",
+            TrafficProfile::PortScan,
+            60_000,
+            "port scan (one source, many ports)",
         ),
-        (TrafficProfile::Background, 80_000, "back to benign"),
+        (TrafficProfile::Background, 60_000, "back to benign"),
         (
             TrafficProfile::DdosFlood,
             100_000,
@@ -45,45 +76,112 @@ fn main() {
     ];
 
     println!(
-        "{:<50} {:>14} {:>14} {:>9}",
-        "phase", "true sources", "estimate", "error"
+        "{:<40} {:>13} {:>13} {:>13}",
+        "phase", "true sources", "global est", "max fan-out"
     );
-    let mut previous_estimate = 0.0f64;
     let mut batch = Vec::with_capacity(4096);
+    let mut keyed_batch = Vec::with_capacity(4096);
     for (profile, packets, label) in phases {
         trace.set_profile(profile);
-        for _ in 0..packets {
-            batch.push(trace.next_packet().source_key());
-            if batch.len() == batch.capacity() {
-                engine.insert_batch(&batch);
-                batch.clear();
+        let mut remaining = packets;
+        while remaining > 0 {
+            batch.clear();
+            keyed_batch.clear();
+            for _ in 0..remaining.min(4096) {
+                let pkt = trace.next_packet();
+                batch.push(pkt.source_key());
+                keyed_batch.push((pkt.source_key(), pkt.destination_port_key()));
+                baseline
+                    .entry(pkt.source_key())
+                    .or_default()
+                    .insert(pkt.destination_port_key());
             }
+            remaining -= batch.len();
+            global.insert_batch(&batch);
+            // Batch ingest groups by source before touching any entry.
+            per_source.ingest_batch(&keyed_batch);
         }
-        engine.insert_batch(&batch);
-        batch.clear();
 
-        let truth = trace.distinct_sources();
-        let estimate = engine.estimate();
-        let err = (estimate - truth as f64).abs() / truth as f64;
-        let growth = if previous_estimate > 0.0 {
-            estimate / previous_estimate
-        } else {
-            1.0
-        };
+        let (top_source, top_fanout) = hottest_source(&per_source);
         println!(
-            "{label:<50} {truth:>14} {estimate:>14.0} {:>8.1}%",
-            err * 100.0
+            "{label:<40} {:>13} {:>13.0} {top_fanout:>13.0}",
+            trace.distinct_sources(),
+            global.estimate(),
         );
-        if growth > 3.0 {
-            println!("  ^ ALARM: distinct-source count grew {growth:.1}x during this phase");
+        if top_fanout > FANOUT_ALARM {
+            println!(
+                "  ^ ALARM: source {top_source:#010x} touched ~{top_fanout:.0} distinct \
+                 endpoints (scan-like fan-out)"
+            );
         }
-        previous_estimate = estimate;
     }
 
-    let merged = engine.finish().expect("uniformly seeded shards");
+    let stats = per_source.stats();
     println!(
-        "\nper-shard sketch footprint: {} bits ({:.1} KiB) for a 2^32 address space, {shards} shards",
+        "\nkeyed store: {} sources tracked ({} resident, {} cold) under a {} KiB budget",
+        per_source.len(),
+        per_source.resident_len(),
+        per_source.cold_len(),
+        per_source.config().budget_bytes >> 10,
+    );
+    println!(
+        "  promotions {} · evictions {} · reloads {} · high water {} KiB · cold tier {} KiB",
+        stats.promotions,
+        stats.evictions,
+        stats.reloads,
+        stats.budget_high_water >> 10,
+        per_source.cold_bytes() >> 10,
+    );
+
+    // Exactness: sparse sources (below the promotion threshold) are tracked
+    // *exactly*, eviction round-trips included; the scanner pays only the
+    // configured sketch error.
+    let threshold = per_source.config().promote_threshold as f64;
+    let mut checked = 0u64;
+    for (source, endpoints) in &baseline {
+        let truth = endpoints.len() as f64;
+        let estimate = per_source.estimate(source).expect("tracked source");
+        if truth <= threshold {
+            assert_eq!(estimate, truth, "sparse source {source:#x} must be exact");
+            checked += 1;
+        } else {
+            let rel = (estimate - truth).abs() / truth;
+            assert!(
+                rel < 0.5,
+                "promoted source {source:#x}: estimate {estimate:.0} vs truth {truth}"
+            );
+        }
+    }
+    let (top_source, _) = hottest_source(&per_source);
+    let true_scanner = baseline
+        .iter()
+        .max_by_key(|(_, endpoints)| endpoints.len())
+        .map(|(source, _)| *source)
+        .expect("non-empty trace");
+    assert_eq!(
+        top_source, true_scanner,
+        "the fan-out ranking must single out the scanner"
+    );
+    println!(
+        "  exactness: {checked} sparse sources match the brute-force baseline bit-for-bit; \
+         scanner {top_source:#010x} correctly ranked #1"
+    );
+
+    let merged = global.finish().expect("uniformly seeded shards");
+    println!(
+        "global sketch footprint: {} bits ({:.1} KiB) for a 2^32 address space",
         merged.space_bits(),
         merged.space_bits() as f64 / 8192.0
     );
+}
+
+/// The source with the largest estimated endpoint fan-out.
+fn hottest_source(store: &F0SketchStore<u64>) -> (u64, f64) {
+    let mut top = (0u64, 0.0f64);
+    store.for_each_estimate(|source, estimate| {
+        if estimate > top.1 {
+            top = (*source, estimate);
+        }
+    });
+    top
 }
