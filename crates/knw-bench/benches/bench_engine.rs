@@ -32,14 +32,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use knw_cluster::{
-    ClusterConfig, F0ClusterAggregator, L0ClusterAggregator, RecoveryPolicy, SketchSpec,
-    TcpClusterConfig,
+    spawn_listening_worker, ClusterConfig, F0ClusterAggregator, L0ClusterAggregator,
+    RecoveryPolicy, SketchSpec, TcpClusterConfig, WorkerRegistry,
 };
 use knw_core::{F0Config, KnwF0Sketch, KnwL0Sketch, L0Config};
-use knw_engine::{EngineConfig, ShardedF0Engine, ShardedL0Engine};
+use knw_engine::{EngineConfig, RoutingPolicy, ShardedF0Engine, ShardedL0Engine};
 use knw_stream::{StreamGenerator, UniformGenerator};
 use std::hint::black_box;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The acceptance-criterion stream length.
@@ -433,6 +433,68 @@ fn cluster_summary(_c: &mut Criterion) {
             merged.estimate()
         },
     );
+    // The elastic-resharding path: the fleet starts at 2 workers and grows
+    // to 4 at the stream's midpoint, placed from a registry pool of two
+    // spares — hash-affine routing, so both splits re-route the journaled
+    // first half (checkpoint migration + filtered replay), the full cost
+    // of an exact mid-stream grow landing next to the fault-free and
+    // recovery runs.
+    {
+        struct Reaped(std::process::Child);
+        impl Drop for Reaped {
+            fn drop(&mut self) {
+                let _ = self.0.kill();
+                let _ = self.0.wait();
+            }
+        }
+        let registry = Arc::new(WorkerRegistry::bind("127.0.0.1:0").expect("bind registry"));
+        let registry_addr = registry.local_addr().to_string();
+        let mut spares = Vec::new();
+        let mut spare_addrs = Vec::new();
+        for _ in 0..2 {
+            let (child, addr) =
+                spawn_listening_worker(&worker, "127.0.0.1:0", &["--register", &registry_addr])
+                    .expect("spawn spare worker");
+            spares.push(Reaped(child));
+            spare_addrs.push(addr);
+        }
+        while registry.available() < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let small_fleet = knw_cluster::ListeningWorkerFleet::spawn(&worker, "127.0.0.1:0", 2)
+            .expect("spawn listening workers");
+        time_run(
+            "f0_cluster_reshard_2to4",
+            "2->4 mid-stream grow, hash-affine TCP",
+            items.len(),
+            &mut || {
+                let config = TcpClusterConfig::new(small_fleet.addrs().iter().cloned())
+                    .with_engine(
+                        EngineConfig::new(2).with_routing(RoutingPolicy::HashAffine { seed: 7 }),
+                    )
+                    .with_recovery(RecoveryPolicy::default().with_journal_cap(usize::MAX))
+                    .with_registry(Arc::clone(&registry));
+                let mut cluster = F0ClusterAggregator::connect(&config, &f0_spec).expect("connect");
+                let half = items.len() / 2;
+                for chunk in items[..half].chunks(1 << 18) {
+                    cluster.ingest_batch(black_box(chunk));
+                }
+                cluster.scale_to(4).expect("grow 2 -> 4");
+                for chunk in items[half..].chunks(1 << 18) {
+                    cluster.ingest_batch(black_box(chunk));
+                }
+                let merged = cluster.finish().expect("resharded run");
+                // The grown slots' transport died with the aggregator; the
+                // spares keep serving, so hand their addresses back for the
+                // next round's draw.
+                for addr in &spare_addrs {
+                    registry.return_address(addr.clone());
+                }
+                merged.estimate()
+            },
+        );
+        // `spares` and `small_fleet` reap their workers here.
+    }
     drop(items);
 
     let updates = turnstile_churn_stream(STREAM_LEN, 1 << 24);

@@ -39,15 +39,17 @@ use crate::frame::MAX_FRAME_LEN;
 use crate::frame::{
     BatchPayload, Frame, FrameView, HelloConfig, SketchSpec, StreamMode, WireError, WorkerStats,
 };
-use crate::recovery::RecoveryPolicy;
+use crate::recovery::{RecoveryPolicy, WorkerRegistry};
 use crate::spec::{build_f0, build_l0, f0_shard_from_bytes, l0_shard_from_bytes};
 use crate::spec::{WireF0Sketch, WireL0Sketch};
 use crate::transport::{
-    PipeTransport, TcpClusterConfig, TcpTransport, Transport, WorkerConnection,
+    PipeTransport, PoolTransport, TcpClusterConfig, TcpTransport, Transport, WorkerConnection,
 };
 use knw_core::{DynMergeableCardinalityEstimator, DynMergeableTurnstileEstimator, SketchError};
-use knw_engine::{BatcherMetrics, EngineConfig, Routable, ShardBatcher};
+use knw_engine::{BatcherMetrics, EngineConfig, Routable, RoutingPolicy, ShardBatcher};
+use knw_hash::rng::{epoch_shard_for_key, split_parent};
 use knw_metrics::{knw_log, Counter, Histogram};
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -76,6 +78,12 @@ pub trait ClusterUpdate: Routable {
     /// [`WIRE_BYTES`](Self::WIRE_BYTES) little-endian bytes, matching the
     /// derived serializer — to `out`.
     fn write_wire(&self, out: &mut Vec<u8>);
+
+    /// Reads one update back out of its fixed-width wire encoding — the
+    /// inverse of [`write_wire`](Self::write_wire), over exactly
+    /// [`WIRE_BYTES`](Self::WIRE_BYTES) bytes.  Elastic resharding uses it
+    /// to split journaled frames under a new routing table.
+    fn read_wire(bytes: &[u8]) -> Self;
 
     /// The stream model tag sent in the `Hello` frame.
     fn mode() -> StreamMode;
@@ -135,6 +143,10 @@ impl ClusterUpdate for u64 {
         out.extend_from_slice(&self.to_le_bytes());
     }
 
+    fn read_wire(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes[..8].try_into().expect("8-byte item"))
+    }
+
     fn mode() -> StreamMode {
         StreamMode::F0
     }
@@ -186,6 +198,13 @@ impl ClusterUpdate for (u64, i64) {
     fn write_wire(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0.to_le_bytes());
         out.extend_from_slice(&self.1.to_le_bytes());
+    }
+
+    fn read_wire(bytes: &[u8]) -> Self {
+        (
+            u64::from_le_bytes(bytes[..8].try_into().expect("8-byte item")),
+            i64::from_le_bytes(bytes[8..16].try_into().expect("8-byte delta")),
+        )
     }
 
     fn mode() -> StreamMode {
@@ -274,14 +293,18 @@ impl ClusterConfig {
 }
 
 /// Locates the sibling `knw-worker` binary next to the current executable
-/// (handling cargo's `target/<profile>/deps/` layout for tests and
-/// benches).  Returns `None` when no such file exists — e.g. when only the
-/// library was built.
+/// (handling cargo's `target/<profile>/deps/` and
+/// `target/<profile>/examples/` layouts for tests, benches and examples).
+/// Returns `None` when no such file exists — e.g. when only the library
+/// was built.
 #[must_use]
 pub fn sibling_worker_exe() -> Option<PathBuf> {
     let exe = std::env::current_exe().ok()?;
     let mut dir = exe.parent()?.to_path_buf();
-    if dir.file_name().is_some_and(|n| n == "deps") {
+    if dir
+        .file_name()
+        .is_some_and(|n| n == "deps" || n == "examples")
+    {
         dir.pop();
     }
     let candidate = dir.join("knw-worker");
@@ -416,6 +439,18 @@ fn encode_batch_frame<U: ClusterUpdate>(buf: &mut Vec<u8>, updates: &[U]) {
     }
 }
 
+/// Decodes the updates back out of one journaled `Batch` frame — the
+/// inverse of [`encode_batch_frame`], over the fixed-width layout that
+/// function pins (length prefix, `Frame`/payload tags, update count, then
+/// `WIRE_BYTES` per update).  Only ever applied to frames the journal
+/// itself encoded, so the layout is trusted; elastic resharding uses it to
+/// re-route a split shard's journal under a new epoch table.
+fn decode_journal_frame<U: ClusterUpdate>(frame: &[u8]) -> Vec<U> {
+    let body = &frame[4 + BATCH_FRAME_OVERHEAD..];
+    debug_assert_eq!(body.len() % U::WIRE_BYTES, 0, "journal frame layout");
+    body.chunks_exact(U::WIRE_BYTES).map(U::read_wire).collect()
+}
+
 /// Ships one routed batch as one or more encoded `Batch` frames, each
 /// holding at most `cap` updates (callers pass [`max_updates_per_frame`];
 /// tests pass small caps to exercise the splitting).  Each chunk is encoded
@@ -512,6 +547,23 @@ impl ShardJournal {
         self.journaled = 0;
         self.overflowed = false;
     }
+
+    /// Builds a shard's post-reshard journal: the given checkpoint plus
+    /// `updates` re-encoded as capped `Batch` frames (the same chunking the
+    /// send path applies, so replaying the journal is indistinguishable
+    /// from having dispatched the updates directly).
+    fn from_split<U: ClusterUpdate>(checkpoint: Option<Vec<u8>>, updates: &[U]) -> Self {
+        let mut journal = Self::new();
+        journal.checkpoint = checkpoint;
+        let cap = max_updates_per_frame::<U>().max(1);
+        for chunk in updates.chunks(cap) {
+            let mut buf = Vec::new();
+            encode_batch_frame(&mut buf, chunk);
+            journal.frames.push((buf.into(), chunk.len()));
+            journal.journaled += chunk.len();
+        }
+        journal
+    }
 }
 
 /// The aggregator's link instrumentation: per-worker send / fault /
@@ -535,19 +587,36 @@ struct AggregatorMetrics {
     coalesced: Arc<Counter>,
     /// End-to-end latency of the snapshot exchange, in nanoseconds.
     snapshot_latency: Arc<Histogram>,
+    /// Completed `scale_to` grows.
+    reshard_scale_ups: Arc<Counter>,
+    /// Completed `scale_to` shrinks.
+    reshard_scale_downs: Arc<Counter>,
+    /// Journal frames replayed onto fresh sessions by resharding (split
+    /// replays on grow; recovery replays are counted separately under
+    /// `knw_cluster_worker_replayed_frames_total`).
+    reshard_replayed_frames: Arc<Counter>,
+    /// Distinct routing keys moved to a different shard by resharding.
+    reshard_moved_keys: Arc<Counter>,
+    /// End-to-end latency of one `scale_to` call, in nanoseconds.
+    reshard_latency: Arc<Histogram>,
 }
 
 impl AggregatorMetrics {
+    /// Resolves the per-worker counter family `name` for worker indices
+    /// `from..to` against the process-wide registry.
+    fn per_worker_range(name: &str, from: usize, to: usize) -> Vec<Arc<Counter>> {
+        let registry = knw_metrics::global();
+        (from..to)
+            .map(|worker| {
+                let label = worker.to_string();
+                registry.counter(name, &[("worker", &label)])
+            })
+            .collect()
+    }
+
     fn register(workers: usize) -> Self {
         let registry = knw_metrics::global();
-        let per_worker = |name: &str| -> Vec<Arc<Counter>> {
-            (0..workers)
-                .map(|worker| {
-                    let label = worker.to_string();
-                    registry.counter(name, &[("worker", &label)])
-                })
-                .collect()
-        };
+        let per_worker = |name: &str| Self::per_worker_range(name, 0, workers);
         Self {
             sends: per_worker("knw_cluster_worker_sends_total"),
             send_bytes: per_worker("knw_cluster_worker_send_bytes_total"),
@@ -556,6 +625,36 @@ impl AggregatorMetrics {
             replayed_frames: per_worker("knw_cluster_worker_replayed_frames_total"),
             coalesced: registry.counter("knw_cluster_coalesced_updates_total", &[]),
             snapshot_latency: registry.histogram("knw_cluster_snapshot_latency_ns", &[]),
+            reshard_scale_ups: registry.counter("knw_cluster_reshard_scale_ups_total", &[]),
+            reshard_scale_downs: registry.counter("knw_cluster_reshard_scale_downs_total", &[]),
+            reshard_replayed_frames: registry
+                .counter("knw_cluster_reshard_replayed_frames_total", &[]),
+            reshard_moved_keys: registry.counter("knw_cluster_reshard_moved_keys_total", &[]),
+            reshard_latency: registry.histogram("knw_cluster_reshard_latency_ns", &[]),
+        }
+    }
+
+    /// Grows every per-worker counter family to cover `workers` indices —
+    /// called by `scale_to` so a grown fleet's new shards are counted from
+    /// their first dispatched batch.  (Families never shrink: a retired
+    /// index's counters keep their totals, matching the registry's
+    /// monotonic contract.)
+    fn ensure_workers(&mut self, workers: usize) {
+        let families: [(&str, &mut Vec<Arc<Counter>>); 5] = [
+            ("knw_cluster_worker_sends_total", &mut self.sends),
+            ("knw_cluster_worker_send_bytes_total", &mut self.send_bytes),
+            ("knw_cluster_worker_faults_total", &mut self.faults),
+            ("knw_cluster_worker_recoveries_total", &mut self.recoveries),
+            (
+                "knw_cluster_worker_replayed_frames_total",
+                &mut self.replayed_frames,
+            ),
+        ];
+        for (name, counters) in families {
+            if counters.len() < workers {
+                let grown = Self::per_worker_range(name, counters.len(), workers);
+                counters.extend(grown);
+            }
         }
     }
 
@@ -794,6 +893,30 @@ impl<U: ClusterUpdate> LinkSet<'_, U> {
         Ok(shards)
     }
 
+    /// The snapshot request/reply round for one worker (the resharding
+    /// flows need a single survivor's live shard, not the whole fleet's),
+    /// with the same recover-and-re-request handling as
+    /// [`snapshot_shards`](Self::snapshot_shards).
+    fn snapshot_one(&mut self, worker: usize) -> Result<Vec<u8>, ClusterError> {
+        if let Err(e) = self.workers[worker].send(&Frame::Snapshot) {
+            let error = wire_fault(worker, e);
+            self.try_recover(worker, error)?;
+            self.workers[worker]
+                .send(&Frame::Snapshot)
+                .map_err(|e| wire_fault(worker, e))?;
+        }
+        match read_shard(self.workers[worker].as_mut(), worker) {
+            Ok(bytes) => Ok(bytes),
+            Err(error) => {
+                self.try_recover(worker, error)?;
+                self.workers[worker]
+                    .send(&Frame::Snapshot)
+                    .map_err(|e| wire_fault(worker, e))?;
+                read_shard(self.workers[worker].as_mut(), worker)
+            }
+        }
+    }
+
     /// Sends `Finish` and half-closes worker `index`'s link, with one
     /// recovery retry on a link fault.
     fn send_finish(&mut self, worker: usize) -> Result<(), ClusterError> {
@@ -876,6 +999,9 @@ pub struct ClusterAggregator<U: ClusterUpdate> {
     transport: Box<dyn Transport>,
     workers: Vec<Box<dyn WorkerConnection>>,
     batcher: ShardBatcher<U>,
+    /// The routing discipline the batcher was built with — kept so
+    /// `scale_to` can re-route journaled updates under a new epoch table.
+    routing: RoutingPolicy,
     precoalesce: bool,
     updates: u64,
     /// Reconnect-and-replay policy; `None` fails the run on the first
@@ -957,6 +1083,61 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
         )
     }
 
+    /// Starts an aggregation over `workers` workers drawn from a
+    /// [`WorkerRegistry`]'s pool — placement without a static address list:
+    /// every shard's address comes from the registry's registered (and
+    /// health-probed) spares, and shards retired by a later
+    /// [`scale_to`](Self::scale_to) return their workers to the pool.
+    /// Default engine knobs and no recovery; see
+    /// [`from_pool_with`](Self::from_pool_with) for the full set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::PoolExhausted`] when the pool cannot cover `workers`
+    /// live workers — the fleet is never silently smaller than asked for —
+    /// plus the connect/handshake failures of
+    /// [`connect`](Self::connect).
+    pub fn from_pool(
+        registry: &Arc<WorkerRegistry>,
+        workers: usize,
+        spec: &SketchSpec,
+    ) -> Result<Self, ClusterError> {
+        Self::from_pool_with(registry, EngineConfig::new(workers), None, spec)
+    }
+
+    /// [`from_pool`](Self::from_pool) with explicit engine knobs (batch
+    /// size, routing policy, pre-coalescing — `engine.shards` is the fleet
+    /// size) and an optional recovery policy.  Elastic resharding
+    /// ([`scale_to`](Self::scale_to)) requires the recovery policy: its
+    /// journals are what a grown shard replays.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_pool`](Self::from_pool).
+    pub fn from_pool_with(
+        registry: &Arc<WorkerRegistry>,
+        engine: EngineConfig,
+        recovery: Option<RecoveryPolicy>,
+        spec: &SketchSpec,
+    ) -> Result<Self, ClusterError> {
+        let needed = engine.shards.max(1);
+        let live = registry.live_available();
+        if live < needed {
+            return Err(ClusterError::PoolExhausted { needed, live });
+        }
+        let transport = PoolTransport::new(Arc::clone(registry));
+        Self::start(Box::new(transport), engine, spec, recovery).map_err(|e| match e {
+            // A draw that lost the race against other consumers (or a probe
+            // that failed between the pre-check and the dial) reports the
+            // fleet-level shortfall, not the single failed draw.
+            ClusterError::PoolExhausted { .. } => ClusterError::PoolExhausted {
+                needed,
+                live: registry.live_available(),
+            },
+            other => other,
+        })
+    }
+
     /// The transport-agnostic constructor: opens one link per shard through
     /// `transport` and greets each worker.  With recovery enabled, a link
     /// that cannot be opened is retried under the policy (including
@@ -993,6 +1174,7 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
                     "knw_cluster",
                     engine.shards,
                 )),
+            routing: engine.routing,
             precoalesce: engine.precoalesce && U::coalescible(),
             updates: 0,
             recovery,
@@ -1095,6 +1277,295 @@ impl<U: ClusterUpdate> ClusterAggregator<U> {
     /// The underlying `kill(2)` / `shutdown(2)` failure, if any.
     pub fn kill_worker(&mut self, worker: usize) -> std::io::Result<()> {
         self.workers[worker].kill()
+    }
+
+    /// Elastically reshards the live aggregation to `workers` shards
+    /// (clamped to at least 1), **exactly**: the estimate after any
+    /// sequence of rescales is bit-identical to a single-process run over
+    /// the same stream.
+    ///
+    /// Routing follows a linear-hashing epoch table
+    /// ([`knw_hash::rng::epoch_shard_for_key`]): growing `n → n+1` moves
+    /// keys from exactly one *split parent* shard to the new shard, and
+    /// shrinking folds the retired shard's keys back into that parent.
+    /// Each step swaps the batcher's routing epoch
+    /// ([`ShardBatcher::install_epoch`]) after the shard states have been
+    /// made consistent with the new table:
+    ///
+    /// - **Grow** (hash-affine): the split parent's replay journal is
+    ///   decoded and re-routed under the new table; the new shard starts
+    ///   from the parent's checkpoint plus the moved updates, and the
+    ///   parent restarts on a fresh session replaying only the kept ones.
+    ///   `kept ⊕ (checkpoint ⊕ moved) = checkpoint ⊕ all`, so the fleet
+    ///   total is unchanged for idempotent (F0) and linear (L0) sketches
+    ///   alike.  Round-robin shards are an arbitrary partition, so a new
+    ///   shard simply starts empty and joins the rotation.
+    /// - **Shrink**: the highest shard is `Finish`ed, its final shard is
+    ///   merged (exactly, via `merge_dyn`) into the split parent's live
+    ///   snapshot, and the parent restarts from the merged bytes as its
+    ///   new checkpoint.  Survivor indices never shift.
+    ///
+    /// Retired workers return their addresses to the transport's pool
+    /// ([`Transport::retire`]); grown shards draw fresh ones (spawned
+    /// children on pipes, registry spares on pooled TCP).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::RescaleUnsupported`] when no
+    /// [`RecoveryPolicy`] is configured (the journals are what a split
+    /// shard replays) or a prior fault has poisoned the run;
+    /// [`ClusterError::JournalOverflow`] when the split parent's journal
+    /// overflowed (snapshot more often, or raise the cap);
+    /// [`ClusterError::PoolExhausted`] when a grow cannot draw a live
+    /// worker — the old fleet keeps running in that case; transport /
+    /// codec / merge failures otherwise (which poison the run, since a
+    /// partially resharded fleet cannot be trusted).
+    pub fn scale_to(&mut self, workers: usize) -> Result<(), ClusterError> {
+        let target = workers.max(1);
+        if self.recovery.is_none() {
+            return Err(ClusterError::RescaleUnsupported {
+                reason: "journaling is off — configure a RecoveryPolicy so shard \
+                         streams can be split and replayed",
+            });
+        }
+        if let Some((worker, fault)) = &self.fault {
+            // A prior fault poisoned the run; surface it, not a rescale.
+            return Err(fault.to_error(*worker));
+        }
+        let from = self.workers.len();
+        if target == from {
+            return Ok(());
+        }
+        let started = std::time::Instant::now();
+        // Ship every pending batch under the OLD table first: updates
+        // buffered under one routing epoch must never be dispatched under
+        // another.
+        self.flush();
+        if let Some((worker, fault)) = &self.fault {
+            return Err(fault.to_error(*worker));
+        }
+        let result = loop {
+            let len = self.workers.len();
+            if len == target {
+                break Ok(());
+            }
+            let step = if len < target {
+                self.grow_one()
+            } else {
+                self.shrink_one()
+            };
+            if let Err(error) = step {
+                break Err(error);
+            }
+        };
+        self.metrics
+            .reshard_latency
+            .record_duration(started.elapsed());
+        match &result {
+            Ok(()) => {
+                if target > from {
+                    self.metrics.reshard_scale_ups.inc();
+                } else {
+                    self.metrics.reshard_scale_downs.inc();
+                }
+                knw_log!(
+                    INFO,
+                    "knw-aggregate",
+                    "fleet resharded",
+                    from = from,
+                    to = target,
+                    epoch = self.batcher.epoch(),
+                );
+            }
+            Err(error) => {
+                knw_log!(
+                    WARN,
+                    "knw-aggregate",
+                    "reshard failed",
+                    from = from,
+                    to = target,
+                    reached = self.workers.len(),
+                    error = error,
+                );
+            }
+        }
+        result
+    }
+
+    /// One grow step: attach shard `len` and install the `len + 1` epoch
+    /// table.  On a hash-affine fleet this splits the parent shard's
+    /// journal (see [`scale_to`](Self::scale_to)); failures *before* the
+    /// parent's session is severed leave the old fleet untouched.
+    fn grow_one(&mut self) -> Result<(), ClusterError> {
+        let new_index = self.workers.len();
+        let new_count = new_index + 1;
+        match self.routing {
+            RoutingPolicy::RoundRobin => {
+                let conn = open_link(
+                    self.transport.as_ref(),
+                    new_index,
+                    &self.spec,
+                    self.recovery,
+                )?;
+                self.workers.push(conn);
+                self.journals.push(ShardJournal::new());
+            }
+            RoutingPolicy::HashAffine { seed } => {
+                let parent = split_parent(new_index);
+                let policy = self.recovery.expect("scale_to requires journaling");
+                if self.journals[parent].overflowed {
+                    return Err(ClusterError::JournalOverflow {
+                        worker: parent,
+                        cap: policy.journal_cap,
+                    });
+                }
+                // Re-route the parent's journaled updates under the NEW
+                // epoch table, preserving their relative order.  Linear
+                // hashing guarantees every update stays on `parent` or
+                // moves to `new_index` — never a third shard.
+                let mut kept: Vec<U> = Vec::new();
+                let mut moved: Vec<U> = Vec::new();
+                for (frame, _) in &self.journals[parent].frames {
+                    for update in decode_journal_frame::<U>(frame) {
+                        if epoch_shard_for_key(seed, update.routing_key(), new_count) == new_index {
+                            moved.push(update);
+                        } else {
+                            kept.push(update);
+                        }
+                    }
+                }
+                let moved_keys: HashSet<u64> = moved.iter().map(Routable::routing_key).collect();
+                let journal_new =
+                    ShardJournal::from_split::<U>(self.journals[parent].checkpoint.clone(), &moved);
+                let journal_parent = ShardJournal::from_split::<U>(None, &kept);
+                let replayed = (journal_new.frames.len() + journal_parent.frames.len()) as u64;
+                // Attach the new worker first: if the pool (or spawn)
+                // cannot cover it, the old fleet is untouched.
+                let new_conn = attach_split_link(
+                    self.transport.as_ref(),
+                    new_index,
+                    &self.spec,
+                    self.recovery,
+                    &journal_new,
+                )?;
+                // The worker serve loop is one-session-at-a-time: sever
+                // the parent's old session before dialing the fresh one
+                // that replays only the kept updates.
+                let _ = self.workers[parent].kill();
+                let parent_conn = match attach_split_link(
+                    self.transport.as_ref(),
+                    parent,
+                    &self.spec,
+                    self.recovery,
+                    &journal_parent,
+                ) {
+                    Ok(conn) => conn,
+                    Err(error) => {
+                        // The parent's old session is gone and its fresh
+                        // one failed: the shard is unreachable — poison
+                        // the run so later reports refuse.
+                        self.fault.get_or_insert((
+                            fault_worker(&error, parent),
+                            WorkerFault::from_error(&error),
+                        ));
+                        return Err(error);
+                    }
+                };
+                self.workers[parent] = parent_conn;
+                self.workers.push(new_conn);
+                self.journals[parent] = journal_parent;
+                self.journals.push(journal_new);
+                self.metrics.reshard_replayed_frames.add(replayed);
+                self.metrics.reshard_moved_keys.add(moved_keys.len() as u64);
+                knw_log!(
+                    INFO,
+                    "knw-aggregate",
+                    "shard split",
+                    parent = parent,
+                    new_shard = new_index,
+                    moved_keys = moved_keys.len(),
+                    replayed_frames = replayed,
+                );
+            }
+        }
+        self.metrics.ensure_workers(new_count);
+        self.batcher.install_epoch(new_count);
+        Ok(())
+    }
+
+    /// One shrink step: retire the highest shard into its split parent and
+    /// install the shrunk epoch table.  Any failure past the retiree's
+    /// `Finish` poisons the run — a fleet short one shard's updates cannot
+    /// be trusted.
+    fn shrink_one(&mut self) -> Result<(), ClusterError> {
+        let retiree = self.workers.len() - 1;
+        let survivor = split_parent(retiree);
+        match self.shrink_step(retiree, survivor) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                self.fault.get_or_insert((
+                    fault_worker(&error, retiree),
+                    WorkerFault::from_error(&error),
+                ));
+                Err(error)
+            }
+        }
+    }
+
+    fn shrink_step(&mut self, retiree: usize, survivor: usize) -> Result<(), ClusterError> {
+        // Drain the retiree (Finish + final shard, with the usual one-shot
+        // recovery) and grab the survivor's live shard.
+        let (retired_bytes, survivor_bytes) = {
+            let mut links = self.links();
+            links.send_finish(retiree)?;
+            let retired = links.collect_final_shard(retiree)?;
+            let survivor_bytes = links.snapshot_one(survivor)?;
+            (retired, survivor_bytes)
+        };
+        // Fold the retired shard into the survivor — the shard its keys
+        // route to under the shrunk table — and restart the survivor from
+        // the merged bytes as its new checkpoint.
+        let mut merged = U::shard_from_bytes(&self.spec, &survivor_bytes).map_err(|message| {
+            ClusterError::Frame {
+                worker: survivor,
+                message,
+            }
+        })?;
+        let retired = U::shard_from_bytes(&self.spec, &retired_bytes).map_err(|message| {
+            ClusterError::Frame {
+                worker: retiree,
+                message,
+            }
+        })?;
+        U::merge(merged.as_mut(), retired.as_ref())?;
+        let mut journal = ShardJournal::new();
+        journal.checkpoint = Some(U::shard_bytes(merged.as_ref()));
+        // One-session-at-a-time: sever the survivor's old session before
+        // dialing the fresh one that restores the merged checkpoint.
+        let _ = self.workers[survivor].kill();
+        let conn = attach_split_link(
+            self.transport.as_ref(),
+            survivor,
+            &self.spec,
+            self.recovery,
+            &journal,
+        )?;
+        self.workers[survivor] = conn;
+        self.journals[survivor] = journal;
+        // Pop the highest index LAST, so no survivor's index ever shifts;
+        // the transport returns the retired worker's address to its pool.
+        drop(self.workers.pop());
+        self.journals.pop();
+        self.transport.retire(retiree);
+        self.batcher.install_epoch(retiree);
+        knw_log!(
+            INFO,
+            "knw-aggregate",
+            "shard retired",
+            retiree = retiree,
+            survivor = survivor,
+        );
+        Ok(())
     }
 
     /// Requests a shard snapshot from every worker and merges them (plus
@@ -1279,6 +1750,50 @@ fn open_link(
         attempts: policy.max_retries,
         last: last.to_string(),
     })
+}
+
+/// Opens (and greets) a fresh session for shard `index` and primes it from
+/// `journal`: `Restore` the checkpoint (if any), then replay every frame —
+/// exactly the recovery replay shape, reused by resharding to attach split
+/// and merged shards.
+fn attach_split_link(
+    transport: &dyn Transport,
+    index: usize,
+    spec: &SketchSpec,
+    recovery: Option<RecoveryPolicy>,
+    journal: &ShardJournal,
+) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+    let mut conn = open_link(transport, index, spec, recovery)?;
+    if let Some(bytes) = &journal.checkpoint {
+        conn.send(&Frame::Restore(bytes.clone()))
+            .map_err(|e| wire_fault(index, e))?;
+    }
+    for (frame, _) in &journal.frames {
+        conn.send_raw(frame).map_err(|e| wire_fault(index, e))?;
+    }
+    Ok(conn)
+}
+
+/// The worker index an error names, or `fallback` for errors that do not
+/// carry one — used to attribute a mid-reshard failure to the right shard
+/// when poisoning the run.
+fn fault_worker(error: &ClusterError, fallback: usize) -> usize {
+    match error {
+        ClusterError::Io {
+            worker: Some(worker),
+            ..
+        }
+        | ClusterError::Frame { worker, .. }
+        | ClusterError::WorkerDied { worker }
+        | ClusterError::ConnectFailed { worker, .. }
+        | ClusterError::Timeout { worker }
+        | ClusterError::Desynced { worker }
+        | ClusterError::Protocol { worker, .. }
+        | ClusterError::WorkerReported { worker, .. }
+        | ClusterError::RecoveryExhausted { worker, .. }
+        | ClusterError::JournalOverflow { worker, .. } => *worker,
+        _ => fallback,
+    }
 }
 
 // Dropping a `ClusterAggregator` drops its worker links; each transport's

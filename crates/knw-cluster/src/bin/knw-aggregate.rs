@@ -5,18 +5,19 @@
 //! mergeability).
 //!
 //! ```text
-//! knw-aggregate [--transport pipe|tcp] [--workers N] [--mode f0|l0]
+//! knw-aggregate [--transport pipe|tcp|pool] [--workers N] [--mode f0|l0]
 //!               [--estimator NAME] [--updates COUNT] [--universe N]
 //!               [--epsilon E] [--seed S]
 //!               [--routing round-robin|hash-affine] [--precoalesce]
 //!               [--recover]
 //!               [--worker PATH]                       (pipe transport)
 //!               [--connect ADDR]... [--io-timeout S]  (tcp transport)
+//!               [--pool REGADDR]                      (pool placement)
 //!               [--serve ADDR [--sessions N]]         (serve mode, Linux)
 //!               [--metrics ADDR]                      (scrape endpoint)
 //! ```
 //!
-//! Two transports:
+//! Three transports:
 //!
 //! * `--transport pipe` (default): spawns `--workers` N `knw-worker` child
 //!   processes on stdin/stdout pipes.  The worker binary defaults to the
@@ -27,6 +28,18 @@
 //!   `knw-worker --listen host:port`).  The worker count is the address
 //!   count; `--io-timeout SECS` bounds every read/write so a stalled
 //!   worker fails the run instead of hanging it.
+//! * `--pool REGADDR` (implies `--transport pool`): binds a worker
+//!   registry on `REGADDR` and places `--workers` N shards from the pool
+//!   of spares that announce themselves (`knw-worker --listen 0 --register
+//!   REGADDR`) — no static address list.  Spares are health-probed
+//!   continuously; if the pool cannot cover N live workers the run refuses
+//!   typed instead of starting a smaller fleet.
+//!
+//! In `--serve` mode the process also reads **control commands** from
+//! stdin: `rescale N` elastically reshards the live fleet to N workers
+//! ([`ClusterAggregator::scale_to`]) with the merged estimate staying
+//! bit-identical; retired workers return to the pool and grows draw from
+//! it.
 //!
 //! With `--serve ADDR` (Linux) the binary stops generating its own
 //! workload and becomes **estimation-as-a-service**: it binds `ADDR`,
@@ -50,12 +63,13 @@
 
 use knw_cluster::{
     sibling_worker_exe, ClusterAggregator, ClusterConfig, ClusterError, ClusterUpdate,
-    MetricsServer, RecoveryPolicy, SketchSpec, TcpClusterConfig,
+    MetricsServer, RecoveryPolicy, SketchSpec, TcpClusterConfig, WorkerRegistry,
 };
 use knw_engine::{EngineConfig, RoutingPolicy};
 use knw_metrics::knw_log;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Options {
@@ -74,6 +88,11 @@ struct Options {
     precoalesce: bool,
     worker: Option<PathBuf>,
     connect: Vec<String>,
+    /// Pool placement: bind a [`WorkerRegistry`] on this address, wait for
+    /// `--workers` spares to announce themselves (`knw-worker --listen 0
+    /// --register ADDR`), and place the fleet from the pool — no static
+    /// address list.
+    pool: Option<String>,
     /// `None` until `--io-timeout`; `Some(0)` disables the timeout.
     io_timeout_secs: Option<u64>,
     /// Reconnect-and-replay recovery for lost workers (`--recover`).
@@ -102,6 +121,7 @@ impl Default for Options {
             precoalesce: false,
             worker: None,
             connect: Vec::new(),
+            pool: None,
             io_timeout_secs: None,
             recover: false,
             serve: None,
@@ -119,10 +139,10 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--transport" => {
                 opts.transport = match value("--transport")?.as_str() {
-                    transport @ ("pipe" | "tcp") => transport.to_string(),
+                    transport @ ("pipe" | "tcp" | "pool") => transport.to_string(),
                     other => {
                         return Err(format!(
-                            "unknown transport {other:?} (expected pipe or tcp)"
+                            "unknown transport {other:?} (expected pipe, tcp or pool)"
                         ))
                     }
                 };
@@ -158,6 +178,7 @@ fn parse_args() -> Result<Options, String> {
             "--recover" => opts.recover = true,
             "--worker" => opts.worker = Some(PathBuf::from(value("--worker")?)),
             "--connect" => opts.connect.push(value("--connect")?),
+            "--pool" => opts.pool = Some(value("--pool")?),
             "--serve" => opts.serve = Some(value("--serve")?),
             "--metrics" => opts.metrics = Some(value("--metrics")?),
             "--sessions" => {
@@ -169,24 +190,29 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: knw-aggregate [--transport pipe|tcp] [--workers N] [--mode f0|l0]\n\
+                    "usage: knw-aggregate [--transport pipe|tcp|pool] [--workers N] [--mode f0|l0]\n\
                      \u{20}                    [--estimator NAME] [--updates COUNT] [--universe N]\n\
                      \u{20}                    [--epsilon E] [--seed S]\n\
                      \u{20}                    [--routing round-robin|hash-affine] [--precoalesce]\n\
                      \u{20}                    [--recover]\n\
                      \u{20}                    [--worker PATH]                       (pipe transport)\n\
                      \u{20}                    [--connect ADDR]... [--io-timeout S]  (tcp transport)\n\
+                     \u{20}                    [--pool REGADDR]                      (pool placement)\n\
                      \u{20}                    [--serve ADDR [--sessions N]]         (serve mode, Linux)\n\
                      \u{20}                    [--metrics ADDR]                      (scrape endpoint)\n\
                      transports: pipe spawns N `knw-worker` children on stdin/stdout;\n\
                      \u{20}           tcp connects to running `knw-worker --listen ADDR` hosts,\n\
-                     \u{20}           one --connect per worker.\n\
+                     \u{20}           one --connect per worker;\n\
+                     \u{20}           pool binds a registry on REGADDR and places --workers N\n\
+                     \u{20}           shards from the spares that `knw-worker --register` there.\n\
                      --recover: reconnect-and-replay lost workers (bounded retries +\n\
                      \u{20}          per-shard replay journal) instead of failing the run.\n\
                      --serve ADDR: estimation-as-a-service — bind ADDR, print a\n\
                      \u{20}          `serving on <addr>` banner, and multiplex concurrent\n\
                      \u{20}          client sessions over the worker fleet (one nonblocking\n\
                      \u{20}          event loop, no thread per session; Linux only).\n\
+                     \u{20}          stdin accepts `rescale N` to reshard the live fleet\n\
+                     \u{20}          elastically between sessions (estimates stay exact).\n\
                      --metrics ADDR: serve Prometheus-text scrapes of the process\n\
                      \u{20}          metrics registry for the duration of the run (port 0\n\
                      \u{20}          picks a free port; prints `metrics on <addr>`).\n\
@@ -199,27 +225,65 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    // Each transport owns its flags; a flag for the other transport is a
+    // `--pool ADDR` selects the pool placement without a `--transport`
+    // spelling; an explicit `--transport pool` without the address is a
+    // misconfiguration.
+    if opts.pool.is_some() && opts.transport == "pipe" {
+        opts.transport = "pool".into();
+    }
+    // Each transport owns its flags; a flag for another transport is a
     // misconfiguration, not something to silently ignore.
-    if opts.transport == "tcp" {
-        if opts.connect.is_empty() {
-            return Err("--transport tcp needs at least one --connect ADDR".into());
+    match opts.transport.as_str() {
+        "tcp" => {
+            if opts.pool.is_some() {
+                return Err(
+                    "--pool conflicts with --transport tcp; the pool IS the placement \
+                            (drop the --transport flag)"
+                        .into(),
+                );
+            }
+            if opts.connect.is_empty() {
+                return Err("--transport tcp needs at least one --connect ADDR".into());
+            }
+            if opts.workers.is_some() {
+                return Err(
+                    "--workers is pipe/pool-only; the tcp worker count is the number of \
+                     --connect flags"
+                        .into(),
+                );
+            }
+            if opts.worker.is_some() {
+                return Err("--worker PATH is pipe-only; tcp connects to running workers".into());
+            }
         }
-        if opts.workers.is_some() {
-            return Err(
-                "--workers is pipe-only; the tcp worker count is the number of --connect flags"
-                    .into(),
-            );
+        "pool" => {
+            if opts.pool.is_none() {
+                return Err(
+                    "--transport pool needs --pool ADDR (the registry bind address)".into(),
+                );
+            }
+            if !opts.connect.is_empty() {
+                return Err(
+                    "--connect conflicts with --pool; pooled workers announce themselves \
+                     via `knw-worker --register`"
+                        .into(),
+                );
+            }
+            if opts.worker.is_some() {
+                return Err(
+                    "--worker PATH is pipe-only; pooled workers are already running".into(),
+                );
+            }
         }
-        if opts.worker.is_some() {
-            return Err("--worker PATH is pipe-only; tcp connects to running workers".into());
-        }
-    } else {
-        if !opts.connect.is_empty() {
-            return Err("--connect is only meaningful with --transport tcp".into());
-        }
-        if opts.io_timeout_secs.is_some() {
-            return Err("--io-timeout is only meaningful with --transport tcp".into());
+        _ => {
+            if !opts.connect.is_empty() {
+                return Err("--connect is only meaningful with --transport tcp".into());
+            }
+            if opts.io_timeout_secs.is_some() {
+                return Err(
+                    "--io-timeout is only meaningful with --transport tcp or --pool".into(),
+                );
+            }
         }
     }
     if opts.sessions.is_some() && opts.serve.is_none() {
@@ -228,10 +292,19 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// How long the pool placement waits for enough spares to announce
+/// themselves before refusing with `PoolExhausted`.
+const POOL_WAIT: Duration = Duration::from_secs(30);
+
 /// How the aggregator reaches its workers, resolved from the CLI flags.
 enum TransportChoice {
     Pipe(ClusterConfig),
     Tcp(TcpClusterConfig),
+    Pool {
+        registry: Arc<WorkerRegistry>,
+        engine: EngineConfig,
+        recovery: Option<RecoveryPolicy>,
+    },
 }
 
 impl TransportChoice {
@@ -240,6 +313,30 @@ impl TransportChoice {
         let engine = EngineConfig::new(workers)
             .with_routing(opts.routing)
             .with_precoalesce(opts.precoalesce);
+        if let Some(pool_addr) = &opts.pool {
+            let registry =
+                Arc::new(
+                    WorkerRegistry::bind(pool_addr).map_err(|source| ClusterError::Io {
+                        worker: None,
+                        source,
+                    })?,
+                );
+            println!("worker pool registry on {}", registry.local_addr());
+            // Health-probe the spares continuously: pops skip addresses
+            // that failed their last connect-and-greet probe.
+            registry.start_probing(Duration::from_secs(2), Duration::from_secs(1));
+            // Spares race the aggregator's startup; give them a bounded
+            // window to announce themselves before refusing.
+            let deadline = std::time::Instant::now() + POOL_WAIT;
+            while registry.live_available() < workers && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            return Ok(TransportChoice::Pool {
+                registry,
+                engine,
+                recovery: opts.recover.then(RecoveryPolicy::default),
+            });
+        }
         if opts.transport == "tcp" {
             let mut config = TcpClusterConfig::new(opts.connect.iter().cloned());
             config = config.with_engine(engine);
@@ -276,6 +373,7 @@ impl TransportChoice {
         match self {
             TransportChoice::Pipe(config) => config.engine.shards,
             TransportChoice::Tcp(config) => config.addrs.len(),
+            TransportChoice::Pool { engine, .. } => engine.shards,
         }
     }
 
@@ -283,6 +381,13 @@ impl TransportChoice {
         match self {
             TransportChoice::Pipe(_) => "pipe (spawned children)".into(),
             TransportChoice::Tcp(config) => format!("tcp ({})", config.addrs.join(", ")),
+            TransportChoice::Pool { registry, .. } => {
+                format!(
+                    "pool (registry {}, {} live spare(s))",
+                    registry.local_addr(),
+                    registry.live_available(),
+                )
+            }
         }
     }
 
@@ -293,6 +398,11 @@ impl TransportChoice {
         match self {
             TransportChoice::Pipe(config) => ClusterAggregator::spawn(config, spec),
             TransportChoice::Tcp(config) => ClusterAggregator::connect(config, spec),
+            TransportChoice::Pool {
+                registry,
+                engine,
+                recovery,
+            } => ClusterAggregator::from_pool_with(registry, *engine, *recovery, spec),
         }
     }
 }
@@ -362,6 +472,42 @@ fn run_serve(opts: &Options, addr: &str, estimator: &str) -> Result<(), ClusterE
         serve_opts = serve_opts.with_metrics_listener(std::sync::Arc::new(scrape));
         println!("metrics on {scrape_bound}");
     }
+
+    // Runtime elastic rescaling: a control thread reads stdin lines and
+    // forwards `rescale N` commands to the serve loop, which applies them
+    // between ticks as `ClusterAggregator::scale_to(N)`.  The thread
+    // blocks on stdin for the life of the process; it never outlives main.
+    let (rescale_tx, rescale_rx) = std::sync::mpsc::channel::<usize>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => return, // EOF: no controller attached
+                Ok(_) => {}
+            }
+            let mut words = line.split_whitespace();
+            match (words.next(), words.next().map(str::parse::<usize>)) {
+                (Some("rescale"), Some(Ok(target))) => {
+                    if rescale_tx.send(target).is_err() {
+                        return; // serve loop gone
+                    }
+                    knw_log!(INFO, "knw-aggregate", "rescale queued", target = target);
+                }
+                (None, _) => {} // blank line
+                _ => {
+                    knw_log!(
+                        WARN,
+                        "knw-aggregate",
+                        "unknown control command (expected `rescale N`)",
+                        line = line.trim(),
+                    );
+                }
+            }
+        }
+    });
+    serve_opts = serve_opts.with_rescale_channel(rescale_rx);
 
     println!(
         "serving on {bound} ({} workers via {}, `{estimator}`) …",

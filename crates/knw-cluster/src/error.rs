@@ -109,6 +109,25 @@ pub enum ClusterError {
         /// The configured per-shard journal bound, in updates.
         cap: usize,
     },
+    /// The worker pool could not cover the requested fleet size: too few
+    /// registered spares passed their health probe.  Raised by
+    /// `ClusterAggregator::from_pool` before any aggregation starts, and by
+    /// `scale_to` when a grow cannot draw enough live workers — the fleet
+    /// is never silently smaller than asked for.
+    PoolExhausted {
+        /// How many live workers the caller asked for.
+        needed: usize,
+        /// How many the pool could actually provide.
+        live: usize,
+    },
+    /// `scale_to` was called on an aggregator that cannot reshard exactly:
+    /// journaling is off (no [`RecoveryPolicy`](crate::RecoveryPolicy), so
+    /// there is nothing to replay onto a split shard), or a prior fault has
+    /// already poisoned the run.
+    RescaleUnsupported {
+        /// Why the aggregator refused to reshard.
+        reason: &'static str,
+    },
     /// The requested estimator name is not in the wire-format zoo.
     UnknownEstimator {
         /// The name that failed to resolve.
@@ -204,6 +223,17 @@ impl fmt::Display for ClusterError {
                      be replayed (snapshot more often, or raise the cap)"
                 )
             }
+            ClusterError::PoolExhausted { needed, live } => {
+                write!(
+                    f,
+                    "the worker pool cannot cover the requested fleet: \
+                     {needed} live worker(s) needed, {live} available after \
+                     health probing"
+                )
+            }
+            ClusterError::RescaleUnsupported { reason } => {
+                write!(f, "the aggregation cannot be resharded: {reason}")
+            }
             ClusterError::UnknownEstimator { name } => {
                 write!(
                     f,
@@ -277,6 +307,13 @@ mod tests {
         let overflow = ClusterError::JournalOverflow { worker: 2, cap: 64 };
         assert!(overflow.to_string().contains("worker 2"));
         assert!(overflow.to_string().contains("64-update"));
+        let exhausted_pool = ClusterError::PoolExhausted { needed: 4, live: 2 };
+        assert!(exhausted_pool.to_string().contains("4 live worker(s)"));
+        assert!(exhausted_pool.to_string().contains("2 available"));
+        let unsupported = ClusterError::RescaleUnsupported {
+            reason: "journaling is off",
+        };
+        assert!(unsupported.to_string().contains("journaling is off"));
     }
 
     #[test]

@@ -195,6 +195,40 @@
 //! violations, codec rejections, merge incompatibilities) are never
 //! retried — a fresh worker fed the same journal would reproduce them.
 //!
+//! # Placement & elastic resharding
+//!
+//! The [`WorkerRegistry`] is a *placement* layer, not just a recovery
+//! side-channel: [`ClusterAggregator::from_pool`] starts an N-worker fleet
+//! entirely from the registry's pool of announced spares (`knw-worker
+//! --listen 0 --register <reg>`) — no static address list.  The registry's
+//! background prober ([`WorkerRegistry::start_probing`]) re-checks every
+//! pooled spare with the same connect-and-greet liveness probe recovery
+//! uses (not a bare connect — a backlog-only listener fails it), counts
+//! results under `knw_registry_probe_{ok,failed}_total`, and pops skip
+//! addresses that failed their last probe, so placements only ever draw
+//! live workers.  When the pool cannot cover the requested fleet,
+//! construction refuses typed with [`ClusterError::PoolExhausted`] — a
+//! fleet is never silently smaller than asked for.
+//!
+//! On top of placement sits **exact elastic resharding**:
+//! [`ClusterAggregator::scale_to`] grows or shrinks the live fleet
+//! mid-stream with the estimate staying bit-identical to a single-process
+//! run.  Routing follows a versioned **epoch table**
+//! ([`knw_hash::rng::epoch_shard_for_key`] inside the shared
+//! [`ShardBatcher`](knw_engine::ShardBatcher) — still the single hash
+//! site): linear hashing makes each grow step a *refinement* that moves
+//! keys from exactly one split-parent shard to the new shard.  A grow
+//! splits the parent's replay journal under the new table (new shard =
+//! parent checkpoint ⊕ moved updates; parent restarts with the kept ones),
+//! a shrink `Finish`es the top shard and folds its final bytes into the
+//! split parent via the same exact `merge_dyn` used everywhere else.
+//! Retired workers hand their addresses back to the pool
+//! ([`Transport::retire`]); `knw-aggregate --pool <reg> --workers N
+//! --serve …` exposes the whole flow on the CLI, including a runtime
+//! `rescale N` command.  Reshard traffic is counted under
+//! `knw_cluster_reshard_{scale_ups,scale_downs,replayed_frames,
+//! moved_keys}_total` and timed by `knw_cluster_reshard_latency_ns`.
+//!
 //! # Observability
 //!
 //! Every layer feeds the process-wide
@@ -286,7 +320,8 @@ pub use spec::{
     l0_shard_from_bytes, WireF0Sketch, WireL0Sketch,
 };
 pub use transport::{
-    spawn_listening_worker, ListeningWorkerFleet, PipeTransport, TcpClusterConfig, TcpTransport,
-    Transport, WorkerConnection, BANNER_DEADLINE, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
+    probe_worker, spawn_listening_worker, ListeningWorkerFleet, PipeTransport, PoolTransport,
+    TcpClusterConfig, TcpTransport, Transport, WorkerConnection, BANNER_DEADLINE,
+    DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
 };
 pub use worker::{run_worker, serve, serve_connection, ServeOptions, DEFAULT_MAX_ACCEPT_RETRIES};

@@ -26,13 +26,14 @@
 //! ```
 
 use crate::frame::{read_frame, write_frame, Frame};
+use crate::transport::probe_worker;
 use knw_metrics::knw_log;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -113,20 +114,39 @@ impl RecoveryPolicy {
     }
 }
 
+/// A pooled spare worker address plus the outcome of its last health
+/// probe.  A freshly announced (or returned) address counts as healthy
+/// until a probe says otherwise — probing is advisory, the pop-time skip
+/// only acts on a recorded failure.
+#[derive(Debug, Clone)]
+struct PoolEntry {
+    addr: String,
+    failed: bool,
+}
+
 /// The aggregator-side half of the `--register` handshake: listens on a TCP
 /// port, collects the addresses announced by `knw-worker --listen …
 /// --register <this port>` processes ([`Frame::Register`]), and hands them
-/// out to the transport's recovery path
+/// out to the transport's recovery and placement paths
 /// ([`take_address`](Self::take_address)) when a worker's static address
-/// stays unreachable.
+/// stays unreachable — or, under pool placement, when a fleet slot needs a
+/// worker at all.
 ///
 /// The accept loop runs on a background thread owned by this handle; a
 /// malformed announcement is logged and dropped without disturbing the
-/// pool.  Dropping the registry stops the thread.
+/// pool.  [`start_probing`](Self::start_probing) adds a second background
+/// thread that continuously health-probes pooled spares (connect **and**
+/// greet — a listen backlog accepting for a dead serve loop does not
+/// count), so a dead spare is marked before recovery or placement would
+/// burn an attempt on it.  Dropping the registry stops both threads.
 pub struct WorkerRegistry {
     addr: SocketAddr,
-    pool: Arc<Mutex<VecDeque<String>>>,
+    pool: Arc<Mutex<VecDeque<PoolEntry>>>,
     stop: Arc<AtomicBool>,
+    /// Condvar pair the probe thread sleeps on between rounds, so drop can
+    /// wake it immediately instead of waiting out the interval.
+    probe_gate: Arc<(Mutex<bool>, Condvar)>,
+    probe_thread: Mutex<Option<JoinHandle<()>>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -196,7 +216,10 @@ impl WorkerRegistry {
                                 .inc();
                             pool.lock()
                                 .expect("registry pool lock")
-                                .push_back(worker_addr);
+                                .push_back(PoolEntry {
+                                    addr: worker_addr,
+                                    failed: false,
+                                });
                         }
                         Ok(None) => {}
                         other => {
@@ -222,6 +245,8 @@ impl WorkerRegistry {
             addr,
             pool,
             stop,
+            probe_gate: Arc::new((Mutex::new(false), Condvar::new())),
+            probe_thread: Mutex::new(None),
             thread: Some(thread),
         })
     }
@@ -233,18 +258,121 @@ impl WorkerRegistry {
         self.addr
     }
 
-    /// Pops the next registered worker address (FIFO), if any.  Used by the
-    /// TCP transport's re-resolution; callers discard addresses that turn
-    /// out to be unreachable.
+    /// Pops the next registered worker address (FIFO), if any — skipping
+    /// (but not discarding) addresses whose last health probe failed, so a
+    /// recovery or placement attempt is never burned on a spare the probe
+    /// thread already knows is dead.  Callers still discard addresses that
+    /// turn out to be unreachable at adoption time.
     #[must_use]
     pub fn take_address(&self) -> Option<String> {
-        self.pool.lock().expect("registry pool lock").pop_front()
+        let mut pool = self.pool.lock().expect("registry pool lock");
+        let next = pool.iter().position(|entry| !entry.failed)?;
+        pool.remove(next).map(|entry| entry.addr)
     }
 
-    /// Number of registered, not-yet-taken worker addresses.
+    /// Number of registered, not-yet-taken worker addresses (including
+    /// ones whose last health probe failed — see
+    /// [`live_available`](Self::live_available)).
     #[must_use]
     pub fn available(&self) -> usize {
         self.pool.lock().expect("registry pool lock").len()
+    }
+
+    /// Number of pooled addresses [`take_address`](Self::take_address)
+    /// would currently consider: registered and not failing their last
+    /// health probe.
+    #[must_use]
+    pub fn live_available(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("registry pool lock")
+            .iter()
+            .filter(|entry| !entry.failed)
+            .count()
+    }
+
+    /// Returns a previously taken address to the pool (FIFO tail) — used
+    /// when a scale-down retires a worker whose process keeps serving, so
+    /// a later grow can re-adopt it.  The entry re-enters as healthy; the
+    /// probe thread re-checks it like any other spare.
+    pub fn return_address(&self, addr: String) {
+        self.pool
+            .lock()
+            .expect("registry pool lock")
+            .push_back(PoolEntry {
+                addr,
+                failed: false,
+            });
+    }
+
+    /// Starts the continuous health-probe thread: every `interval`, each
+    /// pooled spare is probed with the transport's connect-and-greet
+    /// liveness check (`timeout` bounds both the connect and the greet
+    /// reply) and its pool entry is marked accordingly.  Probe outcomes
+    /// are counted (`knw_registry_probe_ok_total` /
+    /// `knw_registry_probe_failed_total`) and state *transitions* are
+    /// logged — a spare going dark is a `WARN`, one coming back an `INFO`.
+    /// Idempotent: later calls are no-ops.  The thread stops when the
+    /// registry is dropped.
+    pub fn start_probing(&self, interval: Duration, timeout: Duration) {
+        let mut slot = self.probe_thread.lock().expect("registry probe slot");
+        if slot.is_some() {
+            return;
+        }
+        let pool = Arc::clone(&self.pool);
+        let stop = Arc::clone(&self.stop);
+        let gate = Arc::clone(&self.probe_gate);
+        *slot = Some(std::thread::spawn(move || {
+            let ok_counter = knw_metrics::global().counter("knw_registry_probe_ok_total", &[]);
+            let failed_counter =
+                knw_metrics::global().counter("knw_registry_probe_failed_total", &[]);
+            while !stop.load(Ordering::SeqCst) {
+                // Snapshot the addresses, probe with the pool unlocked (a
+                // probe can block for the full timeout), then write the
+                // outcomes back by address.
+                let addrs: Vec<String> = pool
+                    .lock()
+                    .expect("registry pool lock")
+                    .iter()
+                    .map(|entry| entry.addr.clone())
+                    .collect();
+                for addr in addrs {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let alive = probe_worker(&addr, timeout, timeout);
+                    if alive {
+                        ok_counter.inc();
+                    } else {
+                        failed_counter.inc();
+                    }
+                    let mut pool = pool.lock().expect("registry pool lock");
+                    for entry in pool.iter_mut().filter(|entry| entry.addr == addr) {
+                        if entry.failed && alive {
+                            knw_log!(
+                                INFO,
+                                "worker-registry",
+                                "spare answered its health probe again",
+                                addr = entry.addr,
+                            );
+                        } else if !entry.failed && !alive {
+                            knw_log!(
+                                WARN,
+                                "worker-registry",
+                                "spare failed its health probe; pops will skip it",
+                                addr = entry.addr,
+                            );
+                        }
+                        entry.failed = !alive;
+                    }
+                }
+                let (lock, condvar) = &*gate;
+                let stopped = lock.lock().expect("registry probe gate");
+                let _unused = condvar
+                    .wait_timeout_while(stopped, interval, |stopped| !*stopped)
+                    .expect("registry probe gate");
+            }
+        }));
     }
 }
 
@@ -260,6 +388,21 @@ impl fmt::Debug for WorkerRegistry {
 impl Drop for WorkerRegistry {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Wake and join the probe thread (it re-checks the stop flag both
+        // per-probe and around its interval sleep).
+        {
+            let (lock, condvar) = &*self.probe_gate;
+            *lock.lock().expect("registry probe gate") = true;
+            condvar.notify_all();
+        }
+        if let Some(probe) = self
+            .probe_thread
+            .lock()
+            .expect("registry probe slot")
+            .take()
+        {
+            let _ = probe.join();
+        }
         // Unblock the accept loop so the thread observes the stop flag.  A
         // wildcard bind (0.0.0.0 / ::) is not connectable on every
         // platform, so the wake-up dials the matching loopback instead.
@@ -335,6 +478,60 @@ mod tests {
         assert_eq!(registry.take_address().as_deref(), Some("10.0.0.1:7001"));
         assert_eq!(registry.take_address().as_deref(), Some("10.0.0.2:7001"));
         assert_eq!(registry.take_address(), None);
+    }
+
+    /// The probe thread marks a backlog-only fake (connects fine, never
+    /// answers the greet) as failed, and `take_address` skips it in favour
+    /// of a spare that answers — without discarding the failed entry.
+    #[test]
+    fn pops_skip_spares_that_failed_their_probe() {
+        let registry = WorkerRegistry::bind("127.0.0.1:0").expect("bind registry");
+        let registry_addr = registry.local_addr().to_string();
+
+        // A listen backlog with no serve loop behind it: the probe's
+        // connect succeeds, the greet goes unanswered.
+        let backlog_only = TcpListener::bind("127.0.0.1:0").expect("bind fake spare");
+        let fake_addr = backlog_only.local_addr().expect("addr").to_string();
+        register_worker(&registry_addr, &fake_addr).expect("register fake");
+
+        // A minimal live "worker": accepts, reads the greeting, answers
+        // with any framed reply — which is all the probe requires.
+        let live = TcpListener::bind("127.0.0.1:0").expect("bind live spare");
+        let live_addr = live.local_addr().expect("addr").to_string();
+        let serve = std::thread::spawn(move || {
+            while let Ok((stream, _)) = live.accept() {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let _ = read_frame(&mut reader);
+                let mut writer = BufWriter::new(stream);
+                let _ = write_frame(&mut writer, &Frame::Err("probe ack".into()));
+                let _ = writer.flush();
+            }
+        });
+        register_worker(&registry_addr, &live_addr).expect("register live");
+        for _ in 0..400 {
+            if registry.available() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(registry.available(), 2);
+
+        registry.start_probing(Duration::from_millis(20), Duration::from_millis(300));
+        for _ in 0..400 {
+            if registry.live_available() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(registry.live_available(), 1, "fake spare marked failed");
+        // FIFO would hand out the fake first; the probe-aware pop skips it
+        // and lands on the live spare, leaving the failed entry pooled.
+        assert_eq!(registry.take_address().as_deref(), Some(live_addr.as_str()));
+        assert_eq!(registry.take_address(), None);
+        assert_eq!(registry.available(), 1);
+        drop(registry);
+        drop(backlog_only);
+        drop(serve);
     }
 
     #[test]

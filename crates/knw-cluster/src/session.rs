@@ -34,12 +34,13 @@ use crate::error::ClusterError;
 use crate::expo::{request_complete, scrape_response, MAX_REQUEST_BYTES};
 use crate::frame::{encode_frame, Frame, FrameDecoder, FrameView, HelloConfig, SketchSpec};
 use crate::poll::{Interest, Poller};
-use knw_metrics::{Counter, Gauge, MetricsRegistry};
+use knw_metrics::{knw_log, Counter, Gauge, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::Arc;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The listener's token; session tokens start above it.
@@ -84,6 +85,14 @@ pub struct SessionServeOptions {
     /// sessions (no scrape thread; a scrape can never block a session,
     /// and vice versa).  `None` disables the endpoint.
     pub metrics_listener: Option<Arc<TcpListener>>,
+    /// Runtime elastic-rescale commands: every fleet size received here is
+    /// applied as [`ClusterAggregator::scale_to`] between loop ticks —
+    /// never mid-merge, so sessions observe a rescale only as a routing
+    /// epoch swap.  Feed it from a stdin reader or signal handler thread
+    /// (`knw-aggregate --serve`'s `rescale N` command does).  Wrapped in
+    /// `Arc<Mutex<…>>` because an [`mpsc::Receiver`](Receiver) is
+    /// single-consumer while the options struct must stay `Clone`.
+    pub rescale: Option<Arc<Mutex<Receiver<usize>>>>,
 }
 
 impl Default for SessionServeOptions {
@@ -94,6 +103,7 @@ impl Default for SessionServeOptions {
             max_write_queue: 1 << 20,
             idle_timeout: Some(Duration::from_secs(30)),
             metrics_listener: None,
+            rescale: None,
         }
     }
 }
@@ -132,6 +142,14 @@ impl SessionServeOptions {
     #[must_use]
     pub fn with_metrics_listener(mut self, listener: Arc<TcpListener>) -> Self {
         self.metrics_listener = Some(listener);
+        self
+    }
+
+    /// Attaches a runtime rescale command channel (see
+    /// [`rescale`](Self::rescale)).
+    #[must_use]
+    pub fn with_rescale_channel(mut self, receiver: Receiver<usize>) -> Self {
+        self.rescale = Some(Arc::new(Mutex::new(receiver)));
         self
     }
 }
@@ -537,6 +555,7 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                 self.resolve_snapshots()?;
             }
             self.maintain()?;
+            self.apply_rescales()?;
             if self
                 .options
                 .max_sessions
@@ -546,6 +565,45 @@ impl<U: ClusterUpdate> ServeLoop<'_, U> {
                 return Ok(self.stats);
             }
         }
+    }
+
+    /// Drains the rescale command channel and applies each requested fleet
+    /// size via [`ClusterAggregator::scale_to`] — between ticks, after this
+    /// tick's snapshot merges, so a rescale never interleaves with a merge.
+    /// Refusals that leave the fleet intact (unsupported, pool exhausted,
+    /// journal overflow — all raised before any session is severed) are
+    /// logged and serving continues; a mid-reshard fault poisons the
+    /// aggregator and aborts the loop typed, like any other fleet fault.
+    fn apply_rescales(&mut self) -> Result<(), ClusterError> {
+        let Some(channel) = &self.options.rescale else {
+            return Ok(());
+        };
+        let mut requests = Vec::new();
+        if let Ok(receiver) = channel.lock() {
+            while let Ok(target) = receiver.try_recv() {
+                requests.push(target);
+            }
+        }
+        for target in requests {
+            match self.aggregator.scale_to(target) {
+                Ok(()) => {}
+                Err(
+                    error @ (ClusterError::RescaleUnsupported { .. }
+                    | ClusterError::PoolExhausted { .. }
+                    | ClusterError::JournalOverflow { .. }),
+                ) => {
+                    knw_log!(
+                        WARN,
+                        "knw-serve",
+                        "rescale refused; fleet unchanged",
+                        target = target,
+                        error = error,
+                    );
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Ok(())
     }
 
     /// Accepts every pending connection (level-triggered: stop at

@@ -146,6 +146,101 @@ pub trait Transport: Send {
     fn reopen(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
         self.open(index)
     }
+
+    /// Tells the transport that worker `index` no longer exists — a
+    /// scale-down retired its shard — so per-index state (a re-resolved
+    /// replacement address, a pool assignment) must be expired rather than
+    /// remembered forever, and a pooled address can be returned for later
+    /// re-adoption.  The default is a no-op: the pipe transport holds no
+    /// per-index state (the child dies with its connection).
+    fn retire(&self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// Liveness-probes a worker address before recovery or placement adopts
+/// it: a bare TCP connect is not evidence of a serving worker (the kernel
+/// completes handshakes into a dead or wedged process's listen backlog),
+/// so the probe opens a throwaway connection, greets it with a frame, and
+/// requires **any** framed reply within `io_timeout` — a live `knw-worker`
+/// serve loop answers even this out-of-order greeting with a typed `Err`
+/// frame before closing the session, while a dead one yields EOF and a
+/// wedged one times out.  The probed session is separate from (and closed
+/// before) any connection the caller actually adopts.
+///
+/// Shared by the TCP transport's recovery re-resolution, the pool
+/// transport's placement draws, and the registry's continuous background
+/// probing.
+#[must_use]
+pub fn probe_worker(addr: &str, connect_timeout: Duration, io_timeout: Duration) -> bool {
+    let Ok(stream) = connect_first(addr, connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let deadline = Some(io_timeout);
+    if stream.set_read_timeout(deadline).is_err() || stream.set_write_timeout(deadline).is_err() {
+        return false;
+    }
+    let mut writer = stream;
+    let Ok(reader) = writer.try_clone() else {
+        return false;
+    };
+    if write_frame(&mut writer, &Frame::Snapshot).is_err() || writer.flush().is_err() {
+        return false;
+    }
+    matches!(read_frame(&mut BufReader::new(reader)), Ok(Some(_)))
+}
+
+/// Connects to the first reachable of `addr`'s resolved socket addresses
+/// (a hostname may resolve to several — e.g. IPv6 then IPv4 for
+/// `localhost`; a worker listening on only one family must still be
+/// reachable).
+fn connect_first(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last_error = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_error = Some(e),
+        }
+    }
+    Err(last_error.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "address resolved to no socket address",
+        )
+    }))
+}
+
+/// Opens a configured framed TCP link to `addr`, attributing failure to
+/// worker `index` — the connection-building body shared by [`TcpTransport`]
+/// and [`PoolTransport`].
+fn open_tcp_link(
+    index: usize,
+    addr: &str,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+    let connect = || -> std::io::Result<TcpConnection> {
+        let stream = connect_first(addr, connect_timeout)?;
+        // Frames are already batched; ship them as they flush.
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        let reader = stream.try_clone()?;
+        Ok(TcpConnection {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(reader),
+            write_open: true,
+        })
+    };
+    match connect() {
+        Ok(conn) => Ok(Box::new(conn)),
+        Err(source) => Err(ClusterError::ConnectFailed {
+            worker: index,
+            addr: addr.to_string(),
+            source,
+        }),
+    }
 }
 
 /// Spawns a `knw-worker --listen <addr>` child process and parses the
@@ -520,104 +615,59 @@ impl TcpTransport {
     }
 
     /// The address worker `index` currently resolves to: its registered
-    /// replacement if recovery re-resolved it, the static address
-    /// otherwise.
+    /// replacement if recovery re-resolved it (or a pool draw placed it
+    /// there), the static address otherwise.  `None` for a grown index
+    /// beyond the static list that has no pool assignment yet.
     #[must_use]
-    pub fn current_addr(&self, index: usize) -> String {
+    pub fn current_addr(&self, index: usize) -> Option<String> {
         self.overrides
             .lock()
             .expect("transport overrides lock")
             .get(&index)
             .cloned()
-            .unwrap_or_else(|| self.addrs[index].clone())
+            .or_else(|| self.addrs.get(index).cloned())
     }
 
-    /// Connects to the first reachable of `addr`'s resolved socket
-    /// addresses (a hostname may resolve to several — e.g. IPv6 then IPv4
-    /// for `localhost`; a worker listening on only one family must still
-    /// be reachable).
-    fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
-        let mut last_error = None;
-        for resolved in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&resolved, timeout) {
-                Ok(stream) => return Ok(stream),
-                Err(e) => last_error = Some(e),
+    /// Draws a probed-healthy address from the attached registry pool,
+    /// assigns it to `index`, and connects — the placement path shared by
+    /// [`open`](Transport::open) on grown indices and
+    /// [`reopen`](Transport::reopen)'s re-resolution fallback.  Returns
+    /// `None` when no attached registry can supply a live address.
+    fn open_from_pool(&self, index: usize) -> Option<Box<dyn WorkerConnection>> {
+        let registry = self.registry.as_ref()?;
+        while let Some(addr) = registry.take_address() {
+            if !probe_worker(
+                &addr,
+                self.connect_timeout,
+                self.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT),
+            ) {
+                continue;
+            }
+            match open_tcp_link(index, &addr, self.connect_timeout, self.io_timeout) {
+                Ok(conn) => {
+                    self.overrides
+                        .lock()
+                        .expect("transport overrides lock")
+                        .insert(index, addr);
+                    return Some(conn);
+                }
+                Err(_) => continue,
             }
         }
-        Err(last_error.unwrap_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::NotFound,
-                "address resolved to no socket address",
-            )
-        }))
-    }
-}
-
-impl TcpTransport {
-    /// Liveness-probes a registered spare before recovery adopts it: a
-    /// bare TCP connect is not evidence of a serving worker (the kernel
-    /// completes handshakes into a dead or wedged process's listen
-    /// backlog), so the probe opens a throwaway connection, greets it
-    /// with a frame, and requires **any** framed reply within the I/O
-    /// timeout — a live `knw-worker` serve loop answers even this
-    /// out-of-order greeting with a typed `Err` frame before closing the
-    /// session, while a dead one yields EOF and a wedged one times out.
-    /// The probed session is separate from (and closed before) the
-    /// connection recovery actually adopts.
-    fn probe_spare(&self, addr: &str) -> bool {
-        let Ok(stream) = Self::connect(addr, self.connect_timeout) else {
-            return false;
-        };
-        let _ = stream.set_nodelay(true);
-        let deadline = Some(self.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT));
-        if stream.set_read_timeout(deadline).is_err() || stream.set_write_timeout(deadline).is_err()
-        {
-            return false;
-        }
-        let mut writer = stream;
-        let Ok(reader) = writer.try_clone() else {
-            return false;
-        };
-        if write_frame(&mut writer, &Frame::Snapshot).is_err() || writer.flush().is_err() {
-            return false;
-        }
-        matches!(read_frame(&mut BufReader::new(reader)), Ok(Some(_)))
-    }
-
-    /// Opens a configured link to `addr`, attributing failure to `index`.
-    fn open_addr(
-        &self,
-        index: usize,
-        addr: &str,
-    ) -> Result<Box<dyn WorkerConnection>, ClusterError> {
-        let connect = || -> std::io::Result<TcpConnection> {
-            let stream = Self::connect(addr, self.connect_timeout)?;
-            // Frames are already batched; ship them as they flush.
-            let _ = stream.set_nodelay(true);
-            stream.set_read_timeout(self.io_timeout)?;
-            stream.set_write_timeout(self.io_timeout)?;
-            let reader = stream.try_clone()?;
-            Ok(TcpConnection {
-                writer: BufWriter::new(stream),
-                reader: BufReader::new(reader),
-                write_open: true,
-            })
-        };
-        match connect() {
-            Ok(conn) => Ok(Box::new(conn)),
-            Err(source) => Err(ClusterError::ConnectFailed {
-                worker: index,
-                addr: addr.to_string(),
-                source,
-            }),
-        }
+        None
     }
 }
 
 impl Transport for TcpTransport {
     fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
-        let addr = self.current_addr(index);
-        self.open_addr(index, &addr)
+        match self.current_addr(index) {
+            Some(addr) => open_tcp_link(index, &addr, self.connect_timeout, self.io_timeout),
+            // A grown index beyond the static list: the pool is the only
+            // possible placement.
+            None => self
+                .open_from_pool(index)
+                .ok_or(ClusterError::PoolExhausted { needed: 1, live: 0 }),
+        }
     }
 
     fn reopen(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
@@ -632,24 +682,155 @@ impl Transport for TcpTransport {
         // are discarded — a stale announcement, or a spare whose listen
         // backlog still accepts for a dead serve loop, must not burn a
         // bounded recovery attempt on a doomed replay.
+        self.open_from_pool(index).ok_or(static_error)
+    }
+
+    fn retire(&self, index: usize) {
+        // Expire the override — the index no longer exists, so a later
+        // grow must not inherit a stale substitution — and hand the
+        // still-serving worker's address back to the pool for re-adoption.
+        let expired = self
+            .overrides
+            .lock()
+            .expect("transport overrides lock")
+            .remove(&index);
         if let Some(registry) = &self.registry {
-            while let Some(addr) = registry.take_address() {
-                if !self.probe_spare(&addr) {
-                    continue;
+            if let Some(addr) = expired.or_else(|| self.addrs.get(index).cloned()) {
+                registry.return_address(addr);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- pool
+
+/// The placement transport: **no static address list at all** — every
+/// worker slot is filled by drawing a probed-healthy address from a
+/// [`WorkerRegistry`] pool of `knw-worker --listen --register` spares.
+///
+/// Opening worker `index` pops pool addresses until one passes the
+/// connect-and-greet liveness probe ([`probe_worker`]) and connects, then
+/// remembers the assignment; [`reopen`](Transport::reopen) re-dials the
+/// assigned address first (a supervisor may have restarted the process in
+/// place) and falls back to a fresh draw.  [`retire`](Transport::retire)
+/// — a scale-down removed the slot — forgets the assignment and returns
+/// the address to the pool, so a later grow can re-adopt the
+/// still-serving worker.
+#[derive(Debug)]
+pub struct PoolTransport {
+    registry: Arc<WorkerRegistry>,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+    /// Pool addresses by the worker index they were placed on.
+    assigned: Mutex<HashMap<usize, String>>,
+}
+
+impl PoolTransport {
+    /// Creates a pool transport drawing from `registry` with the default
+    /// timeouts.
+    #[must_use]
+    pub fn new(registry: Arc<WorkerRegistry>) -> Self {
+        Self {
+            registry,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            assigned: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the connect timeout.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-link read/write timeout (`None` blocks forever).
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// The registry this transport draws placements from.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<WorkerRegistry> {
+        &self.registry
+    }
+
+    /// The pool address currently placed on worker `index`, if any.
+    #[must_use]
+    pub fn assigned_addr(&self, index: usize) -> Option<String> {
+        self.assigned
+            .lock()
+            .expect("pool assignments lock")
+            .get(&index)
+            .cloned()
+    }
+
+    /// Draws probed-healthy pool addresses until one connects, recording
+    /// the assignment.
+    fn draw(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        while let Some(addr) = self.registry.take_address() {
+            if !probe_worker(
+                &addr,
+                self.connect_timeout,
+                self.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT),
+            ) {
+                continue;
+            }
+            match open_tcp_link(index, &addr, self.connect_timeout, self.io_timeout) {
+                Ok(conn) => {
+                    self.assigned
+                        .lock()
+                        .expect("pool assignments lock")
+                        .insert(index, addr);
+                    return Ok(conn);
                 }
-                match self.open_addr(index, &addr) {
-                    Ok(conn) => {
-                        self.overrides
-                            .lock()
-                            .expect("transport overrides lock")
-                            .insert(index, addr);
-                        return Ok(conn);
-                    }
-                    Err(_) => continue,
+                Err(_) => continue,
+            }
+        }
+        Err(ClusterError::PoolExhausted {
+            needed: 1,
+            live: self.registry.live_available(),
+        })
+    }
+}
+
+impl Transport for PoolTransport {
+    fn open(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        match self.assigned_addr(index) {
+            Some(addr) => open_tcp_link(index, &addr, self.connect_timeout, self.io_timeout),
+            None => self.draw(index),
+        }
+    }
+
+    fn reopen(&self, index: usize) -> Result<Box<dyn WorkerConnection>, ClusterError> {
+        if let Some(addr) = self.assigned_addr(index) {
+            match open_tcp_link(index, &addr, self.connect_timeout, self.io_timeout) {
+                Ok(conn) => return Ok(conn),
+                Err(_) => {
+                    // The placed worker is gone for good; forget it before
+                    // drawing a replacement.
+                    self.assigned
+                        .lock()
+                        .expect("pool assignments lock")
+                        .remove(&index);
                 }
             }
         }
-        Err(static_error)
+        self.draw(index)
+    }
+
+    fn retire(&self, index: usize) {
+        if let Some(addr) = self
+            .assigned
+            .lock()
+            .expect("pool assignments lock")
+            .remove(&index)
+        {
+            self.registry.return_address(addr);
+        }
     }
 }
 

@@ -312,8 +312,9 @@ mod tests {
     #[test]
     fn hash_affine_router_matches_the_by_item_partition() {
         // The router's HashAffine shard contents must equal what
-        // `shard_for_key` pre-partitioning produces: feed the same stream
-        // both ways and compare the per-shard sketches field-for-field.
+        // `epoch_shard_for_key` pre-partitioning produces: feed the same
+        // stream both ways and compare the per-shard sketches
+        // field-for-field.
         let cfg = L0Config::new(0.2, 1 << 14).with_seed(29);
         let seed = 17u64;
         let shards = 3usize;
@@ -328,7 +329,7 @@ mod tests {
         router.flush();
         let mut parts: Vec<Vec<(u64, i64)>> = vec![Vec::new(); shards];
         for &(item, delta) in &updates {
-            parts[knw_hash::rng::shard_for_key(seed, item, shards)].push((item, delta));
+            parts[knw_hash::rng::epoch_shard_for_key(seed, item, shards)].push((item, delta));
         }
         for (shard, part) in router.shards().iter().zip(parts.iter()) {
             let mut reference = KnwL0Sketch::new(cfg);

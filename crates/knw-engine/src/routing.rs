@@ -17,17 +17,25 @@
 //!   exactly under *arbitrary* stream partitions (every estimator in this
 //!   workspace).
 //! * [`RoutingPolicy::HashAffine`] — every occurrence of an item lands on
-//!   the shard [`shard_for_key`](knw_hash::rng::shard_for_key)`(seed, item)`
-//!   selects.  This is the *by-item* partition: required when a turnstile
-//!   shard sketch is only correct if it sees all of an item's inserts and
-//!   deletes (true of non-linear deletion-aware structures outside this
-//!   workspace), and the natural policy when shards are keyed caches.  The
-//!   seed lets disjoint deployments decorrelate their shard assignments;
-//!   seed 0 matches `knw_stream::partition_by_item`.
+//!   the shard
+//!   [`epoch_shard_for_key`](knw_hash::rng::epoch_shard_for_key)`(seed,
+//!   item, shards)` selects (equal to the historical
+//!   [`shard_for_key`](knw_hash::rng::shard_for_key) at power-of-two shard
+//!   counts, and a linear-hashing refinement under growth — the property
+//!   elastic resharding is built on; see
+//!   [`install_epoch`](ShardBatcher::install_epoch)).  This is the
+//!   *by-item* partition: required when a turnstile shard sketch is only
+//!   correct if it sees all of an item's inserts and deletes (true of
+//!   non-linear deletion-aware structures outside this workspace), and the
+//!   natural policy when shards are keyed caches.  The seed lets disjoint
+//!   deployments decorrelate their shard assignments; seed 0 matches
+//!   `knw_stream::partition_by_item`.
 //!
 //! [`ShardedEngine`]: crate::ShardedEngine
 //! [`ShardRouter`]: crate::ShardRouter
 
+use knw_hash::rng::epoch_shard_for_key;
+#[cfg(test)]
 use knw_hash::rng::shard_for_key;
 use knw_metrics::{Counter, MetricsRegistry};
 use std::sync::Arc;
@@ -193,6 +201,10 @@ pub struct ShardBatcher<U> {
     buffers: Buffers<U>,
     batch_size: usize,
     num_shards: usize,
+    /// The routing epoch: bumped by [`install_epoch`](Self::install_epoch)
+    /// each time the shard count changes, so callers can stamp journals and
+    /// wire traffic with the table version that routed them.
+    epoch: u64,
     /// Optional per-shard dispatch counters (see [`BatcherMetrics`]).
     metrics: Option<BatcherMetrics>,
 }
@@ -220,6 +232,7 @@ impl<U: Routable> ShardBatcher<U> {
             buffers,
             batch_size,
             num_shards,
+            epoch: 0,
             metrics: None,
         }
     }
@@ -250,7 +263,7 @@ impl<U: Routable> ShardBatcher<U> {
                 }
             }
             Buffers::HashAffine { seed, buffers } => {
-                let shard = shard_for_key(*seed, update.routing_key(), self.num_shards);
+                let shard = epoch_shard_for_key(*seed, update.routing_key(), self.num_shards);
                 let buffer = &mut buffers[shard];
                 buffer.push(update);
                 if buffer.len() >= batch_size {
@@ -367,6 +380,52 @@ impl<U: Routable> ShardBatcher<U> {
         match &self.buffers {
             Buffers::RoundRobin { .. } => 1,
             Buffers::HashAffine { buffers, .. } => buffers.len(),
+        }
+    }
+
+    /// The current routing epoch (0 until the first
+    /// [`install_epoch`](Self::install_epoch)).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The number of shards the current epoch's table routes over.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Installs the next routing epoch with `num_shards` shards (clamped to
+    /// at least one).  Routing is deterministic *within* an epoch: the same
+    /// key routes to the same shard until the next install, and under
+    /// hash-affine routing the new table is the linear-hashing refinement
+    /// of the old one (see `knw_hash::rng::epoch_shard_for_key`), so a
+    /// grow by one moves exactly one shard's split-off keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if updates are still pending — callers must
+    /// [`flush`](Self::flush) first, because a buffered update was routed
+    /// by the *old* table and dispatching it under the new one would break
+    /// the per-epoch determinism contract.
+    pub fn install_epoch(&mut self, num_shards: usize) {
+        assert_eq!(
+            self.pending_len(),
+            0,
+            "install_epoch requires a flushed batcher"
+        );
+        let num_shards = num_shards.max(1);
+        let batch_size = self.batch_size;
+        self.epoch += 1;
+        self.num_shards = num_shards;
+        match &mut self.buffers {
+            Buffers::RoundRobin { next_shard, .. } => {
+                *next_shard %= num_shards;
+            }
+            Buffers::HashAffine { buffers, .. } => {
+                buffers.resize_with(num_shards, || Vec::with_capacity(batch_size));
+            }
         }
     }
 }
@@ -534,6 +593,55 @@ mod tests {
             .map(|s| count("test_ha_shard_updates_total", &s.to_string()))
             .sum();
         assert_eq!(total_updates, 25, "every update is attributed to a shard");
+    }
+
+    /// `install_epoch` re-tables routing deterministically: within an
+    /// epoch the same key always routes to the same shard, the round-robin
+    /// cursor stays in range after a shrink, and a hash-affine grow routes
+    /// by the refined table (keys either stay or move to the new shard).
+    #[test]
+    fn install_epoch_resizes_routing_deterministically() {
+        let mut rr: ShardBatcher<u64> = ShardBatcher::new(RoutingPolicy::RoundRobin, 4, 1);
+        let mut shards = Vec::new();
+        let mut sink = |s: usize, _b: Vec<u64>| shards.push(s);
+        for i in 0..3 {
+            rr.push(i, &mut sink);
+        }
+        assert_eq!(rr.epoch(), 0);
+        rr.install_epoch(2);
+        assert_eq!((rr.epoch(), rr.num_shards()), (1, 2));
+        for i in 0..4 {
+            rr.push(i, &mut sink);
+        }
+        assert_eq!(shards, vec![0, 1, 2, 1, 0, 1, 0]);
+
+        let seed = 5u64;
+        let mut ha: ShardBatcher<u64> = ShardBatcher::new(RoutingPolicy::HashAffine { seed }, 2, 1);
+        let keys: Vec<u64> = (0..64).collect();
+        let mut before = std::collections::HashMap::new();
+        for &k in &keys {
+            ha.push(k, &mut |s, _| {
+                before.insert(k, s);
+            });
+        }
+        ha.install_epoch(3);
+        for &k in &keys {
+            ha.push(k, &mut |s, _| {
+                let old = before[&k];
+                assert!(
+                    s == old || (old == knw_hash::rng::split_parent(2) && s == 2),
+                    "key {k} jumped {old} -> {s} on a 2 -> 3 grow"
+                );
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flushed batcher")]
+    fn install_epoch_refuses_pending_updates() {
+        let mut b: ShardBatcher<u64> = ShardBatcher::new(RoutingPolicy::RoundRobin, 2, 8);
+        b.push(1, &mut |_, _| {});
+        b.install_epoch(4);
     }
 
     #[test]

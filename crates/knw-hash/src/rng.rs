@@ -134,6 +134,47 @@ pub fn shard_for_key(seed: u64, key: u64, shards: usize) -> usize {
     (mix64(key ^ seed) % shards.max(1) as u64) as usize
 }
 
+/// The epoched (linear-hashing) shard assignment used by elastic fleets:
+/// deterministic in `(seed, key, shards)`, equal to [`shard_for_key`]
+/// whenever `shards` is a power of two, and — the property resharding is
+/// built on — a *refinement* under growth: going from `n` to `n + 1`
+/// shards moves keys **only** from shard [`split_parent`]`(n)` to the new
+/// shard `n`; every other key keeps its shard.
+///
+/// The construction is classic linear hashing: hash into the next power of
+/// two `p ≥ shards`, and fold the not-yet-split top half back onto its
+/// buddy (`s - p/2`) when the hashed slot does not exist yet.
+///
+/// [`shard_for_key`] stays the only hash site; this function only decides
+/// how the hashed slot folds onto the live shard range.
+#[inline]
+#[must_use]
+pub fn epoch_shard_for_key(seed: u64, key: u64, shards: usize) -> usize {
+    let shards = shards.max(1);
+    let p = shards.next_power_of_two();
+    let s = shard_for_key(seed, key, p);
+    if s >= shards {
+        s - p / 2
+    } else {
+        s
+    }
+}
+
+/// The shard that splits when the fleet grows from `shards` to
+/// `shards + 1`: under [`epoch_shard_for_key`] the new shard `shards`
+/// receives keys only from `split_parent(shards)`, and each key either
+/// stays on the parent or moves to the new shard — nothing else changes.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` (shard 0 has no parent).
+#[inline]
+#[must_use]
+pub fn split_parent(shards: usize) -> usize {
+    assert!(shards > 0, "shard 0 has no split parent");
+    shards - (shards + 1).next_power_of_two() / 2
+}
+
 /// xoshiro256**: a fast general-purpose generator with a 256-bit state.
 ///
 /// Used where long streams of pseudo-random words are consumed, e.g. the
@@ -357,5 +398,75 @@ mod tests {
             .filter(|&k| shard_for_key(1, k, 4) != shard_for_key(2, k, 4))
             .count();
         assert!(moved > 500, "only {moved} keys moved between seeds");
+    }
+
+    #[test]
+    fn epoch_shard_matches_plain_shard_at_powers_of_two() {
+        // At power-of-two shard counts the fold is a no-op, so every
+        // pre-epoch partition (2- and 4-worker fleets, the historical
+        // tests) is reproduced bit-for-bit.
+        for shards in [1usize, 2, 4, 8, 16] {
+            for key in 0..2_000u64 {
+                for seed in [0u64, 7, 4242] {
+                    assert_eq!(
+                        epoch_shard_for_key(seed, key, shards),
+                        shard_for_key(seed, key, shards),
+                        "pow-2 equivalence broke at {shards} shards"
+                    );
+                }
+            }
+        }
+        // Degenerate shard counts clamp like the plain assignment.
+        assert_eq!(epoch_shard_for_key(1, 42, 0), 0);
+    }
+
+    #[test]
+    fn epoch_growth_is_a_refinement() {
+        // Growing n -> n+1 moves keys only from split_parent(n) to the new
+        // shard n; every other key keeps its shard.
+        for n in 1usize..32 {
+            let parent = split_parent(n);
+            assert!(parent < n, "parent {parent} out of range for {n} shards");
+            for key in 0..2_000u64 {
+                for seed in [0u64, 9, 77] {
+                    let before = epoch_shard_for_key(seed, key, n);
+                    let after = epoch_shard_for_key(seed, key, n + 1);
+                    if after == before {
+                        continue;
+                    }
+                    assert_eq!(
+                        (before, after),
+                        (parent, n),
+                        "non-refining move at {n} -> {} shards",
+                        n + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_split_parent_chain() {
+        assert_eq!(split_parent(1), 0);
+        assert_eq!(split_parent(2), 0);
+        assert_eq!(split_parent(3), 1);
+        assert_eq!(split_parent(4), 0);
+        assert_eq!(split_parent(5), 1);
+        assert_eq!(split_parent(6), 2);
+        assert_eq!(split_parent(7), 3);
+        assert_eq!(split_parent(8), 0);
+    }
+
+    #[test]
+    fn epoch_shard_is_roughly_balanced_off_powers_of_two() {
+        // Folded (not-yet-split) shards carry double weight — that is the
+        // linear-hashing trade — but no shard is empty or wildly skewed.
+        let mut counts = [0usize; 6];
+        for key in 0..12_000u64 {
+            counts[epoch_shard_for_key(5, key, 6)] += 1;
+        }
+        for &c in &counts {
+            assert!((900..=3_600).contains(&c), "imbalanced: {counts:?}");
+        }
     }
 }

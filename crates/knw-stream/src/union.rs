@@ -44,15 +44,16 @@ fn partition_batches<T: Copy>(stream: &[T], shards: usize, batch_size: usize) ->
 
 /// The shared key-affine partition body: `key` extracts the item identifier
 /// every occurrence of which must land on the same shard.  The assignment is
-/// [`knw_hash::rng::shard_for_key`] with seed 0 — the same function the
+/// [`knw_hash::rng::epoch_shard_for_key`] with seed 0 — the same function the
 /// `knw-engine` router and the `knw-cluster` aggregator use for their
-/// `HashAffine` routing policy, so pre-partitioned experiments reproduce the
-/// routers' shard contents exactly.
+/// `HashAffine` routing policy (and identical to the historical
+/// `shard_for_key` at power-of-two shard counts), so pre-partitioned
+/// experiments reproduce the routers' shard contents exactly.
 fn partition_by_key<T: Copy>(stream: &[T], shards: usize, key: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
     let shards = shards.max(1);
     let mut parts = vec![Vec::new(); shards];
     for update in stream {
-        parts[knw_hash::rng::shard_for_key(0, key(update), shards)].push(*update);
+        parts[knw_hash::rng::epoch_shard_for_key(0, key(update), shards)].push(*update);
     }
     parts
 }
